@@ -1,0 +1,81 @@
+// Quickstart reproduces the paper's running example (Figure 2): two
+// address books both contain a person named John, with different phone
+// numbers. Integration cannot tell whether they are the same person, so
+// the database keeps all three possible worlds; the DTD knowledge that a
+// person has at most one phone rejects the world in which the merged John
+// keeps both numbers. Feedback then resolves the uncertainty.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	imprecise "repro"
+)
+
+const bookA = `
+<addressbook>
+	<person><nm>John</nm><tel>1111</tel></person>
+</addressbook>`
+
+const bookB = `
+<addressbook>
+	<person><nm>John</nm><tel>2222</tel></person>
+</addressbook>`
+
+const personDTD = `
+	<!ELEMENT addressbook (person*)>
+	<!ELEMENT person (nm, tel?)>
+	<!ELEMENT nm (#PCDATA)>
+	<!ELEMENT tel (#PCDATA)>
+`
+
+func main() {
+	schema, err := imprecise.ParseDTD(personDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := imprecise.OpenXMLString(bookA, imprecise.Config{Schema: schema})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== integrating two address books (paper Figure 2) ==")
+	stats, err := db.IntegrateXMLString(bookB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("possible worlds: %s (undecided pairs: %d, DTD-pruned matchings: %d)\n\n",
+		db.WorldCount(), stats.UndecidedPairs, stats.MatchingsPruned)
+
+	fmt.Println("the integrated probabilistic document:")
+	if err := db.ExportXML(os.Stdout, imprecise.EncodeOptions{Indent: "  ", ProbDigits: 3}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	show := func(label, q string) {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s  (%s)\n", label, q)
+		for _, a := range res.Answers {
+			fmt.Printf("  %3.0f%%  %s\n", a.P*100, a.Value)
+		}
+	}
+	show("John's phone numbers, ranked by likelihood:", `//person[nm="John"]/tel`)
+
+	fmt.Println("\n== user feedback: \"2222 is wrong\" ==")
+	ev, err := db.Feedback(`//person[nm="John"]/tel`, "2222", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worlds: %s -> %s (the feedback had prior probability %.2f)\n",
+		ev.WorldsBefore, ev.WorldsAfter, ev.PriorP)
+	show("after feedback:", `//person[nm="John"]/tel`)
+	fmt.Printf("\ndatabase certain again: %v\n", db.IsCertain())
+}

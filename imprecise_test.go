@@ -1,0 +1,157 @@
+package imprecise_test
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+
+	imprecise "repro"
+)
+
+const qsBookA = `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
+const qsBookB = `<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>`
+const qsDTD = `
+	<!ELEMENT addressbook (person*)>
+	<!ELEMENT person (nm, tel?)>
+	<!ELEMENT nm (#PCDATA)>
+	<!ELEMENT tel (#PCDATA)>`
+
+// TestPublicAPIQuickstart runs the README quick-start flow end to end
+// through the public package only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	schema, err := imprecise.ParseDTD(qsDTD)
+	if err != nil {
+		t.Fatalf("ParseDTD: %v", err)
+	}
+	db, err := imprecise.OpenXMLString(qsBookA, imprecise.Config{Schema: schema})
+	if err != nil {
+		t.Fatalf("OpenXMLString: %v", err)
+	}
+	stats, err := db.IntegrateXMLString(qsBookB)
+	if err != nil {
+		t.Fatalf("IntegrateXMLString: %v", err)
+	}
+	if stats.UndecidedPairs != 2 {
+		t.Fatalf("undecided = %d", stats.UndecidedPairs)
+	}
+	if db.WorldCount().Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("worlds = %s, want Figure 2's 3", db.WorldCount())
+	}
+	res, err := db.Query(`//person[nm="John"]/tel`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if math.Abs(res.P("1111")-0.75) > 1e-9 || math.Abs(res.P("2222")-0.75) > 1e-9 {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+	ev, err := db.Feedback(`//person[nm="John"]/tel`, "2222", false)
+	if err != nil {
+		t.Fatalf("Feedback: %v", err)
+	}
+	if ev.WorldsAfter.Cmp(big.NewInt(1)) != 0 || !db.IsCertain() {
+		t.Fatalf("feedback did not resolve: %s worlds", ev.WorldsAfter)
+	}
+	var sb strings.Builder
+	if err := imprecise.EncodeXML(&sb, db.Tree(), imprecise.EncodeOptions{}); err != nil {
+		t.Fatalf("EncodeXML: %v", err)
+	}
+	if !strings.Contains(sb.String(), "<tel>1111</tel>") {
+		t.Fatalf("export = %s", sb.String())
+	}
+}
+
+func TestPublicAPIDirectIntegration(t *testing.T) {
+	a, err := imprecise.DecodeXMLString(qsBookA)
+	if err != nil {
+		t.Fatalf("DecodeXMLString: %v", err)
+	}
+	b, err := imprecise.DecodeXMLString(qsBookB)
+	if err != nil {
+		t.Fatalf("DecodeXMLString: %v", err)
+	}
+	res, stats, err := imprecise.Integrate(a, b, imprecise.IntegrationConfig{
+		Oracle: imprecise.NewOracle(nil),
+		Schema: imprecise.MustParseDTD(qsDTD),
+	})
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if res.WorldCount().Cmp(big.NewInt(3)) != 0 || stats.MatchingsPruned == 0 {
+		t.Fatalf("unexpected integration result: %s worlds, %+v", res.WorldCount(), stats)
+	}
+}
+
+func TestPublicAPICustomRule(t *testing.T) {
+	phoneGate := imprecise.NewRule("phone-prefix", func(a, b *imprecise.Node) imprecise.Verdict {
+		if a.Tag() != "person" {
+			return imprecise.Verdict{}
+		}
+		return imprecise.Verdict{Decision: imprecise.DecisionCannotMatch, Rule: "phone-prefix"}
+	})
+	db, err := imprecise.OpenXMLString(qsBookA, imprecise.Config{
+		Schema: imprecise.MustParseDTD(qsDTD),
+		Rules:  []imprecise.Rule{phoneGate},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := db.IntegrateXMLString(qsBookB); err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	// The rule forbids all person merges: a single certain union world.
+	if db.WorldCount().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("worlds = %s, want 1", db.WorldCount())
+	}
+}
+
+func TestPublicAPIRuleSetsAndQueries(t *testing.T) {
+	sets := []imprecise.RuleSet{
+		imprecise.SetNone, imprecise.SetGenre, imprecise.SetTitle,
+		imprecise.SetGenreTitle, imprecise.SetGenreTitleYear, imprecise.SetFull,
+	}
+	for i, s := range sets {
+		if i > 0 && len(s.Rules()) == 0 {
+			t.Fatalf("%v has no rules", s)
+		}
+	}
+	o := imprecise.NewMovieOracle(imprecise.SetGenreTitleYear)
+	if len(o.Rules()) != 4 {
+		t.Fatalf("movie oracle rules = %v", o.Rules())
+	}
+	q, err := imprecise.CompileQuery(`//movie[.//genre="Horror"]/title`)
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	if q.String() == "" {
+		t.Fatalf("query string empty")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("MustCompileQuery should panic on junk")
+			}
+		}()
+		imprecise.MustCompileQuery(`junk`)
+	}()
+}
+
+func TestPublicAPIFeedbackSession(t *testing.T) {
+	tr, err := imprecise.DecodeXMLString(
+		`<a><_prob><_poss p="0.6"><b>x</b></_poss><_poss p="0.4"><b>y</b></_poss></_prob></a>`)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	s := imprecise.NewFeedbackSession(tr, imprecise.FeedbackOptions{})
+	q := imprecise.MustCompileQuery(`//a/b`)
+	ev, err := s.Apply(q, "y", imprecise.JudgmentIncorrect)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if math.Abs(ev.PriorP-0.6) > 1e-9 {
+		t.Fatalf("prior = %v", ev.PriorP)
+	}
+	if s.Tree().WorldCount().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("worlds = %s", s.Tree().WorldCount())
+	}
+}

@@ -1,0 +1,387 @@
+// Package cli implements the imprecise command-line tool. It lives in a
+// package of its own (rather than package main) so that its behaviour is
+// unit-testable.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/dtd"
+	"repro/internal/explain"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+	"repro/internal/query"
+	"repro/internal/shell"
+	"repro/internal/worlds"
+	"repro/internal/xmlcodec"
+)
+
+// Run executes one CLI invocation, writing human output to w.
+func Run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate")
+	}
+	switch args[0] {
+	case "integrate":
+		return runIntegrate(args[1:], w)
+	case "query":
+		return runQuery(args[1:], w)
+	case "stats":
+		return runStats(args[1:], w)
+	case "worlds":
+		return runWorlds(args[1:], w)
+	case "feedback":
+		return runFeedback(args[1:], w)
+	case "explain":
+		return runExplain(args[1:], w)
+	case "generate":
+		return runGenerate(args[1:], w)
+	case "shell":
+		return shell.New(w).Run(os.Stdin)
+	case "help", "-h", "--help":
+		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, shell")
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func loadTree(path string) (*pxml.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xmlcodec.Decode(f)
+}
+
+func saveTree(path string, t *pxml.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return xmlcodec.Encode(f, t, xmlcodec.EncodeOptions{Indent: "  "})
+}
+
+// parseRules maps comma-separated rule names to Oracle rules.
+func parseRules(spec string) ([]oracle.Rule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []oracle.Rule
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "genre":
+			rules = append(rules, oracle.GenreRule())
+		case "title":
+			rules = append(rules, oracle.TitleRule())
+		case "year":
+			rules = append(rules, oracle.YearRule())
+		case "director":
+			rules = append(rules, oracle.DirectorRule())
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown rule %q (known: genre, title, year, director)", name)
+		}
+	}
+	return rules, nil
+}
+
+func runIntegrate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("integrate", flag.ContinueOnError)
+	aPath := fs.String("a", "", "source A document (required)")
+	bPath := fs.String("b", "", "source B document (required)")
+	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge")
+	ruleSpec := fs.String("rules", "", "comma-separated domain rules: genre,title,year,director")
+	outPath := fs.String("o", "", "write the integrated document here")
+	raw := fs.Bool("raw", false, "skip normalization (paper-style raw sizes)")
+	truncate := fs.Bool("truncate", false, "truncate instead of failing on possibility explosion")
+	maxMatchings := fs.Int("max-matchings", 0, "matching budget per candidate component (0 = default)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *aPath == "" || *bPath == "" {
+		return errors.New("integrate: -a and -b are required")
+	}
+	a, err := loadTree(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := loadTree(*bPath)
+	if err != nil {
+		return err
+	}
+	var schema *dtd.Schema
+	if *dtdPath != "" {
+		data, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			return err
+		}
+		schema, err = dtd.ParseString(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	rules, err := parseRules(*ruleSpec)
+	if err != nil {
+		return err
+	}
+	res, stats, err := integrate.Integrate(a, b, integrate.Config{
+		Oracle:                   oracle.New(rules, oracle.WithEstimator("movie", oracle.TitleEstimator())),
+		Schema:                   schema,
+		SkipNormalize:            *raw,
+		TruncateOnExplosion:      *truncate,
+		MaxMatchingsPerComponent: *maxMatchings,
+	})
+	if err != nil {
+		return err
+	}
+	s := res.CollectStats()
+	fmt.Fprintf(w, "nodes:           %d (physical %d)\n", s.LogicalNodes, s.PhysicalNodes)
+	fmt.Fprintf(w, "possible worlds: %s\n", s.Worlds)
+	fmt.Fprintf(w, "choice points:   %d\n", res.ChoicePoints())
+	fmt.Fprintf(w, "oracle:          %d pairs, %d must, %d cannot, %d undecided\n",
+		stats.OracleCalls, stats.MustPairs, stats.CannotPairs, stats.UndecidedPairs)
+	fmt.Fprintf(w, "matchings:       %d enumerated, %d pruned by schema\n",
+		stats.MatchingsEnumerated, stats.MatchingsPruned)
+	if stats.TruncatedComponents > 0 {
+		fmt.Fprintf(w, "WARNING: %d components truncated by budget\n", stats.TruncatedComponents)
+	}
+	if *outPath != "" {
+		if err := saveTree(*outPath, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "written:         %s\n", *outPath)
+	}
+	return nil
+}
+
+func runQuery(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "document to query (required)")
+	qSrc := fs.String("q", "", "query (required)")
+	top := fs.Int("top", 0, "show only the top N answers")
+	samples := fs.Int("samples", 0, "Monte-Carlo samples when sampling is used")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *qSrc == "" {
+		return errors.New("query: -db and -q are required")
+	}
+	t, err := loadTree(*dbPath)
+	if err != nil {
+		return err
+	}
+	q, err := query.Compile(*qSrc)
+	if err != nil {
+		return err
+	}
+	res, err := query.Eval(t, q, query.Options{Samples: *samples, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	answers := res.Answers
+	if *top > 0 {
+		answers = res.Top(*top)
+	}
+	fmt.Fprintf(w, "method: %s\n", res.Method)
+	for _, a := range answers {
+		fmt.Fprintf(w, "%6.1f%%  %s\n", a.P*100, a.Value)
+	}
+	if len(answers) == 0 {
+		fmt.Fprintln(w, "(no answers)")
+	}
+	return nil
+}
+
+func runExplain(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "document (required)")
+	qSrc := fs.String("q", "", "query (required)")
+	value := fs.String("value", "", "the answer to explain (required)")
+	maxChoices := fs.Int("max-choices", 0, "choice points to analyze (0 = default)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *qSrc == "" || *value == "" {
+		return errors.New("explain: -db, -q and -value are required")
+	}
+	t, err := loadTree(*dbPath)
+	if err != nil {
+		return err
+	}
+	q, err := query.Compile(*qSrc)
+	if err != nil {
+		return err
+	}
+	report, err := explain.Answer(t, q, *value, explain.Options{MaxChoices: *maxChoices})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, report.Format())
+	return nil
+}
+
+func runStats(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "document (required)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return errors.New("stats: -db is required")
+	}
+	t, err := loadTree(*dbPath)
+	if err != nil {
+		return err
+	}
+	s := t.CollectStats()
+	fmt.Fprintf(w, "logical nodes:   %d (prob %d, poss %d, elem %d)\n",
+		s.LogicalNodes, s.LogicalProb, s.LogicalPoss, s.LogicalElem)
+	fmt.Fprintf(w, "physical nodes:  %d\n", s.PhysicalNodes)
+	fmt.Fprintf(w, "possible worlds: %s\n", s.Worlds)
+	fmt.Fprintf(w, "choice points:   %d\n", t.ChoicePoints())
+	fmt.Fprintf(w, "max depth:       %d\n", s.MaxDepth)
+	fmt.Fprintf(w, "certain:         %v\n", t.IsCertain())
+	return nil
+}
+
+func runWorlds(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("worlds", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "document (required)")
+	max := fs.Int("max", 20, "maximum worlds to list")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return errors.New("worlds: -db is required")
+	}
+	t, err := loadTree(*dbPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "possible worlds: %s\n", t.WorldCount())
+	n := 0
+	worlds.Enumerate(t, func(wd worlds.World) bool {
+		n++
+		fmt.Fprintf(w, "--- world %d (p=%.6g) ---\n", n, wd.P)
+		for _, e := range wd.Elements {
+			fmt.Fprint(w, pxml.Sketch(e))
+		}
+		return n < *max
+	})
+	if !t.WorldCount().IsInt64() || int64(n) < t.WorldCount().Int64() {
+		fmt.Fprintf(w, "... (%d shown)\n", n)
+	}
+	return nil
+}
+
+func runFeedback(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("feedback", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "document (required)")
+	qSrc := fs.String("q", "", "query the answer came from (required)")
+	value := fs.String("value", "", "the judged answer value (required)")
+	judgment := fs.String("judgment", "incorrect", "correct | incorrect")
+	outPath := fs.String("o", "", "write the conditioned document here")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *qSrc == "" || *value == "" {
+		return errors.New("feedback: -db, -q and -value are required")
+	}
+	t, err := loadTree(*dbPath)
+	if err != nil {
+		return err
+	}
+	q, err := query.Compile(*qSrc)
+	if err != nil {
+		return err
+	}
+	var j feedback.Judgment
+	switch *judgment {
+	case "correct":
+		j = feedback.Correct
+	case "incorrect":
+		j = feedback.Incorrect
+	default:
+		return fmt.Errorf("feedback: unknown judgment %q", *judgment)
+	}
+	session := feedback.NewSession(t, feedback.Options{})
+	ev, err := session.Apply(q, *value, j)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "prior probability of feedback: %.6g\n", ev.PriorP)
+	fmt.Fprintf(w, "possible worlds: %s -> %s\n", ev.WorldsBefore, ev.WorldsAfter)
+	if *outPath != "" {
+		if err := saveTree(*outPath, session.Tree()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "written: %s\n", *outPath)
+	}
+	return nil
+}
+
+func runGenerate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	scenario := fs.String("scenario", "table1", "table1 | confusing | typical")
+	n := fs.Int("n", 12, "IMDB-source size (confusing/typical)")
+	nA := fs.Int("na", 6, "MPEG-7-source size (typical)")
+	shared := fs.Int("shared", 2, "shared rwos (typical)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	dir := fs.String("dir", ".", "output directory")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pair datagen.Pair
+	switch *scenario {
+	case "table1":
+		pair = datagen.TableISources()
+	case "confusing":
+		pair = datagen.Confusing(*n, *seed)
+	case "typical":
+		pair = datagen.Typical(*nA, *n, *shared, *seed)
+	default:
+		return fmt.Errorf("generate: unknown scenario %q", *scenario)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string]*pxml.Tree{
+		"a.xml":     pair.A.Tree,
+		"b.xml":     pair.B.Tree,
+		"truth.xml": pair.Truth,
+	}
+	for name, t := range files {
+		path := filepath.Join(*dir, name)
+		if err := saveTree(path, t); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "written: %s\n", path)
+	}
+	dtdPath := filepath.Join(*dir, "movie.dtd")
+	if err := os.WriteFile(dtdPath, []byte(datagen.MovieDTD().String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "written: %s\n", dtdPath)
+	fmt.Fprintf(w, "shared rwos: %s\n", strings.Join(pair.SharedIDs, ", "))
+	return nil
+}

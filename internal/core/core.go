@@ -1,0 +1,203 @@
+// Package core ties the IMPrECISE subsystems together into the database
+// module of the paper's §IV architecture: probabilistic XML storage at the
+// bottom, data integration with "The Oracle" in the middle, and
+// probabilistic querying plus user feedback on top.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+	"repro/internal/query"
+	"repro/internal/xmlcodec"
+)
+
+// Config configures a Database.
+type Config struct {
+	// Schema is the DTD knowledge used to reject impossible
+	// possibilities. Optional.
+	Schema *dtd.Schema
+	// Rules are the Oracle's knowledge rules (the generic deep-equal rule
+	// is always added).
+	Rules []oracle.Rule
+	// OracleOptions tune the Oracle (prior, estimators, strictness).
+	OracleOptions []oracle.Option
+	// Integration tunes the integration engine. Its Oracle and Schema
+	// fields are overwritten from this Config.
+	Integration integrate.Config
+	// Query sets default evaluation options.
+	Query query.Options
+	// Feedback bounds the conditioning work of feedback processing.
+	Feedback feedback.Options
+}
+
+// Database is a probabilistic XML database with near-automatic
+// integration. It is not safe for concurrent mutation; concurrent queries
+// against an unchanging database are safe (the tree is immutable).
+type Database struct {
+	tree   *pxml.Tree
+	oracle *oracle.Oracle
+	cfg    Config
+
+	integrations []integrate.Stats
+	session      *feedback.Session
+}
+
+// Open creates a database over an initial document.
+func Open(doc *pxml.Tree, cfg Config) (*Database, error) {
+	if doc == nil {
+		return nil, errors.New("core: nil document")
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid document: %w", err)
+	}
+	db := &Database{
+		tree:   doc,
+		oracle: oracle.New(cfg.Rules, cfg.OracleOptions...),
+		cfg:    cfg,
+	}
+	db.session = feedback.NewSession(doc, cfg.Feedback)
+	return db, nil
+}
+
+// OpenXML creates a database from an XML document (plain or with
+// probabilistic markers).
+func OpenXML(r io.Reader, cfg Config) (*Database, error) {
+	tree, err := xmlcodec.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return Open(tree, cfg)
+}
+
+// Tree returns the current probabilistic document.
+func (db *Database) Tree() *pxml.Tree { return db.tree }
+
+// Oracle returns the database's rule oracle.
+func (db *Database) Oracle() *oracle.Oracle { return db.oracle }
+
+// setTree swaps the document and resets the feedback session to it.
+func (db *Database) setTree(t *pxml.Tree) {
+	db.tree = t
+	db.session = feedback.NewSession(t, db.cfg.Feedback)
+}
+
+// IntegrateTree integrates another document into the database. The
+// database content becomes the probabilistic integration of the current
+// document (source A) and the new one (source B).
+func (db *Database) IntegrateTree(other *pxml.Tree) (*integrate.Stats, error) {
+	cfg := db.cfg.Integration
+	cfg.Oracle = db.oracle
+	cfg.Schema = db.cfg.Schema
+	res, stats, err := integrate.Integrate(db.tree, other, cfg)
+	if err != nil {
+		return nil, err
+	}
+	db.setTree(res)
+	db.integrations = append(db.integrations, *stats)
+	return stats, nil
+}
+
+// IntegrateXML integrates an XML source into the database.
+func (db *Database) IntegrateXML(r io.Reader) (*integrate.Stats, error) {
+	tree, err := xmlcodec.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return db.IntegrateTree(tree)
+}
+
+// IntegrateXMLString integrates an XML source given as a string.
+func (db *Database) IntegrateXMLString(src string) (*integrate.Stats, error) {
+	return db.IntegrateXML(strings.NewReader(src))
+}
+
+// IntegrationHistory returns the statistics of every integration run.
+func (db *Database) IntegrationHistory() []integrate.Stats {
+	return append([]integrate.Stats(nil), db.integrations...)
+}
+
+// Query compiles and evaluates a query, returning ranked answers.
+func (db *Database) Query(src string) (query.Result, error) {
+	q, err := query.Compile(src)
+	if err != nil {
+		return query.Result{}, err
+	}
+	return db.QueryCompiled(q)
+}
+
+// QueryCompiled evaluates a compiled query.
+func (db *Database) QueryCompiled(q *query.Query) (query.Result, error) {
+	return query.Eval(db.tree, q, db.cfg.Query)
+}
+
+// Feedback applies a user judgment on a query answer, removing worlds
+// that contradict it. The paper's demo left this unimplemented; here it
+// updates the database in place.
+func (db *Database) Feedback(querySrc, value string, correct bool) (feedback.Event, error) {
+	q, err := query.Compile(querySrc)
+	if err != nil {
+		return feedback.Event{}, err
+	}
+	j := feedback.Incorrect
+	if correct {
+		j = feedback.Correct
+	}
+	ev, err := db.session.Apply(q, value, j)
+	if err != nil {
+		return ev, err
+	}
+	db.tree = db.session.Tree()
+	return ev, nil
+}
+
+// FeedbackHistory returns the feedback events applied since the last
+// integration.
+func (db *Database) FeedbackHistory() []feedback.Event {
+	return db.session.History()
+}
+
+// Stats reports the size measures of the current document.
+func (db *Database) Stats() pxml.Stats { return db.tree.CollectStats() }
+
+// WorldCount returns the number of possible worlds of the current
+// document.
+func (db *Database) WorldCount() *big.Int { return db.tree.WorldCount() }
+
+// IsCertain reports whether all uncertainty has been resolved.
+func (db *Database) IsCertain() bool { return db.tree.IsCertain() }
+
+// Normalize canonicalizes the current document (merging duplicate
+// possibilities), returning the size before and after.
+func (db *Database) Normalize() (before, after int64, err error) {
+	before = db.tree.NodeCount()
+	nt, err := db.tree.Normalize()
+	if err != nil {
+		return before, before, err
+	}
+	db.setTree(nt)
+	return before, nt.NodeCount(), nil
+}
+
+// ExportXML writes the current document as XML with probabilistic
+// markers.
+func (db *Database) ExportXML(w io.Writer, opts xmlcodec.EncodeOptions) error {
+	return xmlcodec.Encode(w, db.tree, opts)
+}
+
+// ValidateAgainstSchema checks the current document against the
+// configured schema (every possible world's cardinality bounds).
+func (db *Database) ValidateAgainstSchema() error {
+	if db.cfg.Schema == nil {
+		return nil
+	}
+	return db.cfg.Schema.ValidateTree(db.tree)
+}

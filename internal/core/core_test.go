@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/pxml"
+	"repro/internal/query"
+	"repro/internal/xmlcodec"
+)
+
+var personDTD = dtd.MustParse(`
+	<!ELEMENT addressbook (person*)>
+	<!ELEMENT person (nm, tel?)>
+	<!ELEMENT nm (#PCDATA)>
+	<!ELEMENT tel (#PCDATA)>
+`)
+
+const bookA = `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
+const bookB = `<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>`
+
+func openBookA(t *testing.T) *core.Database {
+	t.Helper()
+	db, err := core.OpenXML(strings.NewReader(bookA), core.Config{Schema: personDTD})
+	if err != nil {
+		t.Fatalf("OpenXML: %v", err)
+	}
+	return db
+}
+
+func TestEndToEndLifecycle(t *testing.T) {
+	db := openBookA(t)
+	if !db.IsCertain() {
+		t.Fatalf("fresh database should be certain")
+	}
+	stats, err := db.IntegrateXML(strings.NewReader(bookB))
+	if err != nil {
+		t.Fatalf("IntegrateXML: %v", err)
+	}
+	if stats.UndecidedPairs == 0 {
+		t.Fatalf("integration should report undecided pairs")
+	}
+	if got := db.WorldCount(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("worlds = %s, want 3 (Figure 2)", got)
+	}
+	if len(db.IntegrationHistory()) != 1 {
+		t.Fatalf("history = %d", len(db.IntegrationHistory()))
+	}
+
+	res, err := db.Query(`//person/tel`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+
+	// Feedback: 2222 is wrong; the database becomes certain.
+	ev, err := db.Feedback(`//person/tel`, "2222", false)
+	if err != nil {
+		t.Fatalf("Feedback: %v", err)
+	}
+	if ev.WorldsAfter.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("worlds after feedback = %s", ev.WorldsAfter)
+	}
+	if !db.IsCertain() {
+		t.Fatalf("database should be certain after feedback")
+	}
+	if len(db.FeedbackHistory()) != 1 {
+		t.Fatalf("feedback history = %d", len(db.FeedbackHistory()))
+	}
+	res, err = db.Query(`//person/tel`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if math.Abs(res.P("1111")-1) > 1e-9 || res.P("2222") != 0 {
+		t.Fatalf("answers after feedback = %v", res.Answers)
+	}
+	if err := db.ValidateAgainstSchema(); err != nil {
+		t.Fatalf("schema validation: %v", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := core.Open(nil, core.Config{}); err == nil {
+		t.Fatalf("nil doc should error")
+	}
+	if _, err := core.OpenXML(strings.NewReader(`<a><b></a>`), core.Config{}); err == nil {
+		t.Fatalf("malformed XML should error")
+	}
+	if _, err := core.OpenXML(strings.NewReader(``), core.Config{}); err == nil {
+		t.Fatalf("empty XML should error")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := openBookA(t)
+	if _, err := db.Query(`not a query`); err == nil {
+		t.Fatalf("bad query should error")
+	}
+	if _, err := db.Feedback(`not a query`, "x", false); err == nil {
+		t.Fatalf("bad feedback query should error")
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	db := openBookA(t)
+	if _, err := db.IntegrateXML(strings.NewReader(`<catalog/>`)); err == nil {
+		t.Fatalf("root tag mismatch should error")
+	}
+	if _, err := db.IntegrateXML(strings.NewReader(`broken<`)); err == nil {
+		t.Fatalf("broken XML should error")
+	}
+	// Failed integration leaves the database untouched.
+	if !db.IsCertain() || db.WorldCount().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("database changed after failed integration")
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	db := openBookA(t)
+	if _, err := db.IntegrateXML(strings.NewReader(bookB)); err != nil {
+		t.Fatalf("integrate: %v", err)
+	}
+	var sb strings.Builder
+	if err := db.ExportXML(&sb, xmlcodec.EncodeOptions{Indent: "  "}); err != nil {
+		t.Fatalf("ExportXML: %v", err)
+	}
+	back, err := xmlcodec.DecodeString(sb.String())
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if back.WorldCount().Cmp(db.WorldCount()) != 0 {
+		t.Fatalf("world count changed over export: %s vs %s", back.WorldCount(), db.WorldCount())
+	}
+}
+
+func TestNormalizeReportsSizes(t *testing.T) {
+	db := openBookA(t)
+	if _, err := db.IntegrateXML(strings.NewReader(bookB)); err != nil {
+		t.Fatalf("integrate: %v", err)
+	}
+	before, after, err := db.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if before < after {
+		t.Fatalf("normalization grew the document: %d -> %d", before, after)
+	}
+}
+
+func TestStatsAndOracleAccessors(t *testing.T) {
+	db := openBookA(t)
+	s := db.Stats()
+	if s.LogicalNodes == 0 || s.Worlds.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if db.Oracle() == nil || len(db.Oracle().Rules()) == 0 {
+		t.Fatalf("oracle missing")
+	}
+	if db.Tree() == nil {
+		t.Fatalf("tree missing")
+	}
+}
+
+func TestSequentialIntegrations(t *testing.T) {
+	// Integrating a third source into an uncertain database: uncertainty
+	// is preserved and new certain data is added.
+	db := openBookA(t)
+	if _, err := db.IntegrateXML(strings.NewReader(bookB)); err != nil {
+		t.Fatalf("first integrate: %v", err)
+	}
+	bookC := `<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>`
+	neverMatch := core.Config{}
+	_ = neverMatch
+	if _, err := db.IntegrateXML(strings.NewReader(bookC)); err != nil {
+		t.Fatalf("second integrate: %v", err)
+	}
+	// Mary is certain; the John uncertainty persists.
+	res, err := db.Query(`//person[nm="Mary"]/tel`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if math.Abs(res.P("3333")-1) > 1e-6 {
+		t.Fatalf("P(3333) = %v, want ~1; answers %v", res.P("3333"), res.Answers)
+	}
+	if db.WorldCount().Cmp(big.NewInt(1)) <= 0 {
+		t.Fatalf("uncertainty lost after second integration")
+	}
+}
+
+func TestQueryCompiled(t *testing.T) {
+	db := openBookA(t)
+	q := query.MustCompile(`//person/nm`)
+	res, err := db.QueryCompiled(q)
+	if err != nil {
+		t.Fatalf("QueryCompiled: %v", err)
+	}
+	if math.Abs(res.P("John")-1) > 1e-9 {
+		t.Fatalf("P(John) = %v", res.P("John"))
+	}
+}
+
+func TestOpenValidatesDocument(t *testing.T) {
+	// Construct an invalid tree by bypassing public constructors is not
+	// possible here; instead check Open accepts a valid probabilistic doc.
+	tr, err := xmlcodec.DecodeString(
+		`<a><_prob><_poss p="0.5"><b/></_poss><_poss p="0.5"/></_prob></a>`)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	db, err := core.Open(tr, core.Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if db.IsCertain() {
+		t.Fatalf("uncertain doc reported certain")
+	}
+	var n *pxml.Tree = db.Tree()
+	if n == nil {
+		t.Fatalf("tree nil")
+	}
+}

@@ -1,0 +1,380 @@
+// Package datagen generates the synthetic movie catalogs that stand in for
+// the paper's data sources (an IMDB snapshot and an MPEG-7 document, both
+// unavailable). It reproduces the structure the experiments depend on:
+//
+//   - franchises with sequels and TV shows whose titles confuse matching
+//     ("Mission: Impossible", "Impossible Mission", "Jaws", "Die Hard" —
+//     the paper's §V setup),
+//   - two naming conventions for directors ("John Woo" vs "Woo, John"),
+//     so cross-source elements "never match exactly",
+//   - a typical (non-confusing) catalog with a controlled number of shared
+//     real-world objects,
+//   - ground truth (which entries denote the same rwo) for quality
+//     measurements.
+//
+// All generation is deterministic given the seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/pxml"
+)
+
+// Movie is one catalog entry. ID identifies the real-world object; two
+// entries with the same ID denote the same movie (ground truth only — the
+// ID is never written into the generated XML).
+type Movie struct {
+	ID        string
+	Title     string
+	Year      int
+	Genres    []string
+	Directors []string
+}
+
+// Convention selects a source's formatting habits.
+type Convention int
+
+const (
+	// ConvMPEG7 writes directors as "First Last" and drops punctuation
+	// from titles.
+	ConvMPEG7 Convention = iota
+	// ConvIMDB writes directors as "Last, First" and uses official
+	// titles.
+	ConvIMDB
+)
+
+// Source is one data source: its movies and their XML rendering.
+type Source struct {
+	Movies []Movie
+	Tree   *pxml.Tree
+}
+
+// Pair is a two-source integration scenario with ground truth.
+type Pair struct {
+	A, B Source
+	// SharedIDs are the rwo IDs present in both sources.
+	SharedIDs []string
+	// Truth is the correctly integrated certain catalog: one entry per
+	// rwo, fields unioned, official (IMDB) conventions.
+	Truth *pxml.Tree
+}
+
+// MovieDTD is the schema knowledge used in all movie experiments: a movie
+// has one title, at most one year, any number of genres and at least one
+// director.
+func MovieDTD() *dtd.Schema {
+	return dtd.MustParse(`
+		<!ELEMENT catalog (movie*)>
+		<!ELEMENT movie (title, year?, genre*, director+)>
+		<!ELEMENT title (#PCDATA)>
+		<!ELEMENT year (#PCDATA)>
+		<!ELEMENT genre (#PCDATA)>
+		<!ELEMENT director (#PCDATA)>
+	`)
+}
+
+// franchise describes one confusing title family.
+type franchise struct {
+	key       string
+	baseTitle string
+	altBase   string // word-order variant used for TV shows
+	genres    []string
+	directors []string
+	real      []Movie
+}
+
+var franchises = []franchise{
+	{
+		key:       "jaws",
+		baseTitle: "Jaws",
+		altBase:   "Jaws",
+		genres:    []string{"Horror", "Thriller", "Adventure", "Drama", "Mystery"},
+		directors: []string{"Steven Spielberg", "Jeannot Szwarc", "Joe Alves", "Joseph Sargent"},
+		real: []Movie{
+			{ID: "jaws-1", Title: "Jaws", Year: 1975, Genres: []string{"Horror", "Thriller", "Adventure"}, Directors: []string{"Steven Spielberg"}},
+			{ID: "jaws-2", Title: "Jaws 2", Year: 1978, Genres: []string{"Horror", "Thriller", "Drama"}, Directors: []string{"Jeannot Szwarc"}},
+			{ID: "jaws-3", Title: "Jaws 3-D", Year: 1983, Genres: []string{"Horror", "Mystery", "Adventure"}, Directors: []string{"Joe Alves"}},
+			{ID: "jaws-4", Title: "Jaws: The Revenge", Year: 1987, Genres: []string{"Horror", "Drama"}, Directors: []string{"Joseph Sargent"}},
+		},
+	},
+	{
+		key:       "diehard",
+		baseTitle: "Die Hard",
+		altBase:   "Hard Die",
+		genres:    []string{"Action", "Thriller", "Crime", "Drama", "Adventure"},
+		directors: []string{"John McTiernan", "Renny Harlin"},
+		real: []Movie{
+			{ID: "dh-1", Title: "Die Hard", Year: 1988, Genres: []string{"Action", "Thriller", "Crime"}, Directors: []string{"John McTiernan"}},
+			{ID: "dh-2", Title: "Die Hard 2", Year: 1990, Genres: []string{"Action", "Adventure", "Drama"}, Directors: []string{"Renny Harlin"}},
+			{ID: "dh-3", Title: "Die Hard: With a Vengeance", Year: 1995, Genres: []string{"Action", "Thriller", "Crime"}, Directors: []string{"John McTiernan"}},
+		},
+	},
+	{
+		key:       "mi",
+		baseTitle: "Mission: Impossible",
+		altBase:   "Impossible Mission",
+		genres:    []string{"Action", "Adventure", "Thriller", "Spy", "Mystery"},
+		directors: []string{"Brian De Palma", "John Woo", "Bruce Geller"},
+		real: []Movie{
+			{ID: "mi-1", Title: "Mission: Impossible", Year: 1996, Genres: []string{"Action", "Adventure", "Spy"}, Directors: []string{"Brian De Palma"}},
+			{ID: "mi-2", Title: "Mission: Impossible II", Year: 2000, Genres: []string{"Action", "Thriller", "Spy"}, Directors: []string{"John Woo"}},
+			{ID: "mi-tv", Title: "Mission: Impossible (TV Series)", Year: 1966, Genres: []string{"Action", "Mystery"}, Directors: []string{"Bruce Geller"}},
+		},
+	},
+}
+
+var romans = []string{"", " II", " III", " IV", " V", " VI", " VII", " VIII", " IX", " X"}
+var variantSuffixes = []string{"", " (TV)", ": The Series", " Returns", ": Reloaded", " - The Beginning", ": Legacy"}
+
+// confusingVariants generates an endless deterministic stream of
+// franchise-title variants beyond the real entries: sequels, TV shows and
+// word-order swaps, exactly the "sequels, TV-shows, etc." the paper selects
+// to stress the integration.
+func confusingVariants(f franchise, n int, rng *rand.Rand) []Movie {
+	var out []Movie
+	year := 1960
+	for i := 0; len(out) < n; i++ {
+		base := f.baseTitle
+		if i%3 == 2 {
+			base = f.altBase
+		}
+		title := base + romans[i%len(romans)] + variantSuffixes[(i/2)%len(variantSuffixes)]
+		year += 1 + rng.Intn(3)
+		// Two to three genres drawn from the franchise pool, varying
+		// across entries so that genre comparisons are informative.
+		start := rng.Intn(len(f.genres))
+		count := 2 + rng.Intn(2)
+		var g []string
+		for k := 0; k < count; k++ {
+			g = append(g, f.genres[(start+k)%len(f.genres)])
+		}
+		d := f.directors[rng.Intn(len(f.directors))]
+		out = append(out, Movie{
+			ID:        fmt.Sprintf("%s-var-%d", f.key, i),
+			Title:     title,
+			Year:      year,
+			Genres:    append([]string(nil), g...),
+			Directors: []string{d},
+		})
+	}
+	return out
+}
+
+// Confusing builds the paper's §V stress scenario: source A is an "MPEG-7"
+// catalog with two sequels per franchise (6 movies), source B an "IMDB"
+// catalog with nB franchise-confusing entries (sequels, TV shows, variant
+// word orders). One movie per franchise is shared between the sources (as
+// long as nB admits it).
+func Confusing(nB int, seed int64) Pair {
+	rng := rand.New(rand.NewSource(seed))
+	// A: first two real entries per franchise.
+	var aMovies []Movie
+	for _, f := range franchises {
+		aMovies = append(aMovies, f.real[0], f.real[1])
+	}
+	// B: interleave franchises; per franchise the real entries come first
+	// (so shared rwos appear as soon as capacity allows), then synthetic
+	// variants.
+	perFranchise := make([][]Movie, len(franchises))
+	for i, f := range franchises {
+		pool := append([]Movie(nil), f.real...)
+		pool = append(pool, confusingVariants(f, nB, rng)...)
+		perFranchise[i] = pool
+	}
+	var bMovies []Movie
+	for i := 0; len(bMovies) < nB; i++ {
+		fi := i % len(franchises)
+		idx := i / len(franchises)
+		if idx < len(perFranchise[fi]) {
+			bMovies = append(bMovies, perFranchise[fi][idx])
+		}
+	}
+	return buildPair(aMovies, bMovies)
+}
+
+// TableISources builds the Table I scenario: "2 'Mission Impossible'
+// sequels, 2 'Die Hard' sequels, and 2 'Jaws' sequels for which only 1
+// each refers to the same rwo as in the other source".
+func TableISources() Pair {
+	var aMovies, bMovies []Movie
+	for _, f := range franchises {
+		aMovies = append(aMovies, f.real[0], f.real[1])
+		bMovies = append(bMovies, f.real[0], f.real[2])
+	}
+	return buildPair(aMovies, bMovies)
+}
+
+// The two filler vocabularies are word-disjoint, so titles drawn from
+// different pools can never be similar enough to become match candidates:
+// cross-source confusion in the typical scenario is limited to the
+// deliberately shared movies.
+var fillerPools = [2]struct{ adjectives, nouns []string }{
+	{
+		adjectives: []string{"Silent", "Golden", "Broken", "Crimson", "Hidden", "Distant", "Burning", "Frozen", "Lonely", "Electric"},
+		nouns:      []string{"River", "Harvest", "Empire", "Garden", "Signal", "Horizon", "Mirror", "Station", "Voyage", "Canyon"},
+	},
+	{
+		adjectives: []string{"Velvet", "Scarlet", "Midnight", "Wandering", "Forgotten", "Luminous", "Restless", "Hollow", "Painted", "Savage"},
+		nouns:      []string{"Orchard", "Tides", "Lantern", "Meridian", "Summit", "Harbor", "Quarry", "Monsoon", "Citadel", "Prairie"},
+	},
+}
+
+var fillerGenres = [][]string{{"Drama"}, {"Comedy"}, {"Drama", "Romance"}, {"Documentary"}, {"Crime", "Drama"}, {"Western"}}
+var fillerDirectors = []string{
+	"Ava Lindqvist", "Marco Benedetti", "Sofia Almeida", "Henrik Olsen", "Carla Moreno",
+	"Tomas Novak", "Ingrid Bauer", "Pedro Casals", "Yuki Tanaka", "Omar Haddad",
+}
+
+// Typical builds the paper's "typical situation": nA movies from the
+// MPEG-7 source against nB movies from the IMDB source, of which `shared`
+// refer to the same rwos. Titles of distinct movies are clearly different,
+// so simple rules can make almost all decisions; shared movies differ only
+// in conventions, which keeps them undecided (the paper's "two occasions").
+// Source sizes are limited to 100 movies each (the filler vocabulary).
+func Typical(nA, nB, shared int, seed int64) Pair {
+	if shared > nA || shared > nB {
+		panic("datagen: shared exceeds source size")
+	}
+	if nA > 100 || nB > 100 {
+		panic("datagen: typical sources limited to 100 movies")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(pool, i, id int) Movie {
+		p := fillerPools[pool]
+		adj := p.adjectives[i%len(p.adjectives)]
+		noun := p.nouns[(i/len(p.adjectives))%len(p.nouns)]
+		return Movie{
+			ID:        fmt.Sprintf("typ-%d", id),
+			Title:     adj + " " + noun,
+			Year:      1950 + (id*7)%56,
+			Genres:    append([]string(nil), fillerGenres[id%len(fillerGenres)]...),
+			Directors: []string{fillerDirectors[id%len(fillerDirectors)]},
+		}
+	}
+	var aMovies, bMovies []Movie
+	for i := 0; i < shared; i++ {
+		m := mk(0, i, i)
+		aMovies = append(aMovies, m)
+		bMovies = append(bMovies, m)
+	}
+	// A fillers continue pool 0 beyond the shared combinations; B fillers
+	// use the disjoint pool 1.
+	for i := shared; len(aMovies) < nA; i++ {
+		aMovies = append(aMovies, mk(0, i, 1000+i))
+	}
+	for i := 0; len(bMovies) < nB; i++ {
+		bMovies = append(bMovies, mk(1, i, 2000+i))
+	}
+	shuffle(rng, bMovies)
+	return buildPair(aMovies, bMovies)
+}
+
+func shuffle(rng *rand.Rand, ms []Movie) {
+	for i := len(ms) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		ms[i], ms[j] = ms[j], ms[i]
+	}
+}
+
+func buildPair(aMovies, bMovies []Movie) Pair {
+	aIDs := map[string]bool{}
+	for _, m := range aMovies {
+		aIDs[m.ID] = true
+	}
+	var shared []string
+	bIDs := map[string]bool{}
+	for _, m := range bMovies {
+		if aIDs[m.ID] && !bIDs[m.ID] {
+			shared = append(shared, m.ID)
+		}
+		bIDs[m.ID] = true
+	}
+	sort.Strings(shared)
+	// Ground truth: one movie per rwo, official conventions, fields from
+	// the union of both occurrences (identical here by construction).
+	seen := map[string]bool{}
+	var truth []Movie
+	for _, m := range append(append([]Movie(nil), aMovies...), bMovies...) {
+		if seen[m.ID] {
+			continue
+		}
+		seen[m.ID] = true
+		truth = append(truth, m)
+	}
+	return Pair{
+		A:         Source{Movies: aMovies, Tree: CatalogTree(aMovies, ConvMPEG7)},
+		B:         Source{Movies: bMovies, Tree: CatalogTree(bMovies, ConvIMDB)},
+		SharedIDs: shared,
+		Truth:     CatalogTree(truth, ConvIMDB),
+	}
+}
+
+// CatalogTree renders movies as a certain probabilistic document with the
+// given source convention.
+func CatalogTree(movies []Movie, conv Convention) *pxml.Tree {
+	elems := make([]*pxml.Node, len(movies))
+	for i, m := range movies {
+		elems[i] = MovieElem(m, conv)
+	}
+	return pxml.CertainTree(pxml.NewElem("catalog", "", pxml.Certain(elems...)))
+}
+
+// MovieElem renders one movie element with the given convention.
+func MovieElem(m Movie, conv Convention) *pxml.Node {
+	kids := []*pxml.Node{
+		pxml.Certain(pxml.NewLeaf("title", FormatTitle(m.Title, conv))),
+	}
+	if m.Year > 0 {
+		kids = append(kids, pxml.Certain(pxml.NewLeaf("year", fmt.Sprintf("%d", m.Year))))
+	}
+	for _, g := range m.Genres {
+		kids = append(kids, pxml.Certain(pxml.NewLeaf("genre", g)))
+	}
+	for _, d := range m.Directors {
+		kids = append(kids, pxml.Certain(pxml.NewLeaf("director", FormatDirector(d, conv))))
+	}
+	return pxml.NewElem("movie", "", kids...)
+}
+
+// surnameParticles are kept with the family name when inverting, so
+// "Brian De Palma" becomes "De Palma, Brian".
+var surnameParticles = map[string]bool{
+	"de": true, "De": true, "van": true, "Van": true, "von": true, "Von": true,
+	"la": true, "La": true, "le": true, "Le": true, "del": true, "Del": true, "Di": true, "di": true,
+}
+
+// FormatDirector renders a person name in the source's convention:
+// ConvIMDB writes "Last, First" (keeping surname particles with the last
+// name).
+func FormatDirector(name string, conv Convention) string {
+	if conv != ConvIMDB {
+		return name
+	}
+	parts := strings.Fields(name)
+	if len(parts) < 2 {
+		return name
+	}
+	split := len(parts) - 1
+	for split > 1 && surnameParticles[parts[split-1]] {
+		split--
+	}
+	last := strings.Join(parts[split:], " ")
+	first := strings.Join(parts[:split], " ")
+	return last + ", " + first
+}
+
+// FormatTitle renders a title in the source's convention: ConvMPEG7 drops
+// punctuation ("Mission Impossible II").
+func FormatTitle(title string, conv Convention) string {
+	if conv != ConvMPEG7 {
+		return title
+	}
+	title = strings.ReplaceAll(title, ":", "")
+	title = strings.ReplaceAll(title, " - ", " ")
+	return strings.Join(strings.Fields(title), " ")
+}

@@ -1,0 +1,165 @@
+package datagen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/pxml"
+	"repro/internal/query"
+)
+
+func TestConventions(t *testing.T) {
+	if got := datagen.FormatDirector("John Woo", datagen.ConvIMDB); got != "Woo, John" {
+		t.Fatalf("IMDB director = %q", got)
+	}
+	if got := datagen.FormatDirector("John Woo", datagen.ConvMPEG7); got != "John Woo" {
+		t.Fatalf("MPEG7 director = %q", got)
+	}
+	if got := datagen.FormatDirector("Madonna", datagen.ConvIMDB); got != "Madonna" {
+		t.Fatalf("single-name director = %q", got)
+	}
+	if got := datagen.FormatTitle("Mission: Impossible II", datagen.ConvMPEG7); got != "Mission Impossible II" {
+		t.Fatalf("MPEG7 title = %q", got)
+	}
+	if got := datagen.FormatTitle("Mission: Impossible II", datagen.ConvIMDB); got != "Mission: Impossible II" {
+		t.Fatalf("IMDB title = %q", got)
+	}
+}
+
+func TestTableISources(t *testing.T) {
+	p := datagen.TableISources()
+	if len(p.A.Movies) != 6 || len(p.B.Movies) != 6 {
+		t.Fatalf("sizes = %d, %d, want 6 each", len(p.A.Movies), len(p.B.Movies))
+	}
+	if len(p.SharedIDs) != 3 {
+		t.Fatalf("shared = %v, want one per franchise", p.SharedIDs)
+	}
+	if err := p.A.Tree.Validate(); err != nil {
+		t.Fatalf("A invalid: %v", err)
+	}
+	if err := p.B.Tree.Validate(); err != nil {
+		t.Fatalf("B invalid: %v", err)
+	}
+	if err := datagen.MovieDTD().ValidateElement(p.A.Tree.RootElements()[0]); err != nil {
+		t.Fatalf("A violates movie DTD: %v", err)
+	}
+	if err := datagen.MovieDTD().ValidateElement(p.B.Tree.RootElements()[0]); err != nil {
+		t.Fatalf("B violates movie DTD: %v", err)
+	}
+}
+
+func TestConfusingScenario(t *testing.T) {
+	p := datagen.Confusing(12, 1)
+	if len(p.B.Movies) != 12 {
+		t.Fatalf("B size = %d", len(p.B.Movies))
+	}
+	if len(p.SharedIDs) == 0 {
+		t.Fatalf("confusing scenario should share rwos")
+	}
+	// All B titles belong to a franchise vocabulary — that is the point.
+	for _, m := range p.B.Movies {
+		low := strings.ToLower(m.Title)
+		if !strings.Contains(low, "jaws") && !strings.Contains(low, "hard") &&
+			!strings.Contains(low, "mission") && !strings.Contains(low, "impossible") {
+			t.Fatalf("non-confusing title in B: %q", m.Title)
+		}
+	}
+	// The query experiments need these entries present.
+	res, err := query.Eval(p.B.Tree, query.MustCompile(`//movie/title`), query.Options{})
+	if err != nil {
+		t.Fatalf("eval titles: %v", err)
+	}
+	for _, want := range []string{"Die Hard: With a Vengeance", "Mission: Impossible", "Mission: Impossible II", "Jaws", "Jaws 2"} {
+		if res.P(want) != 1 {
+			t.Fatalf("B(12) missing title %q; titles: %v", want, res.Answers)
+		}
+	}
+	// Horror classification for the Jaws movies (paper's first query).
+	hres, err := query.Eval(p.A.Tree, query.MustCompile(`//movie[genre="Horror"]/title`), query.Options{})
+	if err != nil {
+		t.Fatalf("eval horror: %v", err)
+	}
+	if hres.P("Jaws") != 1 || hres.P("Jaws 2") != 1 {
+		t.Fatalf("A horror titles = %v", hres.Answers)
+	}
+}
+
+func TestConfusingDeterministic(t *testing.T) {
+	p1 := datagen.Confusing(30, 7)
+	p2 := datagen.Confusing(30, 7)
+	if !pxml.Equal(p1.B.Tree.Root(), p2.B.Tree.Root()) {
+		t.Fatalf("same seed should reproduce the same catalog")
+	}
+	p3 := datagen.Confusing(30, 8)
+	if pxml.Equal(p1.B.Tree.Root(), p3.B.Tree.Root()) {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+func TestConfusingGrowsMonotonically(t *testing.T) {
+	for _, n := range []int{0, 1, 6, 20, 60} {
+		p := datagen.Confusing(n, 1)
+		if len(p.B.Movies) != n {
+			t.Fatalf("Confusing(%d) B size = %d", n, len(p.B.Movies))
+		}
+		if err := p.B.Tree.Validate(); err != nil {
+			t.Fatalf("Confusing(%d) B invalid: %v", n, err)
+		}
+	}
+}
+
+func TestTypicalScenario(t *testing.T) {
+	p := datagen.Typical(6, 60, 2, 3)
+	if len(p.A.Movies) != 6 || len(p.B.Movies) != 60 {
+		t.Fatalf("sizes = %d, %d", len(p.A.Movies), len(p.B.Movies))
+	}
+	if len(p.SharedIDs) != 2 {
+		t.Fatalf("shared = %v", p.SharedIDs)
+	}
+	// Distinct movies must have clearly distinct titles.
+	titles := map[string]string{}
+	for _, m := range append(append([]datagen.Movie(nil), p.A.Movies...), p.B.Movies...) {
+		if prev, ok := titles[m.Title]; ok && prev != m.ID {
+			t.Fatalf("title %q used by two rwos %s and %s", m.Title, prev, m.ID)
+		}
+		titles[m.Title] = m.ID
+	}
+	// Truth has one entry per rwo.
+	res, err := query.Eval(p.Truth, query.MustCompile(`//movie/title`), query.Options{})
+	if err != nil {
+		t.Fatalf("truth eval: %v", err)
+	}
+	if len(res.Answers) != 64 {
+		t.Fatalf("truth titles = %d, want 64 (6+60−2)", len(res.Answers))
+	}
+}
+
+func TestTypicalSharedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	datagen.Typical(2, 2, 5, 1)
+}
+
+func TestMovieElemFields(t *testing.T) {
+	m := datagen.Movie{ID: "x", Title: "T: X", Year: 1999,
+		Genres: []string{"A", "B"}, Directors: []string{"John Woo", "Brian De Palma"}}
+	e := datagen.MovieElem(m, datagen.ConvIMDB)
+	if pxml.CertainText(e, "title") != "T: X" || pxml.CertainText(e, "year") != "1999" {
+		t.Fatalf("fields wrong: %s", pxml.Sketch(e))
+	}
+	if got := pxml.CertainTexts(e, "genre"); len(got) != 2 {
+		t.Fatalf("genres = %v", got)
+	}
+	if got := pxml.CertainTexts(e, "director"); got[0] != "Woo, John" || got[1] != "De Palma, Brian" {
+		t.Fatalf("directors = %v", got)
+	}
+	// No year.
+	e2 := datagen.MovieElem(datagen.Movie{Title: "T", Directors: []string{"D"}}, datagen.ConvIMDB)
+	if pxml.CertainChild(e2, "year") != nil {
+		t.Fatalf("year should be absent")
+	}
+}

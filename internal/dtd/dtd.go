@@ -1,0 +1,352 @@
+// Package dtd implements the schema-knowledge subset IMPrECISE needs: per
+// element content models with child cardinalities, parsed from a DTD-like
+// syntax. During probabilistic integration the content model is what lets
+// the system reject impossible possibilities — the paper's example being a
+// DTD that allows one phone number per person, which rules out the world in
+// which a merged person keeps both phones.
+//
+// Supported declarations:
+//
+//	<!ELEMENT movie (title, year?, genre*, director+)>
+//	<!ELEMENT title (#PCDATA)>
+//	<!ELEMENT meta EMPTY>
+//	<!ELEMENT anything ANY>
+//
+// Alternation and nested groups are not supported; integration only needs
+// cardinality bounds. Elements without a declaration are treated as ANY.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pxml"
+)
+
+// Unbounded marks a field with no upper occurrence limit.
+const Unbounded = -1
+
+// Field is one child slot of a content model.
+type Field struct {
+	Tag string
+	Min int // 0 or 1
+	Max int // 1 or Unbounded
+}
+
+// Kind of content model.
+type ModelKind uint8
+
+const (
+	// ModelSeq is a sequence of fields with cardinalities.
+	ModelSeq ModelKind = iota
+	// ModelPCDATA is text-only content.
+	ModelPCDATA
+	// ModelEmpty forbids all content.
+	ModelEmpty
+	// ModelAny allows anything.
+	ModelAny
+)
+
+// ContentModel describes the allowed children of one element type.
+type ContentModel struct {
+	Kind   ModelKind
+	Fields []Field // ModelSeq only
+	byTag  map[string]int
+}
+
+func (m *ContentModel) index() {
+	m.byTag = make(map[string]int, len(m.Fields))
+	for i, f := range m.Fields {
+		m.byTag[f.Tag] = i
+	}
+}
+
+// Field returns the field for a child tag, if declared.
+func (m *ContentModel) Field(tag string) (Field, bool) {
+	if m == nil || m.Kind != ModelSeq {
+		return Field{}, false
+	}
+	i, ok := m.byTag[tag]
+	if !ok {
+		return Field{}, false
+	}
+	return m.Fields[i], true
+}
+
+// Schema maps element tags to content models.
+type Schema struct {
+	models map[string]*ContentModel
+}
+
+// NewSchema returns an empty schema; all elements default to ANY.
+func NewSchema() *Schema {
+	return &Schema{models: make(map[string]*ContentModel)}
+}
+
+// Model returns the content model for an element tag, or nil if the tag is
+// undeclared (meaning ANY).
+func (s *Schema) Model(tag string) *ContentModel {
+	if s == nil {
+		return nil
+	}
+	return s.models[tag]
+}
+
+// Declare adds or replaces the content model of an element type.
+func (s *Schema) Declare(tag string, m *ContentModel) *Schema {
+	m.index()
+	s.models[tag] = m
+	return s
+}
+
+// Seq builds a sequence content model; use Req, Opt, Many, Some for fields.
+func Seq(fields ...Field) *ContentModel {
+	return &ContentModel{Kind: ModelSeq, Fields: fields}
+}
+
+// Req declares exactly one occurrence.
+func Req(tag string) Field { return Field{Tag: tag, Min: 1, Max: 1} }
+
+// Opt declares zero or one occurrence (DTD '?').
+func Opt(tag string) Field { return Field{Tag: tag, Min: 0, Max: 1} }
+
+// Many declares zero or more occurrences (DTD '*').
+func Many(tag string) Field { return Field{Tag: tag, Min: 0, Max: Unbounded} }
+
+// Some declares one or more occurrences (DTD '+').
+func Some(tag string) Field { return Field{Tag: tag, Min: 1, Max: Unbounded} }
+
+// PCDATA is the text-only content model.
+func PCDATA() *ContentModel { return &ContentModel{Kind: ModelPCDATA} }
+
+// Empty is the empty content model.
+func Empty() *ContentModel { return &ContentModel{Kind: ModelEmpty} }
+
+// Any is the unconstrained content model.
+func Any() *ContentModel { return &ContentModel{Kind: ModelAny} }
+
+// MaxOccurs returns the maximum number of childTag children a parentTag
+// element may have: 0 (not allowed), a positive bound, or Unbounded.
+// Undeclared parents and ANY models return Unbounded.
+func (s *Schema) MaxOccurs(parentTag, childTag string) int {
+	m := s.Model(parentTag)
+	if m == nil || m.Kind == ModelAny {
+		return Unbounded
+	}
+	if m.Kind == ModelPCDATA || m.Kind == ModelEmpty {
+		return 0
+	}
+	f, ok := m.Field(childTag)
+	if !ok {
+		return 0
+	}
+	return f.Max
+}
+
+// MinOccurs returns the minimum number of childTag children required.
+func (s *Schema) MinOccurs(parentTag, childTag string) int {
+	m := s.Model(parentTag)
+	if m == nil || m.Kind != ModelSeq {
+		return 0
+	}
+	f, ok := m.Field(childTag)
+	if !ok {
+		return 0
+	}
+	return f.Min
+}
+
+// CountsError reports a cardinality violation.
+type CountsError struct {
+	Parent string
+	Child  string
+	Count  int
+	Min    int
+	Max    int
+}
+
+func (e *CountsError) Error() string {
+	max := fmt.Sprintf("%d", e.Max)
+	if e.Max == Unbounded {
+		max = "unbounded"
+	}
+	return fmt.Sprintf("dtd: element <%s> has %d <%s> children, allowed [%d, %s]",
+		e.Parent, e.Count, e.Child, e.Min, max)
+}
+
+// CheckCounts validates a hypothetical child-tag multiset against the
+// parent's content model. This is the integration-time check: it is order
+// insensitive, and only Max bounds are enforced strictly (integration never
+// removes children, so Min violations would already exist in a source).
+// Set requireMin to also enforce lower bounds (document validation).
+func (s *Schema) CheckCounts(parentTag string, counts map[string]int, requireMin bool) error {
+	m := s.Model(parentTag)
+	if m == nil || m.Kind == ModelAny {
+		return nil
+	}
+	switch m.Kind {
+	case ModelPCDATA, ModelEmpty:
+		for tag, n := range counts {
+			if n > 0 {
+				return &CountsError{Parent: parentTag, Child: tag, Count: n, Min: 0, Max: 0}
+			}
+		}
+		return nil
+	}
+	// Deterministic error selection: check declared fields in order, then
+	// undeclared tags sorted.
+	for _, f := range m.Fields {
+		n := counts[f.Tag]
+		if f.Max != Unbounded && n > f.Max {
+			return &CountsError{Parent: parentTag, Child: f.Tag, Count: n, Min: f.Min, Max: f.Max}
+		}
+		if requireMin && n < f.Min {
+			return &CountsError{Parent: parentTag, Child: f.Tag, Count: n, Min: f.Min, Max: f.Max}
+		}
+	}
+	var extras []string
+	for tag, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if _, ok := m.Field(tag); !ok {
+			extras = append(extras, tag)
+		}
+	}
+	if len(extras) > 0 {
+		sort.Strings(extras)
+		return &CountsError{Parent: parentTag, Child: extras[0], Count: counts[extras[0]], Min: 0, Max: 0}
+	}
+	return nil
+}
+
+// ValidateElement validates one element of a certain document against the
+// schema, recursively. Children under genuine choice points are rejected —
+// use ValidateTree for probabilistic documents.
+func (s *Schema) ValidateElement(elem *pxml.Node) error {
+	if elem.Kind() != pxml.KindElem {
+		return fmt.Errorf("dtd: ValidateElement on %v node", elem.Kind())
+	}
+	counts := make(map[string]int)
+	kids := pxml.ElementChildren(elem)
+	for _, prob := range elem.Children() {
+		if len(prob.Children()) != 1 {
+			return fmt.Errorf("dtd: element <%s> has an uncertain child; validate per world", elem.Tag())
+		}
+	}
+	for _, k := range kids {
+		counts[k.Tag()]++
+	}
+	if err := s.CheckCounts(elem.Tag(), counts, true); err != nil {
+		return err
+	}
+	if m := s.Model(elem.Tag()); m != nil {
+		switch m.Kind {
+		case ModelEmpty:
+			if elem.Text() != "" {
+				return fmt.Errorf("dtd: EMPTY element <%s> has text %q", elem.Tag(), elem.Text())
+			}
+		case ModelSeq:
+			if elem.Text() != "" {
+				return fmt.Errorf("dtd: element <%s> has text %q but a sequence model", elem.Tag(), elem.Text())
+			}
+		}
+	}
+	for _, k := range kids {
+		if err := s.ValidateElement(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateTree validates every possible world of a probabilistic document
+// structurally, without enumerating worlds: for each element it checks that
+// in every combination of its choice points the child counts can stay
+// within bounds, conservatively using per-alternative maxima. A nil error
+// guarantees that no world violates a Max bound; Min bounds are checked
+// only for certain children (a world may drop optional content).
+func (s *Schema) ValidateTree(t *pxml.Tree) error {
+	var firstErr error
+	pxml.WalkUnique(t.Root(), func(n *pxml.Node) bool {
+		if firstErr != nil {
+			return false
+		}
+		if n.Kind() != pxml.KindElem {
+			return true
+		}
+		maxCounts := make(map[string]int)
+		for _, prob := range n.Children() {
+			// Worst-case contribution of this choice point per tag.
+			worst := make(map[string]int)
+			for _, poss := range prob.Children() {
+				local := make(map[string]int)
+				for _, el := range poss.Children() {
+					local[el.Tag()]++
+				}
+				for tag, c := range local {
+					if c > worst[tag] {
+						worst[tag] = c
+					}
+				}
+			}
+			for tag, c := range worst {
+				maxCounts[tag] += c
+			}
+		}
+		if err := s.CheckCounts(n.Tag(), maxCounts, false); err != nil {
+			firstErr = fmt.Errorf("dtd: possible world violation under <%s>: %w", n.Tag(), err)
+		}
+		return true
+	})
+	return firstErr
+}
+
+// Tags returns the declared element tags, sorted.
+func (s *Schema) Tags() []string {
+	tags := make([]string, 0, len(s.models))
+	for t := range s.models {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// String renders the schema back in DTD syntax, deterministically.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, tag := range s.Tags() {
+		m := s.models[tag]
+		b.WriteString("<!ELEMENT ")
+		b.WriteString(tag)
+		b.WriteString(" ")
+		switch m.Kind {
+		case ModelPCDATA:
+			b.WriteString("(#PCDATA)")
+		case ModelEmpty:
+			b.WriteString("EMPTY")
+		case ModelAny:
+			b.WriteString("ANY")
+		case ModelSeq:
+			b.WriteString("(")
+			for i, f := range m.Fields {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(f.Tag)
+				switch {
+				case f.Min == 0 && f.Max == 1:
+					b.WriteString("?")
+				case f.Min == 0 && f.Max == Unbounded:
+					b.WriteString("*")
+				case f.Min == 1 && f.Max == Unbounded:
+					b.WriteString("+")
+				}
+			}
+			b.WriteString(")")
+		}
+		b.WriteString(">\n")
+	}
+	return b.String()
+}

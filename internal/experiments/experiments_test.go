@@ -1,0 +1,241 @@
+package experiments_test
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/oracle"
+	"repro/internal/query"
+)
+
+// TestTableIShape asserts the paper's Table I qualitative result: every
+// added rule reduces the integration size, with a large drop at the title
+// rule (the paper's 13958 → 6015 → 243 → 154 → 29, ×100 nodes).
+func TestTableIShape(t *testing.T) {
+	rows, err := experiments.Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nodes >= rows[i-1].Nodes {
+			t.Errorf("row %v (%d nodes) not smaller than %v (%d nodes)",
+				rows[i].Set, rows[i].Nodes, rows[i-1].Set, rows[i-1].Nodes)
+		}
+	}
+	// The genre rule alone cuts the size by a factor ≈ 2–4 (paper: 2.3).
+	genreRatio := float64(rows[0].Nodes) / float64(rows[1].Nodes)
+	if genreRatio < 1.5 || genreRatio > 6 {
+		t.Errorf("genre-rule reduction = %.2fx, want paper-like 1.5–6x", genreRatio)
+	}
+	// The title rule changes the regime by orders of magnitude (paper 57x;
+	// our catalog separates franchises even more sharply).
+	titleRatio := float64(rows[0].Nodes) / float64(rows[2].Nodes)
+	if titleRatio < 50 {
+		t.Errorf("title-rule reduction = %.2fx, want >= 50x", titleRatio)
+	}
+	// Undecided pairs fall monotonically too.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Undecided > rows[i-1].Undecided {
+			t.Errorf("undecided pairs grew from %v to %v", rows[i-1], rows[i])
+		}
+	}
+	// Paper baselines present for the report.
+	for _, r := range rows {
+		if r.PaperNodes == 0 {
+			t.Errorf("missing paper baseline for %v", r.Set)
+		}
+	}
+}
+
+// TestFigure5Shape asserts the scalability figure's qualitative behavior:
+// both series grow with the IMDB-source size, and the title-only series
+// grows much faster than title+year (the paper's two curves).
+func TestFigure5Shape(t *testing.T) {
+	ns := []int{0, 12, 24, 36, 48, 60}
+	points, err := experiments.Figure5(ns, 1)
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	series := map[oracle.RuleSet][]int64{}
+	for _, p := range points {
+		series[p.Set] = append(series[p.Set], p.Nodes)
+	}
+	for set, nodes := range series {
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i] <= nodes[i-1] {
+				t.Errorf("%v series not strictly growing: %v", set, nodes)
+				break
+			}
+		}
+	}
+	titleOnly := series[oracle.SetTitle]
+	withYear := series[oracle.SetGenreTitleYear]
+	last := len(ns) - 1
+	if titleOnly[last] < 20*withYear[last] {
+		t.Errorf("title-only (%d) should dwarf title+year (%d) at n=60",
+			titleOnly[last], withYear[last])
+	}
+	// Title-only growth is superlinear: the node count from n=12 to n=60
+	// grows faster than 5x.
+	if titleOnly[last] < 5*titleOnly[1] {
+		t.Errorf("title-only growth looks linear: %v", titleOnly)
+	}
+}
+
+// TestTypicalConditions asserts the §V numbers: a typical 6-vs-60
+// integration with two shared movies yields exactly 4 possible worlds from
+// exactly 2 undecided matches (paper: "only on two occasions 'The Oracle'
+// could not make an absolute decision … 4 possible worlds").
+func TestTypicalConditions(t *testing.T) {
+	r, err := experiments.Typical()
+	if err != nil {
+		t.Fatalf("Typical: %v", err)
+	}
+	if r.Undecided != 2 {
+		t.Errorf("undecided = %d, want 2", r.Undecided)
+	}
+	if r.Worlds.Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("worlds = %s, want 4", r.Worlds)
+	}
+	// Size in the low thousands (paper: ~3500 with richer records).
+	if r.Nodes < 500 || r.Nodes > 10000 {
+		t.Errorf("nodes = %d, want paper-like low thousands", r.Nodes)
+	}
+}
+
+// TestHorrorQueryShape asserts the first §VI example: the ranked answer
+// is short and usable, the two real horror sequels rank at the top with
+// very high probability, despite a huge world count.
+func TestHorrorQueryShape(t *testing.T) {
+	doc, err := experiments.QueryDocument()
+	if err != nil {
+		t.Fatalf("QueryDocument: %v", err)
+	}
+	if doc.WorldCount().Cmp(big.NewInt(10000)) <= 0 {
+		t.Fatalf("confusing document should have many worlds, got %s", doc.WorldCount())
+	}
+	r, err := experiments.RunQuery(doc, experiments.HorrorQuery)
+	if err != nil {
+		t.Fatalf("RunQuery: %v", err)
+	}
+	if r.Method != query.MethodExact {
+		t.Fatalf("method = %v, want exact despite %s worlds", r.Method, r.Worlds)
+	}
+	byValue := map[string]float64{}
+	for _, a := range r.Answers {
+		byValue[a.Value] = a.P
+	}
+	if byValue["Jaws"] < 0.9 || byValue["Jaws 2"] < 0.9 {
+		t.Errorf("Jaws/Jaws 2 should rank ≈97%% as in the paper: %v", r.Answers)
+	}
+	// All answers are Jaws-franchise titles — the ranked answer is usable.
+	for _, a := range r.Answers {
+		if !strings.Contains(a.Value, "Jaws") {
+			t.Errorf("non-horror answer %q (P=%v)", a.Value, a.P)
+		}
+	}
+}
+
+// TestJohnQueryShape asserts the second §VI example: the certain answer at
+// 100%, the sequel near the top, and the "II may be a typing mistake"
+// artifact present with low probability.
+func TestJohnQueryShape(t *testing.T) {
+	doc, err := experiments.QueryDocument()
+	if err != nil {
+		t.Fatalf("QueryDocument: %v", err)
+	}
+	r, err := experiments.RunQuery(doc, experiments.JohnQuery)
+	if err != nil {
+		t.Fatalf("RunQuery: %v", err)
+	}
+	byValue := map[string]float64{}
+	for _, a := range r.Answers {
+		byValue[a.Value] = a.P
+	}
+	if p := byValue["Die Hard: With a Vengeance"]; p < 0.999 {
+		t.Errorf("P(Die Hard: With a Vengeance) = %v, want 100%% as in the paper", p)
+	}
+	if p := byValue["Mission: Impossible II"]; p < 0.5 {
+		t.Errorf("P(Mission: Impossible II) = %v, want high as in the paper", p)
+	}
+	artifact := byValue["Mission: Impossible"]
+	if artifact <= 0.01 || artifact >= 0.5 {
+		t.Errorf("P(Mission: Impossible) = %v, want a low-probability artifact like the paper's 21%%", artifact)
+	}
+	// Ranking: correct answers above the artifact.
+	if !(byValue["Mission: Impossible II"] > artifact) {
+		t.Errorf("sequel should outrank the artifact: %v", r.Answers)
+	}
+}
+
+// TestQualityShape asserts the §VII trade-off: precision never decreases
+// when rules are added, and every score stays in [0,1].
+func TestQualityShape(t *testing.T) {
+	rows, err := experiments.Quality()
+	if err != nil {
+		t.Fatalf("Quality: %v", err)
+	}
+	if len(rows) != len(experiments.QualitySets)*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	perQuery := map[string][]float64{}
+	for _, r := range rows {
+		for name, v := range map[string]float64{
+			"precision": r.Report.Precision, "recall": r.Report.Recall,
+			"F1": r.Report.F1, "AP": r.Report.AveragePrecision,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%v %s %s = %v out of range", r.Set, r.Query, name, v)
+			}
+		}
+		perQuery[r.Query] = append(perQuery[r.Query], r.Report.Precision)
+	}
+	for q, precs := range perQuery {
+		for i := 1; i < len(precs); i++ {
+			if precs[i] < precs[i-1]-0.05 {
+				t.Errorf("precision dropped with stronger rules on %s: %v", q, precs)
+			}
+		}
+	}
+}
+
+// TestAblationShape asserts that factorization shrinks the representation
+// without changing the distribution (world counts equal).
+func TestAblationShape(t *testing.T) {
+	r, err := experiments.Ablation()
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	if r.FactoredWorlds.Cmp(r.MonolithicWorlds) != 0 {
+		t.Errorf("world counts differ: %s vs %s", r.FactoredWorlds, r.MonolithicWorlds)
+	}
+	if r.FactoredNodes >= r.MonolithicNodes {
+		t.Errorf("factorization should reduce nodes: %d vs %d", r.FactoredNodes, r.MonolithicNodes)
+	}
+	if r.MonolithicLargest <= r.FactoredLargest {
+		t.Errorf("monolithic run should have a bigger component: %d vs %d",
+			r.MonolithicLargest, r.FactoredLargest)
+	}
+}
+
+// TestEvaluatorsAgree asserts the three strategies agree: exact equals
+// enumeration to float precision, sampling within Monte-Carlo error.
+func TestEvaluatorsAgree(t *testing.T) {
+	rows, err := experiments.Evaluators()
+	if err != nil {
+		t.Fatalf("Evaluators: %v", err)
+	}
+	for _, r := range rows {
+		if r.MaxDeltaEnum > 1e-9 {
+			t.Errorf("%s: exact vs enumerate delta = %v", r.Query, r.MaxDeltaEnum)
+		}
+		if r.MaxDeltaSample > 0.05 {
+			t.Errorf("%s: sampling delta = %v", r.Query, r.MaxDeltaSample)
+		}
+	}
+}

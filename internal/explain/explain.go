@@ -1,0 +1,287 @@
+// Package explain traces probabilistic query answers back to the choice
+// points they depend on — the "which worlds is this answer true in?"
+// question that underlies the paper's feedback mechanism (feedback on
+// answers is traced back to possible worlds). For a given answer value it
+// reports, per choice point, the answer probability under each forced
+// alternative and the posterior probability of each alternative given the
+// answer, ranked by influence. Integrators use it to see which undecided
+// matches an implausible answer hinges on.
+package explain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pxml"
+	"repro/internal/query"
+)
+
+// AltInfluence describes one alternative of a choice point relative to an
+// answer.
+type AltInfluence struct {
+	// Index is the alternative's position in the choice point.
+	Index int
+	// Prior is the alternative's unconditioned probability.
+	Prior float64
+	// PAnswer is P(answer | this alternative chosen).
+	PAnswer float64
+	// Posterior is P(this alternative | answer), by Bayes.
+	Posterior float64
+	// Summary sketches the alternative's contents (first line).
+	Summary string
+}
+
+// ChoiceInfluence describes one choice point's effect on the answer.
+type ChoiceInfluence struct {
+	// Path locates the choice point: element path from the root with
+	// child-choice indexes, e.g. /catalog/movie[3]/choice[0].
+	Path string
+	// Alternatives lists the per-alternative numbers.
+	Alternatives []AltInfluence
+	// Influence is the spread max_i PAnswer − min_i PAnswer: 0 means the
+	// answer is independent of this choice.
+	Influence float64
+}
+
+// Report explains one answer.
+type Report struct {
+	Query string
+	Value string
+	// P is the answer's probability.
+	P float64
+	// Choices are the genuine choice points, most influential first.
+	Choices []ChoiceInfluence
+}
+
+// Options bound the analysis.
+type Options struct {
+	// MaxChoices bounds how many choice points are analyzed (default 64;
+	// the nearest-to-root ones are taken first).
+	MaxChoices int
+	// LocalWorldLimit is passed to exact evaluation.
+	LocalWorldLimit int
+	// MinInfluence drops choice points whose influence is below the
+	// threshold from the report (default 1e-9).
+	MinInfluence float64
+}
+
+func (o Options) maxChoices() int {
+	if o.MaxChoices > 0 {
+		return o.MaxChoices
+	}
+	return 64
+}
+
+func (o Options) minInfluence() float64 {
+	if o.MinInfluence > 0 {
+		return o.MinInfluence
+	}
+	return 1e-9
+}
+
+// ErrNoAnswer is returned when the value is not a possible answer.
+var ErrNoAnswer = errors.New("explain: value is not a possible answer of the query")
+
+// Answer analyzes which choice points an answer depends on.
+func Answer(t *pxml.Tree, q *query.Query, value string, opts Options) (*Report, error) {
+	baseline, err := evalValue(t, q, value, opts)
+	if err != nil {
+		return nil, err
+	}
+	if baseline <= 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoAnswer, value)
+	}
+	report := &Report{Query: q.String(), Value: value, P: baseline}
+
+	choices := collectChoices(t, opts.maxChoices())
+	for _, c := range choices {
+		ci := ChoiceInfluence{Path: c.path}
+		minP, maxP := 1.0, 0.0
+		skip := false
+		for i, poss := range c.node.Children() {
+			forced, err := forceAlternative(t, c.node, i)
+			if err != nil {
+				skip = true
+				break
+			}
+			p, err := evalValue(forced, q, value, opts)
+			if err != nil {
+				skip = true
+				break
+			}
+			ai := AltInfluence{
+				Index:   i,
+				Prior:   poss.Prob(),
+				PAnswer: p,
+				Summary: summarize(poss),
+			}
+			ai.Posterior = ai.Prior * p / baseline
+			ci.Alternatives = append(ci.Alternatives, ai)
+			if p < minP {
+				minP = p
+			}
+			if p > maxP {
+				maxP = p
+			}
+		}
+		if skip {
+			continue
+		}
+		ci.Influence = maxP - minP
+		if ci.Influence >= opts.minInfluence() {
+			report.Choices = append(report.Choices, ci)
+		}
+	}
+	sort.SliceStable(report.Choices, func(i, j int) bool {
+		return report.Choices[i].Influence > report.Choices[j].Influence
+	})
+	return report, nil
+}
+
+func evalValue(t *pxml.Tree, q *query.Query, value string, opts Options) (float64, error) {
+	answers, err := query.EvalExact(t, q, opts.LocalWorldLimit)
+	if err != nil {
+		return 0, err
+	}
+	for _, a := range answers {
+		if a.Value == value {
+			return a.P, nil
+		}
+	}
+	return 0, nil
+}
+
+type located struct {
+	node *pxml.Node
+	path string
+}
+
+// collectChoices lists genuine choice points breadth-first (nearest to the
+// root first), with human-readable paths. Shared nodes are listed once, at
+// their first discovered location.
+func collectChoices(t *pxml.Tree, max int) []located {
+	var out []located
+	seen := map[*pxml.Node]bool{}
+	type item struct {
+		n    *pxml.Node
+		path string
+	}
+	queue := []item{{n: t.Root(), path: ""}}
+	for len(queue) > 0 && len(out) < max {
+		it := queue[0]
+		queue = queue[1:]
+		n := it.n
+		switch n.Kind() {
+		case pxml.KindProb:
+			if len(n.Children()) > 1 && !seen[n] {
+				seen[n] = true
+				out = append(out, located{node: n, path: it.path})
+			}
+			for i, poss := range n.Children() {
+				p := it.path
+				if len(n.Children()) > 1 {
+					p = fmt.Sprintf("%s⟨alt %d⟩", it.path, i)
+				}
+				queue = append(queue, item{n: poss, path: p})
+			}
+		case pxml.KindPoss:
+			for _, el := range n.Children() {
+				queue = append(queue, item{n: el, path: it.path})
+			}
+		default:
+			base := it.path + "/" + n.Tag()
+			ci := 0
+			for _, prob := range n.Children() {
+				p := base
+				if len(prob.Children()) > 1 {
+					p = fmt.Sprintf("%s/choice[%d]", base, ci)
+					ci++
+				}
+				queue = append(queue, item{n: prob, path: p})
+			}
+		}
+	}
+	return out
+}
+
+// forceAlternative returns a tree in which the given choice point is
+// committed to alternative i (all occurrences, if the node is shared).
+func forceAlternative(t *pxml.Tree, choice *pxml.Node, i int) (*pxml.Tree, error) {
+	alt := choice.Child(i)
+	replacement := pxml.NewProb(pxml.NewPoss(1, alt.Children()...))
+	root := substitute(t.Root(), choice, replacement, map[*pxml.Node]*pxml.Node{})
+	return pxml.NewTree(root)
+}
+
+func substitute(n, target, replacement *pxml.Node, memo map[*pxml.Node]*pxml.Node) *pxml.Node {
+	if n == target {
+		return replacement
+	}
+	if out, ok := memo[n]; ok {
+		return out
+	}
+	kids := n.Children()
+	var newKids []*pxml.Node
+	for i, k := range kids {
+		nk := substitute(k, target, replacement, memo)
+		if nk != k && newKids == nil {
+			newKids = make([]*pxml.Node, len(kids))
+			copy(newKids, kids[:i])
+		}
+		if newKids != nil {
+			newKids[i] = nk
+		}
+	}
+	out := n
+	if newKids != nil {
+		switch n.Kind() {
+		case pxml.KindProb:
+			out = pxml.NewProb(newKids...)
+		case pxml.KindPoss:
+			out = pxml.NewPoss(n.Prob(), newKids...)
+		default:
+			out = pxml.NewElem(n.Tag(), n.Text(), newKids...)
+		}
+	}
+	memo[n] = out
+	return out
+}
+
+// summarize renders a possibility's contents as a one-line sketch.
+func summarize(poss *pxml.Node) string {
+	if len(poss.Children()) == 0 {
+		return "(absent)"
+	}
+	parts := make([]string, 0, len(poss.Children()))
+	for _, el := range poss.Children() {
+		v := query.StringValue(el)
+		if v == "" {
+			parts = append(parts, "<"+el.Tag()+">")
+		} else if len(v) > 32 {
+			parts = append(parts, fmt.Sprintf("<%s>%s…", el.Tag(), v[:29]))
+		} else {
+			parts = append(parts, fmt.Sprintf("<%s>%s", el.Tag(), v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Format renders the report as aligned text.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P(%s = %q) = %.4f\n", r.Query, r.Value, r.P)
+	if len(r.Choices) == 0 {
+		b.WriteString("the answer does not depend on any choice point\n")
+		return b.String()
+	}
+	for _, c := range r.Choices {
+		fmt.Fprintf(&b, "choice %s (influence %.4f)\n", c.Path, c.Influence)
+		for _, a := range c.Alternatives {
+			fmt.Fprintf(&b, "  alt %d  prior %.3f  P(answer|alt) %.3f  P(alt|answer) %.3f  %s\n",
+				a.Index, a.Prior, a.PAnswer, a.Posterior, a.Summary)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package feedback_test
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/feedback"
+	"repro/internal/pxmltest"
+	"repro/internal/query"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+}
+
+func TestSessionRejectAnswer(t *testing.T) {
+	s := feedback.NewSession(pxmltest.Fig2Tree(), feedback.Options{Now: fixedNow})
+	q := query.MustCompile(`//person/tel`)
+	ev, err := s.Apply(q, "2222", feedback.Incorrect)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if math.Abs(ev.PriorP-0.3) > 1e-9 {
+		t.Fatalf("prior = %v, want 0.3", ev.PriorP)
+	}
+	if ev.WorldsBefore.Cmp(big.NewInt(3)) != 0 || ev.WorldsAfter.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("worlds %s -> %s, want 3 -> 1", ev.WorldsBefore, ev.WorldsAfter)
+	}
+	if ev.Judgment != feedback.Incorrect || ev.Value != "2222" || ev.Query != q.String() {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !ev.When.Equal(fixedNow()) {
+		t.Fatalf("timestamp = %v", ev.When)
+	}
+	res, err := query.Eval(s.Tree(), q, query.Options{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if res.P("2222") != 0 || math.Abs(res.P("1111")-1) > 1e-9 {
+		t.Fatalf("answers after feedback = %v", res.Answers)
+	}
+	if len(s.History()) != 1 {
+		t.Fatalf("history = %d", len(s.History()))
+	}
+	red, _ := s.UncertaintyReduction().Float64()
+	if math.Abs(red-3) > 1e-9 {
+		t.Fatalf("reduction = %v, want 3", red)
+	}
+}
+
+func TestSessionConfirmAnswer(t *testing.T) {
+	s := feedback.NewSession(pxmltest.Fig2Tree(), feedback.Options{})
+	q := query.MustCompile(`//person/tel`)
+	ev, err := s.Apply(q, "1111", feedback.Correct)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if math.Abs(ev.PriorP-0.7) > 1e-9 {
+		t.Fatalf("prior = %v, want 0.7", ev.PriorP)
+	}
+	res, err := query.Eval(s.Tree(), q, query.Options{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if math.Abs(res.P("1111")-1) > 1e-9 {
+		t.Fatalf("P(1111) = %v after confirmation", res.P("1111"))
+	}
+}
+
+func TestSessionSequentialFeedbackConverges(t *testing.T) {
+	// Confirm 1111, then reject 2222: only the one-person 1111 world
+	// remains... actually after confirming 1111 the remaining worlds are
+	// {1111} and {1111,2222}; rejecting 2222 leaves exactly {1111}.
+	s := feedback.NewSession(pxmltest.Fig2Tree(), feedback.Options{})
+	q := query.MustCompile(`//person/tel`)
+	if _, err := s.Apply(q, "1111", feedback.Correct); err != nil {
+		t.Fatalf("confirm: %v", err)
+	}
+	ev, err := s.Apply(q, "2222", feedback.Incorrect)
+	if err != nil {
+		t.Fatalf("reject: %v", err)
+	}
+	if ev.WorldsAfter.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("worlds after = %s, want 1", ev.WorldsAfter)
+	}
+	if !s.Tree().IsCertain() {
+		t.Fatalf("database should be certain after full feedback:\n%s", s.Tree())
+	}
+	if len(s.History()) != 2 {
+		t.Fatalf("history = %d", len(s.History()))
+	}
+}
+
+func TestSessionContradictionKeepsState(t *testing.T) {
+	s := feedback.NewSession(pxmltest.Fig2Tree(), feedback.Options{})
+	q := query.MustCompile(`//person/nm`)
+	_, err := s.Apply(q, "John", feedback.Incorrect)
+	if err == nil {
+		t.Fatalf("rejecting a certain answer should error")
+	}
+	if len(s.History()) != 0 {
+		t.Fatalf("failed feedback must not be recorded")
+	}
+	// The tree is unchanged and still queryable.
+	res, err := query.Eval(s.Tree(), query.MustCompile(`//person/tel`), query.Options{})
+	if err != nil || len(res.Answers) != 2 {
+		t.Fatalf("tree damaged after failed feedback: %v %v", res.Answers, err)
+	}
+}
+
+func TestUncertaintyReductionEmptyHistory(t *testing.T) {
+	s := feedback.NewSession(pxmltest.Fig2Tree(), feedback.Options{})
+	red, _ := s.UncertaintyReduction().Float64()
+	if red != 1 {
+		t.Fatalf("empty-history reduction = %v", red)
+	}
+}
+
+func TestJudgmentString(t *testing.T) {
+	if feedback.Correct.String() != "correct" || feedback.Incorrect.String() != "incorrect" {
+		t.Fatalf("judgment strings wrong")
+	}
+}

@@ -1,0 +1,379 @@
+package integrate
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+)
+
+// edge is a candidate match between child i of source A and child j of
+// source B (indices into the certain child lists).
+type edge struct {
+	i, j int
+	p    float64
+	must bool
+}
+
+// integrateChildren integrates the child sequences of two matched elements
+// and returns the choice-point children of the merged element.
+func (it *integrator) integrateChildren(x, y *pxml.Node) ([]*pxml.Node, error) {
+	certA, uncA := splitChildren(x)
+	certB, uncB := splitChildren(y)
+
+	// Candidate pairs: cross-source, same tag, not ruled out. Within-source
+	// siblings are never candidates (the paper's second generic rule).
+	var edges []edge
+	for i, xa := range certA {
+		for j, yb := range certB {
+			if xa.Tag() != yb.Tag() {
+				continue
+			}
+			v, err := it.decide(xa, yb)
+			if err != nil {
+				return nil, err
+			}
+			if v.Decision == oracle.CannotMatch {
+				continue
+			}
+			edges = append(edges, edge{i: i, j: j, p: v.P, must: v.Decision == oracle.MustMatch})
+		}
+	}
+
+	comps := it.components(edges, len(certA))
+	inCompA := make(map[int]int, len(certA)) // A index -> component index
+	inCompB := make(map[int]int, len(certB))
+	for ci, c := range comps {
+		for _, i := range c.aIdx {
+			inCompA[i] = ci
+		}
+		for _, j := range c.bIdx {
+			inCompB[j] = ci
+		}
+	}
+
+	// DTD budgets: for each tag with a bounded maximum under the parent,
+	// how many items may all components of that tag plus the certain
+	// singles produce in the best case. An infeasible combination (even
+	// the best case exceeds a bound) makes the whole merge impossible.
+	budget, err := it.tagBudgets(x.Tag(), certA, certB, uncA, uncB, comps, inCompA, inCompB)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*pxml.Node
+	emitted := make([]bool, len(comps))
+	for i, xa := range certA {
+		ci, ok := inCompA[i]
+		if !ok {
+			out = append(out, pxml.Certain(xa))
+			continue
+		}
+		if emitted[ci] {
+			continue
+		}
+		emitted[ci] = true
+		choice, err := it.buildChoice(comps[ci], certA, certB, budget[ci])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, choice)
+	}
+	for j, yb := range certB {
+		if _, ok := inCompB[j]; ok {
+			continue
+		}
+		out = append(out, pxml.Certain(yb))
+	}
+	// Genuine choice points of the inputs are preserved, not re-matched:
+	// integration of probabilistic inputs keeps their uncertainty intact.
+	out = append(out, uncA...)
+	out = append(out, uncB...)
+	return out, nil
+}
+
+// splitChildren separates an element's certainly-present child elements
+// from its genuine choice points.
+func splitChildren(elem *pxml.Node) (certain []*pxml.Node, uncertain []*pxml.Node) {
+	for _, prob := range elem.Children() {
+		if len(prob.Children()) == 1 {
+			certain = append(certain, prob.Child(0).Children()...)
+		} else {
+			uncertain = append(uncertain, prob)
+		}
+	}
+	return certain, uncertain
+}
+
+// component is a connected group of candidate edges; it becomes one choice
+// point in the merged element.
+type component struct {
+	aIdx  []int // A-side member indices, ascending
+	bIdx  []int // B-side member indices, ascending
+	edges []edge
+}
+
+// components groups edges into connected components (or a single component
+// when factorization is disabled for the ablation experiment). Components
+// are ordered by their smallest A index; edge lists preserve discovery
+// order, so the whole construction is deterministic.
+func (it *integrator) components(edges []edge, nA int) []component {
+	if len(edges) == 0 {
+		return nil
+	}
+	if it.cfg.DisableComponentFactorization {
+		c := component{edges: edges}
+		seenA, seenB := map[int]bool{}, map[int]bool{}
+		for _, e := range edges {
+			if !seenA[e.i] {
+				seenA[e.i] = true
+				c.aIdx = append(c.aIdx, e.i)
+			}
+			if !seenB[e.j] {
+				seenB[e.j] = true
+				c.bIdx = append(c.bIdx, e.j)
+			}
+		}
+		sortInts(c.aIdx)
+		sortInts(c.bIdx)
+		it.noteComponent(c)
+		return []component{c}
+	}
+	// Union-find over node ids: A nodes are i, B nodes are nA+j.
+	parent := map[int]int{}
+	var find func(v int) int
+	find = func(v int) int {
+		p, ok := parent[v]
+		if !ok || p == v {
+			parent[v] = v
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range edges {
+		union(e.i, nA+e.j)
+	}
+	group := map[int]*component{}
+	var order []int
+	for _, e := range edges {
+		r := find(e.i)
+		c, ok := group[r]
+		if !ok {
+			c = &component{}
+			group[r] = c
+			order = append(order, r)
+		}
+		c.edges = append(c.edges, e)
+	}
+	out := make([]component, 0, len(order))
+	for _, r := range order {
+		c := group[r]
+		seenA, seenB := map[int]bool{}, map[int]bool{}
+		for _, e := range c.edges {
+			if !seenA[e.i] {
+				seenA[e.i] = true
+				c.aIdx = append(c.aIdx, e.i)
+			}
+			if !seenB[e.j] {
+				seenB[e.j] = true
+				c.bIdx = append(c.bIdx, e.j)
+			}
+		}
+		sortInts(c.aIdx)
+		sortInts(c.bIdx)
+		it.noteComponent(*c)
+		out = append(out, *c)
+	}
+	return out
+}
+
+func (it *integrator) noteComponent(c component) {
+	it.stats.Components++
+	if len(c.edges) > it.stats.LargestComponent {
+		it.stats.LargestComponent = len(c.edges)
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// tagBudgets computes, for every tag whose maximum occurrence under the
+// parent is bounded, how many component items of that tag are still
+// admissible: Max(tag) − certain singles − best-case contribution of the
+// other members. The result maps component index and tag to the allowed
+// item count for that component; absent entries mean unconstrained. It
+// returns ErrIncompatible when even the best case exceeds a bound, which
+// happens e.g. when two unmatchable phones meet a one-phone schema.
+func (it *integrator) tagBudgets(parentTag string, certA, certB, uncA, uncB []*pxml.Node,
+	comps []component, inCompA, inCompB map[int]int) (map[int]map[string]int, error) {
+	if it.cfg.Schema == nil {
+		return nil, nil
+	}
+	// Bounded tags among all prospective children.
+	bounded := map[string]int{}
+	noteTag := func(tag string) {
+		if _, ok := bounded[tag]; ok {
+			return
+		}
+		if max := it.cfg.Schema.MaxOccurs(parentTag, tag); max != dtd.Unbounded {
+			bounded[tag] = max
+		}
+	}
+	for _, xa := range certA {
+		noteTag(xa.Tag())
+	}
+	for _, yb := range certB {
+		noteTag(yb.Tag())
+	}
+	tagsOfComp := make([]map[string]bool, len(comps))
+	for ci, c := range comps {
+		tagsOfComp[ci] = map[string]bool{}
+		for _, i := range c.aIdx {
+			tagsOfComp[ci][certA[i].Tag()] = true
+		}
+	}
+	if len(bounded) == 0 {
+		return nil, nil
+	}
+	// Fixed contributions per tag: certain singles plus the best-case
+	// (minimum) counts of preserved uncertain choice points.
+	fixed := map[string]int{}
+	for i, xa := range certA {
+		if _, ok := inCompA[i]; !ok {
+			fixed[xa.Tag()]++
+		}
+	}
+	for j, yb := range certB {
+		if _, ok := inCompB[j]; !ok {
+			fixed[yb.Tag()]++
+		}
+	}
+	for _, unc := range append(append([]*pxml.Node{}, uncA...), uncB...) {
+		best := map[string]int{}
+		first := true
+		for _, poss := range unc.Children() {
+			local := map[string]int{}
+			for _, el := range poss.Children() {
+				local[el.Tag()]++
+			}
+			if first {
+				best = local
+				first = false
+				continue
+			}
+			for tag := range best {
+				if local[tag] < best[tag] {
+					best[tag] = local[tag]
+				}
+			}
+			for tag := range local {
+				if _, ok := best[tag]; !ok {
+					best[tag] = 0
+				}
+			}
+		}
+		for tag, n := range best {
+			fixed[tag] += n
+		}
+	}
+	// Minimum items each component can produce per tag (maximal matching).
+	minItems := make([]map[string]int, len(comps))
+	for ci, c := range comps {
+		minItems[ci] = componentMinItems(c, certA, certB)
+	}
+	// Feasibility: even the best case must respect every bound.
+	for tag, max := range bounded {
+		total := fixed[tag]
+		for ci := range comps {
+			total += minItems[ci][tag]
+		}
+		if total > max {
+			return nil, fmt.Errorf("%w: element <%s> would keep %d <%s> children in every world, schema allows %d",
+				ErrIncompatible, parentTag, total, tag, max)
+		}
+	}
+	budgets := make(map[int]map[string]int)
+	for ci := range comps {
+		for tag := range tagsOfComp[ci] {
+			max, ok := bounded[tag]
+			if !ok {
+				continue
+			}
+			allowed := max - fixed[tag]
+			for cj := range comps {
+				if cj == ci {
+					continue
+				}
+				allowed -= minItems[cj][tag]
+			}
+			if budgets[ci] == nil {
+				budgets[ci] = map[string]int{}
+			}
+			budgets[ci][tag] = allowed
+		}
+	}
+	return budgets, nil
+}
+
+// componentMinItems returns the minimum number of resulting items per tag a
+// component can produce: members minus the maximum matching size among
+// edges of that tag.
+func componentMinItems(c component, certA, certB []*pxml.Node) map[string]int {
+	counts := map[string]int{}
+	for _, i := range c.aIdx {
+		counts[certA[i].Tag()]++
+	}
+	for _, j := range c.bIdx {
+		counts[certB[j].Tag()]++
+	}
+	for tag := range counts {
+		counts[tag] -= maxMatchingSize(c, tag, certA)
+	}
+	return counts
+}
+
+// maxMatchingSize computes the maximum bipartite matching among the
+// component's edges whose endpoints have the given tag, via augmenting
+// paths (components are small).
+func maxMatchingSize(c component, tag string, certA []*pxml.Node) int {
+	adj := map[int][]int{}
+	for _, e := range c.edges {
+		if certA[e.i].Tag() != tag {
+			continue
+		}
+		adj[e.i] = append(adj[e.i], e.j)
+	}
+	matchB := map[int]int{} // B index -> A index
+	var try func(i int, seen map[int]bool) bool
+	try = func(i int, seen map[int]bool) bool {
+		for _, j := range adj[i] {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if prev, ok := matchB[j]; !ok || try(prev, seen) {
+				matchB[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for i := range adj {
+		if try(i, map[int]bool{}) {
+			size++
+		}
+	}
+	return size
+}
+
+var _ = fmt.Sprintf // reserved for debug helpers

@@ -1,0 +1,263 @@
+// Package integrate implements IMPrECISE's probabilistic data integration
+// (paper §III): merging two XML documents into one probabilistic XML
+// document that compactly represents every way their elements could refer
+// to the same real-world objects (rwos).
+//
+// The process is recursive, starting from the roots of both sources. For
+// each matched element pair the child sequences are integrated: "The
+// Oracle" (package oracle) classifies every cross-source same-tag child
+// pair as must-match, cannot-match or unknown; undecided pairs give rise to
+// choice points enumerating all consistent matchings. DTD knowledge
+// (package dtd) rejects impossible possibilities — e.g. a merged person
+// keeping two phone numbers when the schema allows one — which is how the
+// paper's Figure 2 result arises.
+//
+// Two structural properties keep the representation compact:
+//
+//   - The generic rule "no two siblings in one source refer to the same
+//     rwo" restricts candidates to cross-source pairs.
+//   - Independent groups of match decisions (connected components of the
+//     candidate graph) become separate sibling choice points, so the node
+//     count adds across groups while the world count multiplies — the
+//     paper's argument for reporting #nodes rather than #worlds.
+package integrate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+)
+
+// ErrIncompatible is returned (wrapped) when two documents or elements
+// cannot be integrated in any possible world, e.g. because the DTD rejects
+// every matching of some mandatory-unique field.
+var ErrIncompatible = errors.New("integrate: elements cannot be integrated in any world")
+
+// ErrExplosion is returned (wrapped) when a component exceeds the
+// configured matching or alternative budget and truncation is disabled.
+var ErrExplosion = errors.New("integrate: possibility explosion exceeds configured budget")
+
+// ErrMustConflict is returned (wrapped) when must-match decisions are
+// mutually inconsistent (one element must-matches two siblings).
+var ErrMustConflict = errors.New("integrate: conflicting must-match decisions")
+
+// Config controls an integration run.
+type Config struct {
+	// Oracle decides element pair matches. Required.
+	Oracle *oracle.Oracle
+	// Schema provides cardinality knowledge for possibility reduction.
+	// Optional; nil means no schema pruning.
+	Schema *dtd.Schema
+	// WeightA is the relative trust in source A when a matched pair has
+	// conflicting text values; the A value gets probability WeightA and
+	// the B value 1−WeightA. Zero means the default 0.5.
+	WeightA float64
+	// MaxMatchingsPerComponent bounds the matchings enumerated for one
+	// candidate component. Zero means the default (200000).
+	MaxMatchingsPerComponent int
+	// MaxAlternativesPerChoice bounds the possibility count of one choice
+	// point after value-conflict expansion. Zero means the default
+	// (1000000).
+	MaxAlternativesPerChoice int
+	// TruncateOnExplosion keeps the matchings enumerated so far (plus
+	// renormalization) instead of failing when a budget is exceeded.
+	TruncateOnExplosion bool
+	// SkipNormalize leaves the raw integration result unnormalized
+	// (duplicate alternatives unmerged). Mainly for diagnostics.
+	SkipNormalize bool
+	// DisableComponentFactorization turns off the independence
+	// optimization and integrates each child tag group as a single
+	// component. Exists for the ablation experiment (DESIGN E8); never
+	// use it otherwise.
+	DisableComponentFactorization bool
+}
+
+const (
+	defaultMaxMatchings    = 200000
+	defaultMaxAlternatives = 1000000
+)
+
+func (c Config) maxMatchings() int {
+	if c.MaxMatchingsPerComponent > 0 {
+		return c.MaxMatchingsPerComponent
+	}
+	return defaultMaxMatchings
+}
+
+func (c Config) maxAlternatives() int {
+	if c.MaxAlternativesPerChoice > 0 {
+		return c.MaxAlternativesPerChoice
+	}
+	return defaultMaxAlternatives
+}
+
+func (c Config) weightA() float64 {
+	if c.WeightA > 0 && c.WeightA < 1 {
+		return c.WeightA
+	}
+	return 0.5
+}
+
+// Stats reports what the integration did; the paper's Table I and Figure 5
+// are computed from the node counts of the result plus these counters.
+type Stats struct {
+	OracleCalls    int // distinct pairs put to the Oracle
+	MustPairs      int // pairs decided must-match
+	CannotPairs    int // pairs decided cannot-match
+	UndecidedPairs int // pairs the Oracle could not decide absolutely
+
+	Components          int // candidate components (choice points created)
+	LargestComponent    int // edges in the largest component
+	MatchingsEnumerated int // total matchings across components
+	MatchingsPruned     int // matchings rejected by DTD knowledge
+	PossibilitiesBuilt  int // alternatives after value-conflict expansion
+	IncompatibleMerges  int // pair merges rejected recursively
+	TruncatedComponents int // components cut off by budget (truncate mode)
+	ValueConflicts      int // matched leaf pairs with conflicting text
+}
+
+// Integrate merges two documents into one probabilistic document. Both
+// inputs must have a certain root element with the same tag (the paper
+// assumes schemas are already aligned). The inputs are not modified;
+// subtrees of the inputs are shared into the result.
+func Integrate(a, b *pxml.Tree, cfg Config) (*pxml.Tree, *Stats, error) {
+	if cfg.Oracle == nil {
+		return nil, nil, errors.New("integrate: Config.Oracle is required")
+	}
+	rootA, err := certainRoot(a, "A")
+	if err != nil {
+		return nil, nil, err
+	}
+	rootB, err := certainRoot(b, "B")
+	if err != nil {
+		return nil, nil, err
+	}
+	if rootA.Tag() != rootB.Tag() {
+		return nil, nil, fmt.Errorf("integrate: root tags differ: <%s> vs <%s> (align schemas first)", rootA.Tag(), rootB.Tag())
+	}
+	it := &integrator{
+		cfg:       cfg,
+		mergeMemo: make(map[pair]mergeResult),
+		verdicts:  make(map[pair]oracle.Verdict),
+	}
+	alts, err := it.mergePair(rootA, rootB)
+	if err != nil {
+		return nil, nil, fmt.Errorf("integrate: root elements: %w", err)
+	}
+	poss := make([]*pxml.Node, len(alts))
+	for i, alt := range alts {
+		poss[i] = pxml.NewPoss(alt.w, alt.elem)
+	}
+	tree := pxml.MustTree(pxml.NewProb(poss...))
+	if !cfg.SkipNormalize {
+		tree, err = tree.Normalize()
+		if err != nil {
+			return nil, nil, fmt.Errorf("integrate: normalize: %w", err)
+		}
+	}
+	return tree, &it.stats, nil
+}
+
+func certainRoot(t *pxml.Tree, label string) (*pxml.Node, error) {
+	if t == nil {
+		return nil, fmt.Errorf("integrate: source %s is nil", label)
+	}
+	elems := t.RootElements()
+	if len(elems) != 1 {
+		return nil, fmt.Errorf("integrate: source %s must have a single certain root element", label)
+	}
+	return elems[0], nil
+}
+
+// pair keys memo tables by the identity of the two source elements.
+type pair struct{ a, b *pxml.Node }
+
+// weightedElem is one alternative form of a merged element.
+type weightedElem struct {
+	elem *pxml.Node
+	w    float64
+}
+
+type mergeResult struct {
+	alts []weightedElem
+	err  error
+}
+
+type integrator struct {
+	cfg       Config
+	stats     Stats
+	mergeMemo map[pair]mergeResult
+	verdicts  map[pair]oracle.Verdict
+}
+
+// decide consults the Oracle once per distinct pair.
+func (it *integrator) decide(a, b *pxml.Node) (oracle.Verdict, error) {
+	k := pair{a, b}
+	if v, ok := it.verdicts[k]; ok {
+		return v, nil
+	}
+	v, err := it.cfg.Oracle.Decide(a, b)
+	if err != nil {
+		return v, err
+	}
+	it.verdicts[k] = v
+	it.stats.OracleCalls++
+	switch v.Decision {
+	case oracle.MustMatch:
+		it.stats.MustPairs++
+	case oracle.CannotMatch:
+		it.stats.CannotPairs++
+	default:
+		it.stats.UndecidedPairs++
+	}
+	return v, nil
+}
+
+// mergePair integrates two elements that are assumed to refer to the same
+// rwo. It returns the alternative merged forms (more than one when their
+// text values conflict) with weights summing to 1, or ErrIncompatible when
+// no world allows the merge. Results are memoized so a pair merged in many
+// matchings is computed — and allocated — once, and its subtree shared.
+func (it *integrator) mergePair(x, y *pxml.Node) ([]weightedElem, error) {
+	k := pair{x, y}
+	if r, ok := it.mergeMemo[k]; ok {
+		return r.alts, r.err
+	}
+	alts, err := it.mergePairUncached(x, y)
+	if err != nil && errors.Is(err, ErrIncompatible) {
+		it.stats.IncompatibleMerges++
+	}
+	it.mergeMemo[k] = mergeResult{alts: alts, err: err}
+	return alts, err
+}
+
+func (it *integrator) mergePairUncached(x, y *pxml.Node) ([]weightedElem, error) {
+	kids, err := it.integrateChildren(x, y)
+	if err != nil {
+		return nil, err
+	}
+	tx, ty := x.Text(), y.Text()
+	switch {
+	case tx == ty, ty == "":
+		return []weightedElem{{elem: pxml.NewElem(x.Tag(), tx, kids...), w: 1}}, nil
+	case tx == "":
+		return []weightedElem{{elem: pxml.NewElem(x.Tag(), ty, kids...), w: 1}}, nil
+	default:
+		// Conflicting values. A domain reconciler may canonicalize them
+		// ("Woo, John" and "John Woo" denote the same name); otherwise the
+		// merged element's value is uncertain and both variants share the
+		// merged children.
+		if v, ok := it.cfg.Oracle.Reconcile(x.Tag(), tx, ty); ok {
+			return []weightedElem{{elem: pxml.NewElem(x.Tag(), v, kids...), w: 1}}, nil
+		}
+		it.stats.ValueConflicts++
+		wa := it.cfg.weightA()
+		return []weightedElem{
+			{elem: pxml.NewElem(x.Tag(), tx, kids...), w: wa},
+			{elem: pxml.NewElem(x.Tag(), ty, kids...), w: 1 - wa},
+		}, nil
+	}
+}

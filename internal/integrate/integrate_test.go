@@ -1,0 +1,505 @@
+package integrate_test
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/integrate"
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+	"repro/internal/worlds"
+	"repro/internal/xmlcodec"
+)
+
+func mustDecode(t *testing.T, src string) *pxml.Tree {
+	t.Helper()
+	tr, err := xmlcodec.DecodeString(src)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return tr
+}
+
+var personDTD = dtd.MustParse(`
+	<!ELEMENT addressbook (person*)>
+	<!ELEMENT person (nm, tel?)>
+	<!ELEMENT nm (#PCDATA)>
+	<!ELEMENT tel (#PCDATA)>
+`)
+
+const bookA = `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
+const bookB = `<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>`
+
+// TestFigure2 is the paper's running example: integrating two address
+// books that both contain a person named John with different phone
+// numbers, under a DTD that allows one phone per person, yields exactly
+// the three possible worlds of Figure 2.
+func TestFigure2(t *testing.T) {
+	res, stats, err := integrate.Integrate(
+		mustDecode(t, bookA), mustDecode(t, bookB),
+		integrate.Config{Oracle: oracle.New(nil), Schema: personDTD},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("result invalid: %v\n%s", err, res)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("world count = %s, want 3\n%s", got, res)
+	}
+	ws, err := worlds.Collect(res, 10)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	probs := map[string]float64{}
+	for _, w := range ws {
+		var tels []string
+		persons := 0
+		pxml.Walk(w.Elements[0], func(n *pxml.Node) bool {
+			if n.Kind() == pxml.KindElem {
+				switch n.Tag() {
+				case "person":
+					persons++
+				case "tel":
+					tels = append(tels, n.Text())
+				}
+			}
+			return true
+		})
+		sort.Strings(tels)
+		key := strings.Join(tels, ",")
+		probs[key] += w.P
+		if key == "1111,2222" && persons != 2 {
+			t.Fatalf("two-phone world must have two persons, got %d", persons)
+		}
+		if (key == "1111" || key == "2222") && persons != 1 {
+			t.Fatalf("one-phone world must have one merged person, got %d", persons)
+		}
+	}
+	// Prior 0.5 on the person match; tel value split 0.5/0.5.
+	if math.Abs(probs["1111"]-0.25) > 1e-9 || math.Abs(probs["2222"]-0.25) > 1e-9 || math.Abs(probs["1111,2222"]-0.5) > 1e-9 {
+		t.Fatalf("world probabilities = %v", probs)
+	}
+	if stats.UndecidedPairs != 2 { // person pair and tel pair
+		t.Fatalf("undecided pairs = %d, want 2", stats.UndecidedPairs)
+	}
+	if stats.MustPairs != 1 { // the nm pair
+		t.Fatalf("must pairs = %d, want 1", stats.MustPairs)
+	}
+	if stats.MatchingsPruned == 0 {
+		t.Fatalf("the two-phone matching should have been pruned by the DTD")
+	}
+}
+
+// Without schema knowledge the two-phones possibility survives: 4 worlds.
+func TestFigure2WithoutDTD(t *testing.T) {
+	res, _, err := integrate.Integrate(
+		mustDecode(t, bookA), mustDecode(t, bookB),
+		integrate.Config{Oracle: oracle.New(nil)},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("world count = %s, want 4 without DTD\n%s", got, res)
+	}
+}
+
+func TestDeepEqualSourcesMergeToOneWorld(t *testing.T) {
+	src := `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
+	res, stats, err := integrate.Integrate(
+		mustDecode(t, src), mustDecode(t, src),
+		integrate.Config{Oracle: oracle.New(nil), Schema: personDTD},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("identical sources should integrate certainly, got %s worlds\n%s", got, res)
+	}
+	if !res.IsCertain() {
+		t.Fatalf("result should be certain")
+	}
+	if stats.MustPairs == 0 {
+		t.Fatalf("deep-equal pairs should be must-matched")
+	}
+	// The merged book has exactly one person with one phone.
+	book := res.RootElements()[0]
+	persons := pxml.ElementChildren(book)
+	if len(persons) != 1 {
+		t.Fatalf("merged persons = %d, want 1", len(persons))
+	}
+	if pxml.CertainText(persons[0], "tel") != "1111" {
+		t.Fatalf("merged phone lost:\n%s", res)
+	}
+}
+
+func TestDisjointSourcesUnion(t *testing.T) {
+	a := `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
+	b := `<addressbook><person><nm>Mary</nm><tel>2222</tel></person></addressbook>`
+	never := oracle.NewRule("different-names", func(x, y *pxml.Node) oracle.Verdict {
+		if x.Tag() == "person" && pxml.CertainText(x, "nm") != pxml.CertainText(y, "nm") {
+			return oracle.Verdict{Decision: oracle.CannotMatch, Rule: "different-names"}
+		}
+		return oracle.Verdict{Decision: oracle.Unknown}
+	})
+	res, stats, err := integrate.Integrate(
+		mustDecode(t, a), mustDecode(t, b),
+		integrate.Config{Oracle: oracle.New([]oracle.Rule{never}), Schema: personDTD},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("cannot-match everywhere should yield one world, got %s", got)
+	}
+	persons := pxml.ElementChildren(res.RootElements()[0])
+	if len(persons) != 2 {
+		t.Fatalf("union should keep both persons, got %d", len(persons))
+	}
+	if stats.CannotPairs != 1 || stats.Components != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestMustConflictDetected(t *testing.T) {
+	a := `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
+	// Source B has two persons deep-equal to A's John; they cannot both be
+	// the same rwo as John (sibling distinctness), so must-match conflicts.
+	b := `<addressbook>` +
+		`<person><nm>John</nm><tel>1111</tel></person>` +
+		`<person><nm>John</nm><tel>1111</tel></person>` +
+		`</addressbook>`
+	_, _, err := integrate.Integrate(
+		mustDecode(t, a), mustDecode(t, b),
+		integrate.Config{Oracle: oracle.New(nil), Schema: personDTD},
+	)
+	if !errors.Is(err, integrate.ErrMustConflict) {
+		t.Fatalf("err = %v, want ErrMustConflict", err)
+	}
+}
+
+func TestRootTagMismatch(t *testing.T) {
+	_, _, err := integrate.Integrate(
+		mustDecode(t, `<a/>`), mustDecode(t, `<b/>`),
+		integrate.Config{Oracle: oracle.New(nil)},
+	)
+	if err == nil || !strings.Contains(err.Error(), "root tags differ") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNilConfigAndSources(t *testing.T) {
+	if _, _, err := integrate.Integrate(mustDecode(t, `<a/>`), mustDecode(t, `<a/>`), integrate.Config{}); err == nil {
+		t.Fatalf("missing oracle should error")
+	}
+	if _, _, err := integrate.Integrate(nil, mustDecode(t, `<a/>`), integrate.Config{Oracle: oracle.New(nil)}); err == nil {
+		t.Fatalf("nil source should error")
+	}
+}
+
+func TestRootValueConflict(t *testing.T) {
+	res, stats, err := integrate.Integrate(
+		mustDecode(t, `<note>hello</note>`), mustDecode(t, `<note>goodbye</note>`),
+		integrate.Config{Oracle: oracle.New(nil), WeightA: 0.7},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("conflicting root text should give 2 worlds, got %s", got)
+	}
+	if stats.ValueConflicts != 1 {
+		t.Fatalf("value conflicts = %d", stats.ValueConflicts)
+	}
+	// WeightA controls the split.
+	root := res.Root()
+	var pHello float64
+	for _, poss := range root.Children() {
+		if poss.Child(0).Text() == "hello" {
+			pHello = poss.Prob()
+		}
+	}
+	if math.Abs(pHello-0.7) > 1e-9 {
+		t.Fatalf("P(hello) = %v, want 0.7", pHello)
+	}
+}
+
+func TestEmptyTextTakesNonEmptySide(t *testing.T) {
+	res, _, err := integrate.Integrate(
+		mustDecode(t, `<note/>`), mustDecode(t, `<note>filled</note>`),
+		integrate.Config{Oracle: oracle.New(nil)},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty-vs-filled text should be certain, got %s worlds", got)
+	}
+	if res.RootElements()[0].Text() != "filled" {
+		t.Fatalf("text = %q", res.RootElements()[0].Text())
+	}
+}
+
+func TestIncompatibleWhenSchemaRejectsEverything(t *testing.T) {
+	// Both persons have a phone; the phones cannot match (rule), yet the
+	// schema allows only one phone — so the persons cannot be merged. With
+	// the person pair undecided, integration keeps only the two-person
+	// world... unless the persons must match, in which case it fails.
+	telDiffer := oracle.NewRule("tel-differ", func(x, y *pxml.Node) oracle.Verdict {
+		if x.Tag() == "tel" {
+			return oracle.Verdict{Decision: oracle.CannotMatch, Rule: "tel-differ"}
+		}
+		return oracle.Verdict{Decision: oracle.Unknown}
+	})
+	personsMust := oracle.NewRule("same-nm", func(x, y *pxml.Node) oracle.Verdict {
+		if x.Tag() == "person" && pxml.CertainText(x, "nm") == pxml.CertainText(y, "nm") {
+			return oracle.Verdict{Decision: oracle.MustMatch, P: 1, Rule: "same-nm"}
+		}
+		return oracle.Verdict{Decision: oracle.Unknown}
+	})
+
+	// Case 1: person match undecided -> only the distinct-person world.
+	res, stats, err := integrate.Integrate(
+		mustDecode(t, bookA), mustDecode(t, bookB),
+		integrate.Config{Oracle: oracle.New([]oracle.Rule{telDiffer}), Schema: personDTD},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("world count = %s, want 1 (merge impossible)\n%s", got, res)
+	}
+	if stats.IncompatibleMerges == 0 {
+		t.Fatalf("expected an incompatible merge, stats = %+v", stats)
+	}
+	persons := pxml.ElementChildren(res.RootElements()[0])
+	if len(persons) != 2 {
+		t.Fatalf("persons = %d, want 2", len(persons))
+	}
+
+	// Case 2: persons must match but cannot be merged -> error.
+	_, _, err = integrate.Integrate(
+		mustDecode(t, bookA), mustDecode(t, bookB),
+		integrate.Config{Oracle: oracle.New([]oracle.Rule{telDiffer, personsMust}), Schema: personDTD},
+	)
+	if !errors.Is(err, integrate.ErrIncompatible) && !errors.Is(err, integrate.ErrMustConflict) {
+		t.Fatalf("err = %v, want incompatibility", err)
+	}
+}
+
+func TestExplosionGuardAndTruncation(t *testing.T) {
+	// Ten same-tag items per source, all pairs undecided: far more
+	// matchings than the tiny budget allows.
+	var sb strings.Builder
+	sb.WriteString("<bag>")
+	for i := 0; i < 10; i++ {
+		sb.WriteString("<item>")
+		sb.WriteString(strings.Repeat("x", i+1))
+		sb.WriteString("</item>")
+	}
+	sb.WriteString("</bag>")
+	a := sb.String()
+	b := strings.ReplaceAll(a, "x", "y")
+
+	_, _, err := integrate.Integrate(
+		mustDecode(t, a), mustDecode(t, b),
+		integrate.Config{Oracle: oracle.New(nil), MaxMatchingsPerComponent: 50},
+	)
+	if !errors.Is(err, integrate.ErrExplosion) {
+		t.Fatalf("err = %v, want ErrExplosion", err)
+	}
+
+	res, stats, err := integrate.Integrate(
+		mustDecode(t, a), mustDecode(t, b),
+		integrate.Config{Oracle: oracle.New(nil), MaxMatchingsPerComponent: 50, TruncateOnExplosion: true},
+	)
+	if err != nil {
+		t.Fatalf("truncated integrate: %v", err)
+	}
+	if stats.TruncatedComponents == 0 {
+		t.Fatalf("expected truncation, stats = %+v", stats)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("truncated result invalid: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *pxml.Tree {
+		res, _, err := integrate.Integrate(
+			mustDecode(t, bookA), mustDecode(t, bookB),
+			integrate.Config{Oracle: oracle.New(nil), Schema: personDTD},
+		)
+		if err != nil {
+			t.Fatalf("Integrate: %v", err)
+		}
+		return res
+	}
+	if !pxml.Equal(mk().Root(), mk().Root()) {
+		t.Fatalf("integration is not deterministic")
+	}
+}
+
+func TestUncertainInputPreserved(t *testing.T) {
+	// Source A is itself probabilistic (uncertain phone). Integration with
+	// a disjoint B keeps A's uncertainty intact.
+	a := `<addressbook><person><nm>John</nm>
+		<_prob><_poss p="0.5"><tel>1111</tel></_poss><_poss p="0.5"><tel>2222</tel></_poss></_prob>
+	</person></addressbook>`
+	b := `<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>`
+	never := oracle.NewRule("different-names", func(x, y *pxml.Node) oracle.Verdict {
+		if x.Tag() == "person" && pxml.CertainText(x, "nm") != pxml.CertainText(y, "nm") {
+			return oracle.Verdict{Decision: oracle.CannotMatch}
+		}
+		return oracle.Verdict{Decision: oracle.Unknown}
+	})
+	res, _, err := integrate.Integrate(
+		mustDecode(t, a), mustDecode(t, b),
+		integrate.Config{Oracle: oracle.New([]oracle.Rule{never}), Schema: personDTD},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("world count = %s, want 2 (John's phone stays uncertain)", got)
+	}
+}
+
+func TestSubtreeSharingAcrossPossibilities(t *testing.T) {
+	// Three candidate persons per side create matchings that repeat the
+	// same unmatched elements; the physical representation must share them.
+	a := `<addressbook>` +
+		`<person><nm>P1</nm><tel>1</tel></person>` +
+		`<person><nm>P2</nm><tel>2</tel></person>` +
+		`<person><nm>P3</nm><tel>3</tel></person>` +
+		`</addressbook>`
+	b := strings.ReplaceAll(strings.ReplaceAll(a, "1", "4"), "2", "5")
+	res, stats, err := integrate.Integrate(
+		mustDecode(t, a), mustDecode(t, b),
+		integrate.Config{Oracle: oracle.New(nil), Schema: personDTD},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	s := res.CollectStats()
+	if s.PhysicalNodes >= s.LogicalNodes {
+		t.Fatalf("no sharing: physical %d >= logical %d", s.PhysicalNodes, s.LogicalNodes)
+	}
+	if stats.MatchingsEnumerated < 10 {
+		t.Fatalf("expected many matchings, got %d", stats.MatchingsEnumerated)
+	}
+}
+
+func TestWorldProbabilitiesSumToOne(t *testing.T) {
+	res, _, err := integrate.Integrate(
+		mustDecode(t, bookA), mustDecode(t, bookB),
+		integrate.Config{Oracle: oracle.New(nil), Schema: personDTD},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if total := worlds.TotalProbability(res); math.Abs(total-1) > 1e-9 {
+		t.Fatalf("world probabilities sum to %v", total)
+	}
+}
+
+func TestAblationFactorization(t *testing.T) {
+	// Two independent groups (different names far apart) — with
+	// factorization they become separate choice points; without, one big
+	// component whose matchings multiply.
+	a := `<addressbook>` +
+		`<person><nm>John</nm><tel>1</tel></person>` +
+		`<person><nm>Mary</nm><tel>2</tel></person>` +
+		`</addressbook>`
+	b := `<addressbook>` +
+		`<person><nm>John</nm><tel>9</tel></person>` +
+		`<person><nm>Mary</nm><tel>8</tel></person>` +
+		`</addressbook>`
+	sameName := oracle.NewRule("name-gate", func(x, y *pxml.Node) oracle.Verdict {
+		if x.Tag() != "person" {
+			return oracle.Verdict{Decision: oracle.Unknown}
+		}
+		if pxml.CertainText(x, "nm") != pxml.CertainText(y, "nm") {
+			return oracle.Verdict{Decision: oracle.CannotMatch}
+		}
+		return oracle.Verdict{Decision: oracle.Unknown}
+	})
+	run := func(disable bool) (*pxml.Tree, *integrate.Stats) {
+		res, st, err := integrate.Integrate(
+			mustDecode(t, a), mustDecode(t, b),
+			integrate.Config{
+				Oracle:                        oracle.New([]oracle.Rule{sameName}),
+				Schema:                        personDTD,
+				DisableComponentFactorization: disable,
+			},
+		)
+		if err != nil {
+			t.Fatalf("Integrate(disable=%v): %v", disable, err)
+		}
+		return res, st
+	}
+	factored, fs := run(false)
+	monolithic, ms := run(true)
+	// Component counters include nested merges, so compare shapes: the
+	// monolithic run has fewer, larger components.
+	if ms.Components >= fs.Components {
+		t.Fatalf("components: factored %d, monolithic %d", fs.Components, ms.Components)
+	}
+	if ms.LargestComponent <= fs.LargestComponent {
+		t.Fatalf("largest component: factored %d, monolithic %d", fs.LargestComponent, ms.LargestComponent)
+	}
+	if factored.WorldCount().Cmp(monolithic.WorldCount()) != 0 {
+		t.Fatalf("world counts differ: %s vs %s", factored.WorldCount(), monolithic.WorldCount())
+	}
+	if factored.NodeCount() >= monolithic.NodeCount() {
+		t.Fatalf("factorization should reduce nodes: %d vs %d",
+			factored.NodeCount(), monolithic.NodeCount())
+	}
+	// Same distribution over worlds. Element order may differ between the
+	// two layouts, so canonicalize by sorting the per-person sketches.
+	key := func(w worlds.World) string {
+		var parts []string
+		for _, p := range pxml.ElementChildren(w.Elements[0]) {
+			parts = append(parts, pxml.Sketch(p))
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, "|")
+	}
+	pf := map[string]float64{}
+	worlds.Enumerate(factored, func(w worlds.World) bool {
+		pf[key(w)] += w.P
+		return true
+	})
+	worlds.Enumerate(monolithic, func(w worlds.World) bool {
+		pf[key(w)] -= w.P
+		return true
+	})
+	for k, v := range pf {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("world probability mismatch %v for\n%s", v, k)
+		}
+	}
+}
+
+func TestSkipNormalize(t *testing.T) {
+	res, _, err := integrate.Integrate(
+		mustDecode(t, bookA), mustDecode(t, bookB),
+		integrate.Config{Oracle: oracle.New(nil), Schema: personDTD, SkipNormalize: true},
+	)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("raw result invalid: %v", err)
+	}
+	if got := res.WorldCount(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("raw world count = %s", got)
+	}
+}

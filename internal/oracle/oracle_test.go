@@ -1,0 +1,257 @@
+package oracle_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+	"repro/internal/xmlcodec"
+)
+
+func elem(t *testing.T, src string) *pxml.Node {
+	t.Helper()
+	tr, err := xmlcodec.DecodeString(src)
+	if err != nil {
+		t.Fatalf("decode %q: %v", src, err)
+	}
+	return tr.RootElements()[0]
+}
+
+func TestDeepEqualRuleIsAlwaysPresent(t *testing.T) {
+	o := oracle.New(nil)
+	a := elem(t, `<movie><title>Jaws</title><year>1975</year></movie>`)
+	b := elem(t, `<movie><title>Jaws</title><year>1975</year></movie>`)
+	v, err := o.Decide(a, b)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if v.Decision != oracle.MustMatch || v.P != 1 {
+		t.Fatalf("deep-equal pair verdict = %+v", v)
+	}
+	if v.Rule != "deep-equal" {
+		t.Fatalf("rule = %q", v.Rule)
+	}
+}
+
+func TestUnknownUsesPrior(t *testing.T) {
+	o := oracle.New(nil, oracle.WithPrior(0.3))
+	a := elem(t, `<movie><title>Jaws</title></movie>`)
+	b := elem(t, `<movie><title>Jaws 2</title></movie>`)
+	v, err := o.Decide(a, b)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if v.Decision != oracle.Unknown || v.P != 0.3 {
+		t.Fatalf("verdict = %+v, want unknown at prior 0.3", v)
+	}
+	if o.Calls() != 1 || o.Undecided() != 1 {
+		t.Fatalf("stats calls=%d undecided=%d", o.Calls(), o.Undecided())
+	}
+	o.ResetStats()
+	if o.Calls() != 0 || o.Undecided() != 0 {
+		t.Fatalf("stats not reset")
+	}
+}
+
+func TestWithPriorPanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WithPrior(%v) should panic", p)
+				}
+			}()
+			oracle.WithPrior(p)
+		}()
+	}
+}
+
+func TestEstimatorClamped(t *testing.T) {
+	o := oracle.New(nil, oracle.WithEstimator("movie", func(a, b *pxml.Node) float64 { return 2.0 }))
+	a := elem(t, `<movie><title>A</title></movie>`)
+	b := elem(t, `<movie><title>B</title></movie>`)
+	v, err := o.Decide(a, b)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if v.P != 1-oracle.ProbFloor {
+		t.Fatalf("estimate not clamped: %v", v.P)
+	}
+	o2 := oracle.New(nil, oracle.WithEstimator("movie", func(a, b *pxml.Node) float64 { return -3 }))
+	v, _ = o2.Decide(a, b)
+	if v.P != oracle.ProbFloor {
+		t.Fatalf("low estimate not clamped: %v", v.P)
+	}
+}
+
+func TestGenreRule(t *testing.T) {
+	o := oracle.New([]oracle.Rule{oracle.GenreRule()})
+	horror1 := elem(t, `<genre>Horror</genre>`)
+	horror2 := elem(t, `<genre>Horror</genre>`)
+	thriller := elem(t, `<genre>Thriller</genre>`)
+	if v, _ := o.Decide(horror1, horror2); v.Decision != oracle.MustMatch {
+		t.Fatalf("equal genres: %+v", v)
+	}
+	if v, _ := o.Decide(horror1, thriller); v.Decision != oracle.CannotMatch {
+		t.Fatalf("different genres: %+v", v)
+	}
+	// Non-genre elements are not decided by the genre rule.
+	if v, _ := o.Decide(elem(t, `<title>A</title>`), elem(t, `<title>B</title>`)); v.Decision != oracle.Unknown {
+		t.Fatalf("genre rule leaked to titles: %+v", v)
+	}
+}
+
+func TestTitleRule(t *testing.T) {
+	o := oracle.New([]oracle.Rule{oracle.TitleRule()})
+	jaws := elem(t, `<movie><title>Jaws</title></movie>`)
+	jaws2 := elem(t, `<movie><title>Jaws 2</title></movie>`)
+	dieHard := elem(t, `<movie><title>Die Hard</title></movie>`)
+	if v, _ := o.Decide(jaws, dieHard); v.Decision != oracle.CannotMatch {
+		t.Fatalf("dissimilar titles: %+v", v)
+	}
+	if v, _ := o.Decide(jaws, jaws2); v.Decision != oracle.Unknown {
+		t.Fatalf("sequel titles should stay undecided: %+v", v)
+	}
+	// Missing title abstains.
+	noTitle := elem(t, `<movie><year>1975</year></movie>`)
+	if v, _ := o.Decide(jaws, noTitle); v.Decision != oracle.Unknown {
+		t.Fatalf("missing title should abstain: %+v", v)
+	}
+}
+
+func TestYearRule(t *testing.T) {
+	o := oracle.New([]oracle.Rule{oracle.YearRule()})
+	m75 := elem(t, `<movie><title>Jaws</title><year>1975</year></movie>`)
+	m78 := elem(t, `<movie><title>Jaws</title><year>1978</year></movie>`)
+	m75b := elem(t, `<movie><title>Jaws reloaded</title><year>1975</year></movie>`)
+	if v, _ := o.Decide(m75, m78); v.Decision != oracle.CannotMatch {
+		t.Fatalf("different years: %+v", v)
+	}
+	if v, _ := o.Decide(m75, m75b); v.Decision != oracle.Unknown {
+		t.Fatalf("same year must not imply same movie: %+v", v)
+	}
+}
+
+func TestDirectorRule(t *testing.T) {
+	o := oracle.New([]oracle.Rule{oracle.DirectorRule()})
+	a := elem(t, `<director>Woo, John</director>`)
+	b := elem(t, `<director>John Woo</director>`)
+	c := elem(t, `<director>Steven Spielberg</director>`)
+	typo := elem(t, `<director>John Woa</director>`)
+	if v, _ := o.Decide(a, b); v.Decision != oracle.MustMatch {
+		t.Fatalf("convention-equivalent directors: %+v", v)
+	}
+	if v, _ := o.Decide(a, c); v.Decision != oracle.CannotMatch {
+		t.Fatalf("different directors: %+v", v)
+	}
+	if v, _ := o.Decide(b, typo); v.Decision != oracle.Unknown {
+		t.Fatalf("near-typo directors should stay undecided: %+v", v)
+	}
+}
+
+func TestConflictDefaultResolvesToCannot(t *testing.T) {
+	always := oracle.NewRule("always-must", func(a, b *pxml.Node) oracle.Verdict {
+		return oracle.Verdict{Decision: oracle.MustMatch, P: 1, Rule: "always-must"}
+	})
+	never := oracle.NewRule("always-cannot", func(a, b *pxml.Node) oracle.Verdict {
+		return oracle.Verdict{Decision: oracle.CannotMatch, Rule: "always-cannot"}
+	})
+	o := oracle.New([]oracle.Rule{always, never})
+	v, err := o.Decide(elem(t, `<x>1</x>`), elem(t, `<x>2</x>`))
+	if err != nil {
+		t.Fatalf("non-strict conflict should not error: %v", err)
+	}
+	if v.Decision != oracle.CannotMatch {
+		t.Fatalf("conflict resolution = %+v, want cannot-match", v)
+	}
+	if !strings.Contains(v.Rule, "overrides") {
+		t.Fatalf("conflict rule label = %q", v.Rule)
+	}
+}
+
+func TestConflictStrictErrors(t *testing.T) {
+	always := oracle.NewRule("always-must", func(a, b *pxml.Node) oracle.Verdict {
+		return oracle.Verdict{Decision: oracle.MustMatch, P: 1}
+	})
+	never := oracle.NewRule("always-cannot", func(a, b *pxml.Node) oracle.Verdict {
+		return oracle.Verdict{Decision: oracle.CannotMatch}
+	})
+	o := oracle.New([]oracle.Rule{always, never}, oracle.Strict())
+	_, err := o.Decide(elem(t, `<x>1</x>`), elem(t, `<x>2</x>`))
+	if err == nil {
+		t.Fatalf("strict conflict should error")
+	}
+	ce, ok := err.(*oracle.ConflictError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ce.MustRule != "always-must" || ce.CannotRule != "always-cannot" {
+		t.Fatalf("conflict = %+v", ce)
+	}
+}
+
+func TestExactLeafIgnoresNonLeaves(t *testing.T) {
+	o := oracle.New([]oracle.Rule{oracle.ExactLeaf("genre")})
+	a := elem(t, `<genre><sub>Horror</sub></genre>`)
+	b := elem(t, `<genre><sub>Thriller</sub></genre>`)
+	if v, _ := o.Decide(a, b); v.Decision != oracle.Unknown {
+		t.Fatalf("non-leaf genres should abstain: %+v", v)
+	}
+}
+
+func TestRuleSetContents(t *testing.T) {
+	cases := []struct {
+		set  oracle.RuleSet
+		n    int
+		name string
+	}{
+		{oracle.SetNone, 0, "none"},
+		{oracle.SetGenre, 1, "Genre rule"},
+		{oracle.SetTitle, 1, "Movie title rule"},
+		{oracle.SetGenreTitle, 2, "Genre and movie title rule"},
+		{oracle.SetGenreTitleYear, 3, "Genre, movie title and year rule"},
+		{oracle.SetFull, 4, "All rules (incl. director)"},
+	}
+	for _, tc := range cases {
+		if got := len(tc.set.Rules()); got != tc.n {
+			t.Errorf("%v has %d rules, want %d", tc.set, got, tc.n)
+		}
+		if tc.set.String() != tc.name {
+			t.Errorf("String() = %q, want %q", tc.set.String(), tc.name)
+		}
+	}
+	// MovieOracle includes deep-equal plus the set's rules.
+	o := oracle.MovieOracle(oracle.SetGenreTitleYear)
+	if got := len(o.Rules()); got != 4 {
+		t.Fatalf("MovieOracle rules = %v", o.Rules())
+	}
+	if o.Rules()[0] != "deep-equal" {
+		t.Fatalf("first rule = %q", o.Rules()[0])
+	}
+}
+
+func TestMovieOracleEstimatorRanksBySimilarity(t *testing.T) {
+	o := oracle.MovieOracle(oracle.SetTitle)
+	mi := elem(t, `<movie><title>Mission: Impossible</title></movie>`)
+	mi2 := elem(t, `<movie><title>Mission: Impossible II</title></movie>`)
+	miOrder := elem(t, `<movie><title>Impossible Mission</title></movie>`)
+	vSeq, _ := o.Decide(mi, mi2)
+	vOrd, _ := o.Decide(mi, miOrder)
+	if vSeq.Decision != oracle.Unknown || vOrd.Decision != oracle.Unknown {
+		t.Fatalf("expected unknown verdicts, got %+v %+v", vSeq, vOrd)
+	}
+	if !(vOrd.P > vSeq.P) {
+		t.Fatalf("word-order variant (%v) should score higher than sequel (%v)", vOrd.P, vSeq.P)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if oracle.Unknown.String() != "unknown" || oracle.MustMatch.String() != "must-match" ||
+		oracle.CannotMatch.String() != "cannot-match" {
+		t.Fatalf("decision strings wrong")
+	}
+	if !strings.Contains(oracle.Decision(9).String(), "9") {
+		t.Fatalf("unknown decision string")
+	}
+}

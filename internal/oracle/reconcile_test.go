@@ -1,0 +1,57 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+func TestNameReconciler(t *testing.T) {
+	r := oracle.NameReconciler()
+	cases := []struct {
+		a, b string
+		want string
+		ok   bool
+	}{
+		{"John Woo", "Woo, John", "John Woo", true},
+		{"Woo, John", "John Woo", "John Woo", true},
+		{"De Palma, Brian", "Brian De Palma", "Brian De Palma", true},
+		{"Woo, John", "woo JOHN", "woo JOHN", true}, // prefers the comma-free form
+		{"John Woo", "John Wu", "", false},          // different names: keep both
+		{"", "", "", false},
+	}
+	for _, tc := range cases {
+		got, ok := r(tc.a, tc.b)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("NameReconciler(%q,%q) = %q,%v; want %q,%v", tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+	// Both forms carry commas: fall back to the first.
+	if got, ok := r("Woo, John", "John, Woo"); !ok || got != "Woo, John" {
+		t.Errorf("double-comma reconciliation = %q,%v", got, ok)
+	}
+}
+
+func TestOracleReconcileRegistration(t *testing.T) {
+	o := oracle.New(nil, oracle.WithReconciler("director", oracle.NameReconciler()))
+	if v, ok := o.Reconcile("director", "Woo, John", "John Woo"); !ok || v != "John Woo" {
+		t.Fatalf("Reconcile = %q,%v", v, ok)
+	}
+	if _, ok := o.Reconcile("title", "a", "b"); ok {
+		t.Fatalf("unregistered tag should not reconcile")
+	}
+	if _, ok := o.Reconcile("director", "John Woo", "Steven Spielberg"); ok {
+		t.Fatalf("non-equivalent names should not reconcile")
+	}
+}
+
+func TestMovieOracleFullSetHasReconciler(t *testing.T) {
+	full := oracle.MovieOracle(oracle.SetFull)
+	if _, ok := full.Reconcile("director", "Woo, John", "John Woo"); !ok {
+		t.Fatalf("SetFull oracle should reconcile director names")
+	}
+	plain := oracle.MovieOracle(oracle.SetGenreTitleYear)
+	if _, ok := plain.Reconcile("director", "Woo, John", "John Woo"); ok {
+		t.Fatalf("non-full oracle should not reconcile")
+	}
+}

@@ -1,0 +1,102 @@
+package pxml_test
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+)
+
+func TestChoicePointsCountsDistinctGenuineOnly(t *testing.T) {
+	// A shared genuine choice point used twice counts once.
+	shared := pxml.NewProb(
+		pxml.NewPoss(0.5, pxml.NewLeaf("v", "a")),
+		pxml.NewPoss(0.5, pxml.NewLeaf("v", "b")),
+	)
+	tr := pxml.CertainTree(pxml.NewElem("r", "",
+		pxml.Certain(pxml.NewElem("x", "", shared)),
+		pxml.Certain(pxml.NewElem("y", "", shared)),
+	))
+	if got := tr.ChoicePoints(); got != 1 {
+		t.Fatalf("ChoicePoints = %d, want 1 (shared)", got)
+	}
+	// But the world count treats each occurrence independently: 2×2.
+	if got := tr.WorldCount(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("WorldCount = %s, want 4", got)
+	}
+}
+
+func TestMaxDepthOnKnownShape(t *testing.T) {
+	// root prob(1) → poss(2) → elem(3) → prob(4) → poss(5) → leaf(6)
+	tr := pxml.CertainTree(pxml.NewElem("a", "", pxml.Certain(pxml.NewLeaf("b", ""))))
+	if got := tr.CollectStats().MaxDepth; got != 6 {
+		t.Fatalf("MaxDepth = %d, want 6", got)
+	}
+}
+
+func TestNormalizeSingleAltEmptyPossibilityStays(t *testing.T) {
+	// An optional field: one alternative present, one absent; nothing to
+	// merge, normalization is the identity.
+	prob := pxml.NewProb(
+		pxml.NewPoss(0.8, pxml.NewLeaf("tel", "1")),
+		pxml.NewPoss(0.2),
+	)
+	tr := pxml.CertainTree(pxml.NewElem("p", "", prob))
+	nt := tr.MustNormalize()
+	if !pxml.Equal(tr.Root(), nt.Root()) {
+		t.Fatalf("normalization changed an already-canonical tree:\n%s\nvs\n%s", tr, nt)
+	}
+	if nt.Root() == nil || tr.NodeCount() != nt.NodeCount() {
+		t.Fatalf("counts differ")
+	}
+}
+
+func TestNormalizeMergesEmptyAlternatives(t *testing.T) {
+	prob := pxml.NewProb(
+		pxml.NewPoss(0.3),
+		pxml.NewPoss(0.3),
+		pxml.NewPoss(0.4, pxml.NewLeaf("tel", "1")),
+	)
+	tr := pxml.CertainTree(pxml.NewElem("p", "", prob))
+	nt := tr.MustNormalize()
+	choice := nt.RootElements()[0].Child(0)
+	if choice.NumChildren() != 2 {
+		t.Fatalf("empty alternatives should merge: %d", choice.NumChildren())
+	}
+	if got := nt.WorldCount(); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("worlds = %s, want 2", got)
+	}
+}
+
+func TestStatsKindBreakdown(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	s := tr.CollectStats()
+	// Hand count from the fixture (29 total, see count_test.go):
+	// prob: root + inner + tel-choice + 4 trivial wrappers in persons = ...
+	if s.LogicalProb+s.LogicalPoss+s.LogicalElem != 29 {
+		t.Fatalf("breakdown sums to %d", s.LogicalProb+s.LogicalPoss+s.LogicalElem)
+	}
+	// addressbook + merged person (nm + 2 tel alternatives) + two separate
+	// persons (nm + tel each) = 1 + 4 + 3 + 3 = 11.
+	if s.LogicalElem != 11 {
+		t.Fatalf("elem count = %d, want 11", s.LogicalElem)
+	}
+}
+
+func TestWalkUniqueSkipSubtree(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	count := 0
+	pxml.WalkUnique(tr.Root(), func(n *pxml.Node) bool {
+		count++
+		return n.Kind() != pxml.KindElem // stop at first element level
+	})
+	if count == 0 {
+		t.Fatalf("no visits")
+	}
+	full := 0
+	pxml.WalkUnique(tr.Root(), func(*pxml.Node) bool { full++; return true })
+	if count >= full {
+		t.Fatalf("skipping did not reduce visits: %d vs %d", count, full)
+	}
+}

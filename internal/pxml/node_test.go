@@ -1,0 +1,220 @@
+package pxml_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+)
+
+func TestNodeConstructorsAndAccessors(t *testing.T) {
+	leaf := pxml.NewLeaf("title", "Jaws")
+	if leaf.Kind() != pxml.KindElem {
+		t.Fatalf("leaf kind = %v, want elem", leaf.Kind())
+	}
+	if leaf.Tag() != "title" || leaf.Text() != "Jaws" {
+		t.Fatalf("leaf = %q/%q", leaf.Tag(), leaf.Text())
+	}
+	if !leaf.IsLeaf() || leaf.NumChildren() != 0 {
+		t.Fatalf("leaf should have no children")
+	}
+	if leaf.Prob() != 1 {
+		t.Fatalf("element Prob() = %v, want 1", leaf.Prob())
+	}
+
+	poss := pxml.NewPoss(0.25, leaf)
+	if poss.Kind() != pxml.KindPoss || poss.Prob() != 0.25 {
+		t.Fatalf("poss = %v p=%v", poss.Kind(), poss.Prob())
+	}
+	prob := pxml.NewProb(pxml.NewPoss(0.25, leaf), pxml.NewPoss(0.75))
+	if prob.Kind() != pxml.KindProb || prob.NumChildren() != 2 {
+		t.Fatalf("prob node malformed")
+	}
+	if prob.Child(0) != prob.Children()[0] {
+		t.Fatalf("Child and Children disagree")
+	}
+
+	elem := pxml.NewElem("movie", "", prob)
+	if elem.NumChildren() != 1 || elem.Child(0) != prob {
+		t.Fatalf("element children wrong")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"elem child not prob", func() { pxml.NewElem("a", "", pxml.NewLeaf("b", "")) }},
+		{"elem nil child", func() { pxml.NewElem("a", "", nil) }},
+		{"prob empty", func() { pxml.NewProb() }},
+		{"prob child not poss", func() { pxml.NewProb(pxml.NewLeaf("a", "")) }},
+		{"poss prob zero", func() { pxml.NewPoss(0, pxml.NewLeaf("a", "")) }},
+		{"poss prob negative", func() { pxml.NewPoss(-0.5) }},
+		{"poss prob above one", func() { pxml.NewPoss(1.5) }},
+		{"poss child not elem", func() { pxml.NewPoss(1, pxml.NewPoss(1)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestPossProbClampNearOne(t *testing.T) {
+	p := pxml.NewPoss(1 + 1e-9)
+	if p.Prob() != 1 {
+		t.Fatalf("prob = %v, want clamped to 1", p.Prob())
+	}
+}
+
+func TestNewTree(t *testing.T) {
+	if _, err := pxml.NewTree(nil); err == nil {
+		t.Fatalf("nil root should error")
+	}
+	if _, err := pxml.NewTree(pxml.NewLeaf("a", "")); err == nil {
+		t.Fatalf("element root should error")
+	}
+	tr, err := pxml.NewTree(pxml.Certain(pxml.NewLeaf("a", "")))
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	if tr.Root().Kind() != pxml.KindProb {
+		t.Fatalf("root kind = %v", tr.Root().Kind())
+	}
+}
+
+func TestMustTreePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	pxml.MustTree(pxml.NewLeaf("a", ""))
+}
+
+func TestCertainTreeAndRootElements(t *testing.T) {
+	doc := pxml.NewElem("addressbook", "", pxml.Certain(pxml.NewLeaf("person", "x")))
+	tr := pxml.CertainTree(doc)
+	roots := tr.RootElements()
+	if len(roots) != 1 || roots[0] != doc {
+		t.Fatalf("RootElements = %v", roots)
+	}
+	if !tr.IsCertain() {
+		t.Fatalf("certain tree reported uncertain")
+	}
+}
+
+func TestIsCertain(t *testing.T) {
+	fig2 := pxmltest.Fig2Tree()
+	if fig2.IsCertain() {
+		t.Fatalf("figure-2 tree should be uncertain")
+	}
+	if fig2.RootElements() == nil {
+		t.Fatalf("figure-2 root choice is trivial; RootElements should work")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if pxml.KindProb.String() != "prob" || pxml.KindPoss.String() != "poss" || pxml.KindElem.String() != "elem" {
+		t.Fatalf("kind strings wrong")
+	}
+	if !strings.Contains(pxml.Kind(42).String(), "42") {
+		t.Fatalf("unknown kind string should include the value")
+	}
+}
+
+func TestSketchOutput(t *testing.T) {
+	s := pxmltest.Fig2Tree().String()
+	for _, want := range []string{"addressbook", "person", "1111", "2222", "▽", "○"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("sketch missing %q:\n%s", want, s)
+		}
+	}
+	if got := pxml.Sketch(pxml.NewLeaf("nm", "John")); !strings.Contains(got, `"John"`) {
+		t.Fatalf("Sketch leaf = %q", got)
+	}
+}
+
+func TestElementChildrenHelpers(t *testing.T) {
+	person := pxml.NewElem("person", "",
+		pxml.Certain(pxml.NewLeaf("nm", "John")),
+		pxml.NewProb(
+			pxml.NewPoss(0.5, pxml.NewLeaf("tel", "1111")),
+			pxml.NewPoss(0.5, pxml.NewLeaf("tel", "2222")),
+		),
+		pxml.Certain(pxml.NewLeaf("email", "j@x"), pxml.NewLeaf("email", "j@y")),
+	)
+	kids := pxml.ElementChildren(person)
+	if len(kids) != 3 { // nm + two emails; the uncertain tel is skipped
+		t.Fatalf("ElementChildren = %d, want 3", len(kids))
+	}
+	if got := pxml.CertainText(person, "nm"); got != "John" {
+		t.Fatalf("CertainText(nm) = %q", got)
+	}
+	if got := pxml.CertainText(person, "tel"); got != "" {
+		t.Fatalf("CertainText(tel) = %q, want empty for uncertain field", got)
+	}
+	if got := pxml.CertainChild(person, "email"); got != nil {
+		t.Fatalf("CertainChild(email) should be nil for multiple occurrences")
+	}
+	if got := pxml.CertainTexts(person, "email"); len(got) != 2 || got[0] != "j@x" || got[1] != "j@y" {
+		t.Fatalf("CertainTexts(email) = %v", got)
+	}
+	if pxml.ElementChildren(pxml.Certain(pxml.NewLeaf("a", ""))) != nil {
+		t.Fatalf("ElementChildren of non-element should be nil")
+	}
+}
+
+func TestWalkOrderAndSkip(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	var kinds []pxml.Kind
+	pxml.Walk(tr.Root(), func(n *pxml.Node) bool {
+		kinds = append(kinds, n.Kind())
+		return true
+	})
+	if kinds[0] != pxml.KindProb || kinds[1] != pxml.KindPoss || kinds[2] != pxml.KindElem {
+		t.Fatalf("walk order start = %v", kinds[:3])
+	}
+	// Skipping the root visits nothing else.
+	count := 0
+	pxml.Walk(tr.Root(), func(n *pxml.Node) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("walk with skip visited %d nodes", count)
+	}
+	pxml.Walk(nil, func(*pxml.Node) bool { t.Fatal("nil walk should not visit"); return true })
+}
+
+func TestWalkUniqueVisitsSharedOnce(t *testing.T) {
+	shared := pxml.NewLeaf("x", "v")
+	elem := pxml.NewElem("r", "", pxml.Certain(shared), pxml.Certain(shared))
+	visits := 0
+	pxml.WalkUnique(elem, func(n *pxml.Node) bool {
+		if n == shared {
+			visits++
+		}
+		return true
+	})
+	if visits != 1 {
+		t.Fatalf("shared node visited %d times, want 1", visits)
+	}
+	occurrences := 0
+	pxml.Walk(elem, func(n *pxml.Node) bool {
+		if n == shared {
+			occurrences++
+		}
+		return true
+	})
+	if occurrences != 2 {
+		t.Fatalf("shared node occurs %d times, want 2", occurrences)
+	}
+}

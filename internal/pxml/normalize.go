@@ -1,0 +1,198 @@
+package pxml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Normalize returns an equivalent document in canonical form:
+//
+//   - duplicate alternatives of a choice point (structurally equal
+//     possibility contents) are merged, their probabilities added;
+//   - alternatives with probability below ProbEpsilon are dropped;
+//   - surviving probabilities are rescaled to sum to exactly 1;
+//   - alternatives are ordered by descending probability, ties broken by
+//     structural hash, for deterministic output;
+//   - trivial nested structure is preserved (the layered form is already
+//     canonical for certain data).
+//
+// Normalization is applied bottom-up with memoization, so shared subtrees
+// are normalized once and sharing is preserved.
+func (t *Tree) Normalize() (*Tree, error) {
+	memo := make(map[*Node]*Node)
+	root, err := normalizeNode(t.root, memo)
+	if err != nil {
+		return nil, err
+	}
+	return NewTree(root)
+}
+
+// MustNormalize is Normalize that panics on error (which only occurs on
+// documents that are already invalid, e.g. all alternatives pruned).
+func (t *Tree) MustNormalize() *Tree {
+	nt, err := t.Normalize()
+	if err != nil {
+		panic(err)
+	}
+	return nt
+}
+
+func normalizeNode(n *Node, memo map[*Node]*Node) (*Node, error) {
+	if out, ok := memo[n]; ok {
+		return out, nil
+	}
+	var out *Node
+	switch n.kind {
+	case KindElem:
+		kids, changed, err := normalizeKids(n.kids, memo)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			out = n
+		} else {
+			out = NewElem(n.tag, n.text, kids...)
+		}
+	case KindPoss:
+		kids, changed, err := normalizeKids(n.kids, memo)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			out = n
+		} else {
+			out = NewPoss(n.prob, kids...)
+		}
+	case KindProb:
+		var err error
+		out, err = normalizeProb(n, memo)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("pxml: normalize: unknown kind %d", n.kind)
+	}
+	memo[n] = out
+	return out, nil
+}
+
+func normalizeKids(kids []*Node, memo map[*Node]*Node) ([]*Node, bool, error) {
+	changed := false
+	out := kids
+	for i, k := range kids {
+		nk, err := normalizeNode(k, memo)
+		if err != nil {
+			return nil, false, err
+		}
+		if nk != k && !changed {
+			changed = true
+			out = make([]*Node, len(kids))
+			copy(out, kids[:i])
+		}
+		if changed {
+			out[i] = nk
+		}
+	}
+	return out, changed, nil
+}
+
+func normalizeProb(n *Node, memo map[*Node]*Node) (*Node, error) {
+	type alt struct {
+		poss *Node
+		hash uint64
+		prob float64
+	}
+	var alts []alt
+	hmemo := make(map[*Node]uint64)
+	for _, p := range n.kids {
+		np, err := normalizeNode(p, memo)
+		if err != nil {
+			return nil, err
+		}
+		if np.prob < ProbEpsilon {
+			continue
+		}
+		h := contentHash(np, hmemo)
+		merged := false
+		for i := range alts {
+			if alts[i].hash == h && sameContent(alts[i].poss, np) {
+				alts[i].prob += np.prob
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			alts = append(alts, alt{poss: np, hash: h, prob: np.prob})
+		}
+	}
+	if len(alts) == 0 {
+		return nil, fmt.Errorf("pxml: normalize: choice point with no alternative above epsilon")
+	}
+	sum := 0.0
+	for _, a := range alts {
+		sum += a.prob
+	}
+	sort.SliceStable(alts, func(i, j int) bool {
+		if alts[i].prob != alts[j].prob {
+			return alts[i].prob > alts[j].prob
+		}
+		return alts[i].hash < alts[j].hash
+	})
+	poss := make([]*Node, len(alts))
+	for i, a := range alts {
+		p := a.prob / sum
+		if len(alts) == 1 {
+			p = 1
+		}
+		if samePoss(a.poss, p) {
+			poss[i] = a.poss
+		} else {
+			poss[i] = NewPoss(p, a.poss.kids...)
+		}
+	}
+	// Reuse the original node if nothing changed.
+	if len(poss) == len(n.kids) {
+		same := true
+		for i := range poss {
+			if poss[i] != n.kids[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return n, nil
+		}
+	}
+	return NewProb(poss...), nil
+}
+
+func samePoss(p *Node, prob float64) bool {
+	d := p.prob - prob
+	return d < ProbEpsilon && d > -ProbEpsilon
+}
+
+// contentHash hashes a possibility node's contents, ignoring its own
+// probability, so alternatives with equal contents can be merged.
+func contentHash(poss *Node, memo map[*Node]uint64) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, k := range poss.kids {
+		kh := hashMemo(k, memo)
+		h ^= kh
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sameContent compares two possibility nodes' contents, ignoring their own
+// probabilities.
+func sameContent(a, b *Node) bool {
+	if len(a.kids) != len(b.kids) {
+		return false
+	}
+	for i := range a.kids {
+		if !Equal(a.kids[i], b.kids[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,140 @@
+package pxml_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+)
+
+func TestNormalizeMergesDuplicateAlternatives(t *testing.T) {
+	dup := func() *pxml.Node { return pxml.NewLeaf("tel", "1111") }
+	prob := pxml.NewProb(
+		pxml.NewPoss(0.3, dup()),
+		pxml.NewPoss(0.2, dup()),
+		pxml.NewPoss(0.5, pxml.NewLeaf("tel", "2222")),
+	)
+	tr := pxml.CertainTree(pxml.NewElem("person", "", prob))
+	nt, err := tr.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	person := nt.RootElements()[0]
+	choice := person.Child(0)
+	if choice.NumChildren() != 2 {
+		t.Fatalf("alternatives = %d, want 2 after merging\n%s", choice.NumChildren(), nt)
+	}
+	// Merged duplicate gets 0.5, sorted order is deterministic.
+	p0, p1 := choice.Child(0).Prob(), choice.Child(1).Prob()
+	if math.Abs(p0-0.5) > 1e-9 || math.Abs(p1-0.5) > 1e-9 {
+		t.Fatalf("probs = %v, %v, want 0.5 each", p0, p1)
+	}
+}
+
+func TestNormalizeDropsEpsilonAlternativesAndRescales(t *testing.T) {
+	prob := pxml.NewProb(
+		pxml.NewPoss(1e-9, pxml.NewLeaf("tel", "0000")),
+		pxml.NewPoss(0.6, pxml.NewLeaf("tel", "1111")),
+		pxml.NewPoss(0.4-1e-9, pxml.NewLeaf("tel", "2222")),
+	)
+	tr := pxml.CertainTree(pxml.NewElem("person", "", prob))
+	nt := tr.MustNormalize()
+	choice := nt.RootElements()[0].Child(0)
+	if choice.NumChildren() != 2 {
+		t.Fatalf("alternatives = %d, want 2", choice.NumChildren())
+	}
+	// Rescaling may reuse original nodes whose probabilities are within
+	// ProbEpsilon of the rescaled value, so check against the model
+	// tolerance rather than float precision.
+	sum := choice.Child(0).Prob() + choice.Child(1).Prob()
+	if math.Abs(sum-1) > 2*pxml.ProbEpsilon {
+		t.Fatalf("probabilities sum to %v after rescale", sum)
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatalf("normalized tree invalid: %v", err)
+	}
+}
+
+func TestNormalizeIdempotentAndSharingPreserving(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	n1 := tr.MustNormalize()
+	n2 := n1.MustNormalize()
+	if !pxml.Equal(n1.Root(), n2.Root()) {
+		t.Fatalf("normalize not idempotent")
+	}
+	// An already-canonical tree should be returned unchanged (same pointers).
+	if n1.Root() != n2.Root() {
+		t.Fatalf("idempotent normalize should reuse nodes")
+	}
+}
+
+func TestNormalizeSingleAlternativeSnapsToOne(t *testing.T) {
+	prob := pxml.NewProb(
+		pxml.NewPoss(0.5, pxml.NewLeaf("tel", "1111")),
+		pxml.NewPoss(0.5, pxml.NewLeaf("tel", "1111")),
+	)
+	tr := pxml.CertainTree(pxml.NewElem("p", "", prob))
+	nt := tr.MustNormalize()
+	choice := nt.RootElements()[0].Child(0)
+	if choice.NumChildren() != 1 {
+		t.Fatalf("duplicates should merge to one alternative")
+	}
+	if choice.Child(0).Prob() != 1 {
+		t.Fatalf("single alternative prob = %v, want exactly 1", choice.Child(0).Prob())
+	}
+	if !nt.IsCertain() {
+		t.Fatalf("tree should be certain after merging identical alternatives")
+	}
+}
+
+func TestNormalizeOrdersByDescendingProbability(t *testing.T) {
+	prob := pxml.NewProb(
+		pxml.NewPoss(0.1, pxml.NewLeaf("v", "low")),
+		pxml.NewPoss(0.7, pxml.NewLeaf("v", "high")),
+		pxml.NewPoss(0.2, pxml.NewLeaf("v", "mid")),
+	)
+	nt := pxml.CertainTree(pxml.NewElem("r", "", prob)).MustNormalize()
+	choice := nt.RootElements()[0].Child(0)
+	var last float64 = 2
+	for i := 0; i < choice.NumChildren(); i++ {
+		p := choice.Child(i).Prob()
+		if p > last {
+			t.Fatalf("alternatives not sorted by descending probability")
+		}
+		last = p
+	}
+	if choice.Child(0).Child(0).Text() != "high" {
+		t.Fatalf("highest-probability alternative should come first")
+	}
+}
+
+func TestNormalizeQuickProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := pxmltest.RandomTree(rng, pxmltest.DefaultGenConfig())
+		nt, err := tr.Normalize()
+		if err != nil {
+			return false
+		}
+		if err := nt.Validate(); err != nil {
+			return false
+		}
+		// Node count never grows, and world count never grows (merging
+		// duplicates can only shrink both).
+		if nt.NodeCount() > tr.NodeCount() {
+			return false
+		}
+		if nt.WorldCount().Cmp(tr.WorldCount()) > 0 {
+			return false
+		}
+		// Idempotence.
+		nt2, err := nt.Normalize()
+		return err == nil && pxml.Equal(nt.Root(), nt2.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package pxml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the document as an indented sketch using the paper's
+// symbols: ▽ for probability nodes, ○ for possibility nodes, plain tags for
+// elements. Intended for debugging and test failure messages.
+func (t *Tree) String() string {
+	var b strings.Builder
+	writeNode(&b, t.root, 0)
+	return b.String()
+}
+
+// Sketch renders a subtree like Tree.String.
+func Sketch(n *Node) string {
+	var b strings.Builder
+	writeNode(&b, n, 0)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n.kind {
+	case KindProb:
+		if len(n.kids) == 1 && n.kids[0].prob >= 1-ProbEpsilon {
+			// Trivial choice point: compress to keep sketches readable.
+			for _, k := range n.kids[0].kids {
+				writeNode(b, k, depth)
+			}
+			return
+		}
+		fmt.Fprintf(b, "%s▽\n", indent)
+	case KindPoss:
+		fmt.Fprintf(b, "%s○ p=%.4g\n", indent, n.prob)
+	case KindElem:
+		if n.text != "" {
+			fmt.Fprintf(b, "%s<%s> %q\n", indent, n.tag, n.text)
+		} else {
+			fmt.Fprintf(b, "%s<%s>\n", indent, n.tag)
+		}
+	}
+	for _, k := range n.kids {
+		writeNode(b, k, depth+1)
+	}
+}

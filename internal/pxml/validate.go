@@ -1,0 +1,118 @@
+package pxml
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValidationError describes a structural violation of the layered
+// probabilistic XML model, with a path from the root to the offending node.
+type ValidationError struct {
+	Path string // slash-separated description, e.g. /prob/poss[0]/movie/prob[1]
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("pxml: invalid document at %s: %s", e.Path, e.Msg)
+}
+
+// Validate checks the full layered-model invariants of the document:
+//
+//   - the root is a ProbNode,
+//   - ProbNode children are PossNodes (at least one),
+//   - PossNode children are ElemNodes and sibling probabilities sum to 1
+//     within ProbEpsilon, each in (0, 1],
+//   - ElemNode children are ProbNodes and tags are non-empty,
+//   - the structure is acyclic (sharing is allowed, cycles are not).
+//
+// It returns the first violation found, or nil.
+func (t *Tree) Validate() error {
+	if t == nil || t.root == nil {
+		return &ValidationError{Path: "/", Msg: "nil tree"}
+	}
+	if t.root.kind != KindProb {
+		return &ValidationError{Path: "/", Msg: fmt.Sprintf("root must be prob, got %v", t.root.kind)}
+	}
+	// ok caches nodes already validated (sharing), onPath detects cycles.
+	ok := make(map[*Node]bool)
+	onPath := make(map[*Node]bool)
+	var rec func(n *Node, path string) error
+	rec = func(n *Node, path string) error {
+		if n == nil {
+			return &ValidationError{Path: path, Msg: "nil node"}
+		}
+		if onPath[n] {
+			return &ValidationError{Path: path, Msg: "cycle detected"}
+		}
+		if ok[n] {
+			return nil
+		}
+		onPath[n] = true
+		defer delete(onPath, n)
+
+		switch n.kind {
+		case KindProb:
+			if len(n.kids) == 0 {
+				return &ValidationError{Path: path, Msg: "prob node without possibilities"}
+			}
+			sum := 0.0
+			for i, k := range n.kids {
+				if k == nil || k.kind != KindPoss {
+					return &ValidationError{Path: childPath(path, n, i), Msg: "prob child must be poss"}
+				}
+				sum += k.prob
+			}
+			if math.Abs(sum-1) > ProbEpsilon*float64(len(n.kids)+1) {
+				return &ValidationError{Path: path, Msg: fmt.Sprintf("possibility probabilities sum to %g, want 1", sum)}
+			}
+		case KindPoss:
+			if n.prob <= 0 || n.prob > 1+ProbEpsilon || math.IsNaN(n.prob) {
+				return &ValidationError{Path: path, Msg: fmt.Sprintf("probability %g out of range (0,1]", n.prob)}
+			}
+			for i, k := range n.kids {
+				if k == nil || k.kind != KindElem {
+					return &ValidationError{Path: childPath(path, n, i), Msg: "poss child must be element"}
+				}
+			}
+		case KindElem:
+			if n.tag == "" {
+				return &ValidationError{Path: path, Msg: "element with empty tag"}
+			}
+			for i, k := range n.kids {
+				if k == nil || k.kind != KindProb {
+					return &ValidationError{Path: childPath(path, n, i), Msg: "element child must be prob"}
+				}
+			}
+		default:
+			return &ValidationError{Path: path, Msg: fmt.Sprintf("unknown kind %d", n.kind)}
+		}
+		for i, k := range n.kids {
+			if err := rec(k, childPath(path, n, i)); err != nil {
+				return err
+			}
+		}
+		ok[n] = true
+		return nil
+	}
+	return rec(t.root, "/")
+}
+
+func childPath(path string, parent *Node, i int) string {
+	var label string
+	switch parent.kind {
+	case KindProb:
+		label = fmt.Sprintf("poss[%d]", i)
+	case KindPoss:
+		if c := parent.kids[i]; c != nil && c.kind == KindElem {
+			label = c.tag
+		} else {
+			label = fmt.Sprintf("elem[%d]", i)
+		}
+	default:
+		label = fmt.Sprintf("prob[%d]", i)
+	}
+	if path == "/" {
+		return "/" + label
+	}
+	return path + "/" + label
+}

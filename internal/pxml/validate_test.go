@@ -1,0 +1,102 @@
+package pxml
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests build malformed trees directly (bypassing the constructors,
+// which reject them) to exercise the validator.
+
+func rawNode(kind Kind, tag, text string, prob float64, kids ...*Node) *Node {
+	return &Node{kind: kind, tag: tag, text: text, prob: prob, kids: kids}
+}
+
+func TestValidateAcceptsValid(t *testing.T) {
+	tr := CertainTree(NewElem("movie", "",
+		Certain(NewLeaf("title", "Jaws")),
+		NewProb(NewPoss(0.4, NewLeaf("year", "1975")), NewPoss(0.6, NewLeaf("year", "1976"))),
+	))
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	leaf := NewLeaf("a", "")
+	cases := []struct {
+		name string
+		tree *Tree
+		want string
+	}{
+		{"nil tree", nil, "nil tree"},
+		{"elem root", &Tree{root: rawNode(KindElem, "a", "", 0)}, "root must be prob"},
+		{"prob no poss", &Tree{root: rawNode(KindProb, "", "", 0)}, "without possibilities"},
+		{"prob child elem", &Tree{root: rawNode(KindProb, "", "", 0, leaf)}, "must be poss"},
+		{"prob sums wrong", &Tree{root: rawNode(KindProb, "", "", 0,
+			rawNode(KindPoss, "", "", 0.5, leaf), rawNode(KindPoss, "", "", 0.2))}, "sum to"},
+		{"poss prob zero", &Tree{root: rawNode(KindProb, "", "", 0,
+			rawNode(KindPoss, "", "", 0, leaf), rawNode(KindPoss, "", "", 1))}, "out of range"},
+		{"poss child prob", &Tree{root: rawNode(KindProb, "", "", 0,
+			rawNode(KindPoss, "", "", 1, rawNode(KindProb, "", "", 0, rawNode(KindPoss, "", "", 1))))}, "must be element"},
+		{"elem empty tag", &Tree{root: rawNode(KindProb, "", "", 0,
+			rawNode(KindPoss, "", "", 1, rawNode(KindElem, "", "", 0)))}, "empty tag"},
+		{"elem child poss", &Tree{root: rawNode(KindProb, "", "", 0,
+			rawNode(KindPoss, "", "", 1, rawNode(KindElem, "a", "", 0, rawNode(KindPoss, "", "", 1))))}, "must be prob"},
+		{"unknown kind", &Tree{root: rawNode(KindProb, "", "", 0,
+			rawNode(KindPoss, "", "", 1, rawNode(Kind(9), "a", "", 0)))}, "must be element"},
+		{"nil child", &Tree{root: rawNode(KindProb, "", "", 0, nil)}, "must be poss"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tree.Validate()
+			if err == nil {
+				t.Fatalf("expected validation error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	elem := rawNode(KindElem, "a", "", 0)
+	poss := rawNode(KindPoss, "", "", 1, elem)
+	prob := rawNode(KindProb, "", "", 0, poss)
+	elem.kids = []*Node{prob} // cycle: elem -> prob -> poss -> elem
+	tr := &Tree{root: prob}
+	err := tr.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestValidateAllowsSharing(t *testing.T) {
+	shared := NewLeaf("x", "v")
+	tr := CertainTree(NewElem("r", "",
+		NewProb(NewPoss(0.5, shared), NewPoss(0.5, shared, shared)),
+		Certain(shared),
+	))
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("sharing rejected: %v", err)
+	}
+}
+
+func TestValidationErrorPathMentionsLocation(t *testing.T) {
+	bad := &Tree{root: rawNode(KindProb, "", "", 0,
+		rawNode(KindPoss, "", "", 1,
+			rawNode(KindElem, "movie", "", 0,
+				rawNode(KindProb, "", "", 0))))} // inner prob without possibilities
+	err := bad.Validate()
+	if err == nil {
+		t.Fatalf("expected error")
+	}
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type %T, want *ValidationError", err)
+	}
+	if !strings.Contains(ve.Path, "movie") {
+		t.Fatalf("path %q should mention the movie element", ve.Path)
+	}
+}

@@ -1,0 +1,91 @@
+package pxml
+
+// Walk visits every node occurrence in depth-first pre-order. Shared
+// subtrees are visited once per occurrence. The visit function returns
+// false to skip the node's subtree.
+func Walk(n *Node, visit func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !visit(n) {
+		return
+	}
+	for _, k := range n.kids {
+		Walk(k, visit)
+	}
+}
+
+// WalkUnique visits every distinct node reachable from n exactly once, in
+// depth-first pre-order of first discovery. Returning false from visit
+// skips the node's subtree (the subtree may still be reached via another
+// occurrence). Use this for traversals whose cost must stay proportional to
+// physical size even on heavily shared documents.
+func WalkUnique(n *Node, visit func(*Node) bool) {
+	seen := make(map[*Node]bool)
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if !visit(n) {
+			return
+		}
+		for _, k := range n.kids {
+			rec(k)
+		}
+	}
+	rec(n)
+}
+
+// ElementChildren returns the element grandchildren of an element node
+// that exist with certainty, i.e. elements under single-alternative
+// probability children. Elements under genuine choice points are skipped.
+func ElementChildren(elem *Node) []*Node {
+	if elem.kind != KindElem {
+		return nil
+	}
+	var out []*Node
+	for _, p := range elem.kids {
+		if len(p.kids) == 1 {
+			out = append(out, p.kids[0].kids...)
+		}
+	}
+	return out
+}
+
+// CertainChild returns the unique certainly-existing child element with the
+// given tag, or nil if there is none or it is uncertain.
+func CertainChild(elem *Node, tag string) *Node {
+	var found *Node
+	for _, c := range ElementChildren(elem) {
+		if c.tag == tag {
+			if found != nil {
+				return nil
+			}
+			found = c
+		}
+	}
+	return found
+}
+
+// CertainText returns the text of the unique certainly-existing child leaf
+// with the given tag, or "" if absent or uncertain.
+func CertainText(elem *Node, tag string) string {
+	if c := CertainChild(elem, tag); c != nil {
+		return c.text
+	}
+	return ""
+}
+
+// CertainTexts returns the texts of all certainly-existing children with
+// the given tag, in document order.
+func CertainTexts(elem *Node, tag string) []string {
+	var out []string
+	for _, c := range ElementChildren(elem) {
+		if c.tag == tag {
+			out = append(out, c.text)
+		}
+	}
+	return out
+}

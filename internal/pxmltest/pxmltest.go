@@ -1,0 +1,128 @@
+// Package pxmltest provides shared fixtures and random document generators
+// for testing the probabilistic XML machinery. It is imported only from
+// tests, but lives as a regular package so that every test package can use
+// the same generators.
+package pxmltest
+
+import (
+	"math/rand"
+
+	"repro/internal/pxml"
+)
+
+// Fig2Tree reproduces the paper's Figure 2: the integration of two address
+// books, both containing a person named John, with phone numbers 1111 and
+// 2222 respectively. It represents exactly three possible worlds:
+//
+//	p=0.3  one John with phone 1111
+//	p=0.3  one John with phone 2222
+//	p=0.4  two Johns, one with each phone
+//
+// (The paper draws the tree without committing to probabilities; the split
+// used here keeps all three worlds distinguishable in tests.)
+func Fig2Tree() *pxml.Tree {
+	nm := func() *pxml.Node { return pxml.NewLeaf("nm", "John") }
+	tel := func(v string) *pxml.Node { return pxml.NewLeaf("tel", v) }
+
+	mergedPerson := pxml.NewElem("person", "",
+		pxml.Certain(nm()),
+		pxml.NewProb(
+			pxml.NewPoss(0.5, tel("1111")),
+			pxml.NewPoss(0.5, tel("2222")),
+		),
+	)
+	separate1 := pxml.NewElem("person", "", pxml.Certain(nm()), pxml.Certain(tel("1111")))
+	separate2 := pxml.NewElem("person", "", pxml.Certain(nm()), pxml.Certain(tel("2222")))
+
+	book := pxml.NewElem("addressbook", "",
+		pxml.NewProb(
+			pxml.NewPoss(0.6, mergedPerson),
+			pxml.NewPoss(0.4, separate1, separate2),
+		),
+	)
+	return pxml.CertainTree(book)
+}
+
+// GenConfig bounds the shape of randomly generated documents.
+type GenConfig struct {
+	MaxDepth      int // element nesting depth
+	MaxChoices    int // choice points per element
+	MaxAlts       int // alternatives per choice point
+	MaxElems      int // elements per alternative
+	AllowEmptyAlt bool
+}
+
+// DefaultGenConfig keeps world counts small enough for exhaustive
+// enumeration in property tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{MaxDepth: 3, MaxChoices: 2, MaxAlts: 3, MaxElems: 2, AllowEmptyAlt: true}
+}
+
+var genTags = []string{"a", "b", "c", "movie", "title"}
+var genTexts = []string{"", "x", "y", "John", "1111"}
+
+// RandomTree generates a random valid probabilistic document. The same rng
+// seed yields the same document.
+func RandomTree(rng *rand.Rand, cfg GenConfig) *pxml.Tree {
+	root := randomElem(rng, cfg, cfg.MaxDepth)
+	return pxml.CertainTree(root)
+}
+
+func randomElem(rng *rand.Rand, cfg GenConfig, depth int) *pxml.Node {
+	tag := genTags[rng.Intn(len(genTags))]
+	text := genTexts[rng.Intn(len(genTexts))]
+	if depth <= 0 {
+		return pxml.NewLeaf(tag, text)
+	}
+	nChoices := rng.Intn(cfg.MaxChoices + 1)
+	kids := make([]*pxml.Node, 0, nChoices)
+	for i := 0; i < nChoices; i++ {
+		kids = append(kids, randomProb(rng, cfg, depth-1))
+	}
+	return pxml.NewElem(tag, text, kids...)
+}
+
+func randomProb(rng *rand.Rand, cfg GenConfig, depth int) *pxml.Node {
+	nAlts := 1 + rng.Intn(cfg.MaxAlts)
+	weights := make([]float64, nAlts)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 0.05 + rng.Float64()
+		sum += weights[i]
+	}
+	poss := make([]*pxml.Node, nAlts)
+	for i := range poss {
+		minElems := 1
+		if cfg.AllowEmptyAlt {
+			minElems = 0
+		}
+		n := minElems
+		if cfg.MaxElems > minElems {
+			n += rng.Intn(cfg.MaxElems - minElems + 1)
+		}
+		elems := make([]*pxml.Node, n)
+		for j := range elems {
+			elems[j] = randomElem(rng, cfg, depth-1)
+		}
+		poss[i] = pxml.NewPoss(weights[i]/sum, elems...)
+	}
+	return pxml.NewProb(poss...)
+}
+
+// RandomCertainElem generates a random certain element tree (every choice
+// point trivial), useful for integration tests on plain documents.
+func RandomCertainElem(rng *rand.Rand, depth, fanout int) *pxml.Node {
+	tag := genTags[rng.Intn(len(genTags))]
+	if depth <= 0 {
+		return pxml.NewLeaf(tag, genTexts[rng.Intn(len(genTexts))])
+	}
+	n := rng.Intn(fanout + 1)
+	if n == 0 {
+		return pxml.NewLeaf(tag, genTexts[rng.Intn(len(genTexts))])
+	}
+	kids := make([]*pxml.Node, n)
+	for i := range kids {
+		kids[i] = pxml.Certain(RandomCertainElem(rng, depth-1, fanout))
+	}
+	return pxml.NewElem(tag, "", kids...)
+}

@@ -1,0 +1,178 @@
+// Package quality implements answer-quality measures for uncertain data,
+// after de Keijzer & van Keulen, "Quality measures in uncertain data
+// management" (SUM 2007) — the paper's ref [13], used in §VII to "measure
+// answer quality with adapted precision and recall measures".
+//
+// Classical precision/recall treat an answer as either retrieved or not.
+// For probabilistic answers each value carries a probability, so the
+// adapted measures weigh answers by their probability mass: an answer
+// ranked 97% contributes 0.97 of a hit (or of a false positive).
+package quality
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Report aggregates the quality of one ranked probabilistic answer list
+// against a ground-truth answer set.
+type Report struct {
+	// Precision is probability-weighted precision: the expected fraction
+	// of reported answer mass that is correct:
+	// Σ_{a∈truth} P(a) / Σ_a P(a).
+	Precision float64
+	// Recall is probability-weighted recall: expected fraction of the
+	// truth retrieved: Σ_{a∈truth} P(a) / |truth|.
+	Recall float64
+	// F1 is the harmonic mean of Precision and Recall.
+	F1 float64
+	// ClassicalPrecision and ClassicalRecall ignore probabilities and
+	// treat every reported answer as fully retrieved.
+	ClassicalPrecision float64
+	ClassicalRecall    float64
+	// AveragePrecision is the ranked-retrieval AP: the mean of precision-
+	// at-rank over the ranks of correct answers (in probability order),
+	// the standard single-number summary of ranking quality.
+	AveragePrecision float64
+	// Retrieved and Relevant report the set sizes.
+	Retrieved int
+	Relevant  int
+}
+
+// Evaluate scores a ranked answer list against the truth set.
+func Evaluate(answers []query.Answer, truth []string) Report {
+	truthSet := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthSet[t] = true
+	}
+	r := Report{Retrieved: len(answers), Relevant: len(truthSet)}
+
+	var massTotal, massCorrect float64
+	correct := 0
+	for _, a := range answers {
+		massTotal += a.P
+		if truthSet[a.Value] {
+			massCorrect += a.P
+			correct++
+		}
+	}
+	if massTotal > 0 {
+		r.Precision = massCorrect / massTotal
+	} else if len(truthSet) == 0 {
+		r.Precision = 1
+	}
+	if len(truthSet) > 0 {
+		r.Recall = massCorrect / float64(len(truthSet))
+		r.ClassicalRecall = float64(correct) / float64(len(truthSet))
+	} else {
+		r.Recall = 1
+		r.ClassicalRecall = 1
+	}
+	if len(answers) > 0 {
+		r.ClassicalPrecision = float64(correct) / float64(len(answers))
+	} else if len(truthSet) == 0 {
+		r.ClassicalPrecision = 1
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	r.AveragePrecision = averagePrecision(answers, truthSet)
+	return r
+}
+
+func averagePrecision(answers []query.Answer, truth map[string]bool) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	ranked := make([]query.Answer, len(answers))
+	copy(ranked, answers)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].P > ranked[j].P })
+	hits := 0
+	sum := 0.0
+	for i, a := range ranked {
+		if truth[a.Value] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(truth))
+}
+
+// PrecisionAtK is classical precision over the top-k ranked answers.
+func PrecisionAtK(answers []query.Answer, truth []string, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	truthSet := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthSet[t] = true
+	}
+	if k > len(answers) {
+		k = len(answers)
+	}
+	if k == 0 {
+		if len(truthSet) == 0 {
+			return 1
+		}
+		return 0
+	}
+	correct := 0
+	for _, a := range answers[:k] {
+		if truthSet[a.Value] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(k)
+}
+
+// RecallAtK is classical recall over the top-k ranked answers.
+func RecallAtK(answers []query.Answer, truth []string, k int) float64 {
+	truthSet := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthSet[t] = true
+	}
+	if len(truthSet) == 0 {
+		return 1
+	}
+	if k > len(answers) {
+		k = len(answers)
+	}
+	correct := 0
+	for _, a := range answers[:k] {
+		if truthSet[a.Value] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truthSet))
+}
+
+// ExpectedJaccard is the expected Jaccard overlap between the reported
+// answer set and the truth under independence of answer events: a compact
+// set-similarity score in [0,1].
+func ExpectedJaccard(answers []query.Answer, truth []string) float64 {
+	truthSet := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthSet[t] = true
+	}
+	inter := 0.0
+	union := float64(len(truthSet))
+	for _, a := range answers {
+		if truthSet[a.Value] {
+			inter += a.P
+		} else {
+			union += a.P
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return inter / union
+}
+
+// Close reports whether two quality values are equal within tolerance;
+// convenience for experiment assertions.
+func Close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

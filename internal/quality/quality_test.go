@@ -1,0 +1,135 @@
+package quality_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/quality"
+	"repro/internal/query"
+)
+
+func ans(pairs ...any) []query.Answer {
+	var out []query.Answer
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, query.Answer{Value: pairs[i].(string), P: pairs[i+1].(float64)})
+	}
+	return out
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEvaluatePerfectAnswers(t *testing.T) {
+	r := quality.Evaluate(ans("Jaws", 1.0, "Jaws 2", 1.0), []string{"Jaws", "Jaws 2"})
+	if !close(r.Precision, 1) || !close(r.Recall, 1) || !close(r.F1, 1) {
+		t.Fatalf("perfect answers: %+v", r)
+	}
+	if !close(r.ClassicalPrecision, 1) || !close(r.ClassicalRecall, 1) || !close(r.AveragePrecision, 1) {
+		t.Fatalf("classical measures: %+v", r)
+	}
+}
+
+func TestEvaluateWeightedMeasures(t *testing.T) {
+	// The paper's second example: Die Hard (100%, correct), M:I II (96%,
+	// correct), M:I (21%, incorrect artifact).
+	answers := ans("Die Hard: With a Vengeance", 1.0, "Mission: Impossible II", 0.96, "Mission: Impossible", 0.21)
+	truth := []string{"Die Hard: With a Vengeance", "Mission: Impossible II"}
+	r := quality.Evaluate(answers, truth)
+	wantPrec := (1.0 + 0.96) / (1.0 + 0.96 + 0.21)
+	if !close(r.Precision, wantPrec) {
+		t.Fatalf("Precision = %v, want %v", r.Precision, wantPrec)
+	}
+	if !close(r.Recall, (1.0+0.96)/2) {
+		t.Fatalf("Recall = %v", r.Recall)
+	}
+	if !close(r.ClassicalPrecision, 2.0/3) || !close(r.ClassicalRecall, 1) {
+		t.Fatalf("classical: %+v", r)
+	}
+	// The low-probability artifact ranks last, so AP stays 1.
+	if !close(r.AveragePrecision, 1) {
+		t.Fatalf("AP = %v", r.AveragePrecision)
+	}
+	if r.Retrieved != 3 || r.Relevant != 2 {
+		t.Fatalf("sizes: %+v", r)
+	}
+}
+
+func TestEvaluateRankingSensitivity(t *testing.T) {
+	// An incorrect answer ranked first hurts average precision.
+	good := quality.Evaluate(ans("right", 0.9, "wrong", 0.1), []string{"right"})
+	bad := quality.Evaluate(ans("wrong", 0.9, "right", 0.1), []string{"right"})
+	if !(good.AveragePrecision > bad.AveragePrecision) {
+		t.Fatalf("AP should punish bad ranking: good=%v bad=%v", good.AveragePrecision, bad.AveragePrecision)
+	}
+	if !close(bad.AveragePrecision, 0.5) {
+		t.Fatalf("bad AP = %v, want 0.5", bad.AveragePrecision)
+	}
+	// Probability-weighted precision is ranking-independent but
+	// mass-sensitive.
+	if !close(good.Precision, 0.9) || !close(bad.Precision, 0.1) {
+		t.Fatalf("weighted precision: good=%v bad=%v", good.Precision, bad.Precision)
+	}
+}
+
+func TestEvaluateEmptyCases(t *testing.T) {
+	r := quality.Evaluate(nil, nil)
+	if !close(r.Precision, 1) || !close(r.Recall, 1) || !close(r.ClassicalPrecision, 1) {
+		t.Fatalf("empty/empty should be perfect: %+v", r)
+	}
+	r = quality.Evaluate(nil, []string{"missing"})
+	if !close(r.Recall, 0) || !close(r.F1, 0) {
+		t.Fatalf("no answers: %+v", r)
+	}
+	r = quality.Evaluate(ans("spurious", 0.5), nil)
+	if !close(r.Precision, 0) {
+		t.Fatalf("all spurious: %+v", r)
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	answers := ans("a", 0.9, "b", 0.8, "c", 0.7)
+	truth := []string{"a", "c", "d"}
+	if got := quality.PrecisionAtK(answers, truth, 1); !close(got, 1) {
+		t.Fatalf("P@1 = %v", got)
+	}
+	if got := quality.PrecisionAtK(answers, truth, 2); !close(got, 0.5) {
+		t.Fatalf("P@2 = %v", got)
+	}
+	if got := quality.PrecisionAtK(answers, truth, 3); !close(got, 2.0/3) {
+		t.Fatalf("P@3 = %v", got)
+	}
+	if got := quality.PrecisionAtK(answers, truth, 10); !close(got, 2.0/3) {
+		t.Fatalf("P@10 (clamped) = %v", got)
+	}
+	if got := quality.PrecisionAtK(answers, truth, 0); got != 0 {
+		t.Fatalf("P@0 = %v", got)
+	}
+	if got := quality.RecallAtK(answers, truth, 1); !close(got, 1.0/3) {
+		t.Fatalf("R@1 = %v", got)
+	}
+	if got := quality.RecallAtK(answers, truth, 3); !close(got, 2.0/3) {
+		t.Fatalf("R@3 = %v", got)
+	}
+	if got := quality.RecallAtK(answers, nil, 3); !close(got, 1) {
+		t.Fatalf("R@k empty truth = %v", got)
+	}
+}
+
+func TestExpectedJaccard(t *testing.T) {
+	if got := quality.ExpectedJaccard(ans("a", 1.0), []string{"a"}); !close(got, 1) {
+		t.Fatalf("identical = %v", got)
+	}
+	got := quality.ExpectedJaccard(ans("a", 0.5, "x", 0.5), []string{"a", "b"})
+	// inter = 0.5, union = 2 + 0.5 = 2.5.
+	if !close(got, 0.2) {
+		t.Fatalf("jaccard = %v, want 0.2", got)
+	}
+	if got := quality.ExpectedJaccard(nil, nil); !close(got, 1) {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestClose(t *testing.T) {
+	if !quality.Close(0.5, 0.5001, 0.001) || quality.Close(0.5, 0.6, 0.001) {
+		t.Fatalf("Close broken")
+	}
+}

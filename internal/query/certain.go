@@ -1,0 +1,205 @@
+package query
+
+import (
+	"strings"
+
+	"repro/internal/pxml"
+)
+
+// This file evaluates queries over certain documents (single possible
+// world). It is the shared core: the Enumerate and Sample evaluators apply
+// it to whole materialized worlds, and the Exact evaluator applies it to
+// locally enumerated anchor subtrees, starting mid-path via state sets.
+//
+// A state set is a bitmask over step indices: bit i set means "steps[i] is
+// still looking for a match in the current context". Queries are limited
+// to 63 steps, far beyond anything sensible.
+
+// stateSet is a bitmask of pending step indices.
+type stateSet uint64
+
+func (s stateSet) has(i int) bool     { return s&(1<<uint(i)) != 0 }
+func (s stateSet) add(i int) stateSet { return s | (1 << uint(i)) }
+
+// StringValue returns the string value of a certain element: its own text
+// followed by the text of its certain descendants in document order,
+// space-separated.
+func StringValue(elem *pxml.Node) string {
+	if elem.IsLeaf() {
+		return elem.Text()
+	}
+	var b strings.Builder
+	var rec func(e *pxml.Node)
+	rec = func(e *pxml.Node) {
+		if e.Text() != "" {
+			if b.Len() > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(e.Text())
+		}
+		for _, c := range pxml.ElementChildren(e) {
+			rec(c)
+		}
+	}
+	rec(elem)
+	return b.String()
+}
+
+func stepMatches(s Step, elem *pxml.Node) bool {
+	if s.IsText {
+		return false
+	}
+	return s.Name == "*" || s.Name == elem.Tag()
+}
+
+// predsHold evaluates all predicates of a step against a certain context
+// element.
+func predsHold(s Step, elem *pxml.Node) bool {
+	for _, p := range s.Preds {
+		if !evalPred(p, elem) {
+			return false
+		}
+	}
+	return true
+}
+
+func evalPred(p Pred, ctx *pxml.Node) bool {
+	switch p := p.(type) {
+	case PredExists:
+		found := false
+		walkRelPathValues(ctx, p.Path, func(v string) bool {
+			if p.Cond.Match(v) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	case PredAnd:
+		return evalPred(p.A, ctx) && evalPred(p.B, ctx)
+	case PredOr:
+		return evalPred(p.A, ctx) || evalPred(p.B, ctx)
+	case PredNot:
+		return !evalPred(p.P, ctx)
+	default:
+		return false
+	}
+}
+
+// walkRelPathValues visits the string value of every node reached from ctx
+// by the relative path (own text for text() steps, string value
+// otherwise). The visit function returns false to stop early.
+func walkRelPathValues(ctx *pxml.Node, rp RelPath, visit func(string) bool) {
+	if len(rp.Steps) == 0 {
+		if rp.Self {
+			visit(StringValue(ctx))
+		}
+		return
+	}
+	if rp.Steps[0].IsText {
+		// `./text()` or `text()`: the context's own text.
+		if ctx.Text() != "" {
+			visit(ctx.Text())
+		}
+		return
+	}
+	last := len(rp.Steps) - 1
+	stop := false
+	var rec func(e *pxml.Node, states stateSet)
+	rec = func(e *pxml.Node, states stateSet) {
+		if stop || states == 0 {
+			return
+		}
+		var next stateSet
+		for i := 0; i <= last; i++ {
+			if !states.has(i) {
+				continue
+			}
+			step := rp.Steps[i]
+			if step.Desc {
+				next = next.add(i)
+			}
+			if !stepMatches(step, e) || !predsHold(step, e) {
+				continue
+			}
+			switch {
+			case i == last:
+				if !visit(StringValue(e)) {
+					stop = true
+					return
+				}
+			case rp.Steps[i+1].IsText:
+				if e.Text() != "" && !visit(e.Text()) {
+					stop = true
+					return
+				}
+			default:
+				next = next.add(i + 1)
+			}
+		}
+		for _, c := range pxml.ElementChildren(e) {
+			rec(c, next)
+			if stop {
+				return
+			}
+		}
+	}
+	// The first step applies to the children of the context (and deeper,
+	// when its axis is descendant — state propagation handles that).
+	for _, c := range pxml.ElementChildren(ctx) {
+		rec(c, stateSet(1))
+		if stop {
+			return
+		}
+	}
+}
+
+// evalFrom runs the query NFA over a certain element with an initial state
+// set, emitting every result value. Used both for whole-world evaluation
+// (starting at document roots with state 0) and for anchor-subtree
+// evaluation in the exact evaluator (starting mid-path).
+func evalFrom(q *Query, e *pxml.Node, states stateSet, emit func(string)) {
+	if states == 0 {
+		return
+	}
+	last := len(q.Steps) - 1
+	var next stateSet
+	for i := 0; i <= last; i++ {
+		if !states.has(i) {
+			continue
+		}
+		step := q.Steps[i]
+		if step.Desc {
+			next = next.add(i) // keep searching deeper
+		}
+		if !stepMatches(step, e) || !predsHold(step, e) {
+			continue
+		}
+		switch {
+		case i == last:
+			emit(StringValue(e))
+		case q.Steps[i+1].IsText:
+			if e.Text() != "" {
+				emit(e.Text())
+			}
+		default:
+			next = next.add(i + 1)
+		}
+	}
+	if next == 0 {
+		return
+	}
+	for _, c := range pxml.ElementChildren(e) {
+		evalFrom(q, c, next, emit)
+	}
+}
+
+// EvalWorld evaluates the query in one certain world and returns the set
+// of distinct answer values.
+func EvalWorld(q *Query, rootElems []*pxml.Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range rootElems {
+		evalFrom(q, r, stateSet(1), func(v string) { out[v] = true })
+	}
+	return out
+}

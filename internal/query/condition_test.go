@@ -1,0 +1,237 @@
+package query_test
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+	"repro/internal/query"
+	"repro/internal/worlds"
+)
+
+func TestConditionAbsentRemovesWorlds(t *testing.T) {
+	tr := pxmltest.Fig2Tree() // worlds: {1111}=0.3, {2222}=0.3, both=0.4
+	q := query.MustCompile(`//person/tel`)
+	nt, p, err := query.ConditionAbsent(tr, q, "2222", 0)
+	if err != nil {
+		t.Fatalf("ConditionAbsent: %v", err)
+	}
+	if math.Abs(p-0.3) > 1e-9 {
+		t.Fatalf("prior P(no 2222) = %v, want 0.3", p)
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatalf("conditioned tree invalid: %v", err)
+	}
+	// Only the {1111} world survives, with probability 1.
+	if got := nt.WorldCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("worlds after = %s, want 1\n%s", got, nt)
+	}
+	res, err := query.Eval(nt, q, query.Options{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if math.Abs(res.P("1111")-1) > 1e-9 || res.P("2222") != 0 {
+		t.Fatalf("answers after feedback = %v", res.Answers)
+	}
+}
+
+func TestConditionAbsentRenormalizesSurvivors(t *testing.T) {
+	// Reject an answer that only some worlds produce; survivors keep
+	// their relative probabilities.
+	tr := pxmltest.Fig2Tree()
+	q := query.MustCompile(`//addressbook[person/tel="2222" and person/tel="1111"]/person/nm`)
+	// This query matches only the two-person world (the merged person has
+	// a single phone in each world).
+	nt, p, err := query.ConditionAbsent(tr, q, "John", 0)
+	if err != nil {
+		t.Fatalf("ConditionAbsent: %v", err)
+	}
+	if math.Abs(p-0.6) > 1e-9 {
+		t.Fatalf("prior = %v, want 0.6 (merged-person worlds)", p)
+	}
+	res, err := query.Eval(nt, query.MustCompile(`//person/tel`), query.Options{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	// Survivors: {1111} and {2222} at 0.5 each.
+	if math.Abs(res.P("1111")-0.5) > 1e-9 || math.Abs(res.P("2222")-0.5) > 1e-9 {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+}
+
+func TestConditionAbsentContradiction(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	q := query.MustCompile(`//person/nm`)
+	_, _, err := query.ConditionAbsent(tr, q, "John", 0)
+	if !errors.Is(err, query.ErrContradiction) {
+		t.Fatalf("err = %v, want ErrContradiction (John exists in every world)", err)
+	}
+}
+
+func TestConditionPresent(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	q := query.MustCompile(`//person/tel`)
+	nt, p, err := query.ConditionPresent(tr, q, "2222", 0)
+	if err != nil {
+		t.Fatalf("ConditionPresent: %v", err)
+	}
+	if math.Abs(p-0.7) > 1e-9 {
+		t.Fatalf("prior P(2222 present) = %v, want 0.7", p)
+	}
+	res, err := query.Eval(nt, q, query.Options{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if math.Abs(res.P("2222")-1) > 1e-9 {
+		t.Fatalf("P(2222) after confirm = %v", res.P("2222"))
+	}
+	// 1111 survives only in the both-phones world: 0.4/0.7.
+	if math.Abs(res.P("1111")-0.4/0.7) > 1e-9 {
+		t.Fatalf("P(1111) after confirm = %v, want %v", res.P("1111"), 0.4/0.7)
+	}
+}
+
+func TestConditionPresentContradiction(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	_, _, err := query.ConditionPresent(tr, query.MustCompile(`//person/tel`), "9999", 0)
+	if !errors.Is(err, query.ErrContradiction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConditionPresentWorldLimit(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	_, _, err := query.ConditionPresent(tr, query.MustCompile(`//person/tel`), "1111", 2)
+	if !errors.Is(err, query.ErrTooComplex) {
+		t.Fatalf("err = %v, want ErrTooComplex", err)
+	}
+}
+
+// Property: conditioning on absence must equal brute-force world filtering.
+func TestConditionAbsentMatchesWorldFiltering(t *testing.T) {
+	queries := []*query.Query{
+		query.MustCompile(`//a`),
+		query.MustCompile(`//movie/title`),
+		query.MustCompile(`//movie[title]/title`),
+		query.MustCompile(`//a//b`),
+		query.MustCompile(`//c[a="x"]/b`),
+	}
+	rng := rand.New(rand.NewSource(13))
+	cfg := pxmltest.DefaultGenConfig()
+	checked := 0
+	for i := 0; i < 80 && checked < 60; i++ {
+		tr := pxmltest.RandomTree(rng, cfg)
+		if wc := tr.WorldCount(); !wc.IsInt64() || wc.Int64() > 500 {
+			continue
+		}
+		for _, q := range queries {
+			// Pick a value the query can produce.
+			full, err := query.EvalEnumerate(tr, q, 1000)
+			if err != nil || len(full) == 0 {
+				continue
+			}
+			value := full[0].Value
+			if full[0].P >= 1-1e-12 {
+				if len(full) > 1 {
+					value = full[len(full)-1].Value
+				}
+				if value == full[0].Value && full[0].P >= 1-1e-12 {
+					continue // all answers certain; conditioning contradicts
+				}
+			}
+			nt, prior, err := query.ConditionAbsent(tr, q, value, 0)
+			if errors.Is(err, query.ErrContradiction) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("doc %d ConditionAbsent(%s,%q): %v", i, q, value, err)
+			}
+			// Brute force: filter worlds without the value, renormalize,
+			// evaluate a probe query; compare marginals.
+			probe := query.MustCompile(`//*`)
+			want := map[string]float64{}
+			total := 0.0
+			worlds.Enumerate(tr, func(w worlds.World) bool {
+				if !query.EvalWorld(q, w.Elements)[value] {
+					total += w.P
+					for v := range query.EvalWorld(probe, w.Elements) {
+						want[v] += w.P
+					}
+				}
+				return true
+			})
+			if math.Abs(prior-total) > 1e-9 {
+				t.Fatalf("doc %d %s: prior %v, brute force %v", i, q, prior, total)
+			}
+			got, err := query.EvalEnumerate(nt, probe, 5000)
+			if err != nil {
+				t.Fatalf("probe: %v", err)
+			}
+			gm := map[string]float64{}
+			for _, a := range got {
+				gm[a.Value] = a.P
+			}
+			for v, p := range want {
+				if math.Abs(gm[v]-p/total) > 1e-9 {
+					t.Fatalf("doc %d cond(%s,%q): P(%q) = %v, want %v\ntree:\n%s", i, q, value, v, gm[v], p/total, tr)
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few checks: %d", checked)
+	}
+}
+
+func TestConditionedTreesStayValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	cfg := pxmltest.DefaultGenConfig()
+	q := query.MustCompile(`//movie/title`)
+	for i := 0; i < 40; i++ {
+		tr := pxmltest.RandomTree(rng, cfg)
+		if wc := tr.WorldCount(); !wc.IsInt64() || wc.Int64() > 300 {
+			continue
+		}
+		full, err := query.EvalEnumerate(tr, q, 1000)
+		if err != nil || len(full) == 0 || full[len(full)-1].P >= 1-1e-12 {
+			continue
+		}
+		nt, _, err := query.ConditionAbsent(tr, q, full[len(full)-1].Value, 0)
+		if errors.Is(err, query.ErrContradiction) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ConditionAbsent: %v", err)
+		}
+		if err := nt.Validate(); err != nil {
+			t.Fatalf("conditioned tree invalid: %v", err)
+		}
+		if math.Abs(worlds.TotalProbability(nt)-1) > 1e-6 {
+			t.Fatalf("conditioned probabilities do not sum to 1")
+		}
+	}
+}
+
+func TestConditionAbsentPreservesSharingWherePossible(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	nt, _, err := query.ConditionAbsent(tr, query.MustCompile(`//person/tel`), "2222", 0)
+	if err != nil {
+		t.Fatalf("ConditionAbsent: %v", err)
+	}
+	// The nm leaf is untouched by conditioning; it must be the same node.
+	var found bool
+	pxml.WalkUnique(nt.Root(), func(n *pxml.Node) bool {
+		if n.Kind() == pxml.KindElem && n.Tag() == "nm" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("nm leaf lost")
+	}
+}

@@ -1,0 +1,128 @@
+package query_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pxmltest"
+	"repro/internal/query"
+)
+
+func TestCountWorldOnCertainDoc(t *testing.T) {
+	tr := decode(t, catalog)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`//movie`, 4},
+		{`//movie/title`, 4},
+		{`//genre`, 4},
+		{`//movie[.//genre="Horror"]/title`, 2},
+		{`//nothing`, 0},
+	}
+	for _, tc := range cases {
+		if got := query.CountWorld(query.MustCompile(tc.q), tr.RootElements()); got != tc.want {
+			t.Errorf("CountWorld(%s) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestExpectedCountFig2(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	// Merged world (p=0.6): one phone; separate world (p=0.4): two.
+	got, err := query.ExpectedCount(tr, query.MustCompile(`//person/tel`), 0)
+	if err != nil {
+		t.Fatalf("ExpectedCount: %v", err)
+	}
+	if math.Abs(got-1.4) > 1e-9 {
+		t.Fatalf("E[#tel] = %v, want 1.4", got)
+	}
+	// Persons: 1 or 2.
+	got, err = query.ExpectedCount(tr, query.MustCompile(`//person`), 0)
+	if err != nil {
+		t.Fatalf("ExpectedCount: %v", err)
+	}
+	if math.Abs(got-(0.6*1+0.4*2)) > 1e-9 {
+		t.Fatalf("E[#person] = %v, want 1.4", got)
+	}
+	// Predicated count: persons with phone 1111 exist with P 0.7, one at
+	// a time.
+	got, err = query.ExpectedCount(tr, query.MustCompile(`//person[tel="1111"]`), 0)
+	if err != nil {
+		t.Fatalf("ExpectedCount: %v", err)
+	}
+	if math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("E[#person with 1111] = %v, want 0.7", got)
+	}
+}
+
+func TestExpectedCountMatchesEnumeration(t *testing.T) {
+	queries := []*query.Query{
+		query.MustCompile(`//a`),
+		query.MustCompile(`//movie/title`),
+		query.MustCompile(`//movie[title]/title`),
+		query.MustCompile(`//a//b`),
+		query.MustCompile(`//c[a="x"]/b`),
+		query.MustCompile(`//*`),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := pxmltest.RandomTree(rng, pxmltest.DefaultGenConfig())
+		if wc := tr.WorldCount(); !wc.IsInt64() || wc.Int64() > 1500 {
+			return true
+		}
+		for _, q := range queries {
+			exact, err := query.ExpectedCount(tr, q, 0)
+			if err != nil {
+				return false
+			}
+			enum, err := query.ExpectedCountEnumerate(tr, q, 5000)
+			if err != nil {
+				return false
+			}
+			if math.Abs(exact-enum) > 1e-9 {
+				t.Logf("seed %d query %s: exact %v enum %v", seed, q, exact, enum)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedCountScalesBeyondEnumeration(t *testing.T) {
+	// Build a document with 2^40 worlds: 40 independent optional items.
+	xml := `<bag>`
+	for i := 0; i < 40; i++ {
+		xml += `<_prob><_poss p="0.5"><item>x</item></_poss><_poss p="0.5"/></_prob>`
+	}
+	xml += `</bag>`
+	tr := decode(t, xml)
+	if tr.WorldCount().BitLen() < 40 {
+		t.Fatalf("world count = %s", tr.WorldCount())
+	}
+	got, err := query.ExpectedCount(tr, query.MustCompile(`//item`), 0)
+	if err != nil {
+		t.Fatalf("ExpectedCount: %v", err)
+	}
+	if math.Abs(got-20) > 1e-9 {
+		t.Fatalf("E[#item] = %v, want 20", got)
+	}
+}
+
+func TestExpectedCountErrors(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	// Anchor subtree too large for the local budget.
+	_, err := query.ExpectedCount(tr, query.MustCompile(`//addressbook[person]/person`), 1)
+	if err == nil {
+		t.Fatalf("expected local-limit error")
+	}
+	// Enumeration refuses oversized documents.
+	if _, err := query.ExpectedCountEnumerate(tr, query.MustCompile(`//person`), 1); err == nil {
+		t.Fatalf("expected world-limit error")
+	}
+}

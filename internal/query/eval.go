@@ -1,0 +1,167 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/pxml"
+	"repro/internal/worlds"
+)
+
+// Answer is one amalgamated query answer: a distinct result value with the
+// probability that at least one possible world produces it — the paper's
+// ranked answers ("'Jaws' and 'Jaws 2' with an equal rank of 97%").
+type Answer struct {
+	Value string
+	P     float64
+}
+
+// Method names the evaluation strategy that produced a result.
+type Method string
+
+const (
+	// MethodExact is compositional exact evaluation.
+	MethodExact Method = "exact"
+	// MethodEnumerate is exhaustive world enumeration.
+	MethodEnumerate Method = "enumerate"
+	// MethodSample is Monte-Carlo estimation.
+	MethodSample Method = "sample"
+)
+
+// Result is a ranked, probability-annotated answer sequence.
+type Result struct {
+	Answers []Answer
+	Method  Method
+	// SampledWorlds is the number of Monte-Carlo samples (MethodSample).
+	SampledWorlds int
+}
+
+// Top returns the first n answers (fewer if there are not that many).
+func (r Result) Top(n int) []Answer {
+	if n > len(r.Answers) {
+		n = len(r.Answers)
+	}
+	return r.Answers[:n]
+}
+
+// P returns the probability of a given answer value, or 0.
+func (r Result) P(value string) float64 {
+	for _, a := range r.Answers {
+		if a.Value == value {
+			return a.P
+		}
+	}
+	return 0
+}
+
+// Options configure evaluation.
+type Options struct {
+	// LocalWorldLimit bounds per-anchor local enumeration in the exact
+	// evaluator (default DefaultLocalWorldLimit).
+	LocalWorldLimit int
+	// EnumWorldLimit bounds full-world enumeration (default 100000).
+	EnumWorldLimit int
+	// Samples is the Monte-Carlo sample count (default 20000).
+	Samples int
+	// Seed seeds the Monte-Carlo sampler (default 1).
+	Seed int64
+}
+
+const (
+	defaultEnumWorldLimit = 100000
+	defaultSamples        = 20000
+)
+
+func (o Options) enumLimit() int {
+	if o.EnumWorldLimit > 0 {
+		return o.EnumWorldLimit
+	}
+	return defaultEnumWorldLimit
+}
+
+func (o Options) samples() int {
+	if o.Samples > 0 {
+		return o.Samples
+	}
+	return defaultSamples
+}
+
+func (o Options) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// Eval answers the query with the best available strategy: exact
+// evaluation when applicable, exhaustive enumeration when the world count
+// is small enough, Monte-Carlo sampling otherwise.
+func Eval(t *pxml.Tree, q *Query, opts Options) (Result, error) {
+	answers, err := EvalExact(t, q, opts.LocalWorldLimit)
+	if err == nil {
+		return Result{Answers: answers, Method: MethodExact}, nil
+	}
+	if !errors.Is(err, ErrNotExact) {
+		return Result{}, err
+	}
+	if t.WorldCount().Cmp(big.NewInt(int64(opts.enumLimit()))) <= 0 {
+		answers, err := EvalEnumerate(t, q, opts.enumLimit())
+		if err == nil {
+			return Result{Answers: answers, Method: MethodEnumerate}, nil
+		}
+		if !errors.Is(err, worlds.ErrTooManyWorlds) {
+			return Result{}, err
+		}
+	}
+	answers = EvalSample(t, q, opts.samples(), opts.seed())
+	return Result{Answers: answers, Method: MethodSample, SampledWorlds: opts.samples()}, nil
+}
+
+// EvalEnumerate computes answer probabilities by full possible-world
+// enumeration — exponential, but exact and assumption-free; the ground
+// truth the other evaluators are tested against.
+func EvalEnumerate(t *pxml.Tree, q *Query, maxWorlds int) ([]Answer, error) {
+	wc := t.WorldCount()
+	if maxWorlds > 0 && wc.Cmp(big.NewInt(int64(maxWorlds))) > 0 {
+		return nil, fmt.Errorf("%w: %s > %d", worlds.ErrTooManyWorlds, wc.String(), maxWorlds)
+	}
+	acc := make(map[string]float64)
+	worlds.Enumerate(t, func(w worlds.World) bool {
+		for v := range EvalWorld(q, w.Elements) {
+			acc[v] += w.P
+		}
+		return true
+	})
+	return mapToAnswers(acc), nil
+}
+
+// EvalSample estimates answer probabilities from n sampled worlds using
+// the given seed. The estimate's standard error is ≈ sqrt(p(1−p)/n).
+func EvalSample(t *pxml.Tree, q *Query, n int, seed int64) []Answer {
+	if n <= 0 {
+		n = defaultSamples
+	}
+	rng := rand.New(rand.NewSource(seed))
+	acc := make(map[string]float64)
+	inc := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		w := worlds.Sample(t, rng)
+		for v := range EvalWorld(q, w.Elements) {
+			acc[v] += inc
+		}
+	}
+	return mapToAnswers(acc)
+}
+
+func mapToAnswers(acc map[string]float64) []Answer {
+	answers := make([]Answer, 0, len(acc))
+	for v, p := range acc {
+		if p > 1e-12 {
+			answers = append(answers, Answer{Value: v, P: p})
+		}
+	}
+	sortAnswers(answers)
+	return answers
+}

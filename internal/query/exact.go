@@ -1,0 +1,266 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/pxml"
+	"repro/internal/worlds"
+)
+
+// ErrNotExact is returned when the exact evaluator cannot handle the
+// query/document combination within its limits; callers should fall back
+// to Enumerate or Sample.
+var ErrNotExact = errors.New("query: exact evaluation not applicable")
+
+// DefaultLocalWorldLimit bounds the possible worlds enumerated inside one
+// anchor subtree by the exact evaluator.
+const DefaultLocalWorldLimit = 100000
+
+// EvalExact computes exact answer probabilities by compositional
+// propagation over the layered tree.
+//
+// The algorithm picks an "anchor" step: the highest step carrying
+// predicates (or the result step if none). Above the anchor, probabilities
+// compose freely: alternatives of a choice point are mutually exclusive
+// (probabilities add) and sibling choice points are independent (failure
+// probabilities multiply). At an anchor match the evaluator switches to
+// exhaustive local enumeration of that element's subtree, which captures
+// every correlation between predicate events and answer values — at a cost
+// bounded by localLimit possible worlds per anchor subtree (ErrNotExact
+// beyond that).
+func EvalExact(t *pxml.Tree, q *Query, localLimit int) ([]Answer, error) {
+	if localLimit <= 0 {
+		localLimit = DefaultLocalWorldLimit
+	}
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrNotExact)
+	}
+	if q.Steps[0].IsText {
+		return nil, fmt.Errorf("%w: text() cannot be the first step", ErrNotExact)
+	}
+	e := &exactEval{
+		q:          q,
+		anchorIdx:  anchorIndex(q),
+		localLimit: localLimit,
+		localMemo:  make(map[localKey]map[string]float64),
+		failMemo:   make(map[failKey]float64),
+	}
+	// Pass 1: discover all candidate answer values.
+	values := make(map[string]bool)
+	if err := e.collectValues(t.Root(), stateSet(1), values); err != nil {
+		return nil, err
+	}
+	// Pass 2: per value, compute 1 − P(no such answer).
+	answers := make([]Answer, 0, len(values))
+	for v := range values {
+		fail, err := e.fail(t.Root(), stateSet(1), v)
+		if err != nil {
+			return nil, err
+		}
+		if p := 1 - fail; p > 1e-12 {
+			answers = append(answers, Answer{Value: v, P: p})
+		}
+	}
+	sortAnswers(answers)
+	return answers, nil
+}
+
+// anchorIndex returns the index of the highest predicated step, or the
+// last element step when no step has predicates.
+func anchorIndex(q *Query) int {
+	for i, s := range q.Steps {
+		if len(s.Preds) > 0 {
+			return i
+		}
+	}
+	last := len(q.Steps) - 1
+	if q.Steps[last].IsText && last > 0 {
+		return last - 1
+	}
+	return last
+}
+
+type localKey struct {
+	e *pxml.Node
+	s stateSet
+}
+
+type failKey struct {
+	n *pxml.Node
+	s stateSet
+	v string
+}
+
+type exactEval struct {
+	q          *Query
+	anchorIdx  int
+	localLimit int
+	localMemo  map[localKey]map[string]float64
+	failMemo   map[failKey]float64
+}
+
+// advance computes the transition of the global NFA at an element: the
+// next state set for its children and whether the element hits the anchor
+// step (which switches evaluation to local enumeration).
+func (e *exactEval) advance(elem *pxml.Node, states stateSet) (next stateSet, anchorHit bool) {
+	for i := 0; i <= e.anchorIdx; i++ {
+		if !states.has(i) {
+			continue
+		}
+		step := e.q.Steps[i]
+		if step.Desc {
+			next = next.add(i)
+		}
+		// Above the anchor, steps carry no predicates by construction, so
+		// a name match suffices.
+		if !stepMatches(step, elem) {
+			continue
+		}
+		if i == e.anchorIdx {
+			anchorHit = true
+			continue
+		}
+		next = next.add(i + 1)
+	}
+	return next, anchorHit
+}
+
+// localEval enumerates the possible worlds of one anchor element's subtree
+// and returns, per answer value, the probability that the remaining query
+// (from the given state set) produces that value — conditioned on the
+// element existing.
+func (e *exactEval) localEval(elem *pxml.Node, states stateSet) (map[string]float64, error) {
+	key := localKey{e: elem, s: states}
+	if m, ok := e.localMemo[key]; ok {
+		return m, nil
+	}
+	sub := pxml.CertainTree(elem)
+	wc := sub.WorldCount()
+	if !wc.IsInt64() || wc.Cmp(big.NewInt(int64(e.localLimit))) > 0 {
+		return nil, fmt.Errorf("%w: anchor subtree <%s> has %s local worlds (limit %d)",
+			ErrNotExact, elem.Tag(), wc.String(), e.localLimit)
+	}
+	out := make(map[string]float64)
+	worlds.Enumerate(sub, func(w worlds.World) bool {
+		seen := make(map[string]bool)
+		for _, el := range w.Elements {
+			evalFrom(e.q, el, states, func(v string) { seen[v] = true })
+		}
+		for v := range seen {
+			out[v] += w.P
+		}
+		return true
+	})
+	e.localMemo[key] = out
+	return out, nil
+}
+
+// collectValues gathers every value any anchor subtree can produce.
+func (e *exactEval) collectValues(n *pxml.Node, states stateSet, acc map[string]bool) error {
+	switch n.Kind() {
+	case pxml.KindProb, pxml.KindPoss:
+		for _, k := range n.Children() {
+			if err := e.collectValues(k, states, acc); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // element
+		next, hit := e.advance(n, states)
+		if hit {
+			m, err := e.localEval(n, states)
+			if err != nil {
+				return err
+			}
+			for v := range m {
+				acc[v] = true
+			}
+			return nil
+		}
+		if next == 0 {
+			return nil
+		}
+		for _, k := range n.Children() {
+			if err := e.collectValues(k, next, acc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// fail returns P(no answer with value v arises in the subtree of n), given
+// the NFA state set at n.
+func (e *exactEval) fail(n *pxml.Node, states stateSet, v string) (float64, error) {
+	if states == 0 {
+		return 1, nil
+	}
+	key := failKey{n: n, s: states, v: v}
+	if f, ok := e.failMemo[key]; ok {
+		return f, nil
+	}
+	var f float64
+	var err error
+	switch n.Kind() {
+	case pxml.KindProb:
+		// Alternatives are mutually exclusive: failure probabilities add,
+		// weighted.
+		f = 0
+		for _, poss := range n.Children() {
+			pf, perr := e.fail(poss, states, v)
+			if perr != nil {
+				return 0, perr
+			}
+			f += poss.Prob() * pf
+		}
+	case pxml.KindPoss:
+		// Contents are independent: failures multiply.
+		f = 1
+		for _, el := range n.Children() {
+			ef, eerr := e.fail(el, states, v)
+			if eerr != nil {
+				return 0, eerr
+			}
+			f *= ef
+			if f == 0 {
+				break
+			}
+		}
+	default: // element
+		next, hit := e.advance(n, states)
+		if hit {
+			var m map[string]float64
+			m, err = e.localEval(n, states)
+			if err != nil {
+				return 0, err
+			}
+			f = 1 - m[v]
+		} else {
+			f = 1
+			for _, k := range n.Children() {
+				kf, kerr := e.fail(k, next, v)
+				if kerr != nil {
+					return 0, kerr
+				}
+				f *= kf
+				if f == 0 {
+					break
+				}
+			}
+		}
+	}
+	e.failMemo[key] = f
+	return f, nil
+}
+
+func sortAnswers(answers []Answer) {
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].P != answers[j].P {
+			return answers[i].P > answers[j].P
+		}
+		return answers[i].Value < answers[j].Value
+	})
+}

@@ -1,0 +1,563 @@
+package query
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// ParseError reports a query syntax error with its byte position.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: position %d: %s", e.Pos, e.Msg)
+}
+
+// Compile parses a query of the supported XPath subset:
+//
+//	query  := ('/' | '//') step (('/' | '//') step)*
+//	step   := (NAME | '*' | 'text()') pred*
+//	pred   := '[' or ']'
+//	or     := and ('or' and)*
+//	and    := not ('and' not)*
+//	not    := 'not' '(' or ')' | '(' or ')' | cmp
+//	cmp    := rpath ('=' literal)?
+//	        | 'contains' '(' rpath ',' literal ')'
+//	        | 'some' '$'NAME 'in' rpath 'satisfies' vcond
+//	vcond  := 'contains' '(' '$'NAME ',' literal ')' | '$'NAME '=' literal
+//	rpath  := '.' | ('.')? ('/'|'//') step … | step (('/'|'//') step)*
+//
+// Comparison predicates have existential semantics over the node set, as
+// in the paper's example queries.
+func Compile(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src), src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustCompile is Compile that panics on error, for statically known
+// queries.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokSlash
+	tokDSlash
+	tokName   // identifier
+	tokVar    // $identifier
+	tokStar   // *
+	tokDot    // .
+	tokLBrack // [
+	tokRBrack // ]
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokEq     // =
+	tokString // quoted literal
+	tokNumber // numeric literal (kept as text)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+	err  *ParseError
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) {
+	if l.err == nil {
+		l.err = &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (l *lexer) run() {
+	s := l.src
+	i := 0
+	emit := func(k tokKind, text string, pos int) {
+		l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				emit(tokDSlash, "//", i)
+				i += 2
+			} else {
+				emit(tokSlash, "/", i)
+				i++
+			}
+		case c == '*':
+			emit(tokStar, "*", i)
+			i++
+		case c == '.':
+			emit(tokDot, ".", i)
+			i++
+		case c == '[':
+			emit(tokLBrack, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBrack, "]", i)
+			i++
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == '=':
+			emit(tokEq, "=", i)
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			for j < len(s) && s[j] != quote {
+				j++
+			}
+			if j >= len(s) {
+				l.errorf(i, "unterminated string literal")
+				return
+			}
+			emit(tokString, s[i+1:j], i)
+			i = j + 1
+		case c == '$':
+			j := i + 1
+			for j < len(s) && isNameByte(s[j]) {
+				j++
+			}
+			if j == i+1 {
+				l.errorf(i, "empty variable name after $")
+				return
+			}
+			emit(tokVar, s[i+1:j], i)
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			emit(tokNumber, s[i:j], i)
+			i = j
+		case isNameStartByte(c):
+			j := i
+			for j < len(s) && isNameByte(s[j]) {
+				j++
+			}
+			emit(tokName, s[i:j], i)
+			i = j
+		default:
+			l.errorf(i, "unexpected character %q", rune(c))
+			return
+		}
+	}
+	emit(tokEOF, "", len(s))
+}
+
+func isNameStartByte(c byte) bool {
+	return c == '_' || c == '@' || unicode.IsLetter(rune(c))
+}
+
+func isNameByte(c byte) bool {
+	return isNameStartByte(c) || (c >= '0' && c <= '9') || c == '-' || c == ':'
+}
+
+// --- parser ---
+
+type parser struct {
+	lex *lexer
+	src string
+	i   int
+}
+
+func (p *parser) peek() token {
+	if p.i < len(p.lex.toks) {
+		return p.lex.toks[p.i]
+	}
+	return token{kind: tokEOF, pos: len(p.src)}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected %s, found %q", what, t.text)}
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if p.lex.err != nil {
+		return nil, p.lex.err
+	}
+	q := &Query{src: p.src}
+	first := true
+	for {
+		t := p.peek()
+		var desc bool
+		switch t.kind {
+		case tokSlash:
+			desc = false
+		case tokDSlash:
+			desc = true
+		default:
+			if first {
+				return nil, &ParseError{Pos: t.pos, Msg: "query must start with / or //"}
+			}
+			if t.kind != tokEOF {
+				return nil, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unexpected %q after path", t.text)}
+			}
+			if err := validateSteps(q.Steps); err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
+		p.next()
+		step, err := p.parseStep(desc)
+		if err != nil {
+			return nil, err
+		}
+		q.Steps = append(q.Steps, step)
+		first = false
+	}
+}
+
+func validateSteps(steps []Step) error {
+	if len(steps) == 0 {
+		return &ParseError{Pos: 0, Msg: "empty path"}
+	}
+	if len(steps) > 62 {
+		return &ParseError{Pos: 0, Msg: "too many steps (max 62)"}
+	}
+	if steps[0].IsText {
+		return &ParseError{Pos: 0, Msg: "text() cannot be the first step"}
+	}
+	for i, s := range steps {
+		if s.IsText && i != len(steps)-1 {
+			return &ParseError{Pos: 0, Msg: "text() must be the last step"}
+		}
+		if s.IsText && len(s.Preds) > 0 {
+			return &ParseError{Pos: 0, Msg: "text() takes no predicates"}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseStep(desc bool) (Step, error) {
+	t := p.next()
+	step := Step{Desc: desc}
+	switch t.kind {
+	case tokStar:
+		step.Name = "*"
+	case tokName:
+		if t.text == "text" && p.peek().kind == tokLParen {
+			p.next()
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return step, err
+			}
+			step.IsText = true
+			step.Name = "text()"
+			break
+		}
+		step.Name = t.text
+	default:
+		return step, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected step name, found %q", t.text)}
+	}
+	for p.peek().kind == tokLBrack {
+		p.next()
+		pred, err := p.parseOr()
+		if err != nil {
+			return step, err
+		}
+		if _, err := p.expect(tokRBrack, "]"); err != nil {
+			return step, err
+		}
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+func (p *parser) parseOr() (Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokName && p.peek().text == "or" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = PredOr{A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Pred, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokName && p.peek().text == "and" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = PredAnd{A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Pred, error) {
+	t := p.peek()
+	if t.kind == tokName && t.text == "not" {
+		p.next()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return PredNot{P: inner}, nil
+	}
+	if t.kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Pred, error) {
+	t := p.peek()
+	if t.kind == tokName {
+		switch t.text {
+		case "contains":
+			return p.parseContains()
+		case "some":
+			return p.parseSome()
+		}
+	}
+	path, err := p.parseRelPath()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokEq {
+		p.next()
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return PredExists{Path: path, Cond: CondEq{Lit: lit}}, nil
+	}
+	return PredExists{Path: path, Cond: CondAny{}}, nil
+}
+
+func (p *parser) parseContains() (Pred, error) {
+	p.next() // contains
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	path, err := p.parseRelPath()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return PredExists{Path: path, Cond: CondContains{Lit: lit}}, nil
+}
+
+// parseSome handles `some $v in path satisfies cond($v)`, the paper's
+// second example query form. The condition must reference the variable.
+func (p *parser) parseSome() (Pred, error) {
+	p.next() // some
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return nil, err
+	}
+	inTok, err := p.expect(tokName, "'in'")
+	if err != nil || inTok.text != "in" {
+		return nil, &ParseError{Pos: inTok.pos, Msg: "expected 'in'"}
+	}
+	path, err := p.parseRelPath()
+	if err != nil {
+		return nil, err
+	}
+	sat, err := p.expect(tokName, "'satisfies'")
+	if err != nil || sat.text != "satisfies" {
+		return nil, &ParseError{Pos: sat.pos, Msg: "expected 'satisfies'"}
+	}
+	cond, err := p.parseVarCond(v.text)
+	if err != nil {
+		return nil, err
+	}
+	return PredExists{Path: path, Cond: cond}, nil
+}
+
+func (p *parser) parseVarCond(varName string) (ValueCond, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokName && t.text == "contains":
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokVar, "variable")
+		if err != nil {
+			return nil, err
+		}
+		if v.text != varName {
+			return nil, &ParseError{Pos: v.pos, Msg: fmt.Sprintf("unknown variable $%s", v.text)}
+		}
+		if _, err := p.expect(tokComma, ","); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return CondContains{Lit: lit}, nil
+	case t.kind == tokVar:
+		if t.text != varName {
+			return nil, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unknown variable $%s", t.text)}
+		}
+		if _, err := p.expect(tokEq, "="); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return CondEq{Lit: lit}, nil
+	default:
+		return nil, &ParseError{Pos: t.pos, Msg: "expected contains($var, …) or $var = …"}
+	}
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString, tokNumber:
+		return t.text, nil
+	default:
+		return "", &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected literal, found %q", t.text)}
+	}
+}
+
+// parseRelPath parses a predicate-relative path: `.`, `.//a/b`, `./a`,
+// `a/b`, `//a`.
+func (p *parser) parseRelPath() (RelPath, error) {
+	var rp RelPath
+	t := p.peek()
+	switch t.kind {
+	case tokDot:
+		p.next()
+		rp.Self = true
+		if p.peek().kind != tokSlash && p.peek().kind != tokDSlash {
+			return rp, nil // bare "."
+		}
+	case tokName, tokStar:
+		// Leading step without slash, e.g. [genre="Horror"].
+		step, err := p.parseStep(false)
+		if err != nil {
+			return rp, err
+		}
+		rp.Steps = append(rp.Steps, step)
+	case tokSlash, tokDSlash:
+		// Treated as relative to the context element.
+	default:
+		return rp, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected path, found %q", t.text)}
+	}
+	for {
+		t := p.peek()
+		var desc bool
+		switch t.kind {
+		case tokSlash:
+			desc = false
+		case tokDSlash:
+			desc = true
+		default:
+			if len(rp.Steps) == 0 && !rp.Self {
+				return rp, &ParseError{Pos: t.pos, Msg: "empty path in predicate"}
+			}
+			if err := validateRelSteps(rp.Steps); err != nil {
+				return rp, err
+			}
+			return rp, nil
+		}
+		p.next()
+		step, err := p.parseStep(desc)
+		if err != nil {
+			return rp, err
+		}
+		rp.Steps = append(rp.Steps, step)
+	}
+}
+
+func validateRelSteps(steps []Step) error {
+	for i, s := range steps {
+		if s.IsText && i != len(steps)-1 {
+			return &ParseError{Pos: 0, Msg: "text() must be the last step"}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package query_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestCompileNeverPanics feeds the parser random byte soup assembled from
+// query-language fragments: it must either compile or return an error —
+// never panic.
+func TestCompileNeverPanics(t *testing.T) {
+	fragments := []string{
+		"/", "//", "[", "]", "(", ")", "=", ",", "*", ".", "$", `"`, "'",
+		"movie", "title", "contains", "some", "in", "satisfies", "and",
+		"or", "not", "text()", `"lit"`, "$v", " ", "1995", "@id", "-",
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for i := 0; i < 5000; i++ {
+		var src string
+		n := 1 + rng.Intn(12)
+		for j := 0; j < n; j++ {
+			src += fragments[rng.Intn(len(fragments))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Compile(%q) panicked: %v", src, r)
+				}
+			}()
+			q, err := query.Compile(src)
+			if err == nil && q == nil {
+				t.Fatalf("Compile(%q) returned nil without error", src)
+			}
+		}()
+	}
+}
+
+// TestCompileRandomBytesNeverPanics is the rawest robustness check.
+func TestCompileRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(40))
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Compile(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = query.Compile(src)
+		}()
+	}
+}
+
+// TestCompiledQueriesEvaluateSafely: whatever compiles must also evaluate
+// without panicking on an arbitrary document.
+func TestCompiledQueriesEvaluateSafely(t *testing.T) {
+	tr := decode(t, `<movie><title>Jaws</title><year>1975</year></movie>`)
+	fragments := []string{
+		"/movie", "//title", "//*", "/movie/title",
+		`//movie[title="Jaws"]`, `//movie[contains(title,"J")]/year`,
+		`//movie[not(year="1976")]/title/text()`,
+		`//movie[some $t in title satisfies contains($t,"a")]`,
+	}
+	for _, src := range fragments {
+		q, err := query.Compile(src)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		if _, err := query.Eval(tr, q, query.Options{}); err != nil {
+			t.Fatalf("Eval(%q): %v", src, err)
+		}
+		if _, err := query.ExpectedCount(tr, q, 0); err != nil {
+			t.Fatalf("ExpectedCount(%q): %v", src, err)
+		}
+	}
+}

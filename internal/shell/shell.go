@@ -1,0 +1,495 @@
+// Package shell implements the interactive demonstration front end — the
+// role §VII of the paper describes: load sources, configure the Oracle
+// with a few simple knowledge rules, integrate with varying degrees of
+// confusion, query the result, and feed answers back. It reads commands
+// from any reader and writes to any writer, so it is fully testable and
+// works both interactively and scripted.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/explain"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/worlds"
+	"repro/internal/xmlcodec"
+)
+
+// Shell holds the interactive session state.
+type Shell struct {
+	tree      *pxml.Tree
+	schema    *dtd.Schema
+	ruleSpec  string
+	lastQuery *query.Query
+	out       io.Writer
+}
+
+// New creates a shell writing to out.
+func New(out io.Writer) *Shell {
+	return &Shell{out: out}
+}
+
+// Run reads commands line by line until EOF or "quit". Errors of
+// individual commands are printed, not fatal.
+func (s *Shell) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(s.out, `IMPrECISE demonstration shell — type "help" for commands`)
+	for {
+		fmt.Fprint(s.out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(s.out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := s.Execute(line); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+		}
+	}
+}
+
+// Execute runs one command line.
+func (s *Shell) Execute(line string) error {
+	cmd, rest := splitCommand(line)
+	switch cmd {
+	case "help":
+		s.help()
+		return nil
+	case "load":
+		return s.load(rest)
+	case "loadxml":
+		return s.loadXML(rest)
+	case "dtd":
+		return s.loadDTD(rest)
+	case "dtdinline":
+		return s.loadDTDInline(rest)
+	case "rules":
+		return s.setRules(rest)
+	case "integrate":
+		return s.integrate(rest)
+	case "integratexml":
+		return s.integrateXML(rest)
+	case "query":
+		return s.query(rest)
+	case "feedback":
+		return s.feedback(rest)
+	case "explain":
+		return s.explain(rest)
+	case "stats":
+		return s.stats()
+	case "worlds":
+		return s.worlds(rest)
+	case "normalize":
+		return s.normalize()
+	case "export":
+		return s.export(rest)
+	case "save":
+		return s.save(rest)
+	case "open":
+		return s.open(rest)
+	case "demo":
+		return s.demo()
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func splitCommand(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], strings.TrimSpace(line[i+1:])
+}
+
+func (s *Shell) help() {
+	fmt.Fprint(s.out, `commands:
+  load <file>             load a document (plain or probabilistic XML)
+  loadxml <xml>           load a document given inline
+  dtd <file>              load DTD knowledge
+  dtdinline <dtd text>    load DTD knowledge given inline
+  rules <r1,r2,...>       set domain rules: genre, title, year, director
+  integrate <file>        integrate another source into the database
+  integratexml <xml>      integrate an inline source
+  query <xpath>           evaluate a query, ranked answers
+  feedback <correct|incorrect> <value>
+                          judge an answer of the last query
+  explain <value>         trace an answer of the last query to the choice
+                          points it depends on
+  stats                   size and uncertainty measures
+  worlds [n]              list up to n possible worlds (default 5)
+  normalize               canonicalize the document
+  export <file>           write the document as probabilistic XML
+  save <dir>              persist document + schema as a snapshot
+  open <dir>              load a snapshot saved with save
+  demo                    run the built-in Figure-2 walkthrough
+  quit                    leave
+`)
+}
+
+func (s *Shell) needTree() error {
+	if s.tree == nil {
+		return fmt.Errorf("no document loaded (use load or loadxml)")
+	}
+	return nil
+}
+
+func (s *Shell) load(path string) error {
+	if path == "" {
+		return fmt.Errorf("usage: load <file>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := xmlcodec.Decode(f)
+	if err != nil {
+		return err
+	}
+	s.tree = t
+	fmt.Fprintf(s.out, "loaded %s: %d nodes, %s worlds\n", path, t.NodeCount(), t.WorldCount())
+	return nil
+}
+
+func (s *Shell) loadXML(src string) error {
+	t, err := xmlcodec.DecodeString(src)
+	if err != nil {
+		return err
+	}
+	s.tree = t
+	fmt.Fprintf(s.out, "loaded inline document: %d nodes, %s worlds\n", t.NodeCount(), t.WorldCount())
+	return nil
+}
+
+func (s *Shell) loadDTD(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	schema, err := dtd.ParseString(string(data))
+	if err != nil {
+		return err
+	}
+	s.schema = schema
+	fmt.Fprintf(s.out, "schema loaded: %d element types\n", len(schema.Tags()))
+	return nil
+}
+
+func (s *Shell) loadDTDInline(src string) error {
+	schema, err := dtd.ParseString(src)
+	if err != nil {
+		return err
+	}
+	s.schema = schema
+	fmt.Fprintf(s.out, "schema loaded: %d element types\n", len(schema.Tags()))
+	return nil
+}
+
+func (s *Shell) setRules(spec string) error {
+	if _, err := rulesFromSpec(spec); err != nil {
+		return err
+	}
+	s.ruleSpec = spec
+	fmt.Fprintf(s.out, "rules: %s\n", specOrNone(spec))
+	return nil
+}
+
+func specOrNone(spec string) string {
+	if spec == "" {
+		return "(generic only)"
+	}
+	return spec
+}
+
+func rulesFromSpec(spec string) ([]oracle.Rule, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var rules []oracle.Rule
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "genre":
+			rules = append(rules, oracle.GenreRule())
+		case "title":
+			rules = append(rules, oracle.TitleRule())
+		case "year":
+			rules = append(rules, oracle.YearRule())
+		case "director":
+			rules = append(rules, oracle.DirectorRule())
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+	}
+	return rules, nil
+}
+
+func (s *Shell) integrate(path string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	other, err := xmlcodec.Decode(f)
+	if err != nil {
+		return err
+	}
+	return s.integrateTree(other)
+}
+
+func (s *Shell) integrateXML(src string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	other, err := xmlcodec.DecodeString(src)
+	if err != nil {
+		return err
+	}
+	return s.integrateTree(other)
+}
+
+func (s *Shell) integrateTree(other *pxml.Tree) error {
+	rules, err := rulesFromSpec(s.ruleSpec)
+	if err != nil {
+		return err
+	}
+	res, stats, err := integrate.Integrate(s.tree, other, integrate.Config{
+		Oracle: oracle.New(rules, oracle.WithEstimator("movie", oracle.TitleEstimator())),
+		Schema: s.schema,
+	})
+	if err != nil {
+		return err
+	}
+	s.tree = res
+	fmt.Fprintf(s.out, "integrated: %d nodes, %s worlds, %d undecided pairs, %d matchings pruned by schema\n",
+		res.NodeCount(), res.WorldCount(), stats.UndecidedPairs, stats.MatchingsPruned)
+	return nil
+}
+
+func (s *Shell) query(src string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	q, err := query.Compile(src)
+	if err != nil {
+		return err
+	}
+	res, err := query.Eval(s.tree, q, query.Options{})
+	if err != nil {
+		return err
+	}
+	s.lastQuery = q
+	fmt.Fprintf(s.out, "[%s]\n", res.Method)
+	for i, a := range res.Answers {
+		if i >= 15 {
+			fmt.Fprintf(s.out, "  … %d more\n", len(res.Answers)-i)
+			break
+		}
+		fmt.Fprintf(s.out, "  %5.1f%%  %s\n", a.P*100, a.Value)
+	}
+	if len(res.Answers) == 0 {
+		fmt.Fprintln(s.out, "  (no answers)")
+	}
+	return nil
+}
+
+func (s *Shell) feedback(rest string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	if s.lastQuery == nil {
+		return fmt.Errorf("no previous query to judge")
+	}
+	verdict, value := splitCommand(rest)
+	var j feedback.Judgment
+	switch verdict {
+	case "correct":
+		j = feedback.Correct
+	case "incorrect":
+		j = feedback.Incorrect
+	default:
+		return fmt.Errorf("usage: feedback <correct|incorrect> <value>")
+	}
+	if value == "" {
+		return fmt.Errorf("usage: feedback <correct|incorrect> <value>")
+	}
+	session := feedback.NewSession(s.tree, feedback.Options{})
+	ev, err := session.Apply(s.lastQuery, value, j)
+	if err != nil {
+		return err
+	}
+	s.tree = session.Tree()
+	fmt.Fprintf(s.out, "feedback applied: worlds %s -> %s (prior %.4g)\n",
+		ev.WorldsBefore, ev.WorldsAfter, ev.PriorP)
+	return nil
+}
+
+func (s *Shell) explain(value string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	if s.lastQuery == nil {
+		return fmt.Errorf("no previous query to explain")
+	}
+	if value == "" {
+		return fmt.Errorf("usage: explain <value>")
+	}
+	report, err := explain.Answer(s.tree, s.lastQuery, value, explain.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, report.Format())
+	return nil
+}
+
+func (s *Shell) stats() error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	st := s.tree.CollectStats()
+	fmt.Fprintf(s.out, "nodes: %d logical (%d physical), choice points: %d, worlds: %s, certain: %v\n",
+		st.LogicalNodes, st.PhysicalNodes, s.tree.ChoicePoints(), st.Worlds, s.tree.IsCertain())
+	return nil
+}
+
+func (s *Shell) worlds(rest string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	max := 5
+	if rest != "" {
+		v, err := strconv.Atoi(rest)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("usage: worlds [n]")
+		}
+		max = v
+	}
+	n := 0
+	worlds.Enumerate(s.tree, func(w worlds.World) bool {
+		n++
+		fmt.Fprintf(s.out, "--- world %d (p=%.4g) ---\n", n, w.P)
+		for _, e := range w.Elements {
+			fmt.Fprint(s.out, pxml.Sketch(e))
+		}
+		return n < max
+	})
+	return nil
+}
+
+func (s *Shell) normalize() error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	before := s.tree.NodeCount()
+	nt, err := s.tree.Normalize()
+	if err != nil {
+		return err
+	}
+	s.tree = nt
+	fmt.Fprintf(s.out, "normalized: %d -> %d nodes\n", before, nt.NodeCount())
+	return nil
+}
+
+func (s *Shell) export(path string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	if path == "" {
+		return fmt.Errorf("usage: export <file>")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := xmlcodec.Encode(f, s.tree, xmlcodec.EncodeOptions{Indent: "  "}); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "written: %s\n", path)
+	return nil
+}
+
+func (s *Shell) save(dir string) error {
+	if err := s.needTree(); err != nil {
+		return err
+	}
+	if dir == "" {
+		return fmt.Errorf("usage: save <dir>")
+	}
+	m, err := store.Save(dir, s.tree, s.schema, "saved from shell")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved: %s (%d nodes, %s worlds)\n", dir, m.LogicalNodes, m.Worlds)
+	return nil
+}
+
+func (s *Shell) open(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("usage: open <dir>")
+	}
+	snap, err := store.Load(dir)
+	if err != nil {
+		return err
+	}
+	s.tree = snap.Tree
+	s.schema = snap.Schema
+	fmt.Fprintf(s.out, "opened: %s (%d nodes, %s worlds, saved %s)\n",
+		dir, snap.Manifest.LogicalNodes, snap.Manifest.Worlds,
+		snap.Manifest.SavedAt.Format("2006-01-02 15:04:05"))
+	return nil
+}
+
+// demo replays the paper's Figure-2 walkthrough inside the shell.
+func (s *Shell) demo() error {
+	script := []string{
+		`dtdinline <!ELEMENT addressbook (person*)> <!ELEMENT person (nm, tel?)> <!ELEMENT nm (#PCDATA)> <!ELEMENT tel (#PCDATA)>`,
+		`loadxml <addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`,
+		`integratexml <addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>`,
+		`stats`,
+		`query //person[nm="John"]/tel`,
+		`feedback incorrect 2222`,
+		`query //person[nm="John"]/tel`,
+		`stats`,
+	}
+	for _, line := range script {
+		fmt.Fprintf(s.out, ">> %s\n", line)
+		if err := s.Execute(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tags lists the known commands, for completion and tests.
+func Tags() []string {
+	cmds := []string{
+		"help", "load", "loadxml", "dtd", "dtdinline", "rules", "integrate",
+		"integratexml", "query", "feedback", "explain", "stats", "worlds",
+		"normalize", "export", "save", "open", "demo", "quit",
+	}
+	sort.Strings(cmds)
+	return cmds
+}

@@ -1,0 +1,231 @@
+package shell_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/shell"
+)
+
+func exec(t *testing.T, lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	sh := shell.New(&out)
+	for _, line := range lines {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("execute %q: %v\n%s", line, err, out.String())
+		}
+	}
+	return out.String()
+}
+
+func execErr(t *testing.T, lines ...string) error {
+	t.Helper()
+	var out strings.Builder
+	sh := shell.New(&out)
+	var err error
+	for _, line := range lines {
+		if err = sh.Execute(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestShellDemoWalkthrough(t *testing.T) {
+	out := exec(t, "demo")
+	for _, want := range []string{
+		"worlds: 3",
+		"75.0%  1111",
+		"75.0%  2222",
+		"feedback applied: worlds 3 -> 1",
+		"certain: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellInlineLifecycle(t *testing.T) {
+	out := exec(t,
+		`dtdinline <!ELEMENT addressbook (person*)> <!ELEMENT person (nm, tel?)> <!ELEMENT nm (#PCDATA)> <!ELEMENT tel (#PCDATA)>`,
+		`loadxml <addressbook><person><nm>Ann</nm><tel>5</tel></person></addressbook>`,
+		`integratexml <addressbook><person><nm>Ann</nm><tel>6</tel></person></addressbook>`,
+		`worlds 10`,
+		`normalize`,
+		`stats`,
+	)
+	if !strings.Contains(out, "world 3") {
+		t.Fatalf("expected three worlds:\n%s", out)
+	}
+	if !strings.Contains(out, "schema loaded: 4 element types") {
+		t.Fatalf("schema output:\n%s", out)
+	}
+}
+
+func TestShellRules(t *testing.T) {
+	out := exec(t, "rules genre,title,year")
+	if !strings.Contains(out, "rules: genre,title,year") {
+		t.Fatalf("rules output:\n%s", out)
+	}
+	if err := execErr(t, "rules bogus"); err == nil {
+		t.Fatalf("bogus rule should fail")
+	}
+}
+
+func TestShellFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.xml")
+	if err := os.WriteFile(src, []byte(`<a><b>x</b></a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exp := filepath.Join(dir, "out.xml")
+	out := exec(t,
+		"load "+src,
+		"export "+exp,
+	)
+	if !strings.Contains(out, "loaded") || !strings.Contains(out, "written") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if _, err := os.Stat(exp); err != nil {
+		t.Fatalf("export missing: %v", err)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	cases := [][]string{
+		{"bogus"},
+		{"query //a"},                          // no document
+		{"integratexml <a/>"},                  // no document
+		{"stats"},                              // no document
+		{"loadxml <a/>", "feedback correct x"}, // no previous query
+		{"loadxml not xml"},
+		{"load /does/not/exist.xml"},
+		{"dtd /does/not/exist.dtd"},
+		{"dtdinline <!BROKEN>"},
+		{"loadxml <a/>", "query ["},
+		{"loadxml <a/>", "worlds notanumber"},
+		{"loadxml <a/>", "export"},
+		{"load"},
+		{"loadxml <a><b>1</b></a>", "query //a/b", "feedback maybe 1"},
+		{"loadxml <a><b>1</b></a>", "query //a/b", "feedback correct"},
+	}
+	for _, lines := range cases {
+		if err := execErr(t, lines...); err == nil {
+			t.Errorf("command sequence %v should fail", lines)
+		}
+	}
+}
+
+func TestShellRunLoop(t *testing.T) {
+	in := strings.NewReader(`
+# comment lines and blanks are skipped
+
+help
+loadxml <a><b>1</b></a>
+query //a/b
+quit
+`)
+	var out strings.Builder
+	sh := shell.New(&out)
+	if err := sh.Run(in); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, want := range []string{"commands:", "100.0%  1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("run output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestShellRunReportsErrorsButContinues(t *testing.T) {
+	in := strings.NewReader("nonsense\nloadxml <a/>\nstats\n")
+	var out strings.Builder
+	sh := shell.New(&out)
+	if err := sh.Run(in); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !strings.Contains(out.String(), "error:") || !strings.Contains(out.String(), "worlds: 1") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestShellFeedbackFlow(t *testing.T) {
+	out := exec(t,
+		`loadxml <a><_prob><_poss p="0.5"><b>x</b></_poss><_poss p="0.5"><b>y</b></_poss></_prob></a>`,
+		`query //a/b`,
+		`feedback incorrect y`,
+		`query //a/b`,
+	)
+	if !strings.Contains(out, "worlds 2 -> 1") {
+		t.Fatalf("feedback output:\n%s", out)
+	}
+	if strings.Count(out, "100.0%  x") != 1 {
+		t.Fatalf("query after feedback:\n%s", out)
+	}
+}
+
+func TestShellExplain(t *testing.T) {
+	out := exec(t,
+		`loadxml <a><_prob><_poss p="0.3"><b>x</b></_poss><_poss p="0.7"><b>y</b></_poss></_prob></a>`,
+		`query //a/b`,
+		`explain x`,
+	)
+	for _, want := range []string{`P(//a/b = "x") = 0.3000`, "influence", "P(alt|answer)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if err := execErr(t, "loadxml <a/>", "explain x"); err == nil {
+		t.Fatalf("explain without query should fail")
+	}
+	if err := execErr(t, "loadxml <a><b>1</b></a>", "query //a/b", "explain"); err == nil {
+		t.Fatalf("explain without value should fail")
+	}
+	if err := execErr(t, "loadxml <a><b>1</b></a>", "query //a/b", "explain nope"); err == nil {
+		t.Fatalf("explain of impossible value should fail")
+	}
+}
+
+func TestShellSaveOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	out := exec(t,
+		`dtdinline <!ELEMENT addressbook (person*)> <!ELEMENT person (nm, tel?)> <!ELEMENT nm (#PCDATA)> <!ELEMENT tel (#PCDATA)>`,
+		`loadxml <addressbook><person><nm>Ann</nm><tel>5</tel></person></addressbook>`,
+		`integratexml <addressbook><person><nm>Ann</nm><tel>6</tel></person></addressbook>`,
+		"save "+dir,
+	)
+	if !strings.Contains(out, "saved: ") {
+		t.Fatalf("save output:\n%s", out)
+	}
+	// A fresh shell restores document and schema.
+	out2 := exec(t,
+		"open "+dir,
+		"stats",
+		`query //person/tel`,
+	)
+	if !strings.Contains(out2, "worlds: 3") || !strings.Contains(out2, "75.0%  5") {
+		t.Fatalf("open output:\n%s", out2)
+	}
+	if err := execErr(t, "open /does/not/exist"); err == nil {
+		t.Fatalf("open missing dir should fail")
+	}
+	if err := execErr(t, "loadxml <a/>", "save"); err == nil {
+		t.Fatalf("save without dir should fail")
+	}
+}
+
+func TestTagsSorted(t *testing.T) {
+	tags := shell.Tags()
+	if len(tags) < 10 {
+		t.Fatalf("tags = %v", tags)
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i] < tags[i-1] {
+			t.Fatalf("tags not sorted: %v", tags)
+		}
+	}
+}

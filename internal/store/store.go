@@ -1,0 +1,160 @@
+// Package store persists probabilistic databases to disk — the durable-
+// storage role MonetDB plays for the original IMPrECISE prototype. A
+// snapshot is a directory holding the probabilistic document (marker XML),
+// the schema knowledge (DTD), and a JSON manifest with integrity metadata,
+// so a long-running integrate/query/feedback session can be resumed.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/pxml"
+	"repro/internal/xmlcodec"
+)
+
+const (
+	// FormatVersion identifies the snapshot layout; bumped on breaking
+	// changes.
+	FormatVersion = 1
+
+	manifestFile = "manifest.json"
+	documentFile = "document.xml"
+	schemaFile   = "schema.dtd"
+)
+
+// Manifest is the snapshot metadata.
+type Manifest struct {
+	FormatVersion int       `json:"format_version"`
+	SavedAt       time.Time `json:"saved_at"`
+	// DocumentSHA256 is the checksum of document.xml, verified on load.
+	DocumentSHA256 string `json:"document_sha256"`
+	// LogicalNodes and Worlds record the size at save time (Worlds as a
+	// decimal string; it can exceed every integer type).
+	LogicalNodes int64  `json:"logical_nodes"`
+	Worlds       string `json:"worlds"`
+	HasSchema    bool   `json:"has_schema"`
+	// Comment is free-form (e.g. the integration history).
+	Comment string `json:"comment,omitempty"`
+}
+
+// Snapshot is the in-memory form of a stored database.
+type Snapshot struct {
+	Tree     *pxml.Tree
+	Schema   *dtd.Schema // nil when none was stored
+	Manifest Manifest
+}
+
+// ErrCorrupt is returned when a snapshot fails its integrity checks.
+var ErrCorrupt = errors.New("store: snapshot corrupt")
+
+// Save writes the document (and optional schema) into dir, creating it if
+// needed. Existing snapshot files are overwritten atomically (write to
+// temp, rename).
+func Save(dir string, tree *pxml.Tree, schema *dtd.Schema, comment string) (Manifest, error) {
+	if tree == nil {
+		return Manifest{}, errors.New("store: nil tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return Manifest{}, fmt.Errorf("store: refusing to save invalid document: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, err
+	}
+	doc, err := xmlcodec.EncodeString(tree, xmlcodec.EncodeOptions{Indent: " ", KeepTrivial: true})
+	if err != nil {
+		return Manifest{}, err
+	}
+	sum := sha256.Sum256([]byte(doc))
+	m := Manifest{
+		FormatVersion:  FormatVersion,
+		SavedAt:        time.Now().UTC(),
+		DocumentSHA256: hex.EncodeToString(sum[:]),
+		LogicalNodes:   tree.NodeCount(),
+		Worlds:         tree.WorldCount().String(),
+		HasSchema:      schema != nil,
+		Comment:        comment,
+	}
+	if err := writeAtomic(filepath.Join(dir, documentFile), []byte(doc)); err != nil {
+		return Manifest{}, err
+	}
+	if schema != nil {
+		if err := writeAtomic(filepath.Join(dir, schemaFile), []byte(schema.String())); err != nil {
+			return Manifest{}, err
+		}
+	} else {
+		// Stale schema files from previous saves must not resurrect.
+		if err := os.Remove(filepath.Join(dir, schemaFile)); err != nil && !os.IsNotExist(err) {
+			return Manifest{}, err
+		}
+	}
+	mdata, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return Manifest{}, err
+	}
+	if err := writeAtomic(filepath.Join(dir, manifestFile), mdata); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// Load reads a snapshot back, verifying the checksum and format version.
+func Load(dir string) (*Snapshot, error) {
+	mdata, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		return nil, fmt.Errorf("%w: bad manifest: %v", ErrCorrupt, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", m.FormatVersion, FormatVersion)
+	}
+	doc, err := os.ReadFile(filepath.Join(dir, documentFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(doc)
+	if hex.EncodeToString(sum[:]) != m.DocumentSHA256 {
+		return nil, fmt.Errorf("%w: document checksum mismatch", ErrCorrupt)
+	}
+	tree, err := xmlcodec.DecodeString(string(doc))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if got := tree.NodeCount(); got != m.LogicalNodes {
+		return nil, fmt.Errorf("%w: node count %d differs from manifest %d", ErrCorrupt, got, m.LogicalNodes)
+	}
+	snap := &Snapshot{Tree: tree, Manifest: m}
+	if m.HasSchema {
+		sdata, err := os.ReadFile(filepath.Join(dir, schemaFile))
+		if err != nil {
+			return nil, fmt.Errorf("%w: schema missing: %v", ErrCorrupt, err)
+		}
+		schema, err := dtd.ParseString(string(sdata))
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad schema: %v", ErrCorrupt, err)
+		}
+		snap.Schema = schema
+	}
+	return snap, nil
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,162 @@
+package store_test
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+	"repro/internal/store"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tree := pxmltest.Fig2Tree()
+	schema := dtd.MustParse(`
+		<!ELEMENT addressbook (person*)>
+		<!ELEMENT person (nm, tel?)>
+		<!ELEMENT nm (#PCDATA)>
+		<!ELEMENT tel (#PCDATA)>
+	`)
+	m, err := store.Save(dir, tree, schema, "figure 2 database")
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if m.Worlds != "3" || m.LogicalNodes != tree.NodeCount() || !m.HasSchema {
+		t.Fatalf("manifest = %+v", m)
+	}
+	snap, err := store.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !pxml.Equal(snap.Tree.Root(), tree.Root()) {
+		t.Fatalf("loaded tree differs:\n%s\nvs\n%s", snap.Tree, tree)
+	}
+	if snap.Schema == nil || snap.Schema.MaxOccurs("person", "tel") != 1 {
+		t.Fatalf("schema lost: %v", snap.Schema)
+	}
+	if snap.Manifest.Comment != "figure 2 database" {
+		t.Fatalf("comment = %q", snap.Manifest.Comment)
+	}
+}
+
+func TestSaveWithoutSchemaRemovesStaleFile(t *testing.T) {
+	dir := t.TempDir()
+	tree := pxmltest.Fig2Tree()
+	schema := dtd.MustParse(`<!ELEMENT addressbook ANY>`)
+	if _, err := store.Save(dir, tree, schema, ""); err != nil {
+		t.Fatalf("Save with schema: %v", err)
+	}
+	if _, err := store.Save(dir, tree, nil, ""); err != nil {
+		t.Fatalf("Save without schema: %v", err)
+	}
+	snap, err := store.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if snap.Schema != nil {
+		t.Fatalf("stale schema resurrected")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "schema.dtd")); !os.IsNotExist(err) {
+		t.Fatalf("schema file still present: %v", err)
+	}
+}
+
+func TestLoadDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := store.Save(dir, pxmltest.Fig2Tree(), nil, ""); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	docPath := filepath.Join(dir, "document.xml")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "1111", "9999", 1)
+	if err := os.WriteFile(docPath, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = store.Load(dir)
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := store.Load(t.TempDir()); err == nil {
+		t.Fatalf("empty dir should fail")
+	}
+	// Bad manifest JSON.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(dir); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("bad manifest: %v", err)
+	}
+	// Wrong version.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "manifest.json"),
+		[]byte(`{"format_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(dir2); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("version check: %v", err)
+	}
+	// Manifest ok but document missing.
+	dir3 := t.TempDir()
+	if _, err := store.Save(dir3, pxmltest.Fig2Tree(), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir3, "document.xml")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(dir3); err == nil {
+		t.Fatalf("missing document should fail")
+	}
+	// Schema promised but missing.
+	dir4 := t.TempDir()
+	schema := dtd.MustParse(`<!ELEMENT a ANY>`)
+	if _, err := store.Save(dir4, pxmltest.Fig2Tree(), schema, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir4, "schema.dtd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(dir4); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("missing schema: %v", err)
+	}
+}
+
+func TestSaveRejectsNilAndInvalid(t *testing.T) {
+	if _, err := store.Save(t.TempDir(), nil, nil, ""); err == nil {
+		t.Fatalf("nil tree should fail")
+	}
+}
+
+func TestSaveLoadManyRandomTrees(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pxmltest.DefaultGenConfig()
+	cfg.AllowEmptyAlt = false
+	rng := newRng()
+	for i := 0; i < 20; i++ {
+		tree := pxmltest.RandomTree(rng, cfg)
+		if _, err := store.Save(dir, tree, nil, ""); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+		snap, err := store.Load(dir)
+		if err != nil {
+			t.Fatalf("Load %d: %v", i, err)
+		}
+		if !pxml.Equal(snap.Tree.Root(), tree.Root()) {
+			t.Fatalf("round trip %d differs", i)
+		}
+	}
+}
+
+func newRng() *rand.Rand { return rand.New(rand.NewSource(31)) }

@@ -1,0 +1,188 @@
+// Package worlds provides possible-world semantics over probabilistic XML
+// documents: exact enumeration, probability accounting, and seeded
+// Monte-Carlo sampling.
+//
+// A possible world is obtained by independently committing every reachable
+// choice point (ProbNode) to one of its alternatives. The probability of a
+// world is the product of the chosen alternatives' probabilities. Worlds
+// are materialized as certain pxml documents (every choice point trivial),
+// so that all downstream machinery — queries, validation, statistics —
+// works unchanged on them.
+package worlds
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/pxml"
+)
+
+// World is one fully determined state of the represented real world.
+type World struct {
+	// Elements are the document elements of this world, as certain
+	// subtrees (all remaining choice points trivial).
+	Elements []*pxml.Node
+	// P is the world's probability.
+	P float64
+}
+
+// Tree materializes the world as a certain probabilistic document.
+func (w World) Tree() *pxml.Tree {
+	return pxml.MustTree(pxml.Certain(w.Elements...))
+}
+
+// ErrTooManyWorlds is returned by enumeration helpers when the document
+// represents more worlds than the caller's limit.
+var ErrTooManyWorlds = errors.New("worlds: too many possible worlds")
+
+// Enumerate calls fn for every possible world of the document, in a
+// deterministic order. Enumeration stops early if fn returns false.
+// The world probabilities passed to fn sum to 1 over a full enumeration.
+func Enumerate(t *pxml.Tree, fn func(World) bool) {
+	enumProbList([]*pxml.Node{t.Root()}, func(elems []*pxml.Node, p float64) bool {
+		out := make([]*pxml.Node, len(elems))
+		copy(out, elems)
+		return fn(World{Elements: out, P: p})
+	})
+}
+
+// Collect enumerates all worlds into a slice, refusing documents with more
+// than max worlds (use Enumerate or Sample for those).
+func Collect(t *pxml.Tree, max int) ([]World, error) {
+	wc := t.WorldCount()
+	if wc.Cmp(big.NewInt(int64(max))) > 0 {
+		return nil, fmt.Errorf("%w: %s > %d", ErrTooManyWorlds, wc.String(), max)
+	}
+	var ws []World
+	Enumerate(t, func(w World) bool {
+		ws = append(ws, w)
+		return true
+	})
+	return ws, nil
+}
+
+// enumProbList enumerates joint materializations of a list of independent
+// choice points. fn receives a scratch slice of certain elements (valid
+// only during the call) and the joint probability; it returns false to stop
+// the whole enumeration.
+func enumProbList(probs []*pxml.Node, fn func([]*pxml.Node, float64) bool) bool {
+	scratch := make([]*pxml.Node, 0, 8)
+	var rec func(i int, p float64) bool
+	rec = func(i int, p float64) bool {
+		if i == len(probs) {
+			return fn(scratch, p)
+		}
+		prob := probs[i]
+		for _, poss := range prob.Children() {
+			ok := enumElemList(poss.Children(), func(elems []*pxml.Node, ep float64) bool {
+				mark := len(scratch)
+				scratch = append(scratch, elems...)
+				cont := rec(i+1, p*poss.Prob()*ep)
+				scratch = scratch[:mark]
+				return cont
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, 1)
+}
+
+// enumElemList enumerates joint materializations of a sequence of element
+// nodes (e.g. the contents of one possibility). Each element may itself
+// contain nested choice points.
+func enumElemList(elems []*pxml.Node, fn func([]*pxml.Node, float64) bool) bool {
+	out := make([]*pxml.Node, len(elems))
+	var rec func(i int, p float64) bool
+	rec = func(i int, p float64) bool {
+		if i == len(elems) {
+			return fn(out, p)
+		}
+		return enumElem(elems[i], func(e *pxml.Node, ep float64) bool {
+			out[i] = e
+			return rec(i+1, p*ep)
+		})
+	}
+	return rec(0, 1)
+}
+
+// enumElem enumerates the certain materializations of one element.
+func enumElem(e *pxml.Node, fn func(*pxml.Node, float64) bool) bool {
+	if e.IsLeaf() {
+		return fn(e, 1)
+	}
+	return enumProbList(e.Children(), func(kids []*pxml.Node, p float64) bool {
+		probKids := make([]*pxml.Node, 0, 1)
+		if len(kids) > 0 {
+			cp := make([]*pxml.Node, len(kids))
+			copy(cp, kids)
+			probKids = append(probKids, pxml.Certain(cp...))
+		}
+		return fn(pxml.NewElem(e.Tag(), e.Text(), probKids...), p)
+	})
+}
+
+// Sample draws one world at random, committing each choice point according
+// to its alternatives' probabilities. The returned probability is the
+// world's exact probability. The rng must not be nil.
+func Sample(t *pxml.Tree, rng *rand.Rand) World {
+	elems, p := sampleProbList([]*pxml.Node{t.Root()}, rng)
+	return World{Elements: elems, P: p}
+}
+
+func sampleProbList(probs []*pxml.Node, rng *rand.Rand) ([]*pxml.Node, float64) {
+	var out []*pxml.Node
+	p := 1.0
+	for _, prob := range probs {
+		poss := pick(prob.Children(), rng)
+		p *= poss.Prob()
+		for _, e := range poss.Children() {
+			se, sp := sampleElem(e, rng)
+			out = append(out, se)
+			p *= sp
+		}
+	}
+	return out, p
+}
+
+func sampleElem(e *pxml.Node, rng *rand.Rand) (*pxml.Node, float64) {
+	if e.IsLeaf() {
+		return e, 1
+	}
+	kids, p := sampleProbList(e.Children(), rng)
+	if len(kids) == 0 {
+		return pxml.NewLeaf(e.Tag(), e.Text()), p
+	}
+	return pxml.NewElem(e.Tag(), e.Text(), pxml.Certain(kids...)), p
+}
+
+func pick(poss []*pxml.Node, rng *rand.Rand) *pxml.Node {
+	if len(poss) == 1 {
+		return poss[0]
+	}
+	r := rng.Float64()
+	acc := 0.0
+	for _, p := range poss {
+		acc += p.Prob()
+		if r < acc {
+			return p
+		}
+	}
+	return poss[len(poss)-1]
+}
+
+// TotalProbability sums the probabilities of all worlds; it should be 1
+// within floating-point error for any valid document. Exposed for tests
+// and diagnostics; cost is exponential in the number of choice points.
+func TotalProbability(t *pxml.Tree) float64 {
+	sum := 0.0
+	Enumerate(t, func(w World) bool {
+		sum += w.P
+		return true
+	})
+	return sum
+}

@@ -1,0 +1,223 @@
+package worlds_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+	"repro/internal/worlds"
+)
+
+// worldKey gives a canonical string for a world's content, for comparing
+// enumerations against expectations.
+func worldKey(w worlds.World) string {
+	parts := make([]string, len(w.Elements))
+	for i, e := range w.Elements {
+		parts[i] = pxml.Sketch(e)
+	}
+	return strings.Join(parts, "|")
+}
+
+func TestEnumerateFig2YieldsThreeWorlds(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	ws, err := worlds.Collect(tr, 10)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("worlds = %d, want 3", len(ws))
+	}
+	var total float64
+	type summary struct {
+		phones  []string
+		persons int
+		p       float64
+	}
+	var sums []summary
+	for _, w := range ws {
+		total += w.P
+		if len(w.Elements) != 1 || w.Elements[0].Tag() != "addressbook" {
+			t.Fatalf("world root = %v", w.Elements)
+		}
+		wt := w.Tree()
+		if err := wt.Validate(); err != nil {
+			t.Fatalf("world tree invalid: %v", err)
+		}
+		if !wt.IsCertain() {
+			t.Fatalf("world not certain:\n%s", wt)
+		}
+		var phones []string
+		persons := 0
+		pxml.Walk(w.Elements[0], func(n *pxml.Node) bool {
+			if n.Kind() == pxml.KindElem && n.Tag() == "person" {
+				persons++
+			}
+			if n.Kind() == pxml.KindElem && n.Tag() == "tel" {
+				phones = append(phones, n.Text())
+			}
+			return true
+		})
+		sort.Strings(phones)
+		sums = append(sums, summary{phones, persons, w.P})
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("world probabilities sum to %v", total)
+	}
+	// Expected: {1111} p=0.3, {2222} p=0.3, {1111,2222} p=0.4.
+	found := map[string]float64{}
+	for _, s := range sums {
+		found[strings.Join(s.phones, ",")] = s.p
+		if len(s.phones) == 2 && s.persons != 2 {
+			t.Fatalf("two-phone world should have two persons, got %d", s.persons)
+		}
+		if len(s.phones) == 1 && s.persons != 1 {
+			t.Fatalf("one-phone world should have one person, got %d", s.persons)
+		}
+	}
+	if math.Abs(found["1111"]-0.3) > 1e-9 || math.Abs(found["2222"]-0.3) > 1e-9 || math.Abs(found["1111,2222"]-0.4) > 1e-9 {
+		t.Fatalf("world probabilities = %v", found)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	count := 0
+	worlds.Enumerate(tr, func(w worlds.World) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("enumeration visited %d worlds after early stop, want 2", count)
+	}
+}
+
+func TestCollectRefusesTooMany(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	_, err := worlds.Collect(tr, 2)
+	if err == nil {
+		t.Fatalf("expected ErrTooManyWorlds")
+	}
+	if !strings.Contains(err.Error(), "too many") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEnumerationMatchesWorldCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := pxmltest.DefaultGenConfig()
+	for i := 0; i < 30; i++ {
+		tr := pxmltest.RandomTree(rng, cfg)
+		want := tr.WorldCount()
+		if !want.IsInt64() || want.Int64() > 5000 {
+			continue
+		}
+		var n int64
+		total := 0.0
+		worlds.Enumerate(tr, func(w worlds.World) bool {
+			n++
+			total += w.P
+			return true
+		})
+		if n != want.Int64() {
+			t.Fatalf("tree %d: enumerated %d worlds, count says %s\n%s", i, n, want, tr)
+		}
+		if math.Abs(total-1) > 1e-6 {
+			t.Fatalf("tree %d: world probabilities sum to %v", i, total)
+		}
+	}
+}
+
+func TestEnumeratedWorldsAreDistinct(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	seen := map[string]bool{}
+	worlds.Enumerate(tr, func(w worlds.World) bool {
+		k := worldKey(w)
+		if seen[k] {
+			t.Fatalf("duplicate world enumerated:\n%s", k)
+		}
+		seen[k] = true
+		return true
+	})
+}
+
+func TestSampleMatchesEnumeration(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	rng := rand.New(rand.NewSource(1234))
+	freq := map[string]int{}
+	probs := map[string]float64{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		w := worlds.Sample(tr, rng)
+		k := worldKey(w)
+		freq[k]++
+		probs[k] = w.P
+	}
+	if len(freq) != 3 {
+		t.Fatalf("sampling found %d distinct worlds, want 3", len(freq))
+	}
+	for k, f := range freq {
+		got := float64(f) / n
+		if math.Abs(got-probs[k]) > 0.02 {
+			t.Fatalf("world sampled with frequency %v but probability %v", got, probs[k])
+		}
+	}
+}
+
+func TestSampleProbabilityIsExact(t *testing.T) {
+	// The probability attached to a sampled world must equal the world's
+	// true probability from enumeration.
+	tr := pxmltest.Fig2Tree()
+	byKey := map[string]float64{}
+	worlds.Enumerate(tr, func(w worlds.World) bool {
+		byKey[worldKey(w)] = w.P
+		return true
+	})
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		w := worlds.Sample(tr, rng)
+		want, ok := byKey[worldKey(w)]
+		if !ok {
+			t.Fatalf("sampled world not among enumerated worlds")
+		}
+		if math.Abs(w.P-want) > 1e-9 {
+			t.Fatalf("sampled world P = %v, enumerated %v", w.P, want)
+		}
+	}
+}
+
+func TestTotalProbabilityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := pxmltest.RandomTree(rng, pxmltest.DefaultGenConfig())
+		if wc := tr.WorldCount(); !wc.IsInt64() || wc.Int64() > 3000 {
+			return true
+		}
+		return math.Abs(worlds.TotalProbability(tr)-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampledWorldsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		tr := pxmltest.RandomTree(rng, pxmltest.DefaultGenConfig())
+		w := worlds.Sample(tr, rng)
+		wt := w.Tree()
+		if err := wt.Validate(); err != nil {
+			t.Fatalf("sampled world invalid: %v", err)
+		}
+		if !wt.IsCertain() {
+			t.Fatalf("sampled world not certain")
+		}
+		if w.P <= 0 || w.P > 1 {
+			t.Fatalf("sampled world probability %v out of range", w.P)
+		}
+	}
+}

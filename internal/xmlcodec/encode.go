@@ -1,0 +1,182 @@
+package xmlcodec
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/pxml"
+)
+
+// EncodeOptions control the textual form produced by Encode.
+type EncodeOptions struct {
+	// Indent, when non-empty, pretty-prints with the given unit.
+	Indent string
+	// KeepTrivial keeps <_prob>/<_poss p="1"> markers around certain
+	// content. The default omits them, producing plain XML for certain
+	// documents. Round-trips are exact with KeepTrivial set.
+	KeepTrivial bool
+	// Probabilities are formatted with this precision (significant
+	// digits); zero means full precision.
+	ProbDigits int
+}
+
+// Encode writes the document as XML with probabilistic markers.
+func Encode(w io.Writer, t *pxml.Tree, opts EncodeOptions) error {
+	bw := bufio.NewWriter(w)
+	e := &encoder{w: bw, opts: opts}
+	root := t.Root()
+	// The root choice point must leave exactly one document element in
+	// every serialization; if the root is a genuine choice point or holds
+	// multiple elements, wrap in a synthetic document element would change
+	// the data, so reject instead.
+	if len(root.Children()) == 1 && len(root.Child(0).Children()) == 1 {
+		e.writeElem(root.Child(0).Child(0), 0)
+	} else {
+		return syntaxErrf("document root must be a single certain element (wrap alternatives in an element first)")
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// EncodeString renders the document to a string, panicking on writer
+// errors (impossible with strings.Builder) and returning encoding errors.
+func EncodeString(t *pxml.Tree, opts EncodeOptions) (string, error) {
+	var b strings.Builder
+	if err := Encode(&b, t, opts); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+type encoder struct {
+	w    *bufio.Writer
+	opts EncodeOptions
+	err  error
+}
+
+func (e *encoder) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func (e *encoder) indent(depth int) {
+	if e.opts.Indent == "" || e.err != nil {
+		return
+	}
+	if _, err := e.w.WriteString("\n"); err != nil {
+		e.err = err
+		return
+	}
+	for i := 0; i < depth; i++ {
+		if _, err := e.w.WriteString(e.opts.Indent); err != nil {
+			e.err = err
+			return
+		}
+	}
+}
+
+func (e *encoder) escape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		e.err = err
+	}
+	return b.String()
+}
+
+func (e *encoder) formatProb(p float64) string {
+	if e.opts.ProbDigits > 0 {
+		return strconv.FormatFloat(p, 'g', e.opts.ProbDigits, 64)
+	}
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+// writeElem writes a regular element. Attribute children (tag starting with
+// AttrPrefix) that are certain become XML attributes again.
+func (e *encoder) writeElem(n *pxml.Node, depth int) {
+	if depth > 0 {
+		e.indent(depth)
+	}
+	tag := n.Tag()
+	var attrs []string
+	var content []*pxml.Node
+	for _, prob := range n.Children() {
+		if a, ok := certainAttr(prob); ok {
+			attrs = append(attrs, fmt.Sprintf(` %s="%s"`, strings.TrimPrefix(a.Tag(), AttrPrefix), e.escape(a.Text())))
+			continue
+		}
+		content = append(content, prob)
+	}
+	if len(content) == 0 && n.Text() == "" {
+		e.printf("<%s%s/>", tag, strings.Join(attrs, ""))
+		return
+	}
+	e.printf("<%s%s>", tag, strings.Join(attrs, ""))
+	if n.Text() != "" {
+		e.printf("%s", e.escape(n.Text()))
+	}
+	hadChildren := false
+	for _, prob := range content {
+		hadChildren = true
+		e.writeProb(prob, depth+1)
+	}
+	if hadChildren {
+		e.indent(depth)
+	}
+	e.printf("</%s>", tag)
+}
+
+// certainAttr reports whether a prob child is a trivial choice holding a
+// single attribute leaf.
+func certainAttr(prob *pxml.Node) (*pxml.Node, bool) {
+	if len(prob.Children()) != 1 {
+		return nil, false
+	}
+	poss := prob.Child(0)
+	if len(poss.Children()) != 1 {
+		return nil, false
+	}
+	el := poss.Child(0)
+	if strings.HasPrefix(el.Tag(), AttrPrefix) && el.IsLeaf() {
+		return el, true
+	}
+	return nil, false
+}
+
+func (e *encoder) writeProb(n *pxml.Node, depth int) {
+	trivial := len(n.Children()) == 1 && n.Child(0).Prob() >= 1-pxml.ProbEpsilon
+	if trivial && !e.opts.KeepTrivial {
+		for _, el := range n.Child(0).Children() {
+			e.writeElem(el, depth)
+		}
+		return
+	}
+	e.indent(depth)
+	e.printf("<%s>", ProbTag)
+	for _, poss := range n.Children() {
+		e.writePoss(poss, depth+1)
+	}
+	e.indent(depth)
+	e.printf("</%s>", ProbTag)
+}
+
+func (e *encoder) writePoss(n *pxml.Node, depth int) {
+	e.indent(depth)
+	if len(n.Children()) == 0 {
+		e.printf(`<%s p="%s"/>`, PossTag, e.formatProb(n.Prob()))
+		return
+	}
+	e.printf(`<%s p="%s">`, PossTag, e.formatProb(n.Prob()))
+	for _, el := range n.Children() {
+		e.writeElem(el, depth+1)
+	}
+	e.indent(depth)
+	e.printf("</%s>", PossTag)
+}
