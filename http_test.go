@@ -1,0 +1,55 @@
+package imprecise_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	imprecise "repro"
+)
+
+// TestNewHTTPHandler drives the public HTTP surface end to end: open a
+// database, serve it, integrate a second source over the wire, query.
+func TestNewHTTPHandler(t *testing.T) {
+	db, err := imprecise.OpenXMLString(qsBookA, imprecise.Config{
+		Schema: imprecise.MustParseDTD(qsDTD),
+	})
+	if err != nil {
+		t.Fatalf("OpenXMLString: %v", err)
+	}
+	ts := httptest.NewServer(imprecise.NewHTTPHandler(db, imprecise.ServerOptions{}))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/integrate", "application/xml", strings.NewReader(qsBookB))
+	if err != nil {
+		t.Fatalf("POST /integrate: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /integrate: status %d, body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/query?q=" + url.QueryEscape(`//person/tel`))
+	if err != nil {
+		t.Fatalf("GET /query: %v", err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Method  string `json:"method"`
+		Answers []struct {
+			Value string  `json:"value"`
+			P     float64 `json:"p"`
+		} `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decode query response: %v", err)
+	}
+	if len(qr.Answers) != 2 || qr.Method == "" {
+		t.Fatalf("query response = %+v", qr)
+	}
+}

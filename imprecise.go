@@ -29,6 +29,7 @@ package imprecise
 
 import (
 	"io"
+	"net/http"
 	"strings"
 
 	"repro/internal/core"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/xmlcodec"
 )
@@ -217,6 +219,18 @@ type QueryResult = query.Result
 // QueryOptions configure evaluation strategies and budgets.
 type QueryOptions = query.Options
 
+// QueryCache is a concurrency-safe LRU cache of compiled queries, for
+// callers evaluating the same query strings repeatedly outside a
+// Database (which caches internally).
+type QueryCache = query.Cache
+
+// QueryCacheStats reports a QueryCache's hit/miss counters.
+type QueryCacheStats = query.CacheStats
+
+// NewQueryCache builds a compiled-query cache holding at most capacity
+// entries (<= 0 means the default capacity).
+func NewQueryCache(capacity int) *QueryCache { return query.NewCache(capacity) }
+
 // CompileQuery parses a query.
 func CompileQuery(src string) (*Query, error) { return query.Compile(src) }
 
@@ -292,3 +306,18 @@ func SaveSnapshot(dir string, t *Tree, schema *Schema, comment string) (Manifest
 
 // LoadSnapshot reads a snapshot back, verifying its checksums.
 func LoadSnapshot(dir string) (*Snapshot, error) { return store.Load(dir) }
+
+// --- serving ---
+
+// ServerOptions configure the HTTP front end (snapshot directory, body
+// limits, request logging).
+type ServerOptions = server.Options
+
+// NewHTTPHandler returns an http.Handler exposing db over the
+// JSON-over-HTTP API of the `imprecise serve` command: /integrate,
+// /query, /feedback, /stats, /worlds, /export, /save, /load, /healthz.
+// The handler is safe for concurrent requests; see README.md for the
+// endpoint reference.
+func NewHTTPHandler(db *Database, opts ServerOptions) http.Handler {
+	return server.New(db, opts).Handler()
+}

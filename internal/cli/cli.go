@@ -8,10 +8,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dtd"
 	"repro/internal/explain"
@@ -20,6 +25,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/server"
 	"repro/internal/shell"
 	"repro/internal/worlds"
 	"repro/internal/xmlcodec"
@@ -28,7 +34,7 @@ import (
 // Run executes one CLI invocation, writing human output to w.
 func Run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate")
+		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate | serve")
 	}
 	switch args[0] {
 	case "integrate":
@@ -45,10 +51,12 @@ func Run(args []string, w io.Writer) error {
 		return runExplain(args[1:], w)
 	case "generate":
 		return runGenerate(args[1:], w)
+	case "serve":
+		return runServe(args[1:], w)
 	case "shell":
 		return shell.New(w).Run(os.Stdin)
 	case "help", "-h", "--help":
-		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, shell")
+		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, serve, shell")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
@@ -335,6 +343,81 @@ func runFeedback(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "written: %s\n", *outPath)
+	}
+	return nil
+}
+
+// serveListen is swapped by tests to bind an ephemeral port and stop the
+// server once it is up.
+var serveListen = net.Listen
+
+func runServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dbPath := fs.String("db", "", "initial document (default: empty document with -root tag)")
+	rootTag := fs.String("root", "db", "root element tag when starting empty")
+	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge")
+	ruleSpec := fs.String("rules", "", "comma-separated domain rules: genre,title,year,director")
+	snapDir := fs.String("snapshots", "", "snapshot directory for /save and /load (empty disables them)")
+	cacheSize := fs.Int("query-cache", 0, "compiled-query LRU cache capacity (0 = default)")
+	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
+	quiet := fs.Bool("quiet", false, "disable the per-request log")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tree *pxml.Tree
+	var err error
+	if *dbPath != "" {
+		tree, err = loadTree(*dbPath)
+	} else {
+		tree, err = xmlcodec.DecodeString("<" + *rootTag + "/>")
+	}
+	if err != nil {
+		return err
+	}
+	var schema *dtd.Schema
+	if *dtdPath != "" {
+		data, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			return err
+		}
+		schema, err = dtd.ParseString(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	rules, err := parseRules(*ruleSpec)
+	if err != nil {
+		return err
+	}
+	db, err := core.Open(tree, core.Config{
+		Schema:         schema,
+		Rules:          rules,
+		QueryCacheSize: *cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(w, "imprecise: ", log.LstdFlags)
+	}
+	srv := server.New(db, server.Options{
+		SnapshotDir:  *snapDir,
+		MaxBodyBytes: *maxBody,
+		Logger:       logger,
+	})
+	ln, err := serveListen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(w, "serving IMPrECISE on http://%s (document: %d nodes, %s worlds)\n",
+		ln.Addr(), tree.NodeCount(), tree.WorldCount())
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+		return err
 	}
 	return nil
 }

@@ -140,6 +140,11 @@ func TestCLIErrors(t *testing.T) {
 		{"explain", "-db", a, "-q", "//a", "-value", "nope"},
 		{"explain", "-db", a, "-q", "broken[", "-value", "x"},
 		{"generate", "-scenario", "bogus"},
+		{"serve", "-db", "missing.xml"},
+		{"serve", "-dtd", "missing.dtd"},
+		{"serve", "-rules", "bogus"},
+		{"serve", "-root", ""},
+		{"serve", "-addr", "not-an-address"},
 	}
 	for _, args := range cases {
 		if _, err := run(t, args...); err == nil {

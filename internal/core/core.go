@@ -2,6 +2,19 @@
 // module of the paper's §IV architecture: probabilistic XML storage at the
 // bottom, data integration with "The Oracle" in the middle, and
 // probabilistic querying plus user feedback on top.
+//
+// # Concurrency
+//
+// A Database is safe for concurrent use. It relies on the immutability of
+// pxml nodes: every mutation (IntegrateTree, Feedback, Normalize,
+// ReplaceTree, LoadSnapshot) builds a new tree and installs it with a
+// copy-on-write pointer swap, so readers (Query, Stats, ExportXML, …)
+// snapshot the current tree under a read lock and then work entirely on
+// that immutable snapshot without holding any lock. Reads therefore never
+// block behind a long-running integration; they simply observe the
+// pre-mutation document until the swap lands. Mutations are serialized
+// among themselves by a separate writer mutex, so two concurrent
+// integrations cannot lose each other's result.
 package core
 
 import (
@@ -10,6 +23,7 @@ import (
 	"io"
 	"math/big"
 	"strings"
+	"sync"
 
 	"repro/internal/dtd"
 	"repro/internal/feedback"
@@ -17,6 +31,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/store"
 	"repro/internal/xmlcodec"
 )
 
@@ -37,18 +52,33 @@ type Config struct {
 	Query query.Options
 	// Feedback bounds the conditioning work of feedback processing.
 	Feedback feedback.Options
+	// QueryCacheSize caps the compiled-query LRU cache (0 means
+	// query.DefaultCacheCapacity).
+	QueryCacheSize int
 }
 
 // Database is a probabilistic XML database with near-automatic
-// integration. It is not safe for concurrent mutation; concurrent queries
-// against an unchanging database are safe (the tree is immutable).
+// integration. It is safe for concurrent use: see the package
+// documentation for the copy-on-write locking discipline.
 type Database struct {
-	tree   *pxml.Tree
-	oracle *oracle.Oracle
-	cfg    Config
-
-	integrations []integrate.Stats
+	// writeMu serializes mutations end to end, so each mutation reads a
+	// settled tree, computes its successor outside mu, and swaps.
+	writeMu sync.Mutex
+	// mu guards the snapshot fields below. Readers hold it only long
+	// enough to copy pointers; never during tree traversal.
+	mu           sync.RWMutex
+	tree         *pxml.Tree
+	schema       *dtd.Schema
 	session      *feedback.Session
+	integrations []integrate.Stats
+	// events mirrors session.History() so readers can list feedback
+	// without touching the session (which only writers may access).
+	events []feedback.Event
+
+	// Immutable after Open.
+	oracle  *oracle.Oracle
+	cfg     Config
+	queries *query.Cache
 }
 
 // Open creates a database over an initial document.
@@ -60,9 +90,11 @@ func Open(doc *pxml.Tree, cfg Config) (*Database, error) {
 		return nil, fmt.Errorf("core: invalid document: %w", err)
 	}
 	db := &Database{
-		tree:   doc,
-		oracle: oracle.New(cfg.Rules, cfg.OracleOptions...),
-		cfg:    cfg,
+		tree:    doc,
+		schema:  cfg.Schema,
+		oracle:  oracle.New(cfg.Rules, cfg.OracleOptions...),
+		cfg:     cfg,
+		queries: query.NewCache(cfg.QueryCacheSize),
 	}
 	db.session = feedback.NewSession(doc, cfg.Feedback)
 	return db, nil
@@ -78,32 +110,63 @@ func OpenXML(r io.Reader, cfg Config) (*Database, error) {
 	return Open(tree, cfg)
 }
 
-// Tree returns the current probabilistic document.
-func (db *Database) Tree() *pxml.Tree { return db.tree }
+// Tree returns the current probabilistic document (an immutable
+// snapshot; later mutations swap in a new tree and never touch it).
+func (db *Database) Tree() *pxml.Tree {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree
+}
+
+// Schema returns the current DTD knowledge (nil if none).
+func (db *Database) Schema() *dtd.Schema {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.schema
+}
 
 // Oracle returns the database's rule oracle.
 func (db *Database) Oracle() *oracle.Oracle { return db.oracle }
 
-// setTree swaps the document and resets the feedback session to it.
-func (db *Database) setTree(t *pxml.Tree) {
+// setTreeLocked swaps the document in and resets the feedback session to
+// it. Callers must hold writeMu and mu; keeping the swap plus any related
+// state updates in one mu critical section means readers never observe a
+// new tree paired with stale sibling state (schema, histories).
+func (db *Database) setTreeLocked(t *pxml.Tree) {
 	db.tree = t
 	db.session = feedback.NewSession(t, db.cfg.Feedback)
+	db.events = nil
 }
 
 // IntegrateTree integrates another document into the database. The
 // database content becomes the probabilistic integration of the current
 // document (source A) and the new one (source B).
 func (db *Database) IntegrateTree(other *pxml.Tree) (*integrate.Stats, error) {
+	_, stats, err := db.IntegrateTreeResult(other)
+	return stats, err
+}
+
+// IntegrateTreeResult is IntegrateTree returning also the resulting
+// tree, for callers that must report on exactly the document their own
+// integration produced (a later writer may have swapped in a newer tree
+// by the time Tree() is called).
+func (db *Database) IntegrateTreeResult(other *pxml.Tree) (*pxml.Tree, *integrate.Stats, error) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	cfg := db.cfg.Integration
 	cfg.Oracle = db.oracle
-	cfg.Schema = db.cfg.Schema
-	res, stats, err := integrate.Integrate(db.tree, other, cfg)
+	cfg.Schema = db.Schema()
+	// The expensive merge runs on a snapshot, outside mu: concurrent
+	// queries keep being served from the pre-integration tree.
+	res, stats, err := integrate.Integrate(db.Tree(), other, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	db.setTree(res)
+	db.mu.Lock()
+	db.setTreeLocked(res)
 	db.integrations = append(db.integrations, *stats)
-	return stats, nil
+	db.mu.Unlock()
+	return res, stats, nil
 }
 
 // IntegrateXML integrates an XML source into the database.
@@ -122,28 +185,46 @@ func (db *Database) IntegrateXMLString(src string) (*integrate.Stats, error) {
 
 // IntegrationHistory returns the statistics of every integration run.
 func (db *Database) IntegrationHistory() []integrate.Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return append([]integrate.Stats(nil), db.integrations...)
 }
 
+// IntegrationCount returns the number of integration runs without
+// copying the history (for cheap stats polling).
+func (db *Database) IntegrationCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.integrations)
+}
+
 // Query compiles and evaluates a query, returning ranked answers.
+// Compilation goes through the database's LRU cache, so repeated query
+// strings skip parsing.
 func (db *Database) Query(src string) (query.Result, error) {
-	q, err := query.Compile(src)
+	q, err := db.queries.Compile(src)
 	if err != nil {
 		return query.Result{}, err
 	}
 	return db.QueryCompiled(q)
 }
 
-// QueryCompiled evaluates a compiled query.
+// QueryCompiled evaluates a compiled query against a snapshot of the
+// current document.
 func (db *Database) QueryCompiled(q *query.Query) (query.Result, error) {
-	return query.Eval(db.tree, q, db.cfg.Query)
+	return query.Eval(db.Tree(), q, db.cfg.Query)
+}
+
+// QueryCacheStats reports the compiled-query cache counters.
+func (db *Database) QueryCacheStats() query.CacheStats {
+	return db.queries.Stats()
 }
 
 // Feedback applies a user judgment on a query answer, removing worlds
 // that contradict it. The paper's demo left this unimplemented; here it
 // updates the database in place.
 func (db *Database) Feedback(querySrc, value string, correct bool) (feedback.Event, error) {
-	q, err := query.Compile(querySrc)
+	q, err := db.queries.Compile(querySrc)
 	if err != nil {
 		return feedback.Event{}, err
 	}
@@ -151,53 +232,127 @@ func (db *Database) Feedback(querySrc, value string, correct bool) (feedback.Eve
 	if correct {
 		j = feedback.Correct
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	// The session's conditioning builds a new tree; queries keep reading
+	// the old one until the swap below.
 	ev, err := db.session.Apply(q, value, j)
 	if err != nil {
 		return ev, err
 	}
+	db.mu.Lock()
 	db.tree = db.session.Tree()
+	db.events = append(db.events, ev)
+	db.mu.Unlock()
 	return ev, nil
 }
 
 // FeedbackHistory returns the feedback events applied since the last
-// integration.
+// integration. Like the other read accessors it never blocks behind an
+// in-flight mutation.
 func (db *Database) FeedbackHistory() []feedback.Event {
-	return db.session.History()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]feedback.Event(nil), db.events...)
+}
+
+// FeedbackCount returns the number of feedback events since the last
+// integration without copying the history.
+func (db *Database) FeedbackCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.events)
 }
 
 // Stats reports the size measures of the current document.
-func (db *Database) Stats() pxml.Stats { return db.tree.CollectStats() }
+func (db *Database) Stats() pxml.Stats { return db.Tree().CollectStats() }
 
 // WorldCount returns the number of possible worlds of the current
 // document.
-func (db *Database) WorldCount() *big.Int { return db.tree.WorldCount() }
+func (db *Database) WorldCount() *big.Int { return db.Tree().WorldCount() }
 
 // IsCertain reports whether all uncertainty has been resolved.
-func (db *Database) IsCertain() bool { return db.tree.IsCertain() }
+func (db *Database) IsCertain() bool { return db.Tree().IsCertain() }
 
 // Normalize canonicalizes the current document (merging duplicate
 // possibilities), returning the size before and after.
 func (db *Database) Normalize() (before, after int64, err error) {
-	before = db.tree.NodeCount()
-	nt, err := db.tree.Normalize()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	t := db.Tree()
+	before = t.NodeCount()
+	nt, err := t.Normalize()
 	if err != nil {
 		return before, before, err
 	}
-	db.setTree(nt)
+	db.mu.Lock()
+	db.setTreeLocked(nt)
+	db.mu.Unlock()
 	return before, nt.NodeCount(), nil
+}
+
+// ReplaceTree swaps the entire document for a new one, discarding the
+// feedback session and integration history. It backs the server's
+// replace-mode integrate and snapshot loading.
+func (db *Database) ReplaceTree(t *pxml.Tree) error {
+	if t == nil {
+		return errors.New("core: nil document")
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("core: invalid document: %w", err)
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.Lock()
+	db.setTreeLocked(t)
+	db.integrations = nil
+	db.mu.Unlock()
+	return nil
+}
+
+// SaveSnapshot persists the current document and schema into dir via the
+// store package, returning the written manifest.
+func (db *Database) SaveSnapshot(dir, comment string) (store.Manifest, error) {
+	db.mu.RLock()
+	tree, schema := db.tree, db.schema
+	db.mu.RUnlock()
+	return store.Save(dir, tree, schema, comment)
+}
+
+// LoadSnapshot replaces the database content with a snapshot read from
+// dir. A schema stored in the snapshot replaces the current schema; a
+// snapshot without one keeps it.
+func (db *Database) LoadSnapshot(dir string) (*store.Snapshot, error) {
+	snap, err := store.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.Lock()
+	db.setTreeLocked(snap.Tree)
+	db.integrations = nil
+	if snap.Schema != nil {
+		db.schema = snap.Schema
+	}
+	db.mu.Unlock()
+	return snap, nil
 }
 
 // ExportXML writes the current document as XML with probabilistic
 // markers.
 func (db *Database) ExportXML(w io.Writer, opts xmlcodec.EncodeOptions) error {
-	return xmlcodec.Encode(w, db.tree, opts)
+	return xmlcodec.Encode(w, db.Tree(), opts)
 }
 
 // ValidateAgainstSchema checks the current document against the
 // configured schema (every possible world's cardinality bounds).
 func (db *Database) ValidateAgainstSchema() error {
-	if db.cfg.Schema == nil {
+	db.mu.RLock()
+	tree, schema := db.tree, db.schema
+	db.mu.RUnlock()
+	if schema == nil {
 		return nil
 	}
-	return db.cfg.Schema.ValidateTree(db.tree)
+	return schema.ValidateTree(tree)
 }

@@ -1,0 +1,104 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity is the compiled-query capacity of a Cache built
+// with NewCache(0).
+const DefaultCacheCapacity = 256
+
+// CacheStats reports the effectiveness of a Cache.
+type CacheStats struct {
+	// Hits and Misses count Compile calls answered from / not in the
+	// cache. Parse failures count as misses and are never cached.
+	Hits, Misses int64
+	// Size is the number of compiled queries currently cached; Capacity
+	// the maximum before least-recently-used eviction.
+	Size, Capacity int
+}
+
+// Cache is a fixed-capacity, concurrency-safe LRU cache of compiled
+// queries. Query compilation is pure (a Query is immutable once built),
+// so a cached *Query may be shared freely between goroutines; the cache
+// sits in front of Compile on the serving hot path, where the same query
+// strings arrive over and over.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List               // front = most recently used
+	byText map[string]*list.Element // query text -> entry
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	src string
+	q   *Query
+}
+
+// NewCache builds a compiled-query cache holding at most capacity
+// entries; capacity <= 0 means DefaultCacheCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		cap:    capacity,
+		ll:     list.New(),
+		byText: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Compile returns the compiled form of src, parsing it only if no cached
+// compilation exists. Errors are returned verbatim and not cached.
+func (c *Cache) Compile(src string) (*Query, error) {
+	c.mu.Lock()
+	if el, ok := c.byText[src]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		q := el.Value.(*cacheEntry).q
+		c.mu.Unlock()
+		return q, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock: compilation is pure, so two goroutines
+	// racing on the same uncached string merely both parse it once.
+	q, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byText[src]; ok {
+		// Lost the race; keep the first insertion.
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).q, nil
+	}
+	c.byText[src] = c.ll.PushFront(&cacheEntry{src: src, q: q})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byText, oldest.Value.(*cacheEntry).src)
+	}
+	return q, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.cap}
+}
+
+// Purge empties the cache, keeping the hit/miss counters.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byText)
+}

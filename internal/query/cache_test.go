@@ -1,0 +1,106 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitReturnsSameQuery(t *testing.T) {
+	c := NewCache(4)
+	q1, err := c.Compile(`//person/nm`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	q2, err := c.Compile(`//person/nm`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if q1 != q2 {
+		t.Fatalf("cache returned a fresh compilation on hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / size 1", s)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewCache(4)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Compile(`not a query`); err == nil {
+			t.Fatalf("bad query should error")
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 2 || s.Size != 0 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses / size 0", s)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
+	mustCompile := func(src string) *Query {
+		t.Helper()
+		q, err := c.Compile(src)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		return q
+	}
+	a := mustCompile(`//a`)
+	mustCompile(`//b`)
+	mustCompile(`//a`) // refresh a: b is now the LRU entry
+	mustCompile(`//c`) // evicts b
+	if got := mustCompile(`//a`); got != a {
+		t.Fatalf("a was evicted but should have been refreshed")
+	}
+	s := c.Stats()
+	if s.Size != 2 {
+		t.Fatalf("size = %d, want capacity 2", s.Size)
+	}
+	before := c.Stats().Misses
+	mustCompile(`//b`) // must re-parse after eviction
+	if c.Stats().Misses != before+1 {
+		t.Fatalf("evicted entry served from cache")
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(4)
+	if _, err := c.Compile(`//a`); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	c.Purge()
+	if s := c.Stats(); s.Size != 0 || s.Misses != 1 {
+		t.Fatalf("stats after purge = %+v", s)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	if got := NewCache(0).Stats().Capacity; got != DefaultCacheCapacity {
+		t.Fatalf("capacity = %d, want %d", got, DefaultCacheCapacity)
+	}
+}
+
+func TestCacheConcurrentCompile(t *testing.T) {
+	c := NewCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				src := fmt.Sprintf(`//tag%d`, i%12) // 12 queries > 8 slots: constant eviction
+				if _, err := c.Compile(src); err != nil {
+					t.Errorf("Compile(%q): %v", src, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Size > 8 {
+		t.Fatalf("size %d exceeds capacity", s.Size)
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// middleware wraps a handler with one cross-cutting concern.
+type middleware func(http.Handler) http.Handler
+
+// chain applies middlewares so the first listed one is outermost (runs
+// first on the way in, last on the way out).
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// withRequestLog logs one line per request: method, path, status, bytes
+// written and wall time. A nil logger disables it entirely.
+func withRequestLog(logger *log.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &statusRecorder{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(rec, r)
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			logger.Printf("%s %s -> %d (%dB, %s)",
+				r.Method, r.URL.RequestURI(), rec.status, rec.bytes, time.Since(start).Round(time.Microsecond))
+		})
+	}
+}
+
+// withBodyLimit caps request bodies at n bytes; reads past the limit
+// fail with *http.MaxBytesError, which handlers map to 413.
+func withBodyLimit(n int64) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// withRecover turns handler panics into 500 responses instead of tearing
+// down the connection (and with it, sibling requests on HTTP/2).
+func withRecover(logger *log.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					if logger != nil {
+						logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+					}
+					writeError(w, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}

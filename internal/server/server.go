@@ -1,0 +1,525 @@
+// Package server exposes an IMPrECISE probabilistic database over a
+// JSON-over-HTTP API — the interactive integration service the paper's
+// demo describes: clients POST XML sources to integrate, issue ranked
+// probabilistic queries, feed judgments back, and persist/restore
+// snapshots, all against one shared core.Database. The database's
+// copy-on-write concurrency discipline means query traffic keeps being
+// served from a consistent snapshot while an integration is in flight.
+//
+// Endpoints (all responses are JSON; errors use {"error": "…"}):
+//
+//	POST /integrate?mode=merge|replace  XML body -> integration stats
+//	GET  /query?q=…&top=N               ranked answers
+//	POST /feedback                      {"query","value","correct"} -> event
+//	GET  /stats                         document + cache + server statistics
+//	GET  /worlds?max=N                  enumerated possible worlds
+//	GET  /export                        the document as probabilistic XML
+//	POST /save                          {"name","comment"} -> manifest
+//	POST /load                          {"name"} -> manifest
+//	GET  /healthz                       liveness probe
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pxml"
+	"repro/internal/store"
+	"repro/internal/worlds"
+	"repro/internal/xmlcodec"
+)
+
+// DefaultMaxBodyBytes caps request bodies when Options.MaxBodyBytes is
+// zero (8 MiB — generous for XML sources, small enough to shrug off
+// accidental uploads).
+const DefaultMaxBodyBytes = 8 << 20
+
+// DefaultMaxWorlds is the ceiling on the number of worlds a single
+// /worlds response enumerates; max parameters above it are clamped
+// down to it (the parameter's own default is 20).
+const DefaultMaxWorlds = 1000
+
+// Options configure a Server.
+type Options struct {
+	// SnapshotDir is the directory under which /save and /load resolve
+	// snapshot names. Empty disables the persistence endpoints (503).
+	SnapshotDir string
+	// MaxBodyBytes bounds request bodies (0 means DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxWorlds bounds /worlds enumeration (0 means DefaultMaxWorlds).
+	MaxWorlds int
+	// Logger receives one line per request; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server is the HTTP front end over one core.Database.
+type Server struct {
+	db   *core.Database
+	opts Options
+	mux  *http.ServeMux
+}
+
+// New builds a Server over db. The database carries all integration
+// knowledge (schema, rules); the server only translates HTTP.
+func New(db *core.Database, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.MaxWorlds <= 0 {
+		opts.MaxWorlds = DefaultMaxWorlds
+	}
+	s := &Server{db: db, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /integrate", s.handleIntegrate)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /worlds", s.handleWorlds)
+	s.mux.HandleFunc("GET /export", s.handleExport)
+	s.mux.HandleFunc("POST /save", s.handleSave)
+	s.mux.HandleFunc("POST /load", s.handleLoad)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's routes wrapped in the middleware stack
+// (panic recovery, body limits, request logging).
+func (s *Server) Handler() http.Handler {
+	return chain(s.mux,
+		withRequestLog(s.opts.Logger),
+		withBodyLimit(s.opts.MaxBodyBytes),
+		withRecover(s.opts.Logger),
+	)
+}
+
+// --- response plumbing ---
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are out; nothing useful to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a JSON request body into v, rejecting unknown fields
+// so client typos surface as 400s instead of silent defaults.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- handlers ---
+
+// IntegrateResponse reports what an integration run did.
+type IntegrateResponse struct {
+	Mode string `json:"mode"`
+	// Oracle decisions over candidate element pairs.
+	OracleCalls    int `json:"oracle_calls"`
+	MustPairs      int `json:"must_pairs"`
+	CannotPairs    int `json:"cannot_pairs"`
+	UndecidedPairs int `json:"undecided_pairs"`
+	// Matching enumeration and schema pruning.
+	MatchingsEnumerated int `json:"matchings_enumerated"`
+	MatchingsPruned     int `json:"matchings_pruned"`
+	TruncatedComponents int `json:"truncated_components,omitempty"`
+	// Resulting document size.
+	LogicalNodes int64  `json:"logical_nodes"`
+	Worlds       string `json:"worlds"`
+	ChoicePoints int    `json:"choice_points"`
+}
+
+func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "merge"
+	}
+	resp := IntegrateResponse{Mode: mode}
+	// result is this request's own resulting document — not s.db.Tree(),
+	// which a concurrent writer may have advanced past it already.
+	var result *pxml.Tree
+	switch mode {
+	case "merge":
+		other, err := xmlcodec.Decode(r.Body)
+		if err != nil {
+			writeError(w, statusForBodyError(err, http.StatusUnprocessableEntity), "integrate: %v", err)
+			return
+		}
+		res, stats, err := s.db.IntegrateTreeResult(other)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "integrate: %v", err)
+			return
+		}
+		result = res
+		resp.OracleCalls = stats.OracleCalls
+		resp.MustPairs = stats.MustPairs
+		resp.CannotPairs = stats.CannotPairs
+		resp.UndecidedPairs = stats.UndecidedPairs
+		resp.MatchingsEnumerated = stats.MatchingsEnumerated
+		resp.MatchingsPruned = stats.MatchingsPruned
+		resp.TruncatedComponents = stats.TruncatedComponents
+	case "replace":
+		tree, err := xmlcodec.Decode(r.Body)
+		if err != nil {
+			writeError(w, statusForBodyError(err, http.StatusUnprocessableEntity), "integrate: %v", err)
+			return
+		}
+		if err := s.db.ReplaceTree(tree); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "integrate: %v", err)
+			return
+		}
+		result = tree
+	default:
+		writeError(w, http.StatusBadRequest, "integrate: unknown mode %q (merge | replace)", mode)
+		return
+	}
+	resp.LogicalNodes = result.NodeCount()
+	resp.Worlds = result.WorldCount().String()
+	resp.ChoicePoints = result.ChoicePoints()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusForBodyError maps request-body read failures (e.g. the body
+// limit middleware firing) to 413, everything else to fallback.
+func statusForBodyError(err error, fallback int) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return fallback
+}
+
+// QueryAnswer is one ranked probabilistic answer.
+type QueryAnswer struct {
+	Value string  `json:"value"`
+	P     float64 `json:"p"`
+}
+
+// QueryResponse is a ranked, probability-annotated answer list.
+type QueryResponse struct {
+	Query string `json:"query"`
+	// Method is the evaluation strategy used: exact, enumerate or sample.
+	Method  string        `json:"method"`
+	Answers []QueryAnswer `json:"answers"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		writeError(w, http.StatusBadRequest, "query: missing q parameter")
+		return
+	}
+	top, err := intParam(r, "top", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	res, err := s.db.Query(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	answers := res.Answers
+	if top > 0 {
+		answers = res.Top(top)
+	}
+	resp := QueryResponse{Query: src, Method: string(res.Method), Answers: make([]QueryAnswer, 0, len(answers))}
+	for _, a := range answers {
+		resp.Answers = append(resp.Answers, QueryAnswer{Value: a.Value, P: a.P})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FeedbackRequest is a user judgment on one query answer. Correct is a
+// pointer so an omitted field is a 400 rather than a silent (and
+// irreversible) "incorrect" judgment.
+type FeedbackRequest struct {
+	Query   string `json:"query"`
+	Value   string `json:"value"`
+	Correct *bool  `json:"correct"`
+}
+
+// FeedbackResponse reports the conditioning a judgment caused.
+type FeedbackResponse struct {
+	Query        string  `json:"query"`
+	Value        string  `json:"value"`
+	Judgment     string  `json:"judgment"`
+	PriorP       float64 `json:"prior_p"`
+	WorldsBefore string  `json:"worlds_before"`
+	WorldsAfter  string  `json:"worlds_after"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, statusForBodyError(err, http.StatusBadRequest), "feedback: bad request body: %v", err)
+		return
+	}
+	if req.Query == "" || req.Value == "" || req.Correct == nil {
+		writeError(w, http.StatusBadRequest, "feedback: query, value and correct are required")
+		return
+	}
+	ev, err := s.db.Feedback(req.Query, req.Value, *req.Correct)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "feedback: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FeedbackResponse{
+		Query:        ev.Query,
+		Value:        ev.Value,
+		Judgment:     ev.Judgment.String(),
+		PriorP:       ev.PriorP,
+		WorldsBefore: ev.WorldsBefore.String(),
+		WorldsAfter:  ev.WorldsAfter.String(),
+	})
+}
+
+// StatsResponse summarizes the document, the compiled-query cache, and
+// the session history counts.
+type StatsResponse struct {
+	LogicalNodes  int64  `json:"logical_nodes"`
+	PhysicalNodes int64  `json:"physical_nodes"`
+	Worlds        string `json:"worlds"`
+	ChoicePoints  int    `json:"choice_points"`
+	MaxDepth      int    `json:"max_depth"`
+	Certain       bool   `json:"certain"`
+	Integrations  int    `json:"integrations"`
+	FeedbackCount int    `json:"feedback_events"`
+	QueryCache    struct {
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Size     int   `json:"size"`
+		Capacity int   `json:"capacity"`
+	} `json:"query_cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t := s.db.Tree()
+	st := t.CollectStats()
+	resp := StatsResponse{
+		LogicalNodes:  st.LogicalNodes,
+		PhysicalNodes: st.PhysicalNodes,
+		Worlds:        st.Worlds.String(),
+		ChoicePoints:  t.ChoicePoints(),
+		MaxDepth:      st.MaxDepth,
+		Certain:       t.IsCertain(),
+		Integrations:  s.db.IntegrationCount(),
+		FeedbackCount: s.db.FeedbackCount(),
+	}
+	cs := s.db.QueryCacheStats()
+	resp.QueryCache.Hits = cs.Hits
+	resp.QueryCache.Misses = cs.Misses
+	resp.QueryCache.Size = cs.Size
+	resp.QueryCache.Capacity = cs.Capacity
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// WorldsResponse lists enumerated possible worlds.
+type WorldsResponse struct {
+	Total string  `json:"total_worlds"`
+	Shown int     `json:"shown"`
+	List  []World `json:"worlds"`
+}
+
+// World is one possible world: its probability and its root elements
+// rendered as indented sketches.
+type World struct {
+	P        float64  `json:"p"`
+	Elements []string `json:"elements"`
+}
+
+func (s *Server) handleWorlds(w http.ResponseWriter, r *http.Request) {
+	max, err := intParam(r, "max", 20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "worlds: %v", err)
+		return
+	}
+	if max <= 0 {
+		writeError(w, http.StatusBadRequest, "worlds: max must be positive")
+		return
+	}
+	if max > s.opts.MaxWorlds {
+		max = s.opts.MaxWorlds
+	}
+	t := s.db.Tree()
+	resp := WorldsResponse{Total: t.WorldCount().String(), List: []World{}}
+	worlds.Enumerate(t, func(wd worlds.World) bool {
+		elems := []string{}
+		for _, e := range wd.Elements {
+			elems = append(elems, pxml.Sketch(e))
+		}
+		resp.List = append(resp.List, World{P: wd.P, Elements: elems})
+		return len(resp.List) < max
+	})
+	resp.Shown = len(resp.List)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/xml")
+	if err := s.db.ExportXML(w, xmlcodec.EncodeOptions{Indent: "  "}); err != nil {
+		// Headers may already be out; log-and-abandon is all that's left.
+		s.logf("export: %v", err)
+	}
+}
+
+// SaveRequest names the snapshot to write under the server's snapshot
+// directory.
+type SaveRequest struct {
+	Name    string `json:"name,omitempty"`
+	Comment string `json:"comment,omitempty"`
+}
+
+// LoadRequest names the snapshot to restore.
+type LoadRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// SnapshotResponse reports a save or load, echoing the store manifest.
+// It names the snapshot only; server-side paths stay server-side.
+type SnapshotResponse struct {
+	Name         string `json:"name"`
+	SavedAt      string `json:"saved_at"`
+	LogicalNodes int64  `json:"logical_nodes"`
+	Worlds       string `json:"worlds"`
+	HasSchema    bool   `json:"has_schema"`
+	Comment      string `json:"comment,omitempty"`
+}
+
+// errNoSnapshots is returned when /save or /load is hit on a server
+// started without a snapshot directory.
+var errNoSnapshots = errors.New("snapshot persistence is not enabled (start the server with a snapshot directory)")
+
+// snapshotDir resolves a client-supplied snapshot name inside the
+// configured snapshot directory, rejecting names that would escape it.
+func (s *Server) snapshotDir(name string) (resolved, clean string, err error) {
+	if s.opts.SnapshotDir == "" {
+		return "", "", errNoSnapshots
+	}
+	if name == "" {
+		name = "default"
+	}
+	if name != filepath.Base(name) || name == ".." || name == "." || strings.ContainsAny(name, `/\`) {
+		return "", "", fmt.Errorf("invalid snapshot name %q", name)
+	}
+	return filepath.Join(s.opts.SnapshotDir, name), name, nil
+}
+
+// snapshotNameStatus maps snapshotDir errors: disabled persistence is a
+// 503, a bad name a 400.
+func snapshotNameStatus(err error) int {
+	if errors.Is(err, errNoSnapshots) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func manifestResponse(name string, m store.Manifest) SnapshotResponse {
+	return SnapshotResponse{
+		Name:         name,
+		SavedAt:      m.SavedAt.Format(time.RFC3339),
+		LogicalNodes: m.LogicalNodes,
+		Worlds:       m.Worlds,
+		HasSchema:    m.HasSchema,
+		Comment:      m.Comment,
+	}
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	var req SaveRequest
+	if err := readJSON(r, &req); err != nil && err != io.EOF {
+		writeError(w, statusForBodyError(err, http.StatusBadRequest), "save: bad request body: %v", err)
+		return
+	}
+	dir, name, err := s.snapshotDir(req.Name)
+	if err != nil {
+		writeError(w, snapshotNameStatus(err), "save: %v", err)
+		return
+	}
+	m, err := s.db.SaveSnapshot(dir, req.Comment)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "save: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, manifestResponse(name, m))
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := readJSON(r, &req); err != nil && err != io.EOF {
+		writeError(w, statusForBodyError(err, http.StatusBadRequest), "load: bad request body: %v", err)
+		return
+	}
+	dir, name, err := s.snapshotDir(req.Name)
+	if err != nil {
+		writeError(w, snapshotNameStatus(err), "load: %v", err)
+		return
+	}
+	snap, err := s.db.LoadSnapshot(dir)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, store.ErrCorrupt):
+			status = http.StatusUnprocessableEntity
+		case errors.Is(err, os.ErrNotExist):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "load: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, manifestResponse(name, snap.Manifest))
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz is a pure liveness probe: O(1) on purpose, so
+// orchestrators can poll it against arbitrarily large documents
+// (world counting lives in /stats, where the cost is expected).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// --- helpers ---
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter %q", name, v)
+	}
+	return n, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}

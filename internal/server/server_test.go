@@ -1,0 +1,394 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/server"
+	"repro/internal/xmlcodec"
+)
+
+var personDTD = dtd.MustParse(`
+	<!ELEMENT addressbook (person*)>
+	<!ELEMENT person (nm, tel?)>
+	<!ELEMENT nm (#PCDATA)>
+	<!ELEMENT tel (#PCDATA)>
+`)
+
+const bookA = `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
+const bookB = `<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>`
+
+func boolPtr(b bool) *bool { return &b }
+
+// newTestServer starts an httptest server over a fresh bookA database
+// with snapshots enabled in a temp dir.
+func newTestServer(t *testing.T) (*httptest.Server, *core.Database) {
+	t.Helper()
+	db, err := core.OpenXML(strings.NewReader(bookA), core.Config{Schema: personDTD})
+	if err != nil {
+		t.Fatalf("OpenXML: %v", err)
+	}
+	srv := server.New(db, server.Options{SnapshotDir: t.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+// doJSON performs a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, rawURL, contentType string, body io.Reader, wantStatus int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, rawURL, body)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, rawURL, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d; body %s", method, rawURL, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON %q: %v", data, err)
+		}
+	}
+}
+
+func integrateB(t *testing.T, ts *httptest.Server) server.IntegrateResponse {
+	t.Helper()
+	var resp server.IntegrateResponse
+	doJSON(t, "POST", ts.URL+"/integrate", "application/xml", strings.NewReader(bookB), http.StatusOK, &resp)
+	return resp
+}
+
+func TestIntegrateMerge(t *testing.T) {
+	ts, db := newTestServer(t)
+	resp := integrateB(t, ts)
+	if resp.UndecidedPairs == 0 {
+		t.Fatalf("integration should report undecided pairs: %+v", resp)
+	}
+	if resp.Worlds != "3" {
+		t.Fatalf("worlds = %s, want 3 (Figure 2)", resp.Worlds)
+	}
+	if db.WorldCount().Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("database world count = %s", db.WorldCount())
+	}
+}
+
+func TestIntegrateReplace(t *testing.T) {
+	ts, db := newTestServer(t)
+	integrateB(t, ts)
+	var resp server.IntegrateResponse
+	doJSON(t, "POST", ts.URL+"/integrate?mode=replace", "application/xml",
+		strings.NewReader(bookA), http.StatusOK, &resp)
+	if resp.Worlds != "1" {
+		t.Fatalf("worlds after replace = %s, want 1", resp.Worlds)
+	}
+	if !db.IsCertain() {
+		t.Fatalf("database should be certain after replace")
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/integrate", "application/xml",
+		strings.NewReader(`broken<`), http.StatusUnprocessableEntity, nil)
+	doJSON(t, "POST", ts.URL+"/integrate", "application/xml",
+		strings.NewReader(`<catalog/>`), http.StatusUnprocessableEntity, nil)
+	doJSON(t, "POST", ts.URL+"/integrate?mode=sideways", "application/xml",
+		strings.NewReader(bookB), http.StatusBadRequest, nil)
+}
+
+func TestQuery(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	var resp server.QueryResponse
+	doJSON(t, "GET", ts.URL+"/query?q="+url.QueryEscape(`//person/tel`), "", nil, http.StatusOK, &resp)
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %+v, want 2", resp.Answers)
+	}
+	if resp.Method == "" {
+		t.Fatalf("missing evaluation method")
+	}
+	doJSON(t, "GET", ts.URL+"/query?top=1&q="+url.QueryEscape(`//person/tel`), "", nil, http.StatusOK, &resp)
+	if len(resp.Answers) != 1 {
+		t.Fatalf("top=1 answers = %+v", resp.Answers)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "GET", ts.URL+"/query", "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query?q="+url.QueryEscape(`not a query`), "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query?top=x&q="+url.QueryEscape(`//a`), "", nil, http.StatusBadRequest, nil)
+}
+
+func TestFeedback(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	body, _ := json.Marshal(server.FeedbackRequest{Query: `//person/tel`, Value: "2222", Correct: boolPtr(false)})
+	var resp server.FeedbackResponse
+	doJSON(t, "POST", ts.URL+"/feedback", "application/json", strings.NewReader(string(body)), http.StatusOK, &resp)
+	if resp.WorldsAfter != "1" {
+		t.Fatalf("worlds after feedback = %s, want 1", resp.WorldsAfter)
+	}
+	if resp.Judgment != "incorrect" {
+		t.Fatalf("judgment = %s", resp.Judgment)
+	}
+	// The rejected answer is gone.
+	var qr server.QueryResponse
+	doJSON(t, "GET", ts.URL+"/query?q="+url.QueryEscape(`//person/tel`), "", nil, http.StatusOK, &qr)
+	if len(qr.Answers) != 1 || qr.Answers[0].Value != "1111" {
+		t.Fatalf("answers after feedback = %+v", qr.Answers)
+	}
+}
+
+func TestFeedbackErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/feedback", "application/json",
+		strings.NewReader(`{`), http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/feedback", "application/json",
+		strings.NewReader(`{"query":"//a"}`), http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/feedback", "application/json",
+		strings.NewReader(`{"query":"//a","value":"x","typo":true}`), http.StatusBadRequest, nil)
+	// Omitting "correct" must not silently count as a judgment.
+	doJSON(t, "POST", ts.URL+"/feedback", "application/json",
+		strings.NewReader(`{"query":"//a","value":"x"}`), http.StatusBadRequest, nil)
+}
+
+func TestStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	q := ts.URL + "/query?q=" + url.QueryEscape(`//person/nm`)
+	doJSON(t, "GET", q, "", nil, http.StatusOK, nil)
+	doJSON(t, "GET", q, "", nil, http.StatusOK, nil)
+	var resp server.StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", "", nil, http.StatusOK, &resp)
+	if resp.Worlds != "3" || resp.Certain {
+		t.Fatalf("stats = %+v", resp)
+	}
+	if resp.Integrations != 1 {
+		t.Fatalf("integrations = %d, want 1", resp.Integrations)
+	}
+	if resp.QueryCache.Hits < 1 {
+		t.Fatalf("repeated query did not hit the compiled-query cache: %+v", resp.QueryCache)
+	}
+}
+
+func TestWorlds(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	var resp server.WorldsResponse
+	doJSON(t, "GET", ts.URL+"/worlds?max=2", "", nil, http.StatusOK, &resp)
+	if resp.Total != "3" || resp.Shown != 2 || len(resp.List) != 2 {
+		t.Fatalf("worlds = %+v", resp)
+	}
+	for _, w := range resp.List {
+		if w.P <= 0 || len(w.Elements) == 0 {
+			t.Fatalf("bad world %+v", w)
+		}
+	}
+	doJSON(t, "GET", ts.URL+"/worlds?max=x", "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/worlds?max=0", "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/worlds?max=-3", "", nil, http.StatusBadRequest, nil)
+}
+
+func TestExport(t *testing.T) {
+	ts, db := newTestServer(t)
+	integrateB(t, ts)
+	resp, err := http.Get(ts.URL + "/export")
+	if err != nil {
+		t.Fatalf("GET /export: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/xml" {
+		t.Fatalf("content type = %s", ct)
+	}
+	back, err := xmlcodec.Decode(resp.Body)
+	if err != nil {
+		t.Fatalf("exported document does not decode: %v", err)
+	}
+	if back.WorldCount().Cmp(db.WorldCount()) != 0 {
+		t.Fatalf("world count changed over export: %s vs %s", back.WorldCount(), db.WorldCount())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ts, db := newTestServer(t)
+	integrateB(t, ts)
+	var saved server.SnapshotResponse
+	doJSON(t, "POST", ts.URL+"/save", "application/json",
+		strings.NewReader(`{"name":"exp1","comment":"after B"}`), http.StatusOK, &saved)
+	if saved.Worlds != "3" || saved.Name != "exp1" || !saved.HasSchema {
+		t.Fatalf("save response = %+v", saved)
+	}
+
+	// Mutate past the snapshot, then restore it.
+	body, _ := json.Marshal(server.FeedbackRequest{Query: `//person/tel`, Value: "2222", Correct: boolPtr(false)})
+	doJSON(t, "POST", ts.URL+"/feedback", "application/json", strings.NewReader(string(body)), http.StatusOK, nil)
+	if db.WorldCount().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("feedback did not condition the database")
+	}
+	var loaded server.SnapshotResponse
+	doJSON(t, "POST", ts.URL+"/load", "application/json",
+		strings.NewReader(`{"name":"exp1"}`), http.StatusOK, &loaded)
+	if loaded.Worlds != "3" {
+		t.Fatalf("load response = %+v", loaded)
+	}
+	if db.WorldCount().Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("database not restored: %s worlds", db.WorldCount())
+	}
+}
+
+func TestSaveLoadErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/save", "application/json",
+		strings.NewReader(`{"name":"../evil"}`), http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/load", "application/json",
+		strings.NewReader(`{"name":"never-saved"}`), http.StatusNotFound, nil)
+
+	// Persistence disabled: both endpoints 503.
+	db, err := core.OpenXML(strings.NewReader(bookA), core.Config{})
+	if err != nil {
+		t.Fatalf("OpenXML: %v", err)
+	}
+	bare := httptest.NewServer(server.New(db, server.Options{}).Handler())
+	defer bare.Close()
+	doJSON(t, "POST", bare.URL+"/save", "application/json", strings.NewReader(`{}`), http.StatusServiceUnavailable, nil)
+	doJSON(t, "POST", bare.URL+"/load", "application/json", strings.NewReader(`{}`), http.StatusServiceUnavailable, nil)
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var resp server.HealthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", "", nil, http.StatusOK, &resp)
+	if resp.Status != "ok" {
+		t.Fatalf("healthz = %+v", resp)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/integrate")
+	if err != nil {
+		t.Fatalf("GET /integrate: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /integrate status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	db, err := core.OpenXML(strings.NewReader(bookA), core.Config{})
+	if err != nil {
+		t.Fatalf("OpenXML: %v", err)
+	}
+	ts := httptest.NewServer(server.New(db, server.Options{MaxBodyBytes: 64}).Handler())
+	defer ts.Close()
+	big := `<addressbook>` + strings.Repeat(`<person><nm>X</nm></person>`, 100) + `</addressbook>`
+	doJSON(t, "POST", ts.URL+"/integrate", "application/xml",
+		strings.NewReader(big), http.StatusRequestEntityTooLarge, nil)
+}
+
+// TestConcurrentQueriesDuringIntegration is the acceptance scenario: the
+// server keeps answering /query while /integrate and /feedback requests
+// are in flight. Run under -race it also proves the locking discipline.
+func TestConcurrentQueriesDuringIntegration(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const readers = 8
+	const queriesPerReader = 30
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+2)
+
+	// Writer 1: a stream of integrations (alternating sources).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			src := bookB
+			if i%2 == 1 {
+				src = fmt.Sprintf(`<addressbook><person><nm>P%d</nm><tel>%d</tel></person></addressbook>`, i, 5000+i)
+			}
+			resp, err := http.Post(ts.URL+"/integrate", "application/xml", strings.NewReader(src))
+			if err != nil {
+				errs <- fmt.Errorf("integrate: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("integrate status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// Writer 2: feedback judgments (some will 422 when the value is
+	// already gone — only transport errors are failures).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			body, _ := json.Marshal(server.FeedbackRequest{Query: `//person/tel`, Value: "2222", Correct: boolPtr(false)})
+			resp, err := http.Post(ts.URL+"/feedback", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				errs <- fmt.Errorf("feedback: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// Readers: queries and stats must always succeed.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPerReader; i++ {
+				u := ts.URL + "/query?q=" + url.QueryEscape(`//person/nm`)
+				if i%5 == 0 {
+					u = ts.URL + "/stats"
+				}
+				resp, err := http.Get(u)
+				if err != nil {
+					errs <- fmt.Errorf("read: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("read status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
