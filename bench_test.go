@@ -7,7 +7,10 @@
 package imprecise_test
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -229,6 +232,84 @@ func BenchmarkEvaluators(b *testing.B) {
 	b.Run("sample1k", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			query.EvalSample(tree, q, 1000, int64(i+1))
+		}
+	})
+}
+
+// BenchmarkIntegrateWorkers measures the parallel integration engine on a
+// multi-component document across worker counts: the same confusing-movies
+// integration that BenchmarkFigure5 sizes, now timed while the candidate
+// components fan out over the pool. The components and workers metrics
+// land in BENCH_integrate.json via the CI bench job, so the perf
+// trajectory of the hot path accumulates data points per commit.
+func BenchmarkIntegrateWorkers(b *testing.B) {
+	pair := datagen.Confusing(48, 1)
+	schema := datagen.MovieDTD()
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var stats *integrate.Stats
+			for i := 0; i < b.N; i++ {
+				_, st, err := integrate.Integrate(pair.A.Tree, pair.B.Tree, integrate.Config{
+					Oracle:        oracle.MovieOracle(oracle.SetTitle),
+					Schema:        schema,
+					SkipNormalize: true,
+					Workers:       workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = st
+			}
+			b.ReportMetric(float64(stats.Components), "components")
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+}
+
+// BenchmarkIntegrateBatch measures the one-writer-lock batch ingest path
+// against N sequential single-source integrations of the same documents.
+func BenchmarkIntegrateBatch(b *testing.B) {
+	sources := make([]string, 4)
+	for i := range sources {
+		pair := datagen.Typical(3, 6, 1, int64(i+1))
+		src, err := xmlcodec.EncodeString(pair.B.Tree, xmlcodec.EncodeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sources[i] = src
+	}
+	base := datagen.Typical(3, 6, 1, 99).A.Tree
+	open := func() *imprecise.Database {
+		db, err := imprecise.Open(base, imprecise.Config{Schema: datagen.MovieDTD()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := open()
+			readers := make([]io.Reader, len(sources))
+			for j, s := range sources {
+				readers[j] = strings.NewReader(s)
+			}
+			if _, _, err := db.IntegrateBatchXML(readers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := open()
+			for _, s := range sources {
+				if _, err := db.IntegrateXMLString(s); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	})
 }

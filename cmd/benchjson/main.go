@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can archive benchmark runs as machine-readable
+// artifacts (BENCH_integrate.json) and the perf trajectory of the hot
+// paths accumulates comparable data points per commit.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Integrate -benchtime 1x . | go run ./cmd/benchjson
+//
+// Standard metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric
+// units (components, workers, nodes, …) all land in the per-benchmark
+// metrics map; environment header lines (goos, goarch, cpu, pkg) are
+// captured alongside.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole converted run.
+type Output struct {
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	out := Output{Env: map[string]string{}, Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				out.Results = append(out.Results, r)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			out.Env[key] = strings.TrimSpace(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one benchmark result line of the form
+//
+//	BenchmarkName/sub-8   12   3456 ns/op   7.0 components   1.0 workers
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

@@ -107,28 +107,33 @@ func parseRules(spec string) ([]oracle.Rule, error) {
 
 func runIntegrate(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("integrate", flag.ContinueOnError)
-	aPath := fs.String("a", "", "source A document (required)")
-	bPath := fs.String("b", "", "source B document (required)")
+	aPath := fs.String("a", "", "source A document (or pass ≥2 positional files)")
+	bPath := fs.String("b", "", "source B document (or pass ≥2 positional files)")
 	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge")
 	ruleSpec := fs.String("rules", "", "comma-separated domain rules: genre,title,year,director")
 	outPath := fs.String("o", "", "write the integrated document here")
 	raw := fs.Bool("raw", false, "skip normalization (paper-style raw sizes)")
 	truncate := fs.Bool("truncate", false, "truncate instead of failing on possibility explosion")
 	maxMatchings := fs.Int("max-matchings", 0, "matching budget per candidate component (0 = default)")
+	workers := fs.Int("workers", 0, "integration worker goroutines (0 = all CPUs, 1 = sequential)")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *aPath == "" || *bPath == "" {
-		return errors.New("integrate: -a and -b are required")
-	}
-	a, err := loadTree(*aPath)
-	if err != nil {
-		return err
-	}
-	b, err := loadTree(*bPath)
-	if err != nil {
-		return err
+	// Two source forms: the classic -a/-b pair, or ≥2 positional files
+	// integrated left-to-right as one batch (imprecise integrate a.xml
+	// b.xml c.xml ...).
+	var paths []string
+	switch files := fs.Args(); {
+	case *aPath != "" && *bPath != "":
+		if len(files) > 0 {
+			return errors.New("integrate: use either -a/-b or positional source files, not both")
+		}
+		paths = []string{*aPath, *bPath}
+	case *aPath == "" && *bPath == "" && len(files) >= 2:
+		paths = files
+	default:
+		return errors.New("integrate: provide -a and -b, or at least two source files (imprecise integrate a.xml b.xml c.xml ...)")
 	}
 	var schema *dtd.Schema
 	if *dtdPath != "" {
@@ -145,15 +150,34 @@ func runIntegrate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, stats, err := integrate.Integrate(a, b, integrate.Config{
+	cfg := integrate.Config{
 		Oracle:                   oracle.New(rules, oracle.WithEstimator("movie", oracle.TitleEstimator())),
 		Schema:                   schema,
 		SkipNormalize:            *raw,
 		TruncateOnExplosion:      *truncate,
 		MaxMatchingsPerComponent: *maxMatchings,
-	})
+		Workers:                  *workers,
+	}
+	res, err := loadTree(paths[0])
 	if err != nil {
 		return err
+	}
+	var stats integrate.Stats
+	for step, path := range paths[1:] {
+		next, err := loadTree(path)
+		if err != nil {
+			return err
+		}
+		merged, st, err := integrate.Integrate(res, next, cfg)
+		if err != nil {
+			return fmt.Errorf("integrate: %s: %w", path, err)
+		}
+		res = merged
+		stats.Merge(*st)
+		if len(paths) > 2 {
+			fmt.Fprintf(w, "integrated:      %s (%d/%d), %d nodes, %s worlds\n",
+				path, step+1, len(paths)-1, res.NodeCount(), res.WorldCount())
+		}
 	}
 	s := res.CollectStats()
 	fmt.Fprintf(w, "nodes:           %d (physical %d)\n", s.LogicalNodes, s.PhysicalNodes)
@@ -197,7 +221,7 @@ func runQuery(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := query.Eval(t, q, query.Options{Samples: *samples, Seed: *seed})
+	res, err := query.Eval(t, q, query.Options{Samples: *samples, Seed: query.SeedPtr(*seed)})
 	if err != nil {
 		return err
 	}
@@ -360,6 +384,7 @@ func runServe(args []string, w io.Writer) error {
 	ruleSpec := fs.String("rules", "", "comma-separated domain rules: genre,title,year,director")
 	snapDir := fs.String("snapshots", "", "snapshot directory for /save and /load (empty disables them)")
 	cacheSize := fs.Int("query-cache", 0, "compiled-query LRU cache capacity (0 = default)")
+	workers := fs.Int("workers", 0, "integration worker goroutines (0 = all CPUs, 1 = sequential)")
 	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
 	quiet := fs.Bool("quiet", false, "disable the per-request log")
 	fs.SetOutput(w)
@@ -394,6 +419,7 @@ func runServe(args []string, w io.Writer) error {
 	db, err := core.Open(tree, core.Config{
 		Schema:         schema,
 		Rules:          rules,
+		Integration:    integrate.Config{Workers: *workers},
 		QueryCacheSize: *cacheSize,
 	})
 	if err != nil {

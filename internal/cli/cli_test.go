@@ -116,6 +116,38 @@ func TestCLIGenerate(t *testing.T) {
 	mustRun(t, "generate", "-scenario", "typical", "-na", "4", "-n", "8", "-shared", "2", "-dir", filepath.Join(dir, "t"))
 }
 
+// TestCLIBatchIntegrate folds three sources in one invocation and checks
+// the result matches chaining two pairwise -a/-b runs.
+func TestCLIBatchIntegrate(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.xml", `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`)
+	b := writeFile(t, dir, "b.xml", `<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>`)
+	c := writeFile(t, dir, "c.xml", `<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>`)
+	d := writeFile(t, dir, "p.dtd", `
+		<!ELEMENT addressbook (person*)>
+		<!ELEMENT person (nm, tel?)>
+		<!ELEMENT nm (#PCDATA)>
+		<!ELEMENT tel (#PCDATA)>`)
+
+	batchOut := filepath.Join(dir, "batch.xml")
+	got := mustRun(t, "integrate", "-dtd", d, "-o", batchOut, "-workers", "2", a, b, c)
+	if !strings.Contains(got, "integrated:") || !strings.Contains(got, "(2/2)") {
+		t.Fatalf("batch output missing per-source progress:\n%s", got)
+	}
+
+	ab := filepath.Join(dir, "ab.xml")
+	mustRun(t, "integrate", "-a", a, "-b", b, "-dtd", d, "-o", ab)
+	abc := filepath.Join(dir, "abc.xml")
+	pairwise := mustRun(t, "integrate", "-a", ab, "-b", c, "-dtd", d, "-o", abc)
+
+	batchStats := mustRun(t, "stats", "-db", batchOut)
+	pairStats := mustRun(t, "stats", "-db", abc)
+	if batchStats != pairStats {
+		t.Fatalf("batch and pairwise folds diverge:\nbatch:\n%s\npairwise:\n%s", batchStats, pairStats)
+	}
+	_ = pairwise
+}
+
 func TestCLIErrors(t *testing.T) {
 	dir := t.TempDir()
 	a := writeFile(t, dir, "a.xml", `<a/>`)
@@ -124,6 +156,9 @@ func TestCLIErrors(t *testing.T) {
 		{"bogus"},
 		{"integrate"},
 		{"integrate", "-a", a},
+		{"integrate", a}, // one positional file is not a batch
+		{"integrate", "-a", a, "-b", a, a}, // flags and positional files are exclusive
+		{"integrate", a, a, "missing.xml"},
 		{"integrate", "-a", "missing.xml", "-b", a},
 		{"integrate", "-a", a, "-b", a, "-rules", "bogus"},
 		{"integrate", "-a", a, "-b", a, "-dtd", "missing.dtd"},

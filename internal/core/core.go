@@ -169,6 +169,58 @@ func (db *Database) IntegrateTreeResult(other *pxml.Tree) (*pxml.Tree, *integrat
 	return res, stats, nil
 }
 
+// IntegrateBatch integrates a sequence of documents into the database in
+// one writer-lock cycle: the sources fold left-to-right into the current
+// document and the final tree is installed with a single pointer swap, so
+// concurrent readers observe either the pre-batch document or the fully
+// integrated one, never an intermediate state. The batch is atomic — if
+// any source fails, the database keeps its pre-batch content and the
+// error names the failing source. On success the per-source integration
+// statistics and the resulting tree are returned.
+func (db *Database) IntegrateBatch(sources []*pxml.Tree) ([]integrate.Stats, *pxml.Tree, error) {
+	if len(sources) == 0 {
+		return nil, nil, errors.New("core: empty integration batch")
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cfg := db.cfg.Integration
+	cfg.Oracle = db.oracle
+	cfg.Schema = db.Schema()
+	// The whole fold runs on snapshots, outside mu: queries keep being
+	// served from the pre-batch tree until the single swap below.
+	cur := db.Tree()
+	statsList := make([]integrate.Stats, 0, len(sources))
+	for i, src := range sources {
+		res, stats, err := integrate.Integrate(cur, src, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: batch source %d of %d: %w", i+1, len(sources), err)
+		}
+		cur = res
+		statsList = append(statsList, *stats)
+	}
+	db.mu.Lock()
+	db.setTreeLocked(cur)
+	db.integrations = append(db.integrations, statsList...)
+	db.mu.Unlock()
+	return statsList, cur, nil
+}
+
+// IntegrateBatchXML decodes multiple XML sources and integrates them in
+// one writer-lock cycle (see IntegrateBatch). All sources are decoded
+// before any integration starts, so a malformed source fails the batch
+// without touching the database.
+func (db *Database) IntegrateBatchXML(sources []io.Reader) ([]integrate.Stats, *pxml.Tree, error) {
+	trees := make([]*pxml.Tree, len(sources))
+	for i, r := range sources {
+		t, err := xmlcodec.Decode(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: batch source %d of %d: %w", i+1, len(sources), err)
+		}
+		trees[i] = t
+	}
+	return db.IntegrateBatch(trees)
+}
+
 // IntegrateXML integrates an XML source into the database.
 func (db *Database) IntegrateXML(r io.Reader) (*integrate.Stats, error) {
 	tree, err := xmlcodec.Decode(r)
@@ -213,6 +265,22 @@ func (db *Database) Query(src string) (query.Result, error) {
 // current document.
 func (db *Database) QueryCompiled(q *query.Query) (query.Result, error) {
 	return query.Eval(db.Tree(), q, db.cfg.Query)
+}
+
+// DefaultQueryOptions returns the evaluation options the database was
+// opened with, as a starting point for per-request overrides via
+// QueryEval.
+func (db *Database) DefaultQueryOptions() query.Options { return db.cfg.Query }
+
+// QueryEval compiles src through the database's cache and evaluates it
+// with the given options instead of the database defaults — for callers
+// that override the sampling seed or budgets per request.
+func (db *Database) QueryEval(src string, opts query.Options) (query.Result, error) {
+	q, err := db.queries.Compile(src)
+	if err != nil {
+		return query.Result{}, err
+	}
+	return query.Eval(db.Tree(), q, opts)
 }
 
 // QueryCacheStats reports the compiled-query cache counters.

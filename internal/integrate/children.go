@@ -23,22 +23,37 @@ func (it *integrator) integrateChildren(x, y *pxml.Node) ([]*pxml.Node, error) {
 	certB, uncB := splitChildren(y)
 
 	// Candidate pairs: cross-source, same tag, not ruled out. Within-source
-	// siblings are never candidates (the paper's second generic rule).
-	var edges []edge
+	// siblings are never candidates (the paper's second generic rule). The
+	// Oracle is consulted for every same-tag cross pair in a fan-out pass
+	// first — verdicts are independent, and on wide child lists the
+	// cross-product of rule evaluations dominates — then read back from the
+	// memo in deterministic order. Sequential mode runs the same pass
+	// inline, so both modes decide exactly the same pair set.
+	type candidate struct{ i, j int }
+	var cands []candidate
 	for i, xa := range certA {
 		for j, yb := range certB {
-			if xa.Tag() != yb.Tag() {
-				continue
+			if xa.Tag() == yb.Tag() {
+				cands = append(cands, candidate{i, j})
 			}
-			v, err := it.decide(xa, yb)
-			if err != nil {
-				return nil, err
-			}
-			if v.Decision == oracle.CannotMatch {
-				continue
-			}
-			edges = append(edges, edge{i: i, j: j, p: v.P, must: v.Decision == oracle.MustMatch})
 		}
+	}
+	decideTasks := make([]func(), len(cands))
+	for ti, cand := range cands {
+		xa, yb := certA[cand.i], certB[cand.j]
+		decideTasks[ti] = func() { _, _ = it.decide(xa, yb) }
+	}
+	it.pool.runAll(decideTasks)
+	var edges []edge
+	for _, cand := range cands {
+		v, err := it.decide(certA[cand.i], certB[cand.j])
+		if err != nil {
+			return nil, err
+		}
+		if v.Decision == oracle.CannotMatch {
+			continue
+		}
+		edges = append(edges, edge{i: cand.i, j: cand.j, p: v.P, must: v.Decision == oracle.MustMatch})
 	}
 
 	comps := it.components(edges, len(certA))
@@ -62,6 +77,25 @@ func (it *integrator) integrateChildren(x, y *pxml.Node) ([]*pxml.Node, error) {
 		return nil, err
 	}
 
+	// Components are independent by construction (that is the paper's
+	// compactness argument), so their choice points are built concurrently
+	// and then emitted in component order. Errors are surfaced from the
+	// lowest component index, keeping the reported failure deterministic.
+	choices := make([]*pxml.Node, len(comps))
+	choiceErrs := make([]error, len(comps))
+	buildTasks := make([]func(), len(comps))
+	for ci := range comps {
+		buildTasks[ci] = func() {
+			choices[ci], choiceErrs[ci] = it.buildChoice(comps[ci], certA, certB, budget[ci])
+		}
+	}
+	it.pool.runAll(buildTasks)
+	for _, err := range choiceErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var out []*pxml.Node
 	emitted := make([]bool, len(comps))
 	for i, xa := range certA {
@@ -74,11 +108,7 @@ func (it *integrator) integrateChildren(x, y *pxml.Node) ([]*pxml.Node, error) {
 			continue
 		}
 		emitted[ci] = true
-		choice, err := it.buildChoice(comps[ci], certA, certB, budget[ci])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, choice)
+		out = append(out, choices[ci])
 	}
 	for j, yb := range certB {
 		if _, ok := inCompB[j]; ok {
@@ -192,10 +222,8 @@ func (it *integrator) components(edges []edge, nA int) []component {
 }
 
 func (it *integrator) noteComponent(c component) {
-	it.stats.Components++
-	if len(c.edges) > it.stats.LargestComponent {
-		it.stats.LargestComponent = len(c.edges)
-	}
+	it.stats.components.Add(1)
+	it.stats.noteLargest(len(c.edges))
 }
 
 func sortInts(xs []int) {

@@ -22,9 +22,9 @@ func (it *integrator) buildChoice(c component, certA, certB []*pxml.Node, budget
 		return nil, err
 	}
 	if truncated {
-		it.stats.TruncatedComponents++
+		it.stats.truncatedComponents.Add(1)
 	}
-	it.stats.MatchingsEnumerated += len(matchings)
+	it.stats.matchingsEnumerated.Add(int64(len(matchings)))
 
 	// DTD pruning: a matching that leaves too many same-tag items in the
 	// merged element, even under best-case choices elsewhere, is rejected.
@@ -32,7 +32,7 @@ func (it *integrator) buildChoice(c component, certA, certB []*pxml.Node, budget
 	anyDTDPruned := false
 	for _, m := range matchings {
 		if it.violatesBudget(c, m, certA, certB, budget) {
-			it.stats.MatchingsPruned++
+			it.stats.matchingsPruned.Add(1)
 			anyDTDPruned = true
 			continue
 		}
@@ -44,6 +44,29 @@ func (it *integrator) buildChoice(c component, certA, certB []*pxml.Node, budget
 		}
 		return nil, fmt.Errorf("%w: in the <%s> group", ErrMustConflict, componentTag(c, certA))
 	}
+
+	// Fan out the recursive pair merges: every distinct pair matched by
+	// any kept matching is computed (and memoized) up front, so the
+	// expansion below only ever reads settled memo entries. Sequential
+	// mode runs the same prefetch inline, which keeps the set of merges
+	// performed — and therefore the Stats — identical across worker
+	// counts.
+	type pairKey struct{ i, j int }
+	prefetched := make(map[pairKey]bool)
+	var mergeTasks []func()
+	for _, m := range kept {
+		for _, ei := range m.chosen {
+			e := c.edges[ei]
+			k := pairKey{e.i, e.j}
+			if prefetched[k] {
+				continue
+			}
+			prefetched[k] = true
+			xa, yb := certA[e.i], certB[e.j]
+			mergeTasks = append(mergeTasks, func() { _, _ = it.mergePair(xa, yb) })
+		}
+	}
+	it.pool.runAll(mergeTasks)
 
 	// Expand matchings into possibilities. A matched pair may have several
 	// merged variants (value conflicts); the cartesian product over pairs
@@ -86,7 +109,7 @@ func (it *integrator) buildChoice(c component, certA, certB []*pxml.Node, budget
 		}
 		if incompatible {
 			anyIncompatible = true
-			it.stats.MatchingsPruned++
+			it.stats.matchingsPruned.Add(1)
 			continue
 		}
 		for _, j := range c.bIdx {
@@ -124,7 +147,7 @@ func (it *integrator) buildChoice(c component, certA, certB []*pxml.Node, budget
 		}
 		if err := expand(0, m.w); err != nil {
 			if it.cfg.TruncateOnExplosion {
-				it.stats.TruncatedComponents++
+				it.stats.truncatedComponents.Add(1)
 				break
 			}
 			return nil, err
@@ -136,7 +159,7 @@ func (it *integrator) buildChoice(c component, certA, certB []*pxml.Node, budget
 		}
 		return nil, fmt.Errorf("%w: in the <%s> group", ErrMustConflict, componentTag(c, certA))
 	}
-	it.stats.PossibilitiesBuilt += len(poss)
+	it.stats.possibilitiesBuilt.Add(int64(len(poss)))
 	nodes := make([]*pxml.Node, len(poss))
 	for i, p := range poss {
 		nodes[i] = pxml.NewPoss(p.w/total, p.elems...)

@@ -25,6 +25,8 @@ package integrate
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 
 	"repro/internal/dtd"
 	"repro/internal/oracle"
@@ -53,8 +55,15 @@ type Config struct {
 	Schema *dtd.Schema
 	// WeightA is the relative trust in source A when a matched pair has
 	// conflicting text values; the A value gets probability WeightA and
-	// the B value 1−WeightA. Zero means the default 0.5.
+	// the B value 1−WeightA. It must lie in the half-open interval (0,1]
+	// — 1 means full trust in source A — or be zero, which means the
+	// default 0.5. Integrate rejects negative or >1 weights.
 	WeightA float64
+	// Workers bounds the goroutines used to fan out component matching
+	// enumeration and pair merges. Zero means runtime.GOMAXPROCS(0); 1
+	// (or less) integrates sequentially. The result tree and Stats are
+	// identical for every worker count.
+	Workers int
 	// MaxMatchingsPerComponent bounds the matchings enumerated for one
 	// candidate component. Zero means the default (200000).
 	MaxMatchingsPerComponent int
@@ -95,10 +104,20 @@ func (c Config) maxAlternatives() int {
 }
 
 func (c Config) weightA() float64 {
-	if c.WeightA > 0 && c.WeightA < 1 {
+	if c.WeightA > 0 {
 		return c.WeightA
 	}
 	return 0.5
+}
+
+func (c Config) workers() int {
+	switch {
+	case c.Workers == 0:
+		return runtime.GOMAXPROCS(0)
+	case c.Workers < 1:
+		return 1
+	}
+	return c.Workers
 }
 
 // Stats reports what the integration did; the paper's Table I and Figure 5
@@ -119,6 +138,26 @@ type Stats struct {
 	ValueConflicts      int // matched leaf pairs with conflicting text
 }
 
+// Merge folds another run's counters into s — summing, with
+// LargestComponent as a watermark — for callers aggregating the stats of
+// a multi-source batch.
+func (s *Stats) Merge(o Stats) {
+	s.OracleCalls += o.OracleCalls
+	s.MustPairs += o.MustPairs
+	s.CannotPairs += o.CannotPairs
+	s.UndecidedPairs += o.UndecidedPairs
+	s.Components += o.Components
+	if o.LargestComponent > s.LargestComponent {
+		s.LargestComponent = o.LargestComponent
+	}
+	s.MatchingsEnumerated += o.MatchingsEnumerated
+	s.MatchingsPruned += o.MatchingsPruned
+	s.PossibilitiesBuilt += o.PossibilitiesBuilt
+	s.IncompatibleMerges += o.IncompatibleMerges
+	s.TruncatedComponents += o.TruncatedComponents
+	s.ValueConflicts += o.ValueConflicts
+}
+
 // Integrate merges two documents into one probabilistic document. Both
 // inputs must have a certain root element with the same tag (the paper
 // assumes schemas are already aligned). The inputs are not modified;
@@ -126,6 +165,9 @@ type Stats struct {
 func Integrate(a, b *pxml.Tree, cfg Config) (*pxml.Tree, *Stats, error) {
 	if cfg.Oracle == nil {
 		return nil, nil, errors.New("integrate: Config.Oracle is required")
+	}
+	if cfg.WeightA < 0 || cfg.WeightA > 1 || math.IsNaN(cfg.WeightA) {
+		return nil, nil, fmt.Errorf("integrate: Config.WeightA %g outside (0,1] (0 means the default 0.5)", cfg.WeightA)
 	}
 	rootA, err := certainRoot(a, "A")
 	if err != nil {
@@ -140,8 +182,9 @@ func Integrate(a, b *pxml.Tree, cfg Config) (*pxml.Tree, *Stats, error) {
 	}
 	it := &integrator{
 		cfg:       cfg,
-		mergeMemo: make(map[pair]mergeResult),
-		verdicts:  make(map[pair]oracle.Verdict),
+		mergeMemo: newMemoTable[pair, mergeResult](),
+		verdicts:  newMemoTable[pair, verdictResult](),
+		pool:      newPool(cfg.workers()),
 	}
 	alts, err := it.mergePair(rootA, rootB)
 	if err != nil {
@@ -158,7 +201,8 @@ func Integrate(a, b *pxml.Tree, cfg Config) (*pxml.Tree, *Stats, error) {
 			return nil, nil, fmt.Errorf("integrate: normalize: %w", err)
 		}
 	}
-	return tree, &it.stats, nil
+	stats := it.stats.snapshot()
+	return tree, &stats, nil
 }
 
 func certainRoot(t *pxml.Tree, label string) (*pxml.Node, error) {
@@ -186,52 +230,56 @@ type mergeResult struct {
 	err  error
 }
 
-type integrator struct {
-	cfg       Config
-	stats     Stats
-	mergeMemo map[pair]mergeResult
-	verdicts  map[pair]oracle.Verdict
+type verdictResult struct {
+	v   oracle.Verdict
+	err error
 }
 
-// decide consults the Oracle once per distinct pair.
+type integrator struct {
+	cfg       Config
+	stats     atomicStats
+	mergeMemo *memoTable[pair, mergeResult]
+	verdicts  *memoTable[pair, verdictResult]
+	pool      *pool
+}
+
+// decide consults the Oracle once per distinct pair, across all workers.
 func (it *integrator) decide(a, b *pxml.Node) (oracle.Verdict, error) {
-	k := pair{a, b}
-	if v, ok := it.verdicts[k]; ok {
-		return v, nil
-	}
-	v, err := it.cfg.Oracle.Decide(a, b)
-	if err != nil {
-		return v, err
-	}
-	it.verdicts[k] = v
-	it.stats.OracleCalls++
-	switch v.Decision {
-	case oracle.MustMatch:
-		it.stats.MustPairs++
-	case oracle.CannotMatch:
-		it.stats.CannotPairs++
-	default:
-		it.stats.UndecidedPairs++
-	}
-	return v, nil
+	r := it.verdicts.do(pair{a, b}, func() verdictResult {
+		v, err := it.cfg.Oracle.Decide(a, b)
+		if err != nil {
+			return verdictResult{v: v, err: err}
+		}
+		it.stats.oracleCalls.Add(1)
+		switch v.Decision {
+		case oracle.MustMatch:
+			it.stats.mustPairs.Add(1)
+		case oracle.CannotMatch:
+			it.stats.cannotPairs.Add(1)
+		default:
+			it.stats.undecidedPairs.Add(1)
+		}
+		return verdictResult{v: v}
+	})
+	return r.v, r.err
 }
 
 // mergePair integrates two elements that are assumed to refer to the same
 // rwo. It returns the alternative merged forms (more than one when their
 // text values conflict) with weights summing to 1, or ErrIncompatible when
 // no world allows the merge. Results are memoized so a pair merged in many
-// matchings is computed — and allocated — once, and its subtree shared.
+// matchings is computed — and allocated — once, and its subtree shared;
+// under parallel integration the memo also guarantees racing workers get
+// the one result computed by whichever arrived first.
 func (it *integrator) mergePair(x, y *pxml.Node) ([]weightedElem, error) {
-	k := pair{x, y}
-	if r, ok := it.mergeMemo[k]; ok {
-		return r.alts, r.err
-	}
-	alts, err := it.mergePairUncached(x, y)
-	if err != nil && errors.Is(err, ErrIncompatible) {
-		it.stats.IncompatibleMerges++
-	}
-	it.mergeMemo[k] = mergeResult{alts: alts, err: err}
-	return alts, err
+	r := it.mergeMemo.do(pair{x, y}, func() mergeResult {
+		alts, err := it.mergePairUncached(x, y)
+		if err != nil && errors.Is(err, ErrIncompatible) {
+			it.stats.incompatibleMerges.Add(1)
+		}
+		return mergeResult{alts: alts, err: err}
+	})
+	return r.alts, r.err
 }
 
 func (it *integrator) mergePairUncached(x, y *pxml.Node) ([]weightedElem, error) {
@@ -253,8 +301,13 @@ func (it *integrator) mergePairUncached(x, y *pxml.Node) ([]weightedElem, error)
 		if v, ok := it.cfg.Oracle.Reconcile(x.Tag(), tx, ty); ok {
 			return []weightedElem{{elem: pxml.NewElem(x.Tag(), v, kids...), w: 1}}, nil
 		}
-		it.stats.ValueConflicts++
+		it.stats.valueConflicts.Add(1)
 		wa := it.cfg.weightA()
+		if wa == 1 {
+			// Full trust in source A: the B variant would be a
+			// zero-probability possibility, so it is not represented.
+			return []weightedElem{{elem: pxml.NewElem(x.Tag(), tx, kids...), w: 1}}, nil
+		}
 		return []weightedElem{
 			{elem: pxml.NewElem(x.Tag(), tx, kids...), w: wa},
 			{elem: pxml.NewElem(x.Tag(), ty, kids...), w: 1 - wa},

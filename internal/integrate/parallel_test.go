@@ -1,0 +1,127 @@
+package integrate_test
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dtd"
+	"repro/internal/integrate"
+	"repro/internal/oracle"
+	"repro/internal/pxml"
+)
+
+// integrateBoth runs the same integration sequentially (Workers = 1) and
+// in parallel (Workers = NumCPU) and asserts the engine's determinism
+// contract: identical normalized trees (pxml.Equal), identical Stats
+// counters, and identical error outcomes. The -race runs of CI exercise
+// the worker pool, memo tables and atomic counters at the same time.
+func integrateBoth(t *testing.T, label string, a, b *pxml.Tree, cfg integrate.Config) {
+	t.Helper()
+	seqCfg, parCfg := cfg, cfg
+	seqCfg.Workers = 1
+	parCfg.Workers = runtime.NumCPU()
+	if parCfg.Workers < 2 {
+		parCfg.Workers = 2
+	}
+	resSeq, statsSeq, errSeq := integrate.Integrate(a, b, seqCfg)
+	resPar, statsPar, errPar := integrate.Integrate(a, b, parCfg)
+	if (errSeq == nil) != (errPar == nil) {
+		t.Fatalf("%s: error divergence: sequential %v, parallel %v", label, errSeq, errPar)
+	}
+	if errSeq != nil {
+		if errSeq.Error() != errPar.Error() {
+			t.Fatalf("%s: error message divergence:\nsequential: %v\nparallel:   %v", label, errSeq, errPar)
+		}
+		return
+	}
+	if !pxml.Equal(resSeq.Root(), resPar.Root()) {
+		t.Fatalf("%s: parallel result differs from sequential\nsequential:\n%s\nparallel:\n%s", label, resSeq, resPar)
+	}
+	if *statsSeq != *statsPar {
+		t.Fatalf("%s: stats divergence:\nsequential: %+v\nparallel:   %+v", label, *statsSeq, *statsPar)
+	}
+}
+
+// TestParallelEqualsSequentialMovies drives the determinism contract over
+// the paper's synthetic movie scenarios, which produce many independent
+// candidate components per integration.
+func TestParallelEqualsSequentialMovies(t *testing.T) {
+	schema := datagen.MovieDTD()
+	cases := []struct {
+		name string
+		pair datagen.Pair
+	}{
+		{"table1", datagen.TableISources()},
+		{"confusing12", datagen.Confusing(12, 7)},
+		{"confusing24", datagen.Confusing(24, 3)},
+		{"typical", datagen.Typical(6, 24, 3, 11)},
+	}
+	for _, tc := range cases {
+		for _, set := range []oracle.RuleSet{oracle.SetTitle, oracle.SetGenreTitle, oracle.SetGenreTitleYear} {
+			label := tc.name + "/" + set.String()
+			integrateBoth(t, label, tc.pair.A.Tree, tc.pair.B.Tree, integrate.Config{
+				Oracle: oracle.MovieOracle(set),
+				Schema: schema,
+			})
+			integrateBoth(t, label+"/raw", tc.pair.A.Tree, tc.pair.B.Tree, integrate.Config{
+				Oracle:        oracle.MovieOracle(set),
+				Schema:        schema,
+				SkipNormalize: true,
+			})
+		}
+	}
+}
+
+// TestParallelEqualsSequentialRandom fuzzes the contract over random
+// address books, where must-conflicts, schema pruning and value conflicts
+// all fire; error outcomes must diverge in neither direction.
+func TestParallelEqualsSequentialRandom(t *testing.T) {
+	schema := dtd.MustParse(`
+		<!ELEMENT addressbook (person*)>
+		<!ELEMENT person (nm, tel?)>
+		<!ELEMENT nm (#PCDATA)>
+		<!ELEMENT tel (#PCDATA)>
+	`)
+	rng := rand.New(rand.NewSource(2026))
+	for i := 0; i < 80; i++ {
+		a, b := randomBook(rng), randomBook(rng)
+		integrateBoth(t, "random", a, b, integrate.Config{
+			Oracle:  oracle.New(nil),
+			Schema:  schema,
+			WeightA: 0.7,
+		})
+	}
+}
+
+// TestWorkerPanicReachesCaller pins the pool's panic contract: a panic in
+// integration code — here a faulty Oracle rule — must surface on the
+// goroutine that called Integrate (where e.g. the HTTP server's recovery
+// middleware can turn it into a 500), not crash the process from a
+// detached worker.
+func TestWorkerPanicReachesCaller(t *testing.T) {
+	a := mustDecode(t, `<addressbook><person><nm>A</nm></person><person><nm>B</nm></person></addressbook>`)
+	b := mustDecode(t, `<addressbook><person><nm>C</nm></person><person><nm>D</nm></person></addressbook>`)
+	boom := oracle.NewRule("boom", func(x, y *pxml.Node) oracle.Verdict { panic("boom") })
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the worker's panic value", r)
+		}
+	}()
+	_, _, _ = integrate.Integrate(a, b, integrate.Config{Oracle: oracle.New([]oracle.Rule{boom}), Workers: 4})
+	t.Errorf("integration should have panicked")
+}
+
+// TestParallelTruncationDeterministic pins the budget-truncation path: a
+// component over budget must truncate to the same result and Stats for
+// any worker count.
+func TestParallelTruncationDeterministic(t *testing.T) {
+	pair := datagen.Confusing(18, 5)
+	integrateBoth(t, "truncate", pair.A.Tree, pair.B.Tree, integrate.Config{
+		Oracle:                   oracle.MovieOracle(oracle.SetTitle),
+		Schema:                   datagen.MovieDTD(),
+		MaxMatchingsPerComponent: 50,
+		TruncateOnExplosion:      true,
+	})
+}

@@ -221,11 +221,12 @@ func TestIntegrateIdempotentOnCertainResult(t *testing.T) {
 }
 
 // TestWeightASkewsValueConflicts drives the source-trust weight through a
-// sweep and checks the merged-value marginals follow it.
+// sweep — including the boundary WeightA = 1, full trust in source A —
+// and checks the merged-value marginals follow it.
 func TestWeightASkewsValueConflicts(t *testing.T) {
 	a := mustDecode(t, `<note>alpha</note>`)
 	b := mustDecode(t, `<note>beta</note>`)
-	for _, wa := range []float64{0.1, 0.25, 0.5, 0.9} {
+	for _, wa := range []float64{0.1, 0.25, 0.5, 0.9, 1} {
 		res, _, err := integrate.Integrate(a, b, integrate.Config{Oracle: oracle.New(nil), WeightA: wa})
 		if err != nil {
 			t.Fatalf("WeightA=%v: %v", wa, err)
@@ -239,6 +240,24 @@ func TestWeightASkewsValueConflicts(t *testing.T) {
 		})
 		if math.Abs(pAlpha-wa) > 1e-9 {
 			t.Fatalf("WeightA=%v: P(alpha) = %v", wa, pAlpha)
+		}
+		if wa == 1 {
+			if res.Validate() != nil || !res.IsCertain() {
+				t.Fatalf("WeightA=1: result must be certain and valid:\n%s", res)
+			}
+		}
+	}
+}
+
+// TestWeightAOutOfRangeRejected checks that invalid trust weights are an
+// explicit error rather than being silently coerced to the default.
+func TestWeightAOutOfRangeRejected(t *testing.T) {
+	a := mustDecode(t, `<note>alpha</note>`)
+	b := mustDecode(t, `<note>beta</note>`)
+	for _, bad := range []float64{-0.5, -1e-9, 1.000001, 42, math.NaN()} {
+		_, _, err := integrate.Integrate(a, b, integrate.Config{Oracle: oracle.New(nil), WeightA: bad})
+		if err == nil {
+			t.Fatalf("WeightA=%v: want error, got nil", bad)
 		}
 	}
 }

@@ -12,6 +12,7 @@ package oracle
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/pxml"
 )
@@ -85,15 +86,19 @@ func (e *ConflictError) Error() string {
 		e.TagA, e.TagB, e.MustRule, e.CannotRule)
 }
 
-// Oracle evaluates rules over element pairs.
+// Oracle evaluates rules over element pairs. Decide and Reconcile are safe
+// for concurrent use (the parallel integration engine consults the Oracle
+// from many workers) provided the installed rules, estimators and
+// reconcilers are pure functions of their inputs; the call counters are
+// atomic.
 type Oracle struct {
 	rules       []Rule
 	prior       float64
 	estimators  map[string]Estimator
 	reconcilers map[string]Reconciler
 	strict      bool
-	calls       int
-	undecided   int
+	calls       atomic.Int64
+	undecided   atomic.Int64
 }
 
 // Option configures an Oracle.
@@ -163,7 +168,7 @@ func (o *Oracle) Rules() []string {
 // detected. With multiple agreeing decisive rules the first one is
 // reported.
 func (o *Oracle) Decide(a, b *pxml.Node) (Verdict, error) {
-	o.calls++
+	o.calls.Add(1)
 	var must, cannot string
 	for _, r := range o.rules {
 		v := r.Apply(a, b)
@@ -192,7 +197,7 @@ func (o *Oracle) Decide(a, b *pxml.Node) (Verdict, error) {
 	case cannot != "":
 		return Verdict{Decision: CannotMatch, P: 0, Rule: cannot}, nil
 	}
-	o.undecided++
+	o.undecided.Add(1)
 	p := o.prior
 	rule := "prior"
 	if est, ok := o.estimators[a.Tag()]; ok {
@@ -233,10 +238,10 @@ func (o *Oracle) Reconcile(tag, a, b string) (string, bool) {
 // Calls reports how many pairs the Oracle has decided; Undecided how many
 // of those got an Unknown verdict — the paper's "occasions on which The
 // Oracle could not make an absolute decision".
-func (o *Oracle) Calls() int { return o.calls }
+func (o *Oracle) Calls() int { return int(o.calls.Load()) }
 
 // Undecided reports the number of Unknown verdicts issued.
-func (o *Oracle) Undecided() int { return o.undecided }
+func (o *Oracle) Undecided() int { return int(o.undecided.Load()) }
 
 // ResetStats clears the call counters.
-func (o *Oracle) ResetStats() { o.calls = 0; o.undecided = 0 }
+func (o *Oracle) ResetStats() { o.calls.Store(0); o.undecided.Store(0) }

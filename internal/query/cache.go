@@ -12,7 +12,11 @@ const DefaultCacheCapacity = 256
 // CacheStats reports the effectiveness of a Cache.
 type CacheStats struct {
 	// Hits and Misses count Compile calls answered from / not in the
-	// cache. Parse failures count as misses and are never cached.
+	// cache. Parse failures count as misses and are never cached. A call
+	// that loses a concurrent parse race on the same string counts as a
+	// hit — it is served the winner's entry — so Misses equals the number
+	// of parses that populated the cache (plus failed parses), even under
+	// contention.
 	Hits, Misses int64
 	// Size is the number of compiled queries currently cached; Capacity
 	// the maximum before least-recently-used eviction.
@@ -37,6 +41,11 @@ type cacheEntry struct {
 	src string
 	q   *Query
 }
+
+// compileRaceHook, when non-nil, runs after a Compile call has recorded
+// its miss and released the lock, before it parses. Tests use it to hold
+// several goroutines inside the lost-parse-race window deterministically.
+var compileRaceHook func(src string)
 
 // NewCache builds a compiled-query cache holding at most capacity
 // entries; capacity <= 0 means DefaultCacheCapacity.
@@ -65,6 +74,10 @@ func (c *Cache) Compile(src string) (*Query, error) {
 	c.misses++
 	c.mu.Unlock()
 
+	if h := compileRaceHook; h != nil {
+		h(src)
+	}
+
 	// Parse outside the lock: compilation is pure, so two goroutines
 	// racing on the same uncached string merely both parse it once.
 	q, err := Compile(src)
@@ -75,7 +88,12 @@ func (c *Cache) Compile(src string) (*Query, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byText[src]; ok {
-		// Lost the race; keep the first insertion.
+		// Lost the race; keep the first insertion and reclassify the miss
+		// recorded above as a hit — this call was served from the cache
+		// after all, and without the correction Hits+Misses would
+		// over-report the number of parses under contention.
+		c.misses--
+		c.hits++
 		c.ll.MoveToFront(el)
 		return el.Value.(*cacheEntry).q, nil
 	}

@@ -83,6 +83,48 @@ func TestCacheDefaultCapacity(t *testing.T) {
 	}
 }
 
+// TestCacheLostRaceCountsAsHit is the regression test for the
+// double-counted parse race: every goroutine that loses the insert race is
+// served the winner's entry and must therefore count as a hit, so
+// Hits+Misses matches the Compile call count and Misses the number of
+// cache-populating parses.
+func TestCacheLostRaceCountsAsHit(t *testing.T) {
+	const n = 8
+	var inWindow sync.WaitGroup
+	inWindow.Add(n)
+	compileRaceHook = func(string) {
+		// Hold every Compile call inside the race window (miss recorded,
+		// nothing inserted yet) until all n are there, so exactly one
+		// wins the insert and n−1 lose.
+		inWindow.Done()
+		inWindow.Wait()
+	}
+	defer func() { compileRaceHook = nil }()
+
+	c := NewCache(4)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Compile(`//person/nm`); err != nil {
+				t.Errorf("Compile: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != n {
+		t.Fatalf("hits+misses = %d, want %d calls: %+v", s.Hits+s.Misses, n, s)
+	}
+	if s.Misses != 1 || s.Hits != n-1 {
+		t.Fatalf("stats = %+v, want exactly 1 miss and %d hits", s, n-1)
+	}
+	if s.Size != 1 {
+		t.Fatalf("size = %d, want 1", s.Size)
+	}
+}
+
 func TestCacheConcurrentCompile(t *testing.T) {
 	c := NewCache(8)
 	var wg sync.WaitGroup

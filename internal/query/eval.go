@@ -65,9 +65,15 @@ type Options struct {
 	EnumWorldLimit int
 	// Samples is the Monte-Carlo sample count (default 20000).
 	Samples int
-	// Seed seeds the Monte-Carlo sampler (default 1).
-	Seed int64
+	// Seed seeds the Monte-Carlo sampler. Nil means the default seed 1;
+	// pointing at any value — including 0 — requests exactly that seed.
+	// Build it with SeedPtr.
+	Seed *int64
 }
+
+// SeedPtr returns a pointer to v for Options.Seed, which is a pointer so
+// that seed 0 is distinguishable from "use the default".
+func SeedPtr(v int64) *int64 { return &v }
 
 const (
 	defaultEnumWorldLimit = 100000
@@ -89,8 +95,8 @@ func (o Options) samples() int {
 }
 
 func (o Options) seed() int64 {
-	if o.Seed != 0 {
-		return o.Seed
+	if o.Seed != nil {
+		return *o.Seed
 	}
 	return 1
 }

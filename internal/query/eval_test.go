@@ -220,7 +220,7 @@ func TestEvalFallsBackToSampling(t *testing.T) {
 	// Force sampling by setting tiny limits.
 	tr := pxmltest.Fig2Tree()
 	q := query.MustCompile(`//person/tel`)
-	res, err := query.Eval(tr, q, query.Options{LocalWorldLimit: 1, EnumWorldLimit: 1, Samples: 5000, Seed: 3})
+	res, err := query.Eval(tr, q, query.Options{LocalWorldLimit: 1, EnumWorldLimit: 1, Samples: 5000, Seed: query.SeedPtr(3)})
 	if err != nil {
 		t.Fatalf("Eval: %v", err)
 	}
@@ -232,7 +232,7 @@ func TestEvalFallsBackToSampling(t *testing.T) {
 	// A predicate on person forces local enumeration of the person
 	// subtree, which has 2 worlds > 1.
 	q2 := query.MustCompile(`//person[tel]/nm`)
-	res, err = query.Eval(tr, q2, query.Options{LocalWorldLimit: 1, EnumWorldLimit: 1, Samples: 5000, Seed: 3})
+	res, err = query.Eval(tr, q2, query.Options{LocalWorldLimit: 1, EnumWorldLimit: 1, Samples: 5000, Seed: query.SeedPtr(3)})
 	if err != nil {
 		t.Fatalf("Eval: %v", err)
 	}

@@ -1,0 +1,18 @@
+package query
+
+import "testing"
+
+// TestSeedZeroRequestable pins the Options.Seed contract: nil means the
+// default seed 1, while an explicit pointer — including to 0, which the
+// old int64 field silently coerced to the default — is honored exactly.
+func TestSeedZeroRequestable(t *testing.T) {
+	if got := (Options{}).seed(); got != 1 {
+		t.Fatalf("default seed = %d, want 1", got)
+	}
+	if got := (Options{Seed: SeedPtr(0)}).seed(); got != 0 {
+		t.Fatalf("explicit seed 0 = %d, want 0", got)
+	}
+	if got := (Options{Seed: SeedPtr(-7)}).seed(); got != -7 {
+		t.Fatalf("explicit seed -7 = %d, want -7", got)
+	}
+}

@@ -9,7 +9,8 @@
 // Endpoints (all responses are JSON; errors use {"error": "…"}):
 //
 //	POST /integrate?mode=merge|replace  XML body -> integration stats
-//	GET  /query?q=…&top=N               ranked answers
+//	POST /integrate/batch               {"sources":["<xml>…",…]} -> per-source stats
+//	GET  /query?q=…&top=N&seed=S        ranked answers
 //	POST /feedback                      {"query","value","correct"} -> event
 //	GET  /stats                         document + cache + server statistics
 //	GET  /worlds?max=N                  enumerated possible worlds
@@ -33,7 +34,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/integrate"
 	"repro/internal/pxml"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/worlds"
 	"repro/internal/xmlcodec"
@@ -80,6 +83,7 @@ func New(db *core.Database, opts Options) *Server {
 	}
 	s := &Server{db: db, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /integrate", s.handleIntegrate)
+	s.mux.HandleFunc("POST /integrate/batch", s.handleIntegrateBatch)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -133,18 +137,12 @@ func readJSON(r *http.Request, v any) error {
 
 // --- handlers ---
 
-// IntegrateResponse reports what an integration run did.
+// IntegrateResponse reports what an integration run did: the oracle and
+// matching counters (embedded, same JSON keys as batch per-source stats)
+// plus the resulting document size.
 type IntegrateResponse struct {
 	Mode string `json:"mode"`
-	// Oracle decisions over candidate element pairs.
-	OracleCalls    int `json:"oracle_calls"`
-	MustPairs      int `json:"must_pairs"`
-	CannotPairs    int `json:"cannot_pairs"`
-	UndecidedPairs int `json:"undecided_pairs"`
-	// Matching enumeration and schema pruning.
-	MatchingsEnumerated int `json:"matchings_enumerated"`
-	MatchingsPruned     int `json:"matchings_pruned"`
-	TruncatedComponents int `json:"truncated_components,omitempty"`
+	SourceStats
 	// Resulting document size.
 	LogicalNodes int64  `json:"logical_nodes"`
 	Worlds       string `json:"worlds"`
@@ -173,13 +171,7 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		result = res
-		resp.OracleCalls = stats.OracleCalls
-		resp.MustPairs = stats.MustPairs
-		resp.CannotPairs = stats.CannotPairs
-		resp.UndecidedPairs = stats.UndecidedPairs
-		resp.MatchingsEnumerated = stats.MatchingsEnumerated
-		resp.MatchingsPruned = stats.MatchingsPruned
-		resp.TruncatedComponents = stats.TruncatedComponents
+		resp.SourceStats = sourceStats(*stats)
 	case "replace":
 		tree, err := xmlcodec.Decode(r.Body)
 		if err != nil {
@@ -198,6 +190,80 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 	resp.LogicalNodes = result.NodeCount()
 	resp.Worlds = result.WorldCount().String()
 	resp.ChoicePoints = result.ChoicePoints()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchIntegrateRequest carries multiple XML sources for one atomic batch
+// integration.
+type BatchIntegrateRequest struct {
+	Sources []string `json:"sources"`
+}
+
+// SourceStats reports the integration counters of one batch source.
+type SourceStats struct {
+	OracleCalls         int `json:"oracle_calls"`
+	MustPairs           int `json:"must_pairs"`
+	CannotPairs         int `json:"cannot_pairs"`
+	UndecidedPairs      int `json:"undecided_pairs"`
+	MatchingsEnumerated int `json:"matchings_enumerated"`
+	MatchingsPruned     int `json:"matchings_pruned"`
+	TruncatedComponents int `json:"truncated_components,omitempty"`
+}
+
+func sourceStats(st integrate.Stats) SourceStats {
+	return SourceStats{
+		OracleCalls:         st.OracleCalls,
+		MustPairs:           st.MustPairs,
+		CannotPairs:         st.CannotPairs,
+		UndecidedPairs:      st.UndecidedPairs,
+		MatchingsEnumerated: st.MatchingsEnumerated,
+		MatchingsPruned:     st.MatchingsPruned,
+		TruncatedComponents: st.TruncatedComponents,
+	}
+}
+
+// BatchIntegrateResponse reports an atomic batch integration: per-source
+// counters plus the size of the document the batch produced.
+type BatchIntegrateResponse struct {
+	Integrated   int           `json:"integrated"`
+	Sources      []SourceStats `json:"sources"`
+	LogicalNodes int64         `json:"logical_nodes"`
+	Worlds       string        `json:"worlds"`
+	ChoicePoints int           `json:"choice_points"`
+}
+
+// handleIntegrateBatch integrates N sources in one writer-lock cycle. The
+// batch is atomic: either every source integrates and readers observe the
+// final document in a single swap, or the database is left untouched.
+func (s *Server) handleIntegrateBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchIntegrateRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, statusForBodyError(err, http.StatusBadRequest), "integrate/batch: bad request body: %v", err)
+		return
+	}
+	if len(req.Sources) == 0 {
+		writeError(w, http.StatusBadRequest, "integrate/batch: sources must contain at least one XML document")
+		return
+	}
+	readers := make([]io.Reader, len(req.Sources))
+	for i, src := range req.Sources {
+		readers[i] = strings.NewReader(src)
+	}
+	statsList, result, err := s.db.IntegrateBatchXML(readers)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "integrate/batch: %v", err)
+		return
+	}
+	resp := BatchIntegrateResponse{
+		Integrated:   len(statsList),
+		Sources:      make([]SourceStats, 0, len(statsList)),
+		LogicalNodes: result.NodeCount(),
+		Worlds:       result.WorldCount().String(),
+		ChoicePoints: result.ChoicePoints(),
+	}
+	for _, st := range statsList {
+		resp.Sources = append(resp.Sources, sourceStats(st))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -236,7 +302,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query: %v", err)
 		return
 	}
-	res, err := s.db.Query(src)
+	opts := s.db.DefaultQueryOptions()
+	if v := r.URL.Query().Get("seed"); v != "" {
+		// An explicit seed — 0 included — pins the Monte-Carlo sampler
+		// for reproducible sampled answers.
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query: bad seed parameter %q", v)
+			return
+		}
+		opts.Seed = query.SeedPtr(n)
+	}
+	res, err := s.db.QueryEval(src, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "query: %v", err)
 		return

@@ -118,6 +118,56 @@ func TestIntegrateErrors(t *testing.T) {
 		strings.NewReader(bookB), http.StatusBadRequest, nil)
 }
 
+// batchBody builds the JSON body of a /integrate/batch request.
+func batchBody(t *testing.T, sources ...string) io.Reader {
+	t.Helper()
+	body, err := json.Marshal(server.BatchIntegrateRequest{Sources: sources})
+	if err != nil {
+		t.Fatalf("marshal batch: %v", err)
+	}
+	return strings.NewReader(string(body))
+}
+
+func TestIntegrateBatch(t *testing.T) {
+	ts, db := newTestServer(t)
+	const bookC = `<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>`
+	var resp server.BatchIntegrateResponse
+	doJSON(t, "POST", ts.URL+"/integrate/batch", "application/json",
+		batchBody(t, bookB, bookC), http.StatusOK, &resp)
+	if resp.Integrated != 2 || len(resp.Sources) != 2 {
+		t.Fatalf("batch response = %+v, want 2 sources", resp)
+	}
+	if resp.Sources[0].UndecidedPairs == 0 {
+		t.Fatalf("first source should report undecided pairs: %+v", resp.Sources[0])
+	}
+	if resp.Worlds != db.WorldCount().String() {
+		t.Fatalf("response worlds %s != database worlds %s", resp.Worlds, db.WorldCount())
+	}
+	if got := db.IntegrationCount(); got != 2 {
+		t.Fatalf("integration count = %d, want 2", got)
+	}
+}
+
+func TestIntegrateBatchErrors(t *testing.T) {
+	ts, db := newTestServer(t)
+	before := db.Tree()
+	// Empty source list.
+	doJSON(t, "POST", ts.URL+"/integrate/batch", "application/json",
+		batchBody(t), http.StatusBadRequest, nil)
+	// Unknown fields are rejected.
+	doJSON(t, "POST", ts.URL+"/integrate/batch", "application/json",
+		strings.NewReader(`{"source": ["x"]}`), http.StatusBadRequest, nil)
+	// A malformed source fails the whole batch atomically.
+	doJSON(t, "POST", ts.URL+"/integrate/batch", "application/json",
+		batchBody(t, bookB, `broken<`), http.StatusUnprocessableEntity, nil)
+	// A root-tag mismatch mid-batch fails it atomically too.
+	doJSON(t, "POST", ts.URL+"/integrate/batch", "application/json",
+		batchBody(t, bookB, `<catalog/>`), http.StatusUnprocessableEntity, nil)
+	if db.Tree() != before || db.IntegrationCount() != 0 {
+		t.Fatalf("failed batches must leave the database untouched")
+	}
+}
+
 func TestQuery(t *testing.T) {
 	ts, _ := newTestServer(t)
 	integrateB(t, ts)
@@ -140,6 +190,22 @@ func TestQueryErrors(t *testing.T) {
 	doJSON(t, "GET", ts.URL+"/query", "", nil, http.StatusBadRequest, nil)
 	doJSON(t, "GET", ts.URL+"/query?q="+url.QueryEscape(`not a query`), "", nil, http.StatusBadRequest, nil)
 	doJSON(t, "GET", ts.URL+"/query?top=x&q="+url.QueryEscape(`//a`), "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query?seed=x&q="+url.QueryEscape(`//a`), "", nil, http.StatusBadRequest, nil)
+}
+
+// TestQuerySeedParameter checks the per-request sampler seed is accepted —
+// including the previously unrequestable seed 0 — and does not disturb
+// exact evaluation.
+func TestQuerySeedParameter(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	for _, seed := range []string{"0", "1", "-3"} {
+		var resp server.QueryResponse
+		doJSON(t, "GET", ts.URL+"/query?seed="+seed+"&q="+url.QueryEscape(`//person/tel`), "", nil, http.StatusOK, &resp)
+		if len(resp.Answers) != 2 {
+			t.Fatalf("seed=%s: answers = %+v, want 2", seed, resp.Answers)
+		}
+	}
 }
 
 func TestFeedback(t *testing.T) {
