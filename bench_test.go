@@ -24,6 +24,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/queryindex"
 	"repro/internal/store"
 	"repro/internal/worlds"
 	"repro/internal/xmlcodec"
@@ -312,6 +313,106 @@ func BenchmarkIntegrateBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- planned query engine benchmarks ---
+//
+// The three benchmarks below track the query-latency trajectory the same
+// way BenchmarkIntegrateWorkers tracks integration: CI converts them into
+// a BENCH_query.json artifact per commit. Cold is the unindexed seed
+// engine (compile-free, but re-walking the tree per query); Indexed is
+// the planned engine against a prebuilt per-tree index (the serving hot
+// path minus the result cache); ResultCacheHit is the full database path
+// on a repeated query. The acceptance bar is Indexed >= 2x over Cold on
+// selective queries.
+
+var planBenchOnce sync.Once
+var planBenchDoc *pxml.Tree
+var planBenchErr error
+
+// planBenchDocument integrates two confusing movie catalogs — a datagen
+// tree with genuine uncertainty — once per benchmark run.
+func planBenchDocument(b *testing.B) *pxml.Tree {
+	planBenchOnce.Do(func() {
+		pair := datagen.Confusing(36, 1)
+		planBenchDoc, _, planBenchErr = integrate.Integrate(pair.A.Tree, pair.B.Tree, integrate.Config{
+			Oracle: oracle.MovieOracle(oracle.SetGenreTitleYear),
+			Schema: datagen.MovieDTD(),
+		})
+	})
+	if planBenchErr != nil {
+		b.Fatal(planBenchErr)
+	}
+	return planBenchDoc
+}
+
+// planBenchQuery is selective: it anchors on one franchise out of many,
+// so value-set pruning skips most of the catalog in the per-value pass.
+const planBenchQuery = `//movie[title="Jaws"]/year`
+
+func BenchmarkQueryCold(b *testing.B) {
+	doc := planBenchDocument(b)
+	q := query.MustCompile(planBenchQuery)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := query.Eval(doc, q, query.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+func BenchmarkQueryIndexed(b *testing.B) {
+	doc := planBenchDocument(b)
+	q := query.MustCompile(planBenchQuery)
+	idx := queryindex.Build(doc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := query.EvalIndexed(doc, q, query.Options{}, idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+func BenchmarkQueryResultCacheHit(b *testing.B) {
+	doc := planBenchDocument(b)
+	db, err := imprecise.Open(doc, imprecise.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Query(planBenchQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(planBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Plan == nil || !res.Plan.CacheHit {
+			b.Fatal("expected a result-cache hit")
+		}
+	}
+}
+
+// BenchmarkQueryIndexBuild measures the per-swap cost the indexed path
+// pays up front.
+func BenchmarkQueryIndexBuild(b *testing.B) {
+	doc := planBenchDocument(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := queryindex.Build(doc)
+		if idx.NumTags() == 0 {
+			b.Fatal("empty index")
+		}
+	}
 }
 
 // --- micro benchmarks of the core machinery ---

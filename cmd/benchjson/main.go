@@ -1,21 +1,25 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, so CI can archive benchmark runs as machine-readable
-// artifacts (BENCH_integrate.json) and the perf trajectory of the hot
-// paths accumulates comparable data points per commit.
+// artifacts (BENCH_integrate.json, BENCH_query.json) and the perf
+// trajectory of the hot paths accumulates comparable data points per
+// commit.
 //
 // Usage:
 //
-//	go test -run '^$' -bench Integrate -benchtime 1x . | go run ./cmd/benchjson
+//	go test -run '^$' -bench Integrate -benchtime 1x . | go run ./cmd/benchjson -suite integrate
 //
 // Standard metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric
 // units (components, workers, nodes, …) all land in the per-benchmark
 // metrics map; environment header lines (goos, goarch, cpu, pkg) are
-// captured alongside.
+// captured alongside. The optional -suite flag names the run, so
+// artifacts from different bench jobs stay distinguishable after
+// download.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -32,12 +36,15 @@ type Result struct {
 
 // Output is the whole converted run.
 type Output struct {
+	Suite   string            `json:"suite,omitempty"`
 	Env     map[string]string `json:"env,omitempty"`
 	Results []Result          `json:"results"`
 }
 
 func main() {
-	out := Output{Env: map[string]string{}, Results: []Result{}}
+	suite := flag.String("suite", "", "suite name recorded in the output (e.g. integrate, query)")
+	flag.Parse()
+	out := Output{Suite: *suite, Env: map[string]string{}, Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

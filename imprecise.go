@@ -40,6 +40,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/queryindex"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/xmlcodec"
@@ -237,10 +238,55 @@ func CompileQuery(src string) (*Query, error) { return query.Compile(src) }
 // MustCompileQuery is CompileQuery that panics on error.
 func MustCompileQuery(src string) *Query { return query.MustCompile(src) }
 
+// QueryMethod names an evaluation strategy.
+type QueryMethod = query.Method
+
+// Evaluation strategies for QueryOptions.Method.
+const (
+	MethodAuto      = query.MethodAuto
+	MethodExact     = query.MethodExact
+	MethodEnumerate = query.MethodEnumerate
+	MethodSample    = query.MethodSample
+)
+
+// QueryPlan explains how the engine chose an evaluation strategy.
+type QueryPlan = query.Plan
+
+// QueryIndex is an immutable per-tree index the planner consults; a
+// Database builds one automatically at every tree swap.
+type QueryIndex = queryindex.Index
+
+// BuildQueryIndex indexes a document for planned evaluation outside a
+// Database.
+func BuildQueryIndex(t *Tree) *QueryIndex { return queryindex.Build(t) }
+
+// QueryResultCache caches fully evaluated results keyed by (tree digest,
+// query text, options); a Database maintains one internally.
+type QueryResultCache = query.ResultCache
+
+// QueryResultCacheStats reports a result cache's hit/miss counters.
+type QueryResultCacheStats = query.ResultCacheStats
+
+// NewQueryResultCache builds a result cache holding at most capacity
+// entries (<= 0 means the default capacity).
+func NewQueryResultCache(capacity int) *QueryResultCache { return query.NewResultCache(capacity) }
+
+// DatabaseIndexStats reports a Database's index construction work.
+type DatabaseIndexStats = core.IndexStats
+
 // EvalQuery evaluates a query over a document with the best applicable
-// strategy.
+// strategy (the unplanned reference engine; see EvalQueryIndexed for the
+// planner).
 func EvalQuery(t *Tree, q *Query, opts QueryOptions) (QueryResult, error) {
 	return query.Eval(t, q, opts)
+}
+
+// EvalQueryIndexed evaluates through the planner: cost-based automatic
+// strategy selection against idx (which may be nil), with the explainable
+// plan attached to the result. Auto evaluation returns bit-identical
+// answers to explicitly requesting the method the plan names.
+func EvalQueryIndexed(t *Tree, q *Query, opts QueryOptions, idx *QueryIndex) (QueryResult, error) {
+	return query.EvalIndexed(t, q, opts, idx)
 }
 
 // ExpectedCount returns the expected number of result nodes of the query

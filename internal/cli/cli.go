@@ -25,6 +25,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/queryindex"
 	"repro/internal/server"
 	"repro/internal/shell"
 	"repro/internal/worlds"
@@ -206,12 +207,22 @@ func runQuery(args []string, w io.Writer) error {
 	top := fs.Int("top", 0, "show only the top N answers")
 	samples := fs.Int("samples", 0, "Monte-Carlo samples when sampling is used")
 	seed := fs.Int64("seed", 1, "sampling seed")
+	method := fs.String("method", "auto", "evaluation method: auto | exact | enumerate | sample")
+	explainPlan := fs.Bool("explain", false, "print the evaluation plan")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dbPath == "" || *qSrc == "" {
 		return errors.New("query: -db and -q are required")
+	}
+	opts := query.Options{
+		Method:  query.Method(*method),
+		Samples: *samples,
+		Seed:    query.SeedPtr(*seed),
+	}
+	if err := opts.Validate(); err != nil {
+		return err // already prefixed "query: invalid options: …"
 	}
 	t, err := loadTree(*dbPath)
 	if err != nil {
@@ -221,7 +232,10 @@ func runQuery(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := query.Eval(t, q, query.Options{Samples: *samples, Seed: query.SeedPtr(*seed)})
+	// One-shot invocations still benefit from the planner: the index
+	// build is linear in the document and pays for itself by pruning.
+	idx := queryindex.Build(t)
+	res, err := query.EvalIndexed(t, q, opts, idx)
 	if err != nil {
 		return err
 	}
@@ -230,6 +244,9 @@ func runQuery(args []string, w io.Writer) error {
 		answers = res.Top(*top)
 	}
 	fmt.Fprintf(w, "method: %s\n", res.Method)
+	if *explainPlan && res.Plan != nil {
+		printPlan(w, res.Plan)
+	}
 	for _, a := range answers {
 		fmt.Fprintf(w, "%6.1f%%  %s\n", a.P*100, a.Value)
 	}
@@ -237,6 +254,22 @@ func runQuery(args []string, w io.Writer) error {
 		fmt.Fprintln(w, "(no answers)")
 	}
 	return nil
+}
+
+func printPlan(w io.Writer, pl *query.Plan) {
+	fmt.Fprintf(w, "plan:   method=%s indexed=%v pruned=%.0f%% worlds=%s\n",
+		pl.Method, pl.Indexed, pl.PrunedFraction*100, pl.EstimatedWorlds)
+	if pl.AnchorTag != "" {
+		fmt.Fprintf(w, "        anchor=<%s> bound=%s\n", pl.AnchorTag, orDash(pl.AnchorWorldBound))
+	}
+	fmt.Fprintf(w, "        reason: %s\n", pl.Reason)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func runExplain(args []string, w io.Writer) error {
@@ -384,6 +417,7 @@ func runServe(args []string, w io.Writer) error {
 	ruleSpec := fs.String("rules", "", "comma-separated domain rules: genre,title,year,director")
 	snapDir := fs.String("snapshots", "", "snapshot directory for /save and /load (empty disables them)")
 	cacheSize := fs.Int("query-cache", 0, "compiled-query LRU cache capacity (0 = default)")
+	resultCacheSize := fs.Int("result-cache", 0, "evaluated-result LRU cache capacity (0 = default)")
 	workers := fs.Int("workers", 0, "integration worker goroutines (0 = all CPUs, 1 = sequential)")
 	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
 	quiet := fs.Bool("quiet", false, "disable the per-request log")
@@ -417,10 +451,11 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 	db, err := core.Open(tree, core.Config{
-		Schema:         schema,
-		Rules:          rules,
-		Integration:    integrate.Config{Workers: *workers},
-		QueryCacheSize: *cacheSize,
+		Schema:          schema,
+		Rules:           rules,
+		Integration:     integrate.Config{Workers: *workers},
+		QueryCacheSize:  *cacheSize,
+		ResultCacheSize: *resultCacheSize,
 	})
 	if err != nil {
 		return err

@@ -24,6 +24,7 @@ import (
 	"math/big"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dtd"
 	"repro/internal/feedback"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/queryindex"
 	"repro/internal/store"
 	"repro/internal/xmlcodec"
 )
@@ -55,6 +57,9 @@ type Config struct {
 	// QueryCacheSize caps the compiled-query LRU cache (0 means
 	// query.DefaultCacheCapacity).
 	QueryCacheSize int
+	// ResultCacheSize caps the evaluated-result LRU cache (0 means
+	// query.DefaultResultCacheCapacity).
+	ResultCacheSize int
 }
 
 // Database is a probabilistic XML database with near-automatic
@@ -66,19 +71,30 @@ type Database struct {
 	writeMu sync.Mutex
 	// mu guards the snapshot fields below. Readers hold it only long
 	// enough to copy pointers; never during tree traversal.
-	mu           sync.RWMutex
-	tree         *pxml.Tree
+	mu   sync.RWMutex
+	tree *pxml.Tree
+	// index is the immutable query index of tree. It is built outside mu
+	// (by the mutation that produced the tree) and installed in the same
+	// critical section as the tree swap, so a reader always sees a
+	// matching (tree, index) pair and queries never rebuild it.
+	index        *queryindex.Index
 	schema       *dtd.Schema
 	session      *feedback.Session
 	integrations []integrate.Stats
 	// events mirrors session.History() so readers can list feedback
 	// without touching the session (which only writers may access).
 	events []feedback.Event
+	// indexBuilds / indexBuildLast / indexBuildTotal track index
+	// construction work for /stats.
+	indexBuilds     int64
+	indexBuildLast  time.Duration
+	indexBuildTotal time.Duration
 
 	// Immutable after Open.
 	oracle  *oracle.Oracle
 	cfg     Config
 	queries *query.Cache
+	results *query.ResultCache
 }
 
 // Open creates a database over an initial document.
@@ -95,9 +111,20 @@ func Open(doc *pxml.Tree, cfg Config) (*Database, error) {
 		oracle:  oracle.New(cfg.Rules, cfg.OracleOptions...),
 		cfg:     cfg,
 		queries: query.NewCache(cfg.QueryCacheSize),
+		results: query.NewResultCache(cfg.ResultCacheSize),
 	}
+	db.index = db.buildIndex(doc)
+	db.indexBuilds, db.indexBuildLast, db.indexBuildTotal =
+		1, db.index.BuildDuration(), db.index.BuildDuration()
 	db.session = feedback.NewSession(doc, cfg.Feedback)
 	return db, nil
+}
+
+// buildIndex constructs the query index for a tree. It runs outside mu —
+// index construction is the expensive part of a swap and must never block
+// readers — and the caller installs the result together with the tree.
+func (db *Database) buildIndex(t *pxml.Tree) *queryindex.Index {
+	return queryindex.Build(t)
 }
 
 // OpenXML creates a database from an XML document (plain or with
@@ -128,14 +155,29 @@ func (db *Database) Schema() *dtd.Schema {
 // Oracle returns the database's rule oracle.
 func (db *Database) Oracle() *oracle.Oracle { return db.oracle }
 
-// setTreeLocked swaps the document in and resets the feedback session to
-// it. Callers must hold writeMu and mu; keeping the swap plus any related
-// state updates in one mu critical section means readers never observe a
-// new tree paired with stale sibling state (schema, histories).
-func (db *Database) setTreeLocked(t *pxml.Tree) {
+// setTreeLocked swaps the document and its query index in and resets the
+// feedback session. Callers must hold writeMu and mu, and must have built
+// idx from t outside mu (via buildIndex); keeping the swap plus any
+// related state updates in one mu critical section means readers never
+// observe a new tree paired with stale sibling state (index, schema,
+// histories).
+func (db *Database) setTreeLocked(t *pxml.Tree, idx *queryindex.Index) {
 	db.tree = t
+	db.installIndexLocked(idx)
 	db.session = feedback.NewSession(t, db.cfg.Feedback)
 	db.events = nil
+}
+
+// installIndexLocked records the new index and its build-time statistics.
+// The result cache is purged as well: entries are keyed by tree digest so
+// stale hits were impossible anyway, but dead entries should not occupy
+// capacity. Callers must hold mu.
+func (db *Database) installIndexLocked(idx *queryindex.Index) {
+	db.index = idx
+	db.indexBuilds++
+	db.indexBuildLast = idx.BuildDuration()
+	db.indexBuildTotal += idx.BuildDuration()
+	db.results.Purge()
 }
 
 // IntegrateTree integrates another document into the database. The
@@ -162,8 +204,9 @@ func (db *Database) IntegrateTreeResult(other *pxml.Tree) (*pxml.Tree, *integrat
 	if err != nil {
 		return nil, nil, err
 	}
+	idx := db.buildIndex(res)
 	db.mu.Lock()
-	db.setTreeLocked(res)
+	db.setTreeLocked(res, idx)
 	db.integrations = append(db.integrations, *stats)
 	db.mu.Unlock()
 	return res, stats, nil
@@ -198,8 +241,9 @@ func (db *Database) IntegrateBatch(sources []*pxml.Tree) ([]integrate.Stats, *px
 		cur = res
 		statsList = append(statsList, *stats)
 	}
+	idx := db.buildIndex(cur)
 	db.mu.Lock()
-	db.setTreeLocked(cur)
+	db.setTreeLocked(cur, idx)
 	db.integrations = append(db.integrations, statsList...)
 	db.mu.Unlock()
 	return statsList, cur, nil
@@ -252,19 +296,16 @@ func (db *Database) IntegrationCount() int {
 
 // Query compiles and evaluates a query, returning ranked answers.
 // Compilation goes through the database's LRU cache, so repeated query
-// strings skip parsing.
+// strings skip parsing; evaluation goes through the planner and the
+// result cache (see QueryEval).
 func (db *Database) Query(src string) (query.Result, error) {
-	q, err := db.queries.Compile(src)
-	if err != nil {
-		return query.Result{}, err
-	}
-	return db.QueryCompiled(q)
+	return db.QueryEval(src, db.cfg.Query)
 }
 
 // QueryCompiled evaluates a compiled query against a snapshot of the
-// current document.
+// current document, through the planner and the result cache.
 func (db *Database) QueryCompiled(q *query.Query) (query.Result, error) {
-	return query.Eval(db.Tree(), q, db.cfg.Query)
+	return db.evalCached(q, db.cfg.Query)
 }
 
 // DefaultQueryOptions returns the evaluation options the database was
@@ -274,18 +315,99 @@ func (db *Database) DefaultQueryOptions() query.Options { return db.cfg.Query }
 
 // QueryEval compiles src through the database's cache and evaluates it
 // with the given options instead of the database defaults — for callers
-// that override the sampling seed or budgets per request.
+// that override the method, sampling seed or budgets per request.
+//
+// Evaluation is planned: the per-tree index (installed with the tree at
+// every copy-on-write swap) picks the cheapest applicable strategy when
+// opts.Method is auto, and whole results are served from an LRU cache
+// keyed by (tree digest, query text, options) — correctly invalidated by
+// tree identity, since any mutation installs a tree with a new digest.
 func (db *Database) QueryEval(src string, opts query.Options) (query.Result, error) {
 	q, err := db.queries.Compile(src)
 	if err != nil {
 		return query.Result{}, err
 	}
-	return query.Eval(db.Tree(), q, opts)
+	return db.evalCached(q, opts)
+}
+
+// evalCached evaluates a compiled query against a consistent
+// (tree, index) snapshot, going through the result cache.
+func (db *Database) evalCached(q *query.Query, opts query.Options) (query.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return query.Result{}, err
+	}
+	// Read the purge generation before the snapshot: if a swap (and its
+	// purge) lands anywhere after this point, the conditional Put below
+	// is dropped, so a slow evaluation can never re-insert an entry for
+	// a retired document.
+	gen := db.results.Generation()
+	db.mu.RLock()
+	tree, idx := db.tree, db.index
+	db.mu.RUnlock()
+	digest := idx.Digest()
+	src := q.String()
+	if res, ok := db.results.Get(digest, src, opts); ok {
+		if res.Plan != nil {
+			// Flag the hit on a copy; the cached result stays pristine.
+			pl := *res.Plan
+			pl.CacheHit = true
+			res.Plan = &pl
+		}
+		return res, nil
+	}
+	res, err := query.EvalIndexed(tree, q, opts, idx)
+	if err != nil {
+		return query.Result{}, err
+	}
+	db.results.PutIfGeneration(gen, digest, src, opts, res)
+	return res, nil
 }
 
 // QueryCacheStats reports the compiled-query cache counters.
 func (db *Database) QueryCacheStats() query.CacheStats {
 	return db.queries.Stats()
+}
+
+// ResultCacheStats reports the evaluated-result cache counters.
+func (db *Database) ResultCacheStats() query.ResultCacheStats {
+	return db.results.Stats()
+}
+
+// Index returns the current document's query index (an immutable
+// snapshot, consistent with the tree the same instant Tree() would have
+// returned).
+func (db *Database) Index() *queryindex.Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.index
+}
+
+// IndexStats summarizes query-index construction work: how many indexes
+// the database has built (one per installed tree) and how long the builds
+// took.
+type IndexStats struct {
+	// Builds counts index constructions (one per tree swap, plus the
+	// initial document).
+	Builds int64
+	// LastBuild and TotalBuild are wall-clock construction times.
+	LastBuild  time.Duration
+	TotalBuild time.Duration
+	// Tags and Elements describe the current index.
+	Tags     int
+	Elements int
+}
+
+// IndexStats reports index build statistics for /stats.
+func (db *Database) IndexStats() IndexStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return IndexStats{
+		Builds:     db.indexBuilds,
+		LastBuild:  db.indexBuildLast,
+		TotalBuild: db.indexBuildTotal,
+		Tags:       db.index.NumTags(),
+		Elements:   db.index.Elements(),
+	}
 }
 
 // Feedback applies a user judgment on a query answer, removing worlds
@@ -308,8 +430,13 @@ func (db *Database) Feedback(querySrc, value string, correct bool) (feedback.Eve
 	if err != nil {
 		return ev, err
 	}
+	// Index the conditioned tree outside mu, then swap tree and index
+	// together (unlike setTreeLocked this keeps the running session).
+	nt := db.session.Tree()
+	idx := db.buildIndex(nt)
 	db.mu.Lock()
-	db.tree = db.session.Tree()
+	db.tree = nt
+	db.installIndexLocked(idx)
 	db.events = append(db.events, ev)
 	db.mu.Unlock()
 	return ev, nil
@@ -353,8 +480,9 @@ func (db *Database) Normalize() (before, after int64, err error) {
 	if err != nil {
 		return before, before, err
 	}
+	idx := db.buildIndex(nt)
 	db.mu.Lock()
-	db.setTreeLocked(nt)
+	db.setTreeLocked(nt, idx)
 	db.mu.Unlock()
 	return before, nt.NodeCount(), nil
 }
@@ -371,8 +499,9 @@ func (db *Database) ReplaceTree(t *pxml.Tree) error {
 	}
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	idx := db.buildIndex(t)
 	db.mu.Lock()
-	db.setTreeLocked(t)
+	db.setTreeLocked(t, idx)
 	db.integrations = nil
 	db.mu.Unlock()
 	return nil
@@ -397,8 +526,9 @@ func (db *Database) LoadSnapshot(dir string) (*store.Snapshot, error) {
 	}
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	idx := db.buildIndex(snap.Tree)
 	db.mu.Lock()
-	db.setTreeLocked(snap.Tree)
+	db.setTreeLocked(snap.Tree, idx)
 	db.integrations = nil
 	if snap.Schema != nil {
 		db.schema = snap.Schema

@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func openFig2DB(t *testing.T) *core.Database {
+	t.Helper()
+	db, err := core.OpenXML(strings.NewReader(bookA), core.Config{Schema: personDTD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IntegrateXMLString(bookB); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestIndexTracksTreeSwaps checks every mutation path installs a fresh
+// index whose digest matches the tree it was built for.
+func TestIndexTracksTreeSwaps(t *testing.T) {
+	db, err := core.OpenXML(strings.NewReader(bookA), core.Config{Schema: personDTD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		if got, want := db.Index().Digest(), db.Tree().Digest(); got != want {
+			t.Fatalf("%s: index digest %#x != tree digest %#x", stage, got, want)
+		}
+	}
+	check("open")
+	builds := db.IndexStats().Builds
+	if builds != 1 {
+		t.Fatalf("open: builds = %d, want 1", builds)
+	}
+
+	if _, err := db.IntegrateXMLString(bookB); err != nil {
+		t.Fatal(err)
+	}
+	check("integrate")
+
+	if _, err := db.Feedback(`//person[nm="John"]/tel`, "2222", false); err != nil {
+		t.Fatal(err)
+	}
+	check("feedback")
+
+	if _, _, err := db.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	check("normalize")
+
+	if err := db.ReplaceTree(db.Tree()); err != nil {
+		t.Fatal(err)
+	}
+	check("replace")
+
+	st := db.IndexStats()
+	if st.Builds < 5 {
+		t.Fatalf("index builds = %d, want one per mutation (>= 5)", st.Builds)
+	}
+	if st.Tags == 0 || st.Elements == 0 {
+		t.Fatalf("index stats describe no document: %+v", st)
+	}
+}
+
+// TestResultCacheServesRepeatsAndInvalidates checks repeat queries hit
+// the result cache and mutations invalidate it by tree identity.
+func TestResultCacheServesRepeatsAndInvalidates(t *testing.T) {
+	db := openFig2DB(t)
+	const q = `//person[nm="John"]/tel`
+
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan == nil || first.Plan.CacheHit {
+		t.Fatalf("first evaluation claims a cache hit: %+v", first.Plan)
+	}
+	second, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Plan == nil || !second.Plan.CacheHit {
+		t.Fatalf("repeat evaluation not served from cache: %+v", second.Plan)
+	}
+	if len(first.Answers) != len(second.Answers) {
+		t.Fatalf("cached answers differ: %v vs %v", first.Answers, second.Answers)
+	}
+	stats := db.ResultCacheStats()
+	if stats.Hits < 1 || stats.Misses < 1 {
+		t.Fatalf("result cache stats = %+v", stats)
+	}
+
+	// Feedback swaps the tree; the next evaluation must be fresh (and
+	// reflect the conditioned document).
+	if _, err := db.Feedback(q, "2222", false); err != nil {
+		t.Fatal(err)
+	}
+	third, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Plan == nil || third.Plan.CacheHit {
+		t.Fatalf("post-mutation evaluation served stale cache: %+v", third.Plan)
+	}
+	if p := third.P("2222"); p > 1e-9 {
+		t.Fatalf("rejected answer still has p=%g after feedback", p)
+	}
+}
+
+// TestQueryEvalRejectsNegativeBudgets pins the satellite bugfix at the
+// database layer: negative budgets are explicit errors, not defaults.
+func TestQueryEvalRejectsNegativeBudgets(t *testing.T) {
+	db := openFig2DB(t)
+	for _, opts := range []query.Options{
+		{Samples: -1},
+		{EnumWorldLimit: -2},
+		{LocalWorldLimit: -3},
+	} {
+		_, err := db.QueryEval(`//person/nm`, opts)
+		if !errors.Is(err, query.ErrBadOptions) {
+			t.Fatalf("QueryEval(%+v) = %v, want ErrBadOptions", opts, err)
+		}
+	}
+}
+
+// TestQueryMethodsAgreeThroughDatabase evaluates the same query with all
+// explicit methods through the database and checks the auto choice equals
+// its explicit counterpart bit for bit.
+func TestQueryMethodsAgreeThroughDatabase(t *testing.T) {
+	db := openFig2DB(t)
+	const q = `//person[nm="John"]/tel`
+	auto, err := db.QueryEval(q, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Plan == nil || auto.Plan.Method != auto.Method {
+		t.Fatalf("auto plan/method mismatch: %+v vs %q", auto.Plan, auto.Method)
+	}
+	explicit, err := db.QueryEval(q, query.Options{Method: auto.Method})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.Answers) != len(explicit.Answers) {
+		t.Fatalf("answer counts differ")
+	}
+	for i := range auto.Answers {
+		if auto.Answers[i] != explicit.Answers[i] {
+			t.Fatalf("answer %d differs: %+v vs %+v", i, auto.Answers[i], explicit.Answers[i])
+		}
+	}
+}

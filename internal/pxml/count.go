@@ -87,32 +87,11 @@ func (t *Tree) PhysicalNodeCount() int64 {
 // WorldCount returns the exact number of possible worlds represented by
 // the document. Choice points multiply across independent siblings and sum
 // across alternatives, so the count can be astronomically large; hence the
-// big.Int result.
+// big.Int result. The count comes from the cached subtree summaries, so
+// after the first call on a document it is O(1); the returned value is a
+// private copy the caller may mutate.
 func (t *Tree) WorldCount() *big.Int {
-	memo := map[*Node]*big.Int{}
-	return worldCount(t.root, memo)
-}
-
-func worldCount(n *Node, memo map[*Node]*big.Int) *big.Int {
-	if c, ok := memo[n]; ok {
-		return c
-	}
-	c := new(big.Int)
-	switch n.kind {
-	case KindProb:
-		// Alternatives are mutually exclusive: counts add.
-		for _, k := range n.kids {
-			c.Add(c, worldCount(k, memo))
-		}
-	case KindPoss, KindElem:
-		// Children are independent: counts multiply.
-		c.SetInt64(1)
-		for _, k := range n.kids {
-			c.Mul(c, worldCount(k, memo))
-		}
-	}
-	memo[n] = c
-	return c
+	return new(big.Int).Set(t.root.Summary().Worlds)
 }
 
 // ChoicePoints returns the number of genuine choice points: distinct

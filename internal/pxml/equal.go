@@ -132,9 +132,22 @@ func hashMemo(n *Node, memo map[*Node]uint64) uint64 {
 	if n == nil {
 		return 0
 	}
+	if s := n.summary.Load(); s != nil {
+		return s.Digest
+	}
 	if h, ok := memo[n]; ok {
 		return h
 	}
+	v := combineHash(n, func(k *Node) uint64 { return hashMemo(k, memo) })
+	memo[n] = v
+	return v
+}
+
+// combineHash computes a node's structural hash from its own fields and
+// its children's hashes (obtained through kidHash). It is the single
+// definition of the hash, shared by Hash and the Summary digest so the two
+// can never drift apart.
+func combineHash(n *Node, kidHash func(*Node) uint64) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte{byte(n.kind)})
 	h.Write([]byte(n.tag))
@@ -147,13 +160,11 @@ func hashMemo(n *Node, memo map[*Node]uint64) uint64 {
 	}
 	var buf [8]byte
 	for _, k := range n.kids {
-		kh := hashMemo(k, memo)
+		kh := kidHash(k)
 		for i := 0; i < 8; i++ {
 			buf[i] = byte(kh >> (8 * i))
 		}
 		h.Write(buf[:])
 	}
-	v := h.Sum64()
-	memo[n] = v
-	return v
+	return h.Sum64()
 }

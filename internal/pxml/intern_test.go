@@ -1,0 +1,65 @@
+package pxml
+
+import "testing"
+
+func TestBuilderSharesEqualSubtrees(t *testing.T) {
+	b := NewBuilder()
+	l1 := b.Leaf("tel", "1111")
+	l2 := b.Leaf("tel", "1111")
+	if l1 != l2 {
+		t.Fatalf("equal leaves not shared")
+	}
+	e1 := b.Elem("person", "", b.Certain(b.Leaf("nm", "John")), b.Certain(l1))
+	e2 := b.Elem("person", "", b.Certain(b.Leaf("nm", "John")), b.Certain(l2))
+	if e1 != e2 {
+		t.Fatalf("equal elements not shared")
+	}
+	if b.Leaf("tel", "2222") == l1 {
+		t.Fatalf("distinct leaves shared")
+	}
+}
+
+func TestInternTreePreservesEquality(t *testing.T) {
+	person := func(tel string) *Node {
+		return NewElem("person", "",
+			Certain(NewLeaf("nm", "John")),
+			Certain(NewLeaf("tel", tel)),
+		)
+	}
+	// Two structurally identical persons, separately allocated.
+	book := NewElem("addressbook", "",
+		Certain(person("1111")),
+		Certain(person("1111")),
+		Certain(person("2222")),
+	)
+	tr := CertainTree(book)
+	it := InternTree(tr)
+	if !Equal(tr.Root(), it.Root()) {
+		t.Fatalf("interned tree not Equal to original")
+	}
+	if got, want := tr.NodeCount(), it.NodeCount(); got != want {
+		t.Fatalf("logical size changed: %d -> %d", got, want)
+	}
+	if before, after := tr.PhysicalNodeCount(), it.PhysicalNodeCount(); after >= before {
+		t.Fatalf("interning did not share: physical %d -> %d", before, after)
+	}
+	// The two identical persons collapse into one physical subtree.
+	elems := it.RootElements()
+	kids := elems[0].Children()
+	p1 := kids[0].Child(0).Child(0)
+	p2 := kids[1].Child(0).Child(0)
+	if p1 != p2 {
+		t.Fatalf("identical person subtrees not shared after interning")
+	}
+}
+
+func TestInternTreeIdempotentOnCanonical(t *testing.T) {
+	b := NewBuilder()
+	leaf := b.Leaf("a", "x")
+	root := b.Elem("r", "", b.Certain(leaf), b.Certain(leaf))
+	tr := MustTree(b.Certain(root))
+	// Deep interning through the same builder returns the identical root.
+	if got := b.InternTree(tr); got.Root() != tr.Root() {
+		t.Fatalf("canonical tree rebuilt by InternTree")
+	}
+}

@@ -26,6 +26,7 @@ package pxml
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Kind discriminates the three node kinds of the layered model.
@@ -69,6 +70,12 @@ type Node struct {
 	text string  // KindElem only: text content (leaf value)
 	prob float64 // KindPoss only: the probability of this alternative
 	kids []*Node
+
+	// summary caches the subtree's static summary (structural digest,
+	// world count, descendant tag set). It is computed lazily on first
+	// use; see Summary. Immutability of the node makes the cached value
+	// valid forever.
+	summary atomic.Pointer[Summary]
 }
 
 // Kind reports the node kind.

@@ -1,0 +1,200 @@
+package pxml
+
+import (
+	"math/big"
+	"sort"
+)
+
+// TagSet is an immutable set of element tags. The zero value is the empty
+// set. Sets are shared freely between node summaries, so they must never
+// be mutated after construction.
+type TagSet struct {
+	m map[string]struct{}
+}
+
+// Has reports whether tag is in the set.
+func (s *TagSet) Has(tag string) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.m[tag]
+	return ok
+}
+
+// HasAll reports whether every tag of the given set-as-map is present.
+func (s *TagSet) HasAll(tags map[string]bool) bool {
+	for t := range tags {
+		if !s.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of tags in the set.
+func (s *TagSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// Tags returns the tags in sorted order.
+func (s *TagSet) Tags() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.m))
+	for t := range s.m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emptyTagSet is shared by all summaries of tag-free subtrees.
+var emptyTagSet = &TagSet{}
+
+// Summary is the cached static summary of one subtree: everything the
+// query planner needs to reason about the subtree without walking it.
+// Summaries are computed once per node (lazily, bottom-up) and shared;
+// all fields must be treated as read-only. In particular Worlds is a
+// shared *big.Int that callers must not mutate.
+type Summary struct {
+	// Digest is the structural digest of the subtree, consistent with
+	// Hash and Equal: equal subtrees have equal digests.
+	Digest uint64
+	// Worlds is the number of possible worlds of the subtree. Read-only.
+	Worlds *big.Int
+	// Tags is the set of element tags occurring at or below this node
+	// (including the node's own tag for elements). Read-only.
+	Tags *TagSet
+	// TextBloom is a 64-bit Bloom fingerprint of the element texts at or
+	// below this node (TextBloomBits per text, OR-combined). A query
+	// engine may conclude that a text t does NOT occur in the subtree
+	// when TextBloom misses any bit of TextBloomBits(t); the converse
+	// (bits present) proves nothing.
+	TextBloom uint64
+}
+
+// TextBloomBits returns the Bloom mask of one text value: two bits
+// derived from independent hash mixes, so a subtree fingerprint with few
+// texts rarely false-positives on an absent value.
+func TextBloomBits(s string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// Two bit positions from distant parts of the hash.
+	return 1<<(h&63) | 1<<((h>>32)&63)
+}
+
+var bigOne = big.NewInt(1)
+
+// Summary returns the subtree's static summary, computing and caching it
+// (and its descendants' summaries) on first use. It is safe for
+// concurrent use: racing computations produce identical values and the
+// last store wins harmlessly.
+func (n *Node) Summary() *Summary {
+	if s := n.summary.Load(); s != nil {
+		return s
+	}
+	return computeSummary(n)
+}
+
+func computeSummary(n *Node) *Summary {
+	if s := n.summary.Load(); s != nil {
+		return s
+	}
+	kidSums := make([]*Summary, len(n.kids))
+	for i, k := range n.kids {
+		kidSums[i] = computeSummary(k)
+	}
+	s := &Summary{
+		Digest: combineHash(n, func(k *Node) uint64 { return k.Summary().Digest }),
+		Worlds: summaryWorlds(n, kidSums),
+		Tags:   summaryTags(n, kidSums),
+	}
+	if n.text != "" {
+		s.TextBloom = TextBloomBits(n.text)
+	}
+	for _, k := range kidSums {
+		s.TextBloom |= k.TextBloom
+	}
+	n.summary.Store(s)
+	return s
+}
+
+// summaryWorlds computes the world count from child summaries, sharing
+// child big.Ints where the recurrence is the identity.
+func summaryWorlds(n *Node, kids []*Summary) *big.Int {
+	switch n.kind {
+	case KindProb:
+		// Alternatives are mutually exclusive: counts add.
+		if len(kids) == 1 {
+			return kids[0].Worlds
+		}
+		c := new(big.Int)
+		for _, k := range kids {
+			c.Add(c, k.Worlds)
+		}
+		return c
+	default:
+		// Children are independent: counts multiply.
+		if len(kids) == 0 {
+			return bigOne
+		}
+		if len(kids) == 1 {
+			return kids[0].Worlds
+		}
+		c := big.NewInt(1)
+		for _, k := range kids {
+			c.Mul(c, k.Worlds)
+		}
+		return c
+	}
+}
+
+// summaryTags unions the children's tag sets plus the node's own tag,
+// reusing a child's set whenever the union adds nothing — long chains of
+// wrapper nodes then share a single set.
+func summaryTags(n *Node, kids []*Summary) *TagSet {
+	own := ""
+	if n.kind == KindElem {
+		own = n.tag
+	}
+	var base *TagSet
+	allSame := true
+	for _, k := range kids {
+		if base == nil {
+			base = k.Tags
+		} else if k.Tags != base {
+			allSame = false
+		}
+	}
+	if base != nil && allSame && (own == "" || base.Has(own)) {
+		return base
+	}
+	if base == nil && own == "" {
+		return emptyTagSet
+	}
+	m := make(map[string]struct{})
+	if own != "" {
+		m[own] = struct{}{}
+	}
+	for _, k := range kids {
+		for t := range k.Tags.m {
+			m[t] = struct{}{}
+		}
+	}
+	return &TagSet{m: m}
+}
+
+// Summary returns the cached static summary of the document root.
+func (t *Tree) Summary() *Summary { return t.root.Summary() }
+
+// Digest returns the structural digest of the whole document. Equal trees
+// (in the sense of Equal) have equal digests, so the digest identifies the
+// document content — the key the result cache and index invalidation use.
+func (t *Tree) Digest() uint64 { return t.root.Summary().Digest }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 
 	"repro/internal/pxml"
 	"repro/internal/worlds"
@@ -28,6 +29,8 @@ const (
 	MethodEnumerate Method = "enumerate"
 	// MethodSample is Monte-Carlo estimation.
 	MethodSample Method = "sample"
+	// MethodAuto lets the planner choose the strategy (the default).
+	MethodAuto Method = "auto"
 )
 
 // Result is a ranked, probability-annotated answer sequence.
@@ -36,6 +39,29 @@ type Result struct {
 	Method  Method
 	// SampledWorlds is the number of Monte-Carlo samples (MethodSample).
 	SampledWorlds int
+	// Plan explains how the engine chose the strategy. Nil when the
+	// result was produced without the planner (legacy Eval paths).
+	Plan *Plan
+
+	// lookup is the lazily built value -> probability map behind P.
+	// It is a pointer so that copies of the Result share one map build.
+	lookup *valueLookup
+}
+
+type valueLookup struct {
+	once sync.Once
+	m    map[string]float64
+}
+
+// newResult assembles a Result with a lazy value-lookup attached.
+func newResult(answers []Answer, method Method, sampled int, plan *Plan) Result {
+	return Result{
+		Answers:       answers,
+		Method:        method,
+		SampledWorlds: sampled,
+		Plan:          plan,
+		lookup:        &valueLookup{},
+	}
 }
 
 // Top returns the first n answers (fewer if there are not that many).
@@ -46,24 +72,48 @@ func (r Result) Top(n int) []Answer {
 	return r.Answers[:n]
 }
 
-// P returns the probability of a given answer value, or 0.
+// P returns the probability of a given answer value, or 0. The first
+// lookup on a large answer set builds a value map once, so top-k
+// post-processing that probes many values stays linear instead of
+// quadratic; results constructed literally (no lookup attached) fall back
+// to a linear scan.
 func (r Result) P(value string) float64 {
-	for _, a := range r.Answers {
-		if a.Value == value {
-			return a.P
+	if r.lookup == nil {
+		for _, a := range r.Answers {
+			if a.Value == value {
+				return a.P
+			}
 		}
+		return 0
 	}
-	return 0
+	r.lookup.once.Do(func() {
+		m := make(map[string]float64, len(r.Answers))
+		for _, a := range r.Answers {
+			if _, dup := m[a.Value]; !dup {
+				m[a.Value] = a.P
+			}
+		}
+		r.lookup.m = m
+	})
+	return r.lookup.m[value]
 }
 
 // Options configure evaluation.
 type Options struct {
+	// Method selects the evaluation strategy. Empty or MethodAuto lets
+	// the engine choose (cost-based when an index is available, the
+	// exact→enumerate→sample ladder otherwise); an explicit method is
+	// used verbatim and its applicability errors surface to the caller.
+	Method Method
 	// LocalWorldLimit bounds per-anchor local enumeration in the exact
-	// evaluator (default DefaultLocalWorldLimit).
+	// evaluator (default DefaultLocalWorldLimit). Negative values are
+	// rejected by Validate.
 	LocalWorldLimit int
 	// EnumWorldLimit bounds full-world enumeration (default 100000).
+	// Negative values are rejected by Validate.
 	EnumWorldLimit int
-	// Samples is the Monte-Carlo sample count (default 20000).
+	// Samples is the Monte-Carlo sample count (default 20000). Negative
+	// values are rejected by Validate.
 	Samples int
 	// Seed seeds the Monte-Carlo sampler. Nil means the default seed 1;
 	// pointing at any value — including 0 — requests exactly that seed.
@@ -79,6 +129,42 @@ const (
 	defaultEnumWorldLimit = 100000
 	defaultSamples        = 20000
 )
+
+// ErrBadOptions marks option validation failures; front ends map it to a
+// usage error (HTTP 400 / CLI usage message).
+var ErrBadOptions = errors.New("query: invalid options")
+
+// Validate rejects nonsensical options. Zero values always mean "use the
+// default"; negative budgets used to be silently coerced to the default,
+// which hid caller bugs — they are now explicit errors.
+func (o Options) Validate() error {
+	if o.Samples < 0 {
+		return fmt.Errorf("%w: Samples must be >= 0 (0 means default %d), got %d",
+			ErrBadOptions, defaultSamples, o.Samples)
+	}
+	if o.EnumWorldLimit < 0 {
+		return fmt.Errorf("%w: EnumWorldLimit must be >= 0 (0 means default %d), got %d",
+			ErrBadOptions, defaultEnumWorldLimit, o.EnumWorldLimit)
+	}
+	if o.LocalWorldLimit < 0 {
+		return fmt.Errorf("%w: LocalWorldLimit must be >= 0 (0 means default %d), got %d",
+			ErrBadOptions, DefaultLocalWorldLimit, o.LocalWorldLimit)
+	}
+	switch o.Method {
+	case "", MethodAuto, MethodExact, MethodEnumerate, MethodSample:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown method %q (auto | exact | enumerate | sample)",
+			ErrBadOptions, o.Method)
+	}
+}
+
+func (o Options) method() Method {
+	if o.Method == "" {
+		return MethodAuto
+	}
+	return o.Method
+}
 
 func (o Options) enumLimit() int {
 	if o.EnumWorldLimit > 0 {
@@ -101,13 +187,36 @@ func (o Options) seed() int64 {
 	return 1
 }
 
-// Eval answers the query with the best available strategy: exact
-// evaluation when applicable, exhaustive enumeration when the world count
-// is small enough, Monte-Carlo sampling otherwise.
+// Eval answers the query without a prebuilt index: exact evaluation when
+// applicable, exhaustive enumeration when the world count is small
+// enough, Monte-Carlo sampling otherwise. An explicit Options.Method is
+// honored verbatim. This is the reference (unplanned) engine; servers
+// evaluate through EvalIndexed, which plans against a per-tree index and
+// uses the value-set-accelerated exact executor.
 func Eval(t *pxml.Tree, q *Query, opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	switch opts.method() {
+	case MethodExact:
+		answers, err := EvalExact(t, q, opts.LocalWorldLimit)
+		if err != nil {
+			return Result{}, err
+		}
+		return newResult(answers, MethodExact, 0, nil), nil
+	case MethodEnumerate:
+		answers, err := EvalEnumerate(t, q, opts.enumLimit())
+		if err != nil {
+			return Result{}, err
+		}
+		return newResult(answers, MethodEnumerate, 0, nil), nil
+	case MethodSample:
+		answers := EvalSample(t, q, opts.samples(), opts.seed())
+		return newResult(answers, MethodSample, opts.samples(), nil), nil
+	}
 	answers, err := EvalExact(t, q, opts.LocalWorldLimit)
 	if err == nil {
-		return Result{Answers: answers, Method: MethodExact}, nil
+		return newResult(answers, MethodExact, 0, nil), nil
 	}
 	if !errors.Is(err, ErrNotExact) {
 		return Result{}, err
@@ -115,14 +224,14 @@ func Eval(t *pxml.Tree, q *Query, opts Options) (Result, error) {
 	if t.WorldCount().Cmp(big.NewInt(int64(opts.enumLimit()))) <= 0 {
 		answers, err := EvalEnumerate(t, q, opts.enumLimit())
 		if err == nil {
-			return Result{Answers: answers, Method: MethodEnumerate}, nil
+			return newResult(answers, MethodEnumerate, 0, nil), nil
 		}
 		if !errors.Is(err, worlds.ErrTooManyWorlds) {
 			return Result{}, err
 		}
 	}
 	answers = EvalSample(t, q, opts.samples(), opts.seed())
-	return Result{Answers: answers, Method: MethodSample, SampledWorlds: opts.samples()}, nil
+	return newResult(answers, MethodSample, opts.samples(), nil), nil
 }
 
 // EvalEnumerate computes answer probabilities by full possible-world

@@ -1,6 +1,9 @@
 package query
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // TestSeedZeroRequestable pins the Options.Seed contract: nil means the
 // default seed 1, while an explicit pointer — including to 0, which the
@@ -14,5 +17,49 @@ func TestSeedZeroRequestable(t *testing.T) {
 	}
 	if got := (Options{Seed: SeedPtr(-7)}).seed(); got != -7 {
 		t.Fatalf("explicit seed -7 = %d, want -7", got)
+	}
+}
+
+// TestValidateRejectsNegativeBudgets pins the Options contract: zero
+// means "use the default", but negative budgets — which the old code
+// silently coerced to the default — are explicit errors.
+func TestValidateRejectsNegativeBudgets(t *testing.T) {
+	good := []Options{
+		{},
+		{Samples: 1, EnumWorldLimit: 1, LocalWorldLimit: 1},
+		{Method: MethodAuto},
+		{Method: MethodExact},
+		{Method: MethodEnumerate},
+		{Method: MethodSample},
+		{Seed: SeedPtr(-5)}, // seeds may be negative; they are not budgets
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+	bad := []Options{
+		{Samples: -1},
+		{EnumWorldLimit: -10},
+		{LocalWorldLimit: -1},
+		{Method: "fuzzy"},
+	}
+	for _, o := range bad {
+		err := o.Validate()
+		if !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("Validate(%+v) = %v, want ErrBadOptions", o, err)
+		}
+	}
+}
+
+// TestEvalValidatesOptions checks validation is enforced at the engine
+// entry points, not just available.
+func TestEvalValidatesOptions(t *testing.T) {
+	q := MustCompile(`//a`)
+	if _, err := Eval(nil, q, Options{Samples: -3}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("Eval with negative samples = %v, want ErrBadOptions", err)
+	}
+	if _, err := EvalIndexed(nil, q, Options{EnumWorldLimit: -1}, nil); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("EvalIndexed with negative enum limit = %v, want ErrBadOptions", err)
 	}
 }

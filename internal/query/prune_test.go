@@ -1,0 +1,60 @@
+package query_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/queryindex"
+)
+
+// TestBloomPruningSoundness drives the text-fingerprint pruning through
+// the shapes where a naive implementation would wrongly prune: literals
+// with spaces (which can match across concatenated leaves), values
+// produced by nested elements under the predicate path's tag, negated
+// predicates, and contains() conditions. In every case the planned
+// engine must agree with exhaustive enumeration.
+func TestBloomPruningSoundness(t *testing.T) {
+	doc := `
+	<catalog>
+	  <movie><title>Die Hard</title><year>1988</year></movie>
+	  <movie><title><part>Die</part><part>Hard</part></title><year>1900</year></movie>
+	  <movie><title><b>Jaws</b></title><year>1975</year></movie>
+	  <movie><title>Alien</title><year>1979</year></movie>
+	</catalog>`
+	tr := mustTreeFromXML(t, doc)
+	idx := queryindex.Build(tr)
+	for _, src := range []string{
+		`//movie[title="Die Hard"]/year`, // space literal: no pruning allowed
+		`//movie[title="Jaws"]/year`,     // value from nested <b>, not <title> text
+		`//movie[not(title="Alien")]/year`,
+		`//movie[contains(title, "lie")]/year`,
+		`//movie[title="Nowhere"]/year`, // genuinely absent: prune to empty
+	} {
+		q := query.MustCompile(src)
+		planned, err := query.EvalIndexed(tr, q, query.Options{Method: query.MethodExact}, idx)
+		if err != nil {
+			t.Fatalf("%s: planned exact: %v", src, err)
+		}
+		enum, err := query.EvalEnumerate(tr, q, 0)
+		if err != nil {
+			t.Fatalf("%s: enumerate: %v", src, err)
+		}
+		assertAnswersWithin(t, 0, src, "planned-vs-enumerate", planned.Answers, enum, 1e-9)
+	}
+
+	// The concatenated "Die Hard" title must actually be found (two part
+	// leaves joined with a space), or the test above proves nothing.
+	q := query.MustCompile(`//movie[title="Die Hard"]/year`)
+	res, err := query.EvalIndexed(tr, q, query.Options{}, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := map[string]bool{}
+	for _, a := range res.Answers {
+		years[a.Value] = true
+	}
+	if !reflect.DeepEqual(years, map[string]bool{"1988": true, "1900": true}) {
+		t.Fatalf("Die Hard years = %v, want both the plain and the concatenated title", years)
+	}
+}

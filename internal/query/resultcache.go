@@ -1,0 +1,155 @@
+package query
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultResultCacheCapacity is the capacity of a ResultCache built with
+// NewResultCache(0).
+const DefaultResultCacheCapacity = 512
+
+// ResultCacheStats reports the effectiveness of a ResultCache.
+type ResultCacheStats struct {
+	// Hits and Misses count Get calls answered from / not in the cache.
+	Hits, Misses int64
+	// Size is the number of cached results; Capacity the maximum before
+	// least-recently-used eviction.
+	Size, Capacity int
+}
+
+// resultKey identifies one cached evaluation: the document content (by
+// structural digest), the query text, and the canonicalized options. A
+// mutation swaps in a tree with a different digest, so stale results can
+// never be served — invalidation is by tree identity, not by time.
+type resultKey struct {
+	digest uint64
+	src    string
+	opts   string
+}
+
+// optionsKey canonicalizes options into the cache key: defaults are
+// resolved first, so Options{} and an explicitly spelled-out default hit
+// the same entry.
+func optionsKey(o Options) string {
+	local := o.LocalWorldLimit
+	if local <= 0 {
+		local = DefaultLocalWorldLimit
+	}
+	return fmt.Sprintf("m=%s;l=%d;e=%d;n=%d;s=%d", o.method(), local, o.enumLimit(), o.samples(), o.seed())
+}
+
+// ResultCache is a fixed-capacity, concurrency-safe LRU cache of fully
+// evaluated query results, keyed by (tree digest, query text, options).
+// Evaluation is deterministic — sampling is seeded — so a cached Result
+// may be returned verbatim; its Answers must be treated as read-only.
+// It complements the compiled-query Cache: that one skips parsing, this
+// one skips evaluation entirely for repeated queries over an unchanged
+// document.
+type ResultCache struct {
+	mu           sync.Mutex
+	cap          int
+	gen          uint64     // bumped by Purge; see PutIfGeneration
+	ll           *list.List // front = most recently used
+	byKey        map[resultKey]*list.Element
+	hits, misses int64
+}
+
+type resultEntry struct {
+	key resultKey
+	res Result
+}
+
+// NewResultCache builds a result cache holding at most capacity entries;
+// capacity <= 0 means DefaultResultCacheCapacity.
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultResultCacheCapacity
+	}
+	return &ResultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[resultKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for the (document, query, options)
+// triple, if present.
+func (c *ResultCache) Get(digest uint64, src string, opts Options) (Result, bool) {
+	key := resultKey{digest: digest, src: src, opts: optionsKey(opts)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*resultEntry).res, true
+	}
+	c.misses++
+	return Result{}, false
+}
+
+// Put stores an evaluation result. Storing the same key twice keeps the
+// newer value (the two are identical by determinism anyway).
+func (c *ResultCache) Put(digest uint64, src string, opts Options, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(digest, src, opts, res)
+}
+
+func (c *ResultCache) putLocked(digest uint64, src string, opts Options, res Result) {
+	key := resultKey{digest: digest, src: src, opts: optionsKey(opts)}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*resultEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&resultEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*resultEntry).key)
+	}
+}
+
+// Generation returns the purge generation. A caller that snapshots the
+// generation before reading the document it evaluates against can hand
+// the value to PutIfGeneration to avoid re-inserting an entry for a
+// document that has since been retired by a purge.
+func (c *ResultCache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// PutIfGeneration stores the result only if no Purge intervened since the
+// caller observed gen — the check and the insertion are atomic under the
+// cache lock, so a slow evaluation that straddles a tree swap can never
+// occupy capacity with an entry for the retired document.
+func (c *ResultCache) PutIfGeneration(gen uint64, digest uint64, src string, opts Options, res Result) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return false
+	}
+	c.putLocked(digest, src, opts, res)
+	return true
+}
+
+// Purge empties the cache, keeping the hit/miss counters. The database
+// calls it on every tree swap: digests already make stale hits
+// impossible, purging just stops dead entries from occupying capacity.
+func (c *ResultCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.ll.Init()
+	clear(c.byKey)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ResultCache) Stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.cap}
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"sync"
+	"testing"
+)
+
+func cachedResult(vals ...string) Result {
+	answers := make([]Answer, len(vals))
+	for i, v := range vals {
+		answers[i] = Answer{Value: v, P: 0.5}
+	}
+	return newResult(answers, MethodExact, 0, &Plan{Method: MethodExact})
+}
+
+func TestResultCacheHitMiss(t *testing.T) {
+	c := NewResultCache(4)
+	if _, ok := c.Get(1, "//a", Options{}); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, "//a", Options{}, cachedResult("x"))
+	res, ok := c.Get(1, "//a", Options{})
+	if !ok || len(res.Answers) != 1 || res.Answers[0].Value != "x" {
+		t.Fatalf("get = %v, %v", res, ok)
+	}
+	// Different digest, query text, or options are distinct entries.
+	if _, ok := c.Get(2, "//a", Options{}); ok {
+		t.Fatal("digest not part of the key")
+	}
+	if _, ok := c.Get(1, "//b", Options{}); ok {
+		t.Fatal("query text not part of the key")
+	}
+	if _, ok := c.Get(1, "//a", Options{Method: MethodSample}); ok {
+		t.Fatal("method not part of the key")
+	}
+	if _, ok := c.Get(1, "//a", Options{Seed: SeedPtr(7)}); ok {
+		t.Fatal("seed not part of the key")
+	}
+	// Spelled-out defaults share the entry with the zero options.
+	if _, ok := c.Get(1, "//a", Options{Samples: 20000, EnumWorldLimit: 100000}); !ok {
+		t.Fatal("canonicalized defaults missed")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Size != 1 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResultCacheEvictionLRU(t *testing.T) {
+	c := NewResultCache(2)
+	c.Put(1, "a", Options{}, cachedResult("a"))
+	c.Put(1, "b", Options{}, cachedResult("b"))
+	c.Get(1, "a", Options{}) // refresh a
+	c.Put(1, "c", Options{}, cachedResult("c"))
+	if _, ok := c.Get(1, "b", Options{}); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, ok := c.Get(1, "a", Options{}); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if st := c.Stats(); st.Size != 2 {
+		t.Fatalf("size = %d, want 2", st.Size)
+	}
+}
+
+func TestResultCachePurge(t *testing.T) {
+	c := NewResultCache(0)
+	if c.Stats().Capacity != DefaultResultCacheCapacity {
+		t.Fatalf("default capacity = %d", c.Stats().Capacity)
+	}
+	c.Put(1, "a", Options{}, cachedResult("a"))
+	c.Purge()
+	if _, ok := c.Get(1, "a", Options{}); ok {
+		t.Fatal("entry survived purge")
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("size after purge = %d", st.Size)
+	}
+}
+
+// TestResultCachePutIfGeneration pins the swap-race guard: a Put whose
+// caller observed a pre-purge generation is dropped, so slow evaluations
+// straddling a tree swap cannot re-insert entries for retired documents.
+func TestResultCachePutIfGeneration(t *testing.T) {
+	c := NewResultCache(4)
+	gen := c.Generation()
+	if !c.PutIfGeneration(gen, 1, "a", Options{}, cachedResult("a")) {
+		t.Fatal("put with current generation rejected")
+	}
+	c.Purge() // a tree swap retires digest 1
+	if c.PutIfGeneration(gen, 1, "b", Options{}, cachedResult("b")) {
+		t.Fatal("put with stale generation accepted")
+	}
+	if _, ok := c.Get(1, "b", Options{}); ok {
+		t.Fatal("stale-generation entry visible")
+	}
+	if !c.PutIfGeneration(c.Generation(), 1, "c", Options{}, cachedResult("c")) {
+		t.Fatal("put with refreshed generation rejected")
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := NewResultCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := string(rune('a' + (g+i)%16))
+				if _, ok := c.Get(uint64(i%3), key, Options{}); !ok {
+					c.Put(uint64(i%3), key, Options{}, cachedResult(key))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestResultPLookup(t *testing.T) {
+	r := cachedResult("a", "b", "c")
+	if r.P("b") != 0.5 || r.P("zz") != 0 {
+		t.Fatalf("P lookup wrong: %g %g", r.P("b"), r.P("zz"))
+	}
+	// Copies share the lazily built map and agree with the original.
+	cp := r
+	if cp.P("c") != 0.5 {
+		t.Fatal("copied result P lookup broken")
+	}
+	// Literal results (no lookup) still work via linear scan.
+	lit := Result{Answers: []Answer{{Value: "x", P: 0.25}}}
+	if lit.P("x") != 0.25 || lit.P("y") != 0 {
+		t.Fatal("literal result P broken")
+	}
+}

@@ -1,0 +1,110 @@
+package queryindex_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+	"repro/internal/queryindex"
+)
+
+func TestBuildFig2(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	ix := queryindex.Build(tr)
+
+	if ix.Digest() != tr.Digest() {
+		t.Fatalf("index digest %#x != tree digest %#x", ix.Digest(), tr.Digest())
+	}
+	if ix.Worlds().Cmp(tr.WorldCount()) != 0 {
+		t.Fatalf("index worlds %s != tree worlds %s", ix.Worlds(), tr.WorldCount())
+	}
+	for _, tag := range []string{"addressbook", "person", "nm", "tel"} {
+		if !ix.HasTag(tag) {
+			t.Fatalf("missing tag %q (have %v)", tag, ix.Tags())
+		}
+	}
+	if ix.HasTag("movie") {
+		t.Fatalf("index claims absent tag")
+	}
+
+	book, _ := ix.Tag("addressbook")
+	if book.Occurrences != 1 || book.MinDepth != 1 {
+		t.Fatalf("addressbook info = %+v", book)
+	}
+	// The addressbook subtree spans all 3 worlds; its world bound must
+	// reflect that.
+	if book.MaxSubtreeWorlds.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("addressbook MaxSubtreeWorlds = %s, want 3", book.MaxSubtreeWorlds)
+	}
+
+	// Expected persons: 0.6*1 + 0.4*2 = 1.4.
+	person, _ := ix.Tag("person")
+	if person.ExpectedOccurrences < 1.4-1e-9 || person.ExpectedOccurrences > 1.4+1e-9 {
+		t.Fatalf("person ExpectedOccurrences = %g, want 1.4", person.ExpectedOccurrences)
+	}
+	if person.MinDepth != 2 {
+		t.Fatalf("person MinDepth = %d, want 2", person.MinDepth)
+	}
+
+	// Path signatures include the full chain.
+	found := false
+	for _, p := range ix.Paths() {
+		if p == "/addressbook/person/tel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("paths missing /addressbook/person/tel: %v", ix.Paths())
+	}
+	if ix.PathsTruncated() {
+		t.Fatalf("tiny document truncated paths")
+	}
+	if ix.Elements() == 0 || ix.NumTags() != 4 {
+		t.Fatalf("elements=%d tags=%d", ix.Elements(), ix.NumTags())
+	}
+}
+
+func TestBuildSharedSubtreesCountedOnce(t *testing.T) {
+	leaf := pxml.NewLeaf("tel", "1111")
+	person := pxml.NewElem("person", "", pxml.Certain(leaf))
+	// The same person node appears under two alternatives.
+	book := pxml.NewElem("addressbook", "",
+		pxml.NewProb(
+			pxml.NewPoss(0.5, person),
+			pxml.NewPoss(0.5, person, person),
+		),
+	)
+	ix := queryindex.Build(pxml.CertainTree(book))
+	info, _ := ix.Tag("person")
+	if info.Occurrences != 1 {
+		t.Fatalf("shared person counted %d times physically, want 1", info.Occurrences)
+	}
+	// Expected occurrences weigh each logical occurrence: 0.5*1 + 0.5*2.
+	if info.ExpectedOccurrences < 1.5-1e-9 || info.ExpectedOccurrences > 1.5+1e-9 {
+		t.Fatalf("ExpectedOccurrences = %g, want 1.5", info.ExpectedOccurrences)
+	}
+}
+
+func TestBuildRandomTreesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		tr := pxmltest.RandomTree(rng, pxmltest.DefaultGenConfig())
+		ix := queryindex.Build(tr)
+		if ix.Digest() != tr.Digest() {
+			t.Fatalf("iter %d: digest mismatch", i)
+		}
+		if ix.Worlds().Cmp(tr.WorldCount()) != 0 {
+			t.Fatalf("iter %d: worlds mismatch", i)
+		}
+		total := 0
+		for _, tag := range ix.Tags() {
+			info, _ := ix.Tag(tag)
+			total += info.Occurrences
+		}
+		if total != ix.Elements() {
+			t.Fatalf("iter %d: per-tag occurrences %d != elements %d", i, total, ix.Elements())
+		}
+	}
+}

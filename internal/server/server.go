@@ -10,7 +10,9 @@
 //
 //	POST /integrate?mode=merge|replace  XML body -> integration stats
 //	POST /integrate/batch               {"sources":["<xml>…",…]} -> per-source stats
-//	GET  /query?q=…&top=N&seed=S        ranked answers
+//	GET  /query?q=…&top=N&seed=S        ranked answers; method=auto|exact|
+//	     &method=M&samples=N&explain=1  enumerate|sample, explain=1 adds
+//	                                    the evaluation plan
 //	POST /feedback                      {"query","value","correct"} -> event
 //	GET  /stats                         document + cache + server statistics
 //	GET  /worlds?max=N                  enumerated possible worlds
@@ -286,9 +288,12 @@ type QueryAnswer struct {
 // QueryResponse is a ranked, probability-annotated answer list.
 type QueryResponse struct {
 	Query string `json:"query"`
-	// Method is the evaluation strategy used: exact, enumerate or sample.
+	// Method is the evaluation strategy used: exact, enumerate or sample
+	// (the planner's choice when method=auto, the default).
 	Method  string        `json:"method"`
 	Answers []QueryAnswer `json:"answers"`
+	// Plan explains the planner's choice; present when explain=1.
+	Plan *query.Plan `json:"plan,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -303,6 +308,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := s.db.DefaultQueryOptions()
+	if v := r.URL.Query().Get("method"); v != "" {
+		// auto (the default) lets the planner choose; an explicit method
+		// is used verbatim. Unknown names fail option validation below.
+		opts.Method = query.Method(v)
+	}
+	if v := r.URL.Query().Get("samples"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query: bad samples parameter %q", v)
+			return
+		}
+		// Negative counts reach option validation, which rejects them
+		// with an explicit error (mapped to 400 below).
+		opts.Samples = n
+	}
 	if v := r.URL.Query().Get("seed"); v != "" {
 		// An explicit seed — 0 included — pins the Monte-Carlo sampler
 		// for reproducible sampled answers.
@@ -312,6 +332,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Seed = query.SeedPtr(n)
+	}
+	explain := false
+	switch v := r.URL.Query().Get("explain"); v {
+	case "", "0", "false":
+	case "1", "true":
+		explain = true
+	default:
+		writeError(w, http.StatusBadRequest, "query: bad explain parameter %q (0 | 1)", v)
+		return
 	}
 	res, err := s.db.QueryEval(src, opts)
 	if err != nil {
@@ -325,6 +354,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{Query: src, Method: string(res.Method), Answers: make([]QueryAnswer, 0, len(answers))}
 	for _, a := range answers {
 		resp.Answers = append(resp.Answers, QueryAnswer{Value: a.Value, P: a.P})
+	}
+	if explain {
+		resp.Plan = res.Plan
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -373,23 +405,38 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// StatsResponse summarizes the document, the compiled-query cache, and
-// the session history counts.
+// CacheCounters is the uniform hit/miss shape of the cache sections in
+// StatsResponse.
+type CacheCounters struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+}
+
+// IndexStats reports query-index construction work.
+type IndexStats struct {
+	Builds          int64   `json:"builds"`
+	LastBuildMicros float64 `json:"last_build_us"`
+	TotalBuildMs    float64 `json:"total_build_ms"`
+	Tags            int     `json:"tags"`
+	Elements        int     `json:"elements"`
+}
+
+// StatsResponse summarizes the document, the compiled-query and result
+// caches, the query index, and the session history counts.
 type StatsResponse struct {
-	LogicalNodes  int64  `json:"logical_nodes"`
-	PhysicalNodes int64  `json:"physical_nodes"`
-	Worlds        string `json:"worlds"`
-	ChoicePoints  int    `json:"choice_points"`
-	MaxDepth      int    `json:"max_depth"`
-	Certain       bool   `json:"certain"`
-	Integrations  int    `json:"integrations"`
-	FeedbackCount int    `json:"feedback_events"`
-	QueryCache    struct {
-		Hits     int64 `json:"hits"`
-		Misses   int64 `json:"misses"`
-		Size     int   `json:"size"`
-		Capacity int   `json:"capacity"`
-	} `json:"query_cache"`
+	LogicalNodes  int64         `json:"logical_nodes"`
+	PhysicalNodes int64         `json:"physical_nodes"`
+	Worlds        string        `json:"worlds"`
+	ChoicePoints  int           `json:"choice_points"`
+	MaxDepth      int           `json:"max_depth"`
+	Certain       bool          `json:"certain"`
+	Integrations  int           `json:"integrations"`
+	FeedbackCount int           `json:"feedback_events"`
+	QueryCache    CacheCounters `json:"query_cache"`
+	ResultCache   CacheCounters `json:"result_cache"`
+	Index         IndexStats    `json:"index"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -406,10 +453,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		FeedbackCount: s.db.FeedbackCount(),
 	}
 	cs := s.db.QueryCacheStats()
-	resp.QueryCache.Hits = cs.Hits
-	resp.QueryCache.Misses = cs.Misses
-	resp.QueryCache.Size = cs.Size
-	resp.QueryCache.Capacity = cs.Capacity
+	resp.QueryCache = CacheCounters{Hits: cs.Hits, Misses: cs.Misses, Size: cs.Size, Capacity: cs.Capacity}
+	rs := s.db.ResultCacheStats()
+	resp.ResultCache = CacheCounters{Hits: rs.Hits, Misses: rs.Misses, Size: rs.Size, Capacity: rs.Capacity}
+	is := s.db.IndexStats()
+	resp.Index = IndexStats{
+		Builds:          is.Builds,
+		LastBuildMicros: float64(is.LastBuild.Nanoseconds()) / 1e3,
+		TotalBuildMs:    float64(is.TotalBuild.Nanoseconds()) / 1e6,
+		Tags:            is.Tags,
+		Elements:        is.Elements,
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/queryindex"
 	"repro/internal/store"
 	"repro/internal/worlds"
 	"repro/internal/xmlcodec"
@@ -29,11 +30,24 @@ import (
 
 // Shell holds the interactive session state.
 type Shell struct {
-	tree      *pxml.Tree
-	schema    *dtd.Schema
+	tree   *pxml.Tree
+	schema *dtd.Schema
+	// index is the query index of tree; it is rebuilt lazily whenever
+	// the tree's digest no longer matches (load, integrate, feedback,
+	// normalize all swap the tree).
+	index     *queryindex.Index
 	ruleSpec  string
 	lastQuery *query.Query
 	out       io.Writer
+}
+
+// ensureIndex returns the query index for the current tree, rebuilding it
+// after any mutation (detected by digest mismatch, an O(1) check).
+func (s *Shell) ensureIndex() *queryindex.Index {
+	if s.index == nil || s.index.Digest() != s.tree.Digest() {
+		s.index = queryindex.Build(s.tree)
+	}
+	return s.index
 }
 
 // New creates a shell writing to out.
@@ -89,6 +103,8 @@ func (s *Shell) Execute(line string) error {
 		return s.integrateXML(rest)
 	case "query":
 		return s.query(rest)
+	case "plan":
+		return s.plan(rest)
 	case "feedback":
 		return s.feedback(rest)
 	case "explain":
@@ -129,7 +145,10 @@ func (s *Shell) help() {
   rules <r1,r2,...>       set domain rules: genre, title, year, director
   integrate <file>        integrate another source into the database
   integratexml <xml>      integrate an inline source
-  query <xpath>           evaluate a query, ranked answers
+  query <xpath>           evaluate a query, ranked answers (the planner
+                          picks exact/enumerate/sample automatically)
+  plan <xpath>            evaluate like query, but show the evaluation
+                          plan (chosen method, pruning, cost estimates)
   feedback <correct|incorrect> <value>
                           judge an answer of the last query
   explain <value>         trace an answer of the last query to the choice
@@ -289,19 +308,39 @@ func (s *Shell) integrateTree(other *pxml.Tree) error {
 }
 
 func (s *Shell) query(src string) error {
+	_, err := s.runQuery(src, false)
+	return err
+}
+
+// plan evaluates like query but prints the planner's reasoning first.
+func (s *Shell) plan(src string) error {
+	_, err := s.runQuery(src, true)
+	return err
+}
+
+func (s *Shell) runQuery(src string, explain bool) (query.Result, error) {
 	if err := s.needTree(); err != nil {
-		return err
+		return query.Result{}, err
 	}
 	q, err := query.Compile(src)
 	if err != nil {
-		return err
+		return query.Result{}, err
 	}
-	res, err := query.Eval(s.tree, q, query.Options{})
+	res, err := query.EvalIndexed(s.tree, q, query.Options{}, s.ensureIndex())
 	if err != nil {
-		return err
+		return query.Result{}, err
 	}
 	s.lastQuery = q
 	fmt.Fprintf(s.out, "[%s]\n", res.Method)
+	if explain && res.Plan != nil {
+		pl := res.Plan
+		fmt.Fprintf(s.out, "  plan: method=%s indexed=%v pruned=%.0f%% worlds=%s\n",
+			pl.Method, pl.Indexed, pl.PrunedFraction*100, pl.EstimatedWorlds)
+		if pl.AnchorTag != "" {
+			fmt.Fprintf(s.out, "  anchor: <%s> local-world bound %s\n", pl.AnchorTag, pl.AnchorWorldBound)
+		}
+		fmt.Fprintf(s.out, "  reason: %s\n", pl.Reason)
+	}
 	for i, a := range res.Answers {
 		if i >= 15 {
 			fmt.Fprintf(s.out, "  … %d more\n", len(res.Answers)-i)
@@ -312,7 +351,7 @@ func (s *Shell) query(src string) error {
 	if len(res.Answers) == 0 {
 		fmt.Fprintln(s.out, "  (no answers)")
 	}
-	return nil
+	return res, nil
 }
 
 func (s *Shell) feedback(rest string) error {
@@ -487,8 +526,8 @@ func (s *Shell) demo() error {
 func Tags() []string {
 	cmds := []string{
 		"help", "load", "loadxml", "dtd", "dtdinline", "rules", "integrate",
-		"integratexml", "query", "feedback", "explain", "stats", "worlds",
-		"normalize", "export", "save", "open", "demo", "quit",
+		"integratexml", "query", "plan", "feedback", "explain", "stats",
+		"worlds", "normalize", "export", "save", "open", "demo", "quit",
 	}
 	sort.Strings(cmds)
 	return cmds

@@ -68,7 +68,11 @@ func Decode(r io.Reader) (*pxml.Tree, error) {
 			if err := skipTrailing(dec); err != nil {
 				return nil, err
 			}
-			return pxml.CertainTree(elem), nil
+			// Hash-cons the decoded document: repeated subtrees (common in
+			// catalog-shaped sources) collapse into shared nodes, which
+			// shrinks memory and makes summary/index work proportional to
+			// physical — not logical — size.
+			return pxml.InternTree(pxml.CertainTree(elem)), nil
 		case xml.CharData:
 			if strings.TrimSpace(string(t)) != "" {
 				return nil, syntaxErrf("text outside document element")
