@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/explain"
@@ -366,4 +367,34 @@ type ServerOptions = server.Options
 // endpoint reference.
 func NewHTTPHandler(db *Database, opts ServerOptions) http.Handler {
 	return server.New(db, opts).Handler()
+}
+
+// --- durable multi-database catalog ---
+
+// Catalog is a data directory of named, durable databases: every
+// mutation is recorded in a per-database write-ahead op log before it
+// becomes visible, a background compactor folds the log into snapshots,
+// and OpenCatalog recovers each database (snapshot + log tail) after any
+// crash — no clean shutdown required.
+type Catalog = catalog.Catalog
+
+// CatalogDB is one named database of a Catalog; CatalogDB.Core exposes
+// the journaled Database.
+type CatalogDB = catalog.DB
+
+// CatalogOptions configure a Catalog (per-database core config, write-
+// ahead segment size, compaction cadence).
+type CatalogOptions = catalog.Options
+
+// OpenCatalog opens (creating if needed) the catalog rooted at dir and
+// recovers every database inside it.
+func OpenCatalog(dir string, opts CatalogOptions) (*Catalog, error) {
+	return catalog.Open(dir, opts)
+}
+
+// NewCatalogHTTPHandler exposes a catalog over HTTP: every per-database
+// verb under /dbs/{name}/…, catalog management on /dbs, and the legacy
+// single-database routes aliased to the catalog's default database.
+func NewCatalogHTTPHandler(c *Catalog, opts ServerOptions) http.Handler {
+	return server.NewCatalog(c, opts).Handler()
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package catalog
+
+// acquireLock is a no-op where flock is unavailable; single-process use
+// is then the operator's responsibility.
+func acquireLock(dir string) (release func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireLock takes an advisory exclusive lock on <dir>/LOCK, so two
+// processes (say, a running server and a `db` CLI invocation) cannot
+// append to the same write-ahead logs concurrently. The lock dies with
+// the process — a SIGKILL leaves nothing stale to clean up, which is
+// exactly the recovery story the catalog promises.
+func acquireLock(dir string) (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("catalog: data directory %s is locked by another process: %w", dir, err)
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,416 @@
+// The write-ahead op log: an append-only sequence of CRC-framed,
+// fsynced records split across segment files. Each record is one
+// core.Op plus its sequence number; recovery replays the intact prefix
+// and truncates a torn tail in place.
+//
+// On-disk layout (little endian):
+//
+//	segment file  wal/seg-<first-seq, 16 hex digits>.log
+//	record frame  [4B payload length][4B CRC-32C of payload][payload]
+//	payload       JSON {"seq": N, "op": {...}}
+//
+// A record is committed iff its full frame is on disk and the CRC
+// matches. The last segment may end in a torn frame (the write the crash
+// interrupted); recovery truncates the file back to the last committed
+// record. A bad frame anywhere else — or a committed frame with an
+// out-of-order sequence — is corruption and refuses to load.
+package catalog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/core"
+)
+
+// ErrCorrupt is returned when the write-ahead log fails an integrity
+// check that truncation cannot repair (a bad record that is not the torn
+// tail of the last segment).
+var ErrCorrupt = errors.New("catalog: write-ahead log corrupt")
+
+const (
+	walDirName = "wal"
+	segPrefix  = "seg-"
+	segSuffix  = ".log"
+	// frameHeaderLen is the fixed per-record overhead.
+	frameHeaderLen = 8
+	// maxRecordBytes bounds a single record; a length field beyond it is
+	// treated as garbage, not an allocation request.
+	maxRecordBytes = 256 << 20
+
+	// DefaultSegmentBytes rotates segments at 4 MiB, keeping individual
+	// files small enough that compaction reclaims space promptly.
+	DefaultSegmentBytes = 4 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walEntry is the JSON payload of one record.
+type walEntry struct {
+	Seq uint64  `json:"seq"`
+	Op  core.Op `json:"op"`
+}
+
+// WALStats are the log's observability counters (served under /stats).
+type WALStats struct {
+	// LastSeq is the sequence of the newest committed record (0 when the
+	// log is empty).
+	LastSeq uint64 `json:"last_seq"`
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// SizeBytes is the total size of the live segments.
+	SizeBytes int64 `json:"size_bytes"`
+	// Appends and AppendedBytes count records written by this process.
+	Appends       int64 `json:"appends"`
+	AppendedBytes int64 `json:"appended_bytes"`
+	// Rotations counts segment rollovers by this process.
+	Rotations int64 `json:"rotations"`
+}
+
+// wal is an open write-ahead log positioned to append.
+type wal struct {
+	dir      string
+	segLimit int64
+
+	mu       sync.Mutex
+	f        *os.File // active (last) segment
+	fileSize int64
+	nextSeq  uint64
+	// segStarts holds the first sequence of every live segment, sorted;
+	// the last entry is the active segment.
+	segStarts []uint64
+	// sizeBelow is the total size of the non-active segments.
+	sizeBelow int64
+
+	appends       int64
+	appendedBytes int64
+	rotations     int64
+}
+
+func segName(start uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, start, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexpart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hexpart) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexpart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listSegments returns the live segment start sequences in order.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var starts []uint64
+	for _, e := range entries {
+		if s, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			starts = append(starts, s)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts, nil
+}
+
+// recoverWAL opens (creating if needed) the log under dir, replays every
+// committed record with sequence > after through fn in order, truncates a
+// torn tail, and returns the log positioned to append. A replay error
+// from fn aborts recovery.
+func recoverWAL(dir string, segLimit int64, after uint64, fn func(walEntry) error) (*wal, error) {
+	if segLimit <= 0 {
+		segLimit = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	starts, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{dir: dir, segLimit: segLimit, segStarts: starts}
+	// Fresh log: create the first segment, numbering records after the
+	// snapshot (after+1), so replay watermarks stay monotonic.
+	if len(starts) == 0 {
+		return w, w.openSegmentLocked(after + 1)
+	}
+	next := starts[0]
+	for i, start := range starts {
+		if start != next {
+			return nil, fmt.Errorf("%w: segment %s does not continue at sequence %d", ErrCorrupt, segName(start), next)
+		}
+		last := i == len(starts)-1
+		n, size, err := replaySegment(filepath.Join(dir, segName(start)), start, last, after, fn)
+		if err != nil {
+			return nil, err
+		}
+		next = start + n
+		if last {
+			w.fileSize = size
+		} else {
+			w.sizeBelow += size
+		}
+	}
+	w.nextSeq = next
+	if next <= after {
+		// The log ends at or before the snapshot (its tail segments were
+		// removed out of band). Every record on disk is covered by the
+		// snapshot, so drop the old segments outright — leaving them
+		// would put a sequence gap in front of the fresh segment and
+		// fail the dense-continuation check at the next open — and
+		// resume numbering after the snapshot so future records are
+		// replayed, not skipped.
+		for _, start := range w.segStarts {
+			if err := os.Remove(filepath.Join(dir, segName(start))); err != nil {
+				return nil, err
+			}
+		}
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+		w.segStarts = nil
+		w.sizeBelow = 0
+		w.fileSize = 0
+		w.nextSeq = after + 1
+		return w, w.openSegmentLocked(after + 1)
+	}
+	// Reopen the last segment for appending (replaySegment truncated any
+	// torn tail already).
+	f, err := os.OpenFile(filepath.Join(dir, segName(starts[len(starts)-1])), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w.f = f
+	return w, nil
+}
+
+// replaySegment scans one segment file, invoking fn for every committed
+// record with sequence > after. It verifies the sequence numbering is
+// dense starting at start. For the last segment a bad frame is treated as
+// the torn tail and truncated away; anywhere else it is corruption. It
+// returns the number of committed records and the (post-truncation) file
+// size.
+func replaySegment(path string, start uint64, isLast bool, after uint64, fn func(walEntry) error) (records uint64, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	off := 0
+	torn := func(reason string) (uint64, int64, error) {
+		if !isLast {
+			return 0, 0, fmt.Errorf("%w: %s at offset %d of %s (not the log tail)", ErrCorrupt, reason, off, filepath.Base(path))
+		}
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return 0, 0, fmt.Errorf("catalog: truncating torn tail of %s: %w", filepath.Base(path), err)
+		}
+		return records, int64(off), nil
+	}
+	seq := start
+	for off < len(data) {
+		if len(data)-off < frameHeaderLen {
+			return torn("short frame header")
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxRecordBytes {
+			return torn("implausible record length")
+		}
+		if len(data)-off-frameHeaderLen < int(length) {
+			return torn("short record payload")
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return torn("checksum mismatch")
+		}
+		var e walEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return torn("undecodable record")
+		}
+		if e.Seq != seq {
+			return 0, 0, fmt.Errorf("%w: record sequence %d where %d expected in %s", ErrCorrupt, e.Seq, seq, filepath.Base(path))
+		}
+		if e.Seq > after && fn != nil {
+			if err := fn(e); err != nil {
+				return 0, 0, fmt.Errorf("catalog: replaying op %d: %w", e.Seq, err)
+			}
+		}
+		seq++
+		records++
+		off += frameHeaderLen + int(length)
+	}
+	return records, int64(off), nil
+}
+
+// openSegmentLocked starts a fresh segment whose first record will carry
+// seq. Callers hold mu (or have exclusive access during recovery).
+func (w *wal) openSegmentLocked(seq uint64) error {
+	path := filepath.Join(w.dir, segName(seq))
+	// O_APPEND matters beyond convention: after a failed append the file
+	// is truncated back to the last committed record, and only append
+	// mode guarantees the next write lands at that new end instead of at
+	// the stale fd offset (which would leave a zero-filled hole that
+	// recovery misreads as the torn tail).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	// The segment must itself survive a crash before anything in it can.
+	// On failure the just-created file must go too: appends continue in
+	// the old segment, and an orphan whose name does not continue the
+	// sequence would fail the dense-continuation check at the next open.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = os.Remove(path)
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		_ = os.Remove(path)
+		return err
+	}
+	if w.f != nil {
+		w.f.Close()
+		w.sizeBelow += w.fileSize
+	}
+	w.f = f
+	w.fileSize = 0
+	w.segStarts = append(w.segStarts, seq)
+	if w.nextSeq == 0 {
+		w.nextSeq = seq
+	}
+	return nil
+}
+
+// append frames, writes and fsyncs one op, returning its sequence. The
+// record is durable when append returns nil.
+func (w *wal) append(op core.Op) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := w.nextSeq
+	payload, err := json.Marshal(walEntry{Seq: seq, Op: op})
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("catalog: op record of %d bytes exceeds the %d byte limit", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		// Claw the partial frame back so the in-memory offset stays true;
+		// if even that fails recovery will truncate the torn tail.
+		_ = w.f.Truncate(w.fileSize)
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		// The frame may be fully written (just not durable). It must not
+		// linger: the next append would reuse seq and a later recovery
+		// would reject the duplicate as corruption rather than a torn
+		// tail. Truncate back to the last committed record.
+		_ = w.f.Truncate(w.fileSize)
+		return 0, err
+	}
+	w.fileSize += int64(len(frame))
+	w.nextSeq++
+	w.appends++
+	w.appendedBytes += int64(len(frame))
+	if w.fileSize >= w.segLimit {
+		if err := w.openSegmentLocked(w.nextSeq); err != nil {
+			// Rotation failure is not fatal: the active segment keeps
+			// accepting appends beyond the soft limit.
+			return seq, nil
+		}
+		w.rotations++
+	}
+	return seq, nil
+}
+
+// dropThrough removes segments whose records all have sequence <= seq
+// (after a snapshot made them redundant). The active segment is never
+// removed. Returns the number of segments deleted.
+func (w *wal) dropThrough(seq uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := 0
+	for len(w.segStarts) > 1 && w.segStarts[1] <= seq+1 {
+		path := filepath.Join(w.dir, segName(w.segStarts[0]))
+		info, _ := os.Stat(path)
+		if err := os.Remove(path); err != nil {
+			return removed, err
+		}
+		if info != nil {
+			w.sizeBelow -= info.Size()
+		}
+		w.segStarts = w.segStarts[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(w.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// stats snapshots the counters.
+func (w *wal) stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{
+		LastSeq:       w.nextSeq - 1,
+		Segments:      len(w.segStarts),
+		SizeBytes:     w.sizeBelow + w.fileSize,
+		Appends:       w.appends,
+		AppendedBytes: w.appendedBytes,
+		Rotations:     w.rotations,
+	}
+}
+
+// close releases the active segment handle. Appends after close fail.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it survive
+// power loss (mirrors store.syncDir; kept private to each package).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse fsync on directories (EINVAL); that is a
+	// durability gap we cannot close, not an error to fail on.
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}

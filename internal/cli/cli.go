@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dtd"
@@ -35,11 +36,13 @@ import (
 // Run executes one CLI invocation, writing human output to w.
 func Run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate | serve")
+		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate | serve | db")
 	}
 	switch args[0] {
 	case "integrate":
 		return runIntegrate(args[1:], w)
+	case "db":
+		return runDBCmd(args[1:], w)
 	case "query":
 		return runQuery(args[1:], w)
 	case "stats":
@@ -57,7 +60,7 @@ func Run(args []string, w io.Writer) error {
 	case "shell":
 		return shell.New(w).Run(os.Stdin)
 	case "help", "-h", "--help":
-		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, serve, shell")
+		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, serve, db, shell")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
@@ -411,11 +414,12 @@ var serveListen = net.Listen
 func runServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	dataDir := fs.String("data", "", "durable multi-database data directory (enables /dbs/{name} routes; recovers on start)")
 	dbPath := fs.String("db", "", "initial document (default: empty document with -root tag)")
 	rootTag := fs.String("root", "db", "root element tag when starting empty")
 	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge")
 	ruleSpec := fs.String("rules", "", "comma-separated domain rules: genre,title,year,director")
-	snapDir := fs.String("snapshots", "", "snapshot directory for /save and /load (empty disables them)")
+	snapDir := fs.String("snapshots", "", "snapshot directory for /save and /load (empty disables them; ignored with -data)")
 	cacheSize := fs.Int("query-cache", 0, "compiled-query LRU cache capacity (0 = default)")
 	resultCacheSize := fs.Int("result-cache", 0, "evaluated-result LRU cache capacity (0 = default)")
 	workers := fs.Int("workers", 0, "integration worker goroutines (0 = all CPUs, 1 = sequential)")
@@ -423,16 +427,6 @@ func runServe(args []string, w io.Writer) error {
 	quiet := fs.Bool("quiet", false, "disable the per-request log")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	var tree *pxml.Tree
-	var err error
-	if *dbPath != "" {
-		tree, err = loadTree(*dbPath)
-	} else {
-		tree, err = xmlcodec.DecodeString("<" + *rootTag + "/>")
-	}
-	if err != nil {
 		return err
 	}
 	var schema *dtd.Schema
@@ -450,37 +444,192 @@ func runServe(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	db, err := core.Open(tree, core.Config{
+	cfg := core.Config{
 		Schema:          schema,
 		Rules:           rules,
 		Integration:     integrate.Config{Workers: *workers},
 		QueryCacheSize:  *cacheSize,
 		ResultCacheSize: *resultCacheSize,
-	})
-	if err != nil {
-		return err
 	}
 	var logger *log.Logger
 	if !*quiet {
 		logger = log.New(w, "imprecise: ", log.LstdFlags)
 	}
-	srv := server.New(db, server.Options{
+	opts := server.Options{
 		SnapshotDir:  *snapDir,
 		MaxBodyBytes: *maxBody,
 		Logger:       logger,
-	})
+	}
+	var (
+		srv    *server.Server
+		banner string
+	)
+	if *dataDir != "" {
+		// Durable catalog mode: every database recovers (snapshot + WAL
+		// tail) before the listener opens.
+		if *dbPath != "" {
+			return errors.New("serve: -db cannot be combined with -data (create databases via `imprecise db` or the /dbs API)")
+		}
+		cat, err := catalog.Open(*dataDir, catalog.Options{Config: cfg, RootTag: *rootTag, Logger: logger})
+		if err != nil {
+			return err
+		}
+		defer cat.Close()
+		srv = server.NewCatalog(cat, opts)
+		banner = fmt.Sprintf("%d database(s) in %s", len(cat.Names()), *dataDir)
+	} else {
+		var tree *pxml.Tree
+		var err error
+		if *dbPath != "" {
+			tree, err = loadTree(*dbPath)
+		} else {
+			tree, err = xmlcodec.DecodeString("<" + *rootTag + "/>")
+		}
+		if err != nil {
+			return err
+		}
+		db, err := core.Open(tree, cfg)
+		if err != nil {
+			return err
+		}
+		srv = server.New(db, opts)
+		banner = fmt.Sprintf("document: %d nodes, %s worlds", tree.NodeCount(), tree.WorldCount())
+	}
 	ln, err := serveListen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Fprintf(w, "serving IMPrECISE on http://%s (document: %d nodes, %s worlds)\n",
-		ln.Addr(), tree.NodeCount(), tree.WorldCount())
+	fmt.Fprintf(w, "serving IMPrECISE on http://%s (%s)\n", ln.Addr(), banner)
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
 		return err
 	}
 	return nil
+}
+
+// runDBCmd manages a durable catalog from the command line:
+//
+//	imprecise db -data DIR create NAME
+//	imprecise db -data DIR list
+//	imprecise db -data DIR stats NAME
+//	imprecise db -data DIR drop NAME
+//
+// Opening the catalog runs full recovery first, so `list` and `stats`
+// report exactly what a server started on the same directory would
+// serve — pass the same -dtd/-rules the server uses, or replay of
+// integrate ops may decide matches differently. To keep that risk off
+// disk, the command never compacts: it leaves snapshots and logs
+// exactly as it found them.
+func runDBCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("db", flag.ContinueOnError)
+	dataDir := fs.String("data", "", "catalog data directory (required)")
+	rootTag := fs.String("root", "db", "root element tag for newly created databases")
+	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge (match the server's)")
+	ruleSpec := fs.String("rules", "", "comma-separated domain rules (match the server's)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return errors.New("db: -data is required")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("db: verb required: create | list | drop | stats")
+	}
+	needName := func() (string, error) {
+		if len(rest) != 2 {
+			return "", fmt.Errorf("db %s: exactly one database name required", rest[0])
+		}
+		return rest[1], nil
+	}
+	var schema *dtd.Schema
+	if *dtdPath != "" {
+		data, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			return err
+		}
+		schema, err = dtd.ParseString(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	rules, err := parseRules(*ruleSpec)
+	if err != nil {
+		return err
+	}
+	cat, err := catalog.Open(*dataDir, catalog.Options{
+		Config:  core.Config{Schema: schema, Rules: rules},
+		RootTag: *rootTag,
+		// Never rewrite state from an inspection command: no background
+		// and no close-time compaction.
+		CompactEvery: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer cat.Close()
+	switch rest[0] {
+	case "create":
+		name, err := needName()
+		if err != nil {
+			return err
+		}
+		if _, err := cat.Create(name); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "created: %s\n", name)
+		return nil
+	case "list":
+		dbs := cat.List()
+		if len(dbs) == 0 {
+			fmt.Fprintln(w, "(no databases)")
+			return nil
+		}
+		for _, db := range dbs {
+			c := db.Core()
+			st := db.Stats()
+			fmt.Fprintf(w, "%-20s %6d nodes  %8s worlds  %3d integrations  %3d feedback  wal seq %d (%d tail)\n",
+				db.Name(), c.Tree().NodeCount(), c.WorldCount(), c.IntegrationCount(),
+				c.FeedbackCount(), st.WAL.LastSeq, st.TailOps)
+		}
+		return nil
+	case "stats":
+		name, err := needName()
+		if err != nil {
+			return err
+		}
+		db, err := cat.Get(name)
+		if err != nil {
+			return err
+		}
+		c := db.Core()
+		st := db.Stats()
+		s := c.Stats()
+		fmt.Fprintf(w, "database:        %s\n", db.Name())
+		fmt.Fprintf(w, "logical nodes:   %d (physical %d)\n", s.LogicalNodes, s.PhysicalNodes)
+		fmt.Fprintf(w, "possible worlds: %s\n", s.Worlds)
+		fmt.Fprintf(w, "integrations:    %d\n", c.IntegrationCount())
+		fmt.Fprintf(w, "feedback events: %d\n", c.FeedbackCount())
+		fmt.Fprintf(w, "wal:             seq %d, %d segment(s), %d bytes, %d op(s) past snapshot\n",
+			st.WAL.LastSeq, st.WAL.Segments, st.WAL.SizeBytes, st.TailOps)
+		fmt.Fprintf(w, "snapshot:        seq %d, %d compaction(s), %d op(s) recovered at open\n",
+			st.SnapshotSeq, st.Compactions, st.RecoveredOps)
+		return nil
+	case "drop":
+		name, err := needName()
+		if err != nil {
+			return err
+		}
+		if err := cat.Drop(name); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "dropped: %s\n", name)
+		return nil
+	default:
+		return fmt.Errorf("db: unknown verb %q (create | list | drop | stats)", rest[0])
+	}
 }
 
 func runGenerate(args []string, w io.Writer) error {

@@ -90,6 +90,14 @@ type Database struct {
 	indexBuildLast  time.Duration
 	indexBuildTotal time.Duration
 
+	// journal receives one replayable record per mutation (see
+	// journal.go); appliedSeq is the sequence of the last journaled
+	// mutation the current tree reflects, advanced inside the same mu
+	// critical section as the tree swap. journal itself is only touched
+	// under writeMu.
+	journal    Journal
+	appliedSeq uint64
+
 	// Immutable after Open.
 	oracle  *oracle.Oracle
 	cfg     Config
@@ -205,8 +213,15 @@ func (db *Database) IntegrateTreeResult(other *pxml.Tree) (*pxml.Tree, *integrat
 		return nil, nil, err
 	}
 	idx := db.buildIndex(res)
+	seq, journaled, err := db.recordSources([]*pxml.Tree{other})
+	if err != nil {
+		return nil, nil, err
+	}
 	db.mu.Lock()
 	db.setTreeLocked(res, idx)
+	if journaled {
+		db.appliedSeq = seq
+	}
 	db.integrations = append(db.integrations, *stats)
 	db.mu.Unlock()
 	return res, stats, nil
@@ -242,8 +257,15 @@ func (db *Database) IntegrateBatch(sources []*pxml.Tree) ([]integrate.Stats, *px
 		statsList = append(statsList, *stats)
 	}
 	idx := db.buildIndex(cur)
+	seq, journaled, err := db.recordSources(sources)
+	if err != nil {
+		return nil, nil, err
+	}
 	db.mu.Lock()
 	db.setTreeLocked(cur, idx)
+	if journaled {
+		db.appliedSeq = seq
+	}
 	db.integrations = append(db.integrations, statsList...)
 	db.mu.Unlock()
 	return statsList, cur, nil
@@ -414,6 +436,13 @@ func (db *Database) IndexStats() IndexStats {
 // that contradict it. The paper's demo left this unimplemented; here it
 // updates the database in place.
 func (db *Database) Feedback(querySrc, value string, correct bool) (feedback.Event, error) {
+	return db.feedbackAt(querySrc, value, correct, time.Time{})
+}
+
+// feedbackAt is Feedback with an explicit event timestamp (zero means
+// now); journal replay passes the recorded time so recovered histories
+// match the originals exactly.
+func (db *Database) feedbackAt(querySrc, value string, correct bool, when time.Time) (feedback.Event, error) {
 	q, err := db.queries.Compile(querySrc)
 	if err != nil {
 		return feedback.Event{}, err
@@ -426,7 +455,7 @@ func (db *Database) Feedback(querySrc, value string, correct bool) (feedback.Eve
 	defer db.writeMu.Unlock()
 	// The session's conditioning builds a new tree; queries keep reading
 	// the old one until the swap below.
-	ev, err := db.session.Apply(q, value, j)
+	ev, err := db.session.ApplyAt(q, value, j, when)
 	if err != nil {
 		return ev, err
 	}
@@ -434,9 +463,19 @@ func (db *Database) Feedback(querySrc, value string, correct bool) (feedback.Eve
 	// together (unlike setTreeLocked this keeps the running session).
 	nt := db.session.Tree()
 	idx := db.buildIndex(nt)
+	seq, journaled, err := db.record(Op{Kind: OpFeedback, Query: querySrc, Value: value, Correct: correct, When: ev.When})
+	if err != nil {
+		// The session already advanced; rebuild it over the still-current
+		// tree so the aborted judgment leaves no trace.
+		db.session = feedback.NewSession(db.Tree(), db.cfg.Feedback)
+		return feedback.Event{}, err
+	}
 	db.mu.Lock()
 	db.tree = nt
 	db.installIndexLocked(idx)
+	if journaled {
+		db.appliedSeq = seq
+	}
 	db.events = append(db.events, ev)
 	db.mu.Unlock()
 	return ev, nil
@@ -481,8 +520,15 @@ func (db *Database) Normalize() (before, after int64, err error) {
 		return before, before, err
 	}
 	idx := db.buildIndex(nt)
+	seq, journaled, err := db.record(Op{Kind: OpNormalize})
+	if err != nil {
+		return before, before, err
+	}
 	db.mu.Lock()
 	db.setTreeLocked(nt, idx)
+	if journaled {
+		db.appliedSeq = seq
+	}
 	db.mu.Unlock()
 	return before, nt.NodeCount(), nil
 }
@@ -500,41 +546,75 @@ func (db *Database) ReplaceTree(t *pxml.Tree) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	idx := db.buildIndex(t)
+	seq, journaled, err := db.recordWithTree(Op{Kind: OpReplace}, t)
+	if err != nil {
+		return err
+	}
 	db.mu.Lock()
 	db.setTreeLocked(t, idx)
+	if journaled {
+		db.appliedSeq = seq
+	}
 	db.integrations = nil
 	db.mu.Unlock()
 	return nil
 }
 
-// SaveSnapshot persists the current document and schema into dir via the
-// store package, returning the written manifest.
+// SaveSnapshot persists the current document, schema and session
+// histories into dir via the store package, returning the written
+// manifest. The snapshot records the journal position it reflects, so a
+// catalog recovery replays only the log tail beyond it.
 func (db *Database) SaveSnapshot(dir, comment string) (store.Manifest, error) {
-	db.mu.RLock()
-	tree, schema := db.tree, db.schema
-	db.mu.RUnlock()
-	return store.Save(dir, tree, schema, comment)
+	v := db.View()
+	return store.SaveWith(dir, v.Tree, v.Schema, store.SaveOptions{
+		Comment:      comment,
+		LogSeq:       v.Seq,
+		Integrations: v.Integrations,
+		Feedback:     v.Events,
+	})
 }
 
 // LoadSnapshot replaces the database content with a snapshot read from
 // dir. A schema stored in the snapshot replaces the current schema; a
-// snapshot without one keeps it.
+// snapshot without one keeps it. Histories persisted in the snapshot
+// manifest are restored, so stats counters survive a save/load cycle.
 func (db *Database) LoadSnapshot(dir string) (*store.Snapshot, error) {
 	snap, err := store.Load(dir)
 	if err != nil {
 		return nil, err
 	}
+	if err := db.installSnapshot(snap.Tree, snap.Schema, snap.Manifest.Integrations, snap.Manifest.Feedback); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// installSnapshot swaps in a snapshot's document, schema and histories as
+// one journaled mutation (shared by LoadSnapshot and OpLoad replay).
+func (db *Database) installSnapshot(t *pxml.Tree, schema *dtd.Schema, ints []integrate.Stats, evs []feedback.Event) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
-	idx := db.buildIndex(snap.Tree)
+	idx := db.buildIndex(t)
+	op := Op{Kind: OpLoad, Integrations: ints, Events: evs}
+	if schema != nil {
+		op.Schema = schema.String()
+	}
+	seq, journaled, err := db.recordWithTree(op, t)
+	if err != nil {
+		return err
+	}
 	db.mu.Lock()
-	db.setTreeLocked(snap.Tree, idx)
-	db.integrations = nil
-	if snap.Schema != nil {
-		db.schema = snap.Schema
+	db.setTreeLocked(t, idx)
+	db.integrations = append([]integrate.Stats(nil), ints...)
+	db.events = append([]feedback.Event(nil), evs...)
+	if schema != nil {
+		db.schema = schema
+	}
+	if journaled {
+		db.appliedSeq = seq
 	}
 	db.mu.Unlock()
-	return snap, nil
+	return nil
 }
 
 // ExportXML writes the current document as XML with probabilistic

@@ -1,0 +1,237 @@
+// Op journaling: every mutating path of a Database can emit a replayable
+// record to an attached Journal (the catalog's per-database write-ahead
+// log). Records are emitted under the writer mutex, after the mutation's
+// result is computed but before the copy-on-write swap makes it visible —
+// so an op is durable before any reader can observe it, and a crash
+// between the two is repaired by replay.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/pxml"
+	"repro/internal/xmlcodec"
+)
+
+// OpKind identifies a journaled mutation.
+type OpKind string
+
+const (
+	// OpIntegrate merges one source document (Sources[0]).
+	OpIntegrate OpKind = "integrate"
+	// OpBatch merges N source documents atomically (Sources).
+	OpBatch OpKind = "batch"
+	// OpFeedback applies one judgment (Query, Value, Correct, When).
+	OpFeedback OpKind = "feedback"
+	// OpNormalize canonicalizes the document.
+	OpNormalize OpKind = "normalize"
+	// OpReplace swaps the whole document for Tree.
+	OpReplace OpKind = "replace"
+	// OpLoad installs a snapshot: Tree, optional Schema, and the
+	// histories the snapshot carried.
+	OpLoad OpKind = "load"
+)
+
+// Op is one replayable mutation record. Command-style ops (integrate,
+// batch, feedback, normalize) carry their inputs and rely on the engine's
+// determinism; state-style ops (replace, load) carry the installed
+// document itself, so replay never depends on an external file.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	// Sources is the XML of the integrated source document(s).
+	Sources []string `json:"sources,omitempty"`
+	// Query, Value, Correct and When describe a feedback judgment; When
+	// is recorded so replay reproduces the event timestamp exactly.
+	Query   string    `json:"query,omitempty"`
+	Value   string    `json:"value,omitempty"`
+	Correct bool      `json:"correct,omitempty"`
+	When    time.Time `json:"when,omitzero"`
+	// Tree and Schema are the installed document (replace/load).
+	Tree   string `json:"tree,omitempty"`
+	Schema string `json:"schema,omitempty"`
+	// Integrations and Events restore the histories a loaded snapshot
+	// carried.
+	Integrations []integrate.Stats `json:"integrations,omitempty"`
+	Events       []feedback.Event  `json:"events,omitempty"`
+}
+
+// Journal receives one record per committed mutation and assigns it a
+// strictly increasing sequence number. Record must make the op durable
+// before returning: the database treats a successful Record as permission
+// to expose the mutation to readers.
+type Journal interface {
+	Record(op Op) (seq uint64, err error)
+}
+
+// SetJournal attaches a journal and seeds the applied-sequence watermark
+// (the sequence of the last mutation already reflected in the current
+// tree — after recovery, the last replayed record). Passing nil detaches.
+// It must not race with in-flight mutations; callers attach before serving
+// traffic.
+func (db *Database) SetJournal(j Journal, seq uint64) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.Lock()
+	db.journal = j
+	db.appliedSeq = seq
+	db.mu.Unlock()
+}
+
+// record journals op. Callers hold writeMu. The returned bool reports
+// whether a journal is attached (and therefore whether seq is meaningful).
+func (db *Database) record(op Op) (uint64, bool, error) {
+	if db.journal == nil {
+		return 0, false, nil
+	}
+	seq, err := db.journal.Record(op)
+	if err != nil {
+		return 0, true, fmt.Errorf("core: journal %s op: %w", op.Kind, err)
+	}
+	return seq, true, nil
+}
+
+// recordSources journals an integrate/batch op, encoding the source
+// trees. Callers hold writeMu.
+func (db *Database) recordSources(sources []*pxml.Tree) (uint64, bool, error) {
+	if db.journal == nil {
+		return 0, false, nil
+	}
+	op := Op{Kind: OpIntegrate}
+	if len(sources) > 1 {
+		op.Kind = OpBatch
+	}
+	op.Sources = make([]string, len(sources))
+	for i, s := range sources {
+		xml, err := encodeForJournal(s)
+		if err != nil {
+			return 0, true, fmt.Errorf("core: journal source %d: %w", i+1, err)
+		}
+		op.Sources[i] = xml
+	}
+	return db.record(op)
+}
+
+// recordWithTree journals op with the given document encoded into
+// op.Tree. Callers hold writeMu.
+func (db *Database) recordWithTree(op Op, t *pxml.Tree) (uint64, bool, error) {
+	if db.journal == nil {
+		return 0, false, nil
+	}
+	xml, err := encodeForJournal(t)
+	if err != nil {
+		return 0, true, fmt.Errorf("core: journal %s op: %w", op.Kind, err)
+	}
+	op.Tree = xml
+	return db.record(op)
+}
+
+// encodeForJournal renders a tree as marker XML for a journal record. The
+// codec round-trips structurally (pxml.Equal), which is what replay
+// determinism needs.
+func encodeForJournal(t *pxml.Tree) (string, error) {
+	return xmlcodec.EncodeString(t, xmlcodec.EncodeOptions{KeepTrivial: true})
+}
+
+// ApplyOp re-executes one journaled mutation — the replay half of crash
+// recovery. It dispatches to the same mutating paths that produced the
+// record, so replaying a log prefix reproduces the exact tree and
+// histories (integration and feedback engines are deterministic). Callers
+// replay with no journal attached, then attach it at the recovered
+// sequence.
+func (db *Database) ApplyOp(op Op) error {
+	switch op.Kind {
+	case OpIntegrate, OpBatch:
+		if len(op.Sources) == 0 {
+			return errors.New("core: replay: op has no sources")
+		}
+		trees := make([]*pxml.Tree, len(op.Sources))
+		for i, src := range op.Sources {
+			t, err := xmlcodec.DecodeString(src)
+			if err != nil {
+				return fmt.Errorf("core: replay source %d: %w", i+1, err)
+			}
+			trees[i] = t
+		}
+		if op.Kind == OpIntegrate && len(trees) == 1 {
+			_, err := db.IntegrateTree(trees[0])
+			return err
+		}
+		_, _, err := db.IntegrateBatch(trees)
+		return err
+	case OpFeedback:
+		_, err := db.feedbackAt(op.Query, op.Value, op.Correct, op.When)
+		return err
+	case OpNormalize:
+		_, _, err := db.Normalize()
+		return err
+	case OpReplace:
+		t, err := xmlcodec.DecodeString(op.Tree)
+		if err != nil {
+			return fmt.Errorf("core: replay replace: %w", err)
+		}
+		return db.ReplaceTree(t)
+	case OpLoad:
+		t, err := xmlcodec.DecodeString(op.Tree)
+		if err != nil {
+			return fmt.Errorf("core: replay load: %w", err)
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("core: replay load: %w", err)
+		}
+		var schema *dtd.Schema
+		if op.Schema != "" {
+			schema, err = dtd.ParseString(op.Schema)
+			if err != nil {
+				return fmt.Errorf("core: replay load schema: %w", err)
+			}
+		}
+		return db.installSnapshot(t, schema, op.Integrations, op.Events)
+	default:
+		return fmt.Errorf("core: replay: unknown op kind %q", op.Kind)
+	}
+}
+
+// SnapshotView is a consistent cut of everything a durable snapshot must
+// capture: the document, its schema, the session histories, and the
+// journal sequence of the last mutation the tree reflects.
+type SnapshotView struct {
+	Tree         *pxml.Tree
+	Schema       *dtd.Schema
+	Integrations []integrate.Stats
+	Events       []feedback.Event
+	// Seq is the journal sequence the tree corresponds to; a recovery
+	// from this snapshot replays only records with a higher sequence.
+	Seq uint64
+}
+
+// View returns a consistent SnapshotView. Because the applied sequence is
+// advanced inside the same critical section as the tree swap, the tree
+// and sequence can never disagree — the compactor relies on that.
+func (db *Database) View() SnapshotView {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return SnapshotView{
+		Tree:         db.tree,
+		Schema:       db.schema,
+		Integrations: append([]integrate.Stats(nil), db.integrations...),
+		Events:       append([]feedback.Event(nil), db.events...),
+		Seq:          db.appliedSeq,
+	}
+}
+
+// RestoreHistories installs previously persisted session histories (from
+// a snapshot manifest), so stats counters survive a restart. It is called
+// during recovery, before the write-ahead tail is replayed.
+func (db *Database) RestoreHistories(ints []integrate.Stats, evs []feedback.Event) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.Lock()
+	db.integrations = append([]integrate.Stats(nil), ints...)
+	db.events = append([]feedback.Event(nil), evs...)
+	db.mu.Unlock()
+}

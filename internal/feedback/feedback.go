@@ -81,6 +81,13 @@ func (s *Session) History() []Event { return s.history }
 // document. Rejections use exact factorized conditioning; confirmations
 // require world enumeration within Options.GlobalWorldLimit.
 func (s *Session) Apply(q *query.Query, value string, j Judgment) (Event, error) {
+	return s.ApplyAt(q, value, j, time.Time{})
+}
+
+// ApplyAt is Apply with an explicit event timestamp (the zero time means
+// Options.Now / time.Now). Write-ahead-log replay uses it to reproduce a
+// recorded event bit for bit, timestamp included.
+func (s *Session) ApplyAt(q *query.Query, value string, j Judgment, when time.Time) (Event, error) {
 	before := s.tree.WorldCount()
 	var (
 		nt  *pxml.Tree
@@ -98,9 +105,12 @@ func (s *Session) Apply(q *query.Query, value string, j Judgment) (Event, error)
 	if err != nil {
 		return Event{}, fmt.Errorf("feedback: %s %q on %s: %w", j, value, q, err)
 	}
-	now := time.Now
-	if s.opts.Now != nil {
-		now = s.opts.Now
+	if when.IsZero() {
+		now := time.Now
+		if s.opts.Now != nil {
+			now = s.opts.Now
+		}
+		when = now()
 	}
 	ev := Event{
 		Query:        q.String(),
@@ -109,7 +119,7 @@ func (s *Session) Apply(q *query.Query, value string, j Judgment) (Event, error)
 		PriorP:       p,
 		WorldsBefore: before,
 		WorldsAfter:  nt.WorldCount(),
-		When:         now(),
+		When:         when,
 	}
 	s.tree = nt
 	s.history = append(s.history, ev)

@@ -1,10 +1,16 @@
-// Package server exposes an IMPrECISE probabilistic database over a
+// Package server exposes IMPrECISE probabilistic databases over a
 // JSON-over-HTTP API — the interactive integration service the paper's
 // demo describes: clients POST XML sources to integrate, issue ranked
 // probabilistic queries, feed judgments back, and persist/restore
-// snapshots, all against one shared core.Database. The database's
-// copy-on-write concurrency discipline means query traffic keeps being
-// served from a consistent snapshot while an integration is in flight.
+// snapshots. The databases' copy-on-write concurrency discipline means
+// query traffic keeps being served from a consistent snapshot while an
+// integration is in flight.
+//
+// A server fronts either one bare core.Database (New) or a durable
+// multi-database catalog (NewCatalog). In catalog mode every database is
+// addressed under /dbs/{name}/…, the catalog can be managed over HTTP,
+// and the legacy single-database routes below alias to the catalog's
+// "default" database, so old clients keep working unchanged.
 //
 // Endpoints (all responses are JSON; errors use {"error": "…"}):
 //
@@ -15,11 +21,20 @@
 //	                                    the evaluation plan
 //	POST /feedback                      {"query","value","correct"} -> event
 //	GET  /stats                         document + cache + server statistics
+//	                                    (catalog mode: + WAL/compaction)
 //	GET  /worlds?max=N                  enumerated possible worlds
 //	GET  /export                        the document as probabilistic XML
 //	POST /save                          {"name","comment"} -> manifest
 //	POST /load                          {"name"} -> manifest
 //	GET  /healthz                       liveness probe
+//
+// Catalog management (catalog mode; 503 otherwise):
+//
+//	GET    /dbs                         list databases + durability stats
+//	POST   /dbs                         {"name"} -> create (201)
+//	PUT    /dbs/{name}                  create (201)
+//	DELETE /dbs/{name}                  drop (irreversible)
+//	ANY    /dbs/{name}/<verb>           every per-database verb above
 package server
 
 import (
@@ -35,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/integrate"
 	"repro/internal/pxml"
@@ -67,34 +83,129 @@ type Options struct {
 	Logger *log.Logger
 }
 
-// Server is the HTTP front end over one core.Database.
+// Server is the HTTP front end over one core.Database (legacy mode) or a
+// durable multi-database catalog.
 type Server struct {
-	db   *core.Database
+	db   *core.Database   // legacy single-database mode; nil in catalog mode
+	cat  *catalog.Catalog // catalog mode; nil in legacy mode
 	opts Options
 	mux  *http.ServeMux
 }
 
-// New builds a Server over db. The database carries all integration
-// knowledge (schema, rules); the server only translates HTTP.
+// target is the database one request operates on: its core plus, in
+// catalog mode, the managed wrapper carrying durability stats and
+// per-database snapshots.
+type target struct {
+	core *core.Database
+	cdb  *catalog.DB // nil in legacy single-database mode
+	name string
+}
+
+// New builds a Server over one bare database. The database carries all
+// integration knowledge (schema, rules); the server only translates HTTP.
 func New(db *core.Database, opts Options) *Server {
+	return newServer(db, nil, opts)
+}
+
+// NewCatalog builds a Server over a durable multi-database catalog. Each
+// database is addressed under /dbs/{name}/…; the legacy single-database
+// routes alias to the catalog's default database.
+func NewCatalog(cat *catalog.Catalog, opts Options) *Server {
+	return newServer(nil, cat, opts)
+}
+
+func newServer(db *core.Database, cat *catalog.Catalog, opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	if opts.MaxWorlds <= 0 {
 		opts.MaxWorlds = DefaultMaxWorlds
 	}
-	s := &Server{db: db, opts: opts, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /integrate", s.handleIntegrate)
-	s.mux.HandleFunc("POST /integrate/batch", s.handleIntegrateBatch)
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /worlds", s.handleWorlds)
-	s.mux.HandleFunc("GET /export", s.handleExport)
-	s.mux.HandleFunc("POST /save", s.handleSave)
-	s.mux.HandleFunc("POST /load", s.handleLoad)
+	s := &Server{db: db, cat: cat, opts: opts, mux: http.NewServeMux()}
+	// Every per-database verb is registered twice: at the root (legacy
+	// alias of the default database) and under /dbs/{name}.
+	verbs := []struct {
+		pattern string
+		h       func(http.ResponseWriter, *http.Request, target)
+	}{
+		{"POST /integrate", s.handleIntegrate},
+		{"POST /integrate/batch", s.handleIntegrateBatch},
+		{"GET /query", s.handleQuery},
+		{"POST /feedback", s.handleFeedback},
+		{"GET /stats", s.handleStats},
+		{"GET /worlds", s.handleWorlds},
+		{"GET /export", s.handleExport},
+		{"POST /save", s.handleSave},
+		{"POST /load", s.handleLoad},
+	}
+	for _, v := range verbs {
+		method, path, _ := strings.Cut(v.pattern, " ")
+		s.mux.HandleFunc(v.pattern, s.withDefault(v.h))
+		s.mux.HandleFunc(method+" /dbs/{name}"+path, s.withNamed(v.h))
+	}
+	s.mux.HandleFunc("GET /dbs", s.handleListDBs)
+	s.mux.HandleFunc("POST /dbs", s.handleCreateDB)
+	s.mux.HandleFunc("PUT /dbs/{name}", s.handleCreateDB)
+	s.mux.HandleFunc("DELETE /dbs/{name}", s.handleDropDB)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// withDefault routes a legacy request to the single database (legacy
+// mode) or the catalog's default database.
+func (s *Server) withDefault(h func(http.ResponseWriter, *http.Request, target)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.db != nil {
+			h(w, r, target{core: s.db, name: catalog.DefaultName})
+			return
+		}
+		db, err := s.cat.Default()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "default database: %v", err)
+			return
+		}
+		h(w, r, target{core: db.Core(), cdb: db, name: db.Name()})
+	}
+}
+
+// withNamed routes a /dbs/{name}/… request to the named catalog database.
+func (s *Server) withNamed(h func(http.ResponseWriter, *http.Request, target)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		db, ok := s.catalogDB(w, r)
+		if !ok {
+			return
+		}
+		h(w, r, target{core: db.Core(), cdb: db, name: db.Name()})
+	}
+}
+
+// catalogDB resolves {name} against the catalog, writing the error
+// response itself when resolution fails.
+func (s *Server) catalogDB(w http.ResponseWriter, r *http.Request) (*catalog.DB, bool) {
+	if s.cat == nil {
+		writeError(w, http.StatusServiceUnavailable, "multi-database catalog is not enabled (start the server with a data directory)")
+		return nil, false
+	}
+	name := r.PathValue("name")
+	db, err := s.cat.Get(name)
+	if err != nil {
+		writeError(w, catalogErrStatus(err), "db %q: %v", name, err)
+		return nil, false
+	}
+	return db, true
+}
+
+// catalogErrStatus maps catalog errors onto HTTP statuses.
+func catalogErrStatus(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, catalog.ErrBadName):
+		return http.StatusBadRequest
+	case errors.Is(err, catalog.ErrExists):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
 }
 
 // Handler returns the server's routes wrapped in the middleware stack
@@ -151,13 +262,13 @@ type IntegrateResponse struct {
 	ChoicePoints int    `json:"choice_points"`
 }
 
-func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request, t target) {
 	mode := r.URL.Query().Get("mode")
 	if mode == "" {
 		mode = "merge"
 	}
 	resp := IntegrateResponse{Mode: mode}
-	// result is this request's own resulting document — not s.db.Tree(),
+	// result is this request's own resulting document — not t.core.Tree(),
 	// which a concurrent writer may have advanced past it already.
 	var result *pxml.Tree
 	switch mode {
@@ -167,7 +278,7 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusForBodyError(err, http.StatusUnprocessableEntity), "integrate: %v", err)
 			return
 		}
-		res, stats, err := s.db.IntegrateTreeResult(other)
+		res, stats, err := t.core.IntegrateTreeResult(other)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "integrate: %v", err)
 			return
@@ -180,7 +291,7 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusForBodyError(err, http.StatusUnprocessableEntity), "integrate: %v", err)
 			return
 		}
-		if err := s.db.ReplaceTree(tree); err != nil {
+		if err := t.core.ReplaceTree(tree); err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "integrate: %v", err)
 			return
 		}
@@ -237,7 +348,7 @@ type BatchIntegrateResponse struct {
 // handleIntegrateBatch integrates N sources in one writer-lock cycle. The
 // batch is atomic: either every source integrates and readers observe the
 // final document in a single swap, or the database is left untouched.
-func (s *Server) handleIntegrateBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIntegrateBatch(w http.ResponseWriter, r *http.Request, t target) {
 	var req BatchIntegrateRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, statusForBodyError(err, http.StatusBadRequest), "integrate/batch: bad request body: %v", err)
@@ -251,7 +362,7 @@ func (s *Server) handleIntegrateBatch(w http.ResponseWriter, r *http.Request) {
 	for i, src := range req.Sources {
 		readers[i] = strings.NewReader(src)
 	}
-	statsList, result, err := s.db.IntegrateBatchXML(readers)
+	statsList, result, err := t.core.IntegrateBatchXML(readers)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "integrate/batch: %v", err)
 		return
@@ -296,7 +407,7 @@ type QueryResponse struct {
 	Plan *query.Plan `json:"plan,omitempty"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t target) {
 	src := r.URL.Query().Get("q")
 	if src == "" {
 		writeError(w, http.StatusBadRequest, "query: missing q parameter")
@@ -307,7 +418,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query: %v", err)
 		return
 	}
-	opts := s.db.DefaultQueryOptions()
+	opts := t.core.DefaultQueryOptions()
 	if v := r.URL.Query().Get("method"); v != "" {
 		// auto (the default) lets the planner choose; an explicit method
 		// is used verbatim. Unknown names fail option validation below.
@@ -342,7 +453,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query: bad explain parameter %q (0 | 1)", v)
 		return
 	}
-	res, err := s.db.QueryEval(src, opts)
+	res, err := t.core.QueryEval(src, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "query: %v", err)
 		return
@@ -380,7 +491,7 @@ type FeedbackResponse struct {
 	WorldsAfter  string  `json:"worlds_after"`
 }
 
-func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, t target) {
 	var req FeedbackRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, statusForBodyError(err, http.StatusBadRequest), "feedback: bad request body: %v", err)
@@ -390,7 +501,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "feedback: query, value and correct are required")
 		return
 	}
-	ev, err := s.db.Feedback(req.Query, req.Value, *req.Correct)
+	ev, err := t.core.Feedback(req.Query, req.Value, *req.Correct)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "feedback: %v", err)
 		return
@@ -423,9 +534,49 @@ type IndexStats struct {
 	Elements        int     `json:"elements"`
 }
 
+// DurabilityStats is the write-ahead-log and compaction section of the
+// stats response (catalog mode only).
+type DurabilityStats struct {
+	// LastSeq is the newest committed op; SnapshotSeq the op the on-disk
+	// snapshot reflects; TailOps how many ops recovery would replay.
+	LastSeq     uint64 `json:"last_seq"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	TailOps     uint64 `json:"tail_ops"`
+	// Segments / SizeBytes describe the live log on disk.
+	Segments  int   `json:"segments"`
+	SizeBytes int64 `json:"size_bytes"`
+	// Appends / AppendedBytes / Rotations count log writes by this
+	// process; Compactions and RecoveredOps count snapshot folds and
+	// ops replayed at startup.
+	Appends       int64 `json:"appends"`
+	AppendedBytes int64 `json:"appended_bytes"`
+	Rotations     int64 `json:"rotations"`
+	Compactions   int64 `json:"compactions"`
+	RecoveredOps  int64 `json:"recovered_ops"`
+}
+
+func durabilityStats(db *catalog.DB) *DurabilityStats {
+	st := db.Stats()
+	return &DurabilityStats{
+		LastSeq:       st.WAL.LastSeq,
+		SnapshotSeq:   st.SnapshotSeq,
+		TailOps:       st.TailOps,
+		Segments:      st.WAL.Segments,
+		SizeBytes:     st.WAL.SizeBytes,
+		Appends:       st.WAL.Appends,
+		AppendedBytes: st.WAL.AppendedBytes,
+		Rotations:     st.WAL.Rotations,
+		Compactions:   st.Compactions,
+		RecoveredOps:  st.RecoveredOps,
+	}
+}
+
 // StatsResponse summarizes the document, the compiled-query and result
-// caches, the query index, and the session history counts.
+// caches, the query index, the session history counts, and — in catalog
+// mode — the database's durability counters.
 type StatsResponse struct {
+	// Database names the database the stats describe (catalog mode).
+	Database      string        `json:"database,omitempty"`
 	LogicalNodes  int64         `json:"logical_nodes"`
 	PhysicalNodes int64         `json:"physical_nodes"`
 	Worlds        string        `json:"worlds"`
@@ -437,32 +588,38 @@ type StatsResponse struct {
 	QueryCache    CacheCounters `json:"query_cache"`
 	ResultCache   CacheCounters `json:"result_cache"`
 	Index         IndexStats    `json:"index"`
+	// WAL is present in catalog mode only.
+	WAL *DurabilityStats `json:"wal,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	t := s.db.Tree()
-	st := t.CollectStats()
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t target) {
+	tr := t.core.Tree()
+	st := tr.CollectStats()
 	resp := StatsResponse{
 		LogicalNodes:  st.LogicalNodes,
 		PhysicalNodes: st.PhysicalNodes,
 		Worlds:        st.Worlds.String(),
-		ChoicePoints:  t.ChoicePoints(),
+		ChoicePoints:  tr.ChoicePoints(),
 		MaxDepth:      st.MaxDepth,
-		Certain:       t.IsCertain(),
-		Integrations:  s.db.IntegrationCount(),
-		FeedbackCount: s.db.FeedbackCount(),
+		Certain:       tr.IsCertain(),
+		Integrations:  t.core.IntegrationCount(),
+		FeedbackCount: t.core.FeedbackCount(),
 	}
-	cs := s.db.QueryCacheStats()
+	cs := t.core.QueryCacheStats()
 	resp.QueryCache = CacheCounters{Hits: cs.Hits, Misses: cs.Misses, Size: cs.Size, Capacity: cs.Capacity}
-	rs := s.db.ResultCacheStats()
+	rs := t.core.ResultCacheStats()
 	resp.ResultCache = CacheCounters{Hits: rs.Hits, Misses: rs.Misses, Size: rs.Size, Capacity: rs.Capacity}
-	is := s.db.IndexStats()
+	is := t.core.IndexStats()
 	resp.Index = IndexStats{
 		Builds:          is.Builds,
 		LastBuildMicros: float64(is.LastBuild.Nanoseconds()) / 1e3,
 		TotalBuildMs:    float64(is.TotalBuild.Nanoseconds()) / 1e6,
 		Tags:            is.Tags,
 		Elements:        is.Elements,
+	}
+	if t.cdb != nil {
+		resp.Database = t.name
+		resp.WAL = durabilityStats(t.cdb)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -481,7 +638,7 @@ type World struct {
 	Elements []string `json:"elements"`
 }
 
-func (s *Server) handleWorlds(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWorlds(w http.ResponseWriter, r *http.Request, t target) {
 	max, err := intParam(r, "max", 20)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "worlds: %v", err)
@@ -494,9 +651,9 @@ func (s *Server) handleWorlds(w http.ResponseWriter, r *http.Request) {
 	if max > s.opts.MaxWorlds {
 		max = s.opts.MaxWorlds
 	}
-	t := s.db.Tree()
-	resp := WorldsResponse{Total: t.WorldCount().String(), List: []World{}}
-	worlds.Enumerate(t, func(wd worlds.World) bool {
+	tr := t.core.Tree()
+	resp := WorldsResponse{Total: tr.WorldCount().String(), List: []World{}}
+	worlds.Enumerate(tr, func(wd worlds.World) bool {
 		elems := []string{}
 		for _, e := range wd.Elements {
 			elems = append(elems, pxml.Sketch(e))
@@ -508,9 +665,9 @@ func (s *Server) handleWorlds(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request, t target) {
 	w.Header().Set("Content-Type", "application/xml")
-	if err := s.db.ExportXML(w, xmlcodec.EncodeOptions{Indent: "  "}); err != nil {
+	if err := t.core.ExportXML(w, xmlcodec.EncodeOptions{Indent: "  "}); err != nil {
 		// Headers may already be out; log-and-abandon is all that's left.
 		s.logf("export: %v", err)
 	}
@@ -578,10 +735,22 @@ func manifestResponse(name string, m store.Manifest) SnapshotResponse {
 	}
 }
 
-func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, t target) {
 	var req SaveRequest
 	if err := readJSON(r, &req); err != nil && err != io.EOF {
 		writeError(w, statusForBodyError(err, http.StatusBadRequest), "save: bad request body: %v", err)
+		return
+	}
+	// Catalog databases save under their own snapshots/ directory; the
+	// name is validated by the catalog. Legacy mode resolves against the
+	// configured snapshot directory.
+	if t.cdb != nil {
+		m, err := t.cdb.SaveNamed(req.Name, req.Comment)
+		if err != nil {
+			writeError(w, catalogErrStatus(err), "save: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, manifestResponse(orDefault(req.Name), m))
 		return
 	}
 	dir, name, err := s.snapshotDir(req.Name)
@@ -589,7 +758,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, snapshotNameStatus(err), "save: %v", err)
 		return
 	}
-	m, err := s.db.SaveSnapshot(dir, req.Comment)
+	m, err := t.core.SaveSnapshot(dir, req.Comment)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "save: %v", err)
 		return
@@ -597,18 +766,41 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, manifestResponse(name, m))
 }
 
-func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+// orDefault mirrors the snapshot-name defaulting the resolvers apply.
+func orDefault(name string) string {
+	if name == "" {
+		return catalog.DefaultName
+	}
+	return name
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, t target) {
 	var req LoadRequest
 	if err := readJSON(r, &req); err != nil && err != io.EOF {
 		writeError(w, statusForBodyError(err, http.StatusBadRequest), "load: bad request body: %v", err)
 		return
 	}
-	dir, name, err := s.snapshotDir(req.Name)
-	if err != nil {
-		writeError(w, snapshotNameStatus(err), "load: %v", err)
-		return
+	var (
+		snap *store.Snapshot
+		name string
+		err  error
+	)
+	if t.cdb != nil {
+		name = orDefault(req.Name)
+		snap, err = t.cdb.LoadNamed(req.Name)
+		if errors.Is(err, catalog.ErrBadName) {
+			writeError(w, http.StatusBadRequest, "load: %v", err)
+			return
+		}
+	} else {
+		var dir string
+		dir, name, err = s.snapshotDir(req.Name)
+		if err != nil {
+			writeError(w, snapshotNameStatus(err), "load: %v", err)
+			return
+		}
+		snap, err = t.core.LoadSnapshot(dir)
 	}
-	snap, err := s.db.LoadSnapshot(dir)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -621,6 +813,100 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, manifestResponse(name, snap.Manifest))
+}
+
+// --- catalog management ---
+
+// DBInfo is one database in the /dbs listing.
+type DBInfo struct {
+	Name         string           `json:"name"`
+	LogicalNodes int64            `json:"logical_nodes"`
+	Worlds       string           `json:"worlds"`
+	Integrations int              `json:"integrations"`
+	Feedback     int              `json:"feedback_events"`
+	WAL          *DurabilityStats `json:"wal,omitempty"`
+}
+
+// DBListResponse is the /dbs body.
+type DBListResponse struct {
+	Databases []DBInfo `json:"databases"`
+}
+
+// CreateDBRequest names the database POST /dbs creates.
+type CreateDBRequest struct {
+	Name string `json:"name"`
+}
+
+// CreateDBResponse reports a created database.
+type CreateDBResponse struct {
+	Name string `json:"name"`
+}
+
+// DropDBResponse reports a dropped database.
+type DropDBResponse struct {
+	Dropped string `json:"dropped"`
+}
+
+// requireCatalog writes the 503 for catalog routes in legacy mode.
+func (s *Server) requireCatalog(w http.ResponseWriter) bool {
+	if s.cat == nil {
+		writeError(w, http.StatusServiceUnavailable, "multi-database catalog is not enabled (start the server with a data directory)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCatalog(w) {
+		return
+	}
+	resp := DBListResponse{Databases: []DBInfo{}}
+	for _, db := range s.cat.List() {
+		c := db.Core()
+		tr := c.Tree()
+		resp.Databases = append(resp.Databases, DBInfo{
+			Name:         db.Name(),
+			LogicalNodes: tr.NodeCount(),
+			Worlds:       tr.WorldCount().String(),
+			Integrations: c.IntegrationCount(),
+			Feedback:     c.FeedbackCount(),
+			WAL:          durabilityStats(db),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCatalog(w) {
+		return
+	}
+	// PUT /dbs/{name} carries the name in the path; POST /dbs in the body.
+	name := r.PathValue("name")
+	if name == "" {
+		var req CreateDBRequest
+		if err := readJSON(r, &req); err != nil {
+			writeError(w, statusForBodyError(err, http.StatusBadRequest), "create db: bad request body: %v", err)
+			return
+		}
+		name = req.Name
+	}
+	if _, err := s.cat.Create(name); err != nil {
+		writeError(w, catalogErrStatus(err), "create db: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateDBResponse{Name: name})
+}
+
+func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCatalog(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.cat.Drop(name); err != nil {
+		writeError(w, catalogErrStatus(err), "drop db: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DropDBResponse{Dropped: name})
 }
 
 // HealthResponse is the /healthz body.

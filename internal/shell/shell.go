@@ -11,10 +11,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/explain"
 	"repro/internal/feedback"
@@ -38,7 +41,14 @@ type Shell struct {
 	index     *queryindex.Index
 	ruleSpec  string
 	lastQuery *query.Query
-	out       io.Writer
+	// lastQuerySrc is the text of lastQuery, needed when judging answers
+	// through a catalog database (whose API is string-based).
+	lastQuerySrc string
+	// cat/db are set when a durable catalog is attached (data/use):
+	// mutations then run through db's journaled core and tree mirrors it.
+	cat *catalog.Catalog
+	db  *catalog.DB
+	out io.Writer
 }
 
 // ensureIndex returns the query index for the current tree, rebuilding it
@@ -121,6 +131,12 @@ func (s *Shell) Execute(line string) error {
 		return s.save(rest)
 	case "open":
 		return s.open(rest)
+	case "data":
+		return s.data(rest)
+	case "dbs":
+		return s.listDBs()
+	case "use":
+		return s.use(rest)
 	case "demo":
 		return s.demo()
 	default:
@@ -159,6 +175,11 @@ func (s *Shell) help() {
   export <file>           write the document as probabilistic XML
   save <dir>              persist document + schema as a snapshot
   open <dir>              load a snapshot saved with save
+  data <dir>              attach a durable multi-database catalog
+                          (recovers every database from snapshot + WAL)
+  dbs                     list the attached catalog's databases
+  use <name>              switch to (or create) a catalog database; from
+                          then on mutations are write-ahead logged
   demo                    run the built-in Figure-2 walkthrough
   quit                    leave
 `)
@@ -168,6 +189,21 @@ func (s *Shell) needTree() error {
 	if s.tree == nil {
 		return fmt.Errorf("no document loaded (use load or loadxml)")
 	}
+	return nil
+}
+
+// setDocument installs a full document: directly in bare mode, through
+// the journaled ReplaceTree when a catalog database is active (so the
+// load survives a crash like any other mutation).
+func (s *Shell) setDocument(t *pxml.Tree) error {
+	if s.db != nil {
+		if err := s.db.Core().ReplaceTree(t); err != nil {
+			return err
+		}
+		s.tree = s.db.Core().Tree()
+		return nil
+	}
+	s.tree = t
 	return nil
 }
 
@@ -184,7 +220,9 @@ func (s *Shell) load(path string) error {
 	if err != nil {
 		return err
 	}
-	s.tree = t
+	if err := s.setDocument(t); err != nil {
+		return err
+	}
 	fmt.Fprintf(s.out, "loaded %s: %d nodes, %s worlds\n", path, t.NodeCount(), t.WorldCount())
 	return nil
 }
@@ -194,7 +232,9 @@ func (s *Shell) loadXML(src string) error {
 	if err != nil {
 		return err
 	}
-	s.tree = t
+	if err := s.setDocument(t); err != nil {
+		return err
+	}
 	fmt.Fprintf(s.out, "loaded inline document: %d nodes, %s worlds\n", t.NodeCount(), t.WorldCount())
 	return nil
 }
@@ -290,6 +330,19 @@ func (s *Shell) integrateXML(src string) error {
 }
 
 func (s *Shell) integrateTree(other *pxml.Tree) error {
+	if s.db != nil {
+		// Journaled path: the catalog database's own oracle/schema (set
+		// when the catalog was attached) drive the integration.
+		stats, err := s.db.Core().IntegrateTree(other)
+		if err != nil {
+			return err
+		}
+		res := s.db.Core().Tree()
+		s.tree = res
+		fmt.Fprintf(s.out, "integrated: %d nodes, %s worlds, %d undecided pairs, %d matchings pruned by schema\n",
+			res.NodeCount(), res.WorldCount(), stats.UndecidedPairs, stats.MatchingsPruned)
+		return nil
+	}
 	rules, err := rulesFromSpec(s.ruleSpec)
 	if err != nil {
 		return err
@@ -326,11 +379,19 @@ func (s *Shell) runQuery(src string, explain bool) (query.Result, error) {
 	if err != nil {
 		return query.Result{}, err
 	}
-	res, err := query.EvalIndexed(s.tree, q, query.Options{}, s.ensureIndex())
+	var res query.Result
+	if s.db != nil {
+		// Catalog databases evaluate through their own planner, index and
+		// result caches.
+		res, err = s.db.Core().QueryCompiled(q)
+	} else {
+		res, err = query.EvalIndexed(s.tree, q, query.Options{}, s.ensureIndex())
+	}
 	if err != nil {
 		return query.Result{}, err
 	}
 	s.lastQuery = q
+	s.lastQuerySrc = src
 	fmt.Fprintf(s.out, "[%s]\n", res.Method)
 	if explain && res.Plan != nil {
 		pl := res.Plan
@@ -374,6 +435,16 @@ func (s *Shell) feedback(rest string) error {
 	if value == "" {
 		return fmt.Errorf("usage: feedback <correct|incorrect> <value>")
 	}
+	if s.db != nil {
+		ev, err := s.db.Core().Feedback(s.lastQuerySrc, value, j == feedback.Correct)
+		if err != nil {
+			return err
+		}
+		s.tree = s.db.Core().Tree()
+		fmt.Fprintf(s.out, "feedback applied: worlds %s -> %s (prior %.4g)\n",
+			ev.WorldsBefore, ev.WorldsAfter, ev.PriorP)
+		return nil
+	}
 	session := feedback.NewSession(s.tree, feedback.Options{})
 	ev, err := session.Apply(s.lastQuery, value, j)
 	if err != nil {
@@ -410,6 +481,11 @@ func (s *Shell) stats() error {
 	st := s.tree.CollectStats()
 	fmt.Fprintf(s.out, "nodes: %d logical (%d physical), choice points: %d, worlds: %s, certain: %v\n",
 		st.LogicalNodes, st.PhysicalNodes, s.tree.ChoicePoints(), st.Worlds, s.tree.IsCertain())
+	if s.db != nil {
+		ds := s.db.Stats()
+		fmt.Fprintf(s.out, "durability: db %s, wal seq %d (%d op(s) past snapshot), %d compaction(s)\n",
+			s.db.Name(), ds.WAL.LastSeq, ds.TailOps, ds.Compactions)
+	}
 	return nil
 }
 
@@ -440,6 +516,15 @@ func (s *Shell) worlds(rest string) error {
 func (s *Shell) normalize() error {
 	if err := s.needTree(); err != nil {
 		return err
+	}
+	if s.db != nil {
+		before, after, err := s.db.Core().Normalize()
+		if err != nil {
+			return err
+		}
+		s.tree = s.db.Core().Tree()
+		fmt.Fprintf(s.out, "normalized: %d -> %d nodes\n", before, after)
+		return nil
 	}
 	before := s.tree.NodeCount()
 	nt, err := s.tree.Normalize()
@@ -477,7 +562,16 @@ func (s *Shell) save(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("usage: save <dir>")
 	}
-	m, err := store.Save(dir, s.tree, s.schema, "saved from shell")
+	var (
+		m   store.Manifest
+		err error
+	)
+	if s.db != nil {
+		// Histories ride along in the manifest of a catalog database.
+		m, err = s.db.Core().SaveSnapshot(dir, "saved from shell")
+	} else {
+		m, err = store.Save(dir, s.tree, s.schema, "saved from shell")
+	}
 	if err != nil {
 		return err
 	}
@@ -489,6 +583,18 @@ func (s *Shell) open(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("usage: open <dir>")
 	}
+	if s.db != nil {
+		// Journaled restore: the active database swaps to the snapshot.
+		snap, err := s.db.Core().LoadSnapshot(dir)
+		if err != nil {
+			return err
+		}
+		s.tree = s.db.Core().Tree()
+		s.schema = s.db.Core().Schema()
+		fmt.Fprintf(s.out, "opened: %s into %s (%d nodes, %s worlds)\n",
+			dir, s.db.Name(), snap.Manifest.LogicalNodes, snap.Manifest.Worlds)
+		return nil
+	}
 	snap, err := store.Load(dir)
 	if err != nil {
 		return err
@@ -498,6 +604,118 @@ func (s *Shell) open(dir string) error {
 	fmt.Fprintf(s.out, "opened: %s (%d nodes, %s worlds, saved %s)\n",
 		dir, snap.Manifest.LogicalNodes, snap.Manifest.Worlds,
 		snap.Manifest.SavedAt.Format("2006-01-02 15:04:05"))
+	return nil
+}
+
+// data attaches a durable catalog, recovering every database inside it.
+// Rules and DTD knowledge set before the attach become the catalog's
+// integration configuration.
+func (s *Shell) data(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("usage: data <dir>")
+	}
+	rules, err := rulesFromSpec(s.ruleSpec)
+	if err != nil {
+		return err
+	}
+	opts := catalog.Options{Config: core.Config{Schema: s.schema, Rules: rules}}
+	// Open the new catalog before detaching the old one, so a failed
+	// attach (locked or unreadable directory) leaves the session intact.
+	// The one exception is re-attaching the same directory, where our
+	// own single-process lock forces the close to come first.
+	if s.cat != nil && sameDir(s.cat.Dir(), dir) {
+		s.detachCatalog()
+	}
+	cat, err := catalog.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	if s.cat != nil {
+		s.detachCatalog()
+	}
+	s.cat, s.db = cat, nil
+	names := cat.Names()
+	fmt.Fprintf(s.out, "attached: %s (%d database(s))\n", dir, len(names))
+	for _, n := range names {
+		fmt.Fprintf(s.out, "  %s\n", n)
+	}
+	fmt.Fprintln(s.out, `select one with "use <name>"`)
+	return nil
+}
+
+// detachCatalog closes the attached catalog and clears every piece of
+// state that belonged to it. A tree mirrored from one of its databases
+// must not survive as a bare-mode document: the user would keep
+// mutating it believing the writes are journaled.
+func (s *Shell) detachCatalog() {
+	if s.db != nil {
+		s.tree, s.index = nil, nil
+	}
+	s.cat.Close()
+	s.cat, s.db = nil, nil
+	s.lastQuery, s.lastQuerySrc = nil, ""
+}
+
+// sameDir reports whether two paths name the same directory.
+func sameDir(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return a == b
+	}
+	return aa == bb
+}
+
+func (s *Shell) listDBs() error {
+	if s.cat == nil {
+		return fmt.Errorf("no catalog attached (use data <dir>)")
+	}
+	dbs := s.cat.List()
+	if len(dbs) == 0 {
+		fmt.Fprintln(s.out, "(no databases)")
+		return nil
+	}
+	for _, db := range dbs {
+		marker := " "
+		if db == s.db {
+			marker = "*"
+		}
+		c := db.Core()
+		fmt.Fprintf(s.out, "%s %-20s %6d nodes  %8s worlds  %d integrations, %d feedback\n",
+			marker, db.Name(), c.Tree().NodeCount(), c.WorldCount(),
+			c.IntegrationCount(), c.FeedbackCount())
+	}
+	return nil
+}
+
+// use switches the shell onto a catalog database (creating it if
+// needed); every mutation from here on is write-ahead logged.
+func (s *Shell) use(name string) error {
+	if s.cat == nil {
+		return fmt.Errorf("no catalog attached (use data <dir>)")
+	}
+	if name == "" {
+		return fmt.Errorf("usage: use <name>")
+	}
+	db, err := s.cat.Get(name)
+	if err != nil {
+		db, err = s.cat.Create(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "created database %s\n", name)
+	}
+	s.db = db
+	s.tree = db.Core().Tree()
+	// The last query belongs to the previous database; judging its
+	// answers against this one would condition the wrong document.
+	s.lastQuery, s.lastQuerySrc = nil, ""
+	if sch := db.Core().Schema(); sch != nil {
+		s.schema = sch
+	}
+	fmt.Fprintf(s.out, "using %s: %d nodes, %s worlds, %d integrations, %d feedback\n",
+		name, s.tree.NodeCount(), s.tree.WorldCount(),
+		db.Core().IntegrationCount(), db.Core().FeedbackCount())
 	return nil
 }
 
@@ -527,7 +745,8 @@ func Tags() []string {
 	cmds := []string{
 		"help", "load", "loadxml", "dtd", "dtdinline", "rules", "integrate",
 		"integratexml", "query", "plan", "feedback", "explain", "stats",
-		"worlds", "normalize", "export", "save", "open", "demo", "quit",
+		"worlds", "normalize", "export", "save", "open", "data", "dbs",
+		"use", "demo", "quit",
 	}
 	sort.Strings(cmds)
 	return cmds

@@ -3,6 +3,19 @@
 // snapshot is a directory holding the probabilistic document (marker XML),
 // the schema knowledge (DTD), and a JSON manifest with integrity metadata,
 // so a long-running integrate/query/feedback session can be resumed.
+//
+// # Durability
+//
+// Format v2 makes a snapshot crash-safe. The document and schema are
+// written under content-addressed names (document-<sha>.xml), each file is
+// fsynced before and the directory after its rename, and the manifest —
+// the only file referencing them — is written last. A save torn by a
+// crash therefore leaves the previous manifest pointing at the previous
+// (still present) files: Load returns the stale-but-consistent old
+// snapshot instead of ErrCorrupt. The manifest also carries the write-
+// ahead-log sequence number the snapshot corresponds to and the session
+// histories (integration statistics, feedback events), so a restart
+// resumes with intact /stats counters.
 package store
 
 import (
@@ -13,28 +26,39 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/dtd"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
 	"repro/internal/pxml"
 	"repro/internal/xmlcodec"
 )
 
 const (
 	// FormatVersion identifies the snapshot layout; bumped on breaking
-	// changes.
-	FormatVersion = 1
+	// changes. Version 1 (fixed filenames, no histories) is still loaded.
+	FormatVersion = 2
 
 	manifestFile = "manifest.json"
-	documentFile = "document.xml"
-	schemaFile   = "schema.dtd"
+	// Legacy v1 filenames; v2 names are content-addressed.
+	legacyDocumentFile = "document.xml"
+	legacySchemaFile   = "schema.dtd"
 )
 
 // Manifest is the snapshot metadata.
 type Manifest struct {
 	FormatVersion int       `json:"format_version"`
 	SavedAt       time.Time `json:"saved_at"`
-	// DocumentSHA256 is the checksum of document.xml, verified on load.
+	// DocumentFile and SchemaFile name the content-addressed payload
+	// files inside the snapshot directory (v2; empty in v1 manifests).
+	DocumentFile string `json:"document_file,omitempty"`
+	SchemaFile   string `json:"schema_file,omitempty"`
+	// DocumentSHA256 is the checksum of the document file, verified on
+	// load.
 	DocumentSHA256 string `json:"document_sha256"`
 	// LogicalNodes and Worlds record the size at save time (Worlds as a
 	// decimal string; it can exceed every integer type).
@@ -43,6 +67,13 @@ type Manifest struct {
 	HasSchema    bool   `json:"has_schema"`
 	// Comment is free-form (e.g. the integration history).
 	Comment string `json:"comment,omitempty"`
+	// LogSeq is the write-ahead-log sequence number this snapshot
+	// reflects: recovery replays only log entries with a higher sequence.
+	LogSeq uint64 `json:"log_seq,omitempty"`
+	// Integrations and Feedback persist the session histories, so stats
+	// counters survive a save/load round trip or a crash recovery.
+	Integrations []integrate.Stats `json:"integrations,omitempty"`
+	Feedback     []feedback.Event  `json:"feedback,omitempty"`
 }
 
 // Snapshot is the in-memory form of a stored database.
@@ -55,10 +86,57 @@ type Snapshot struct {
 // ErrCorrupt is returned when a snapshot fails its integrity checks.
 var ErrCorrupt = errors.New("store: snapshot corrupt")
 
+// SaveOptions carries the v2 metadata a snapshot can embed beyond the
+// document itself.
+type SaveOptions struct {
+	// Comment is free-form.
+	Comment string
+	// LogSeq records the write-ahead-log position the snapshot reflects.
+	LogSeq uint64
+	// Integrations and Feedback are the session histories to persist.
+	Integrations []integrate.Stats
+	Feedback     []feedback.Event
+}
+
 // Save writes the document (and optional schema) into dir, creating it if
-// needed. Existing snapshot files are overwritten atomically (write to
-// temp, rename).
+// needed. It is shorthand for SaveWith with only a comment.
 func Save(dir string, tree *pxml.Tree, schema *dtd.Schema, comment string) (Manifest, error) {
+	return SaveWith(dir, tree, schema, SaveOptions{Comment: comment})
+}
+
+// saveLocks serializes snapshot writes per directory within this
+// process. Two concurrent saves into the same directory could otherwise
+// interleave so that one save's stale-file cleanup deletes the payload
+// the other save's committed manifest references; saves into different
+// directories (e.g. the compactors of separate catalog databases) stay
+// independent.
+var (
+	saveLocksMu sync.Mutex
+	saveLocks   = map[string]*sync.Mutex{}
+)
+
+func saveLock(dir string) *sync.Mutex {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	saveLocksMu.Lock()
+	defer saveLocksMu.Unlock()
+	mu := saveLocks[dir]
+	if mu == nil {
+		mu = &sync.Mutex{}
+		saveLocks[dir] = mu
+	}
+	return mu
+}
+
+// SaveWith writes a full v2 snapshot into dir, creating it if needed.
+// Payload files are content-addressed and fsynced, and the manifest is
+// written (and fsynced) last, so a save interrupted at any point leaves
+// the directory loading as the previous snapshot.
+func SaveWith(dir string, tree *pxml.Tree, schema *dtd.Schema, opts SaveOptions) (Manifest, error) {
+	mu := saveLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
 	if tree == nil {
 		return Manifest{}, errors.New("store: nil tree")
 	}
@@ -76,22 +154,24 @@ func Save(dir string, tree *pxml.Tree, schema *dtd.Schema, comment string) (Mani
 	m := Manifest{
 		FormatVersion:  FormatVersion,
 		SavedAt:        time.Now().UTC(),
+		DocumentFile:   fmt.Sprintf("document-%s.xml", hex.EncodeToString(sum[:6])),
 		DocumentSHA256: hex.EncodeToString(sum[:]),
 		LogicalNodes:   tree.NodeCount(),
 		Worlds:         tree.WorldCount().String(),
 		HasSchema:      schema != nil,
-		Comment:        comment,
+		Comment:        opts.Comment,
+		LogSeq:         opts.LogSeq,
+		Integrations:   opts.Integrations,
+		Feedback:       opts.Feedback,
 	}
-	if err := writeAtomic(filepath.Join(dir, documentFile), []byte(doc)); err != nil {
+	if err := writeAtomic(filepath.Join(dir, m.DocumentFile), []byte(doc)); err != nil {
 		return Manifest{}, err
 	}
 	if schema != nil {
-		if err := writeAtomic(filepath.Join(dir, schemaFile), []byte(schema.String())); err != nil {
-			return Manifest{}, err
-		}
-	} else {
-		// Stale schema files from previous saves must not resurrect.
-		if err := os.Remove(filepath.Join(dir, schemaFile)); err != nil && !os.IsNotExist(err) {
+		stext := schema.String()
+		ssum := sha256.Sum256([]byte(stext))
+		m.SchemaFile = fmt.Sprintf("schema-%s.dtd", hex.EncodeToString(ssum[:6]))
+		if err := writeAtomic(filepath.Join(dir, m.SchemaFile), []byte(stext)); err != nil {
 			return Manifest{}, err
 		}
 	}
@@ -99,13 +179,37 @@ func Save(dir string, tree *pxml.Tree, schema *dtd.Schema, comment string) (Mani
 	if err != nil {
 		return Manifest{}, err
 	}
+	// The manifest rename is the commit point: everything it references
+	// is already durable, and until it lands Load keeps returning the
+	// previous snapshot.
 	if err := writeAtomic(filepath.Join(dir, manifestFile), mdata); err != nil {
 		return Manifest{}, err
 	}
+	cleanupStale(dir, m)
 	return m, nil
 }
 
+// cleanupStale removes payload files no longer referenced by the committed
+// manifest (earlier content-addressed versions and the legacy v1 names).
+// Failures are ignored: stale files cost space, never correctness.
+func cleanupStale(dir string, m Manifest) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := name == legacyDocumentFile || name == legacySchemaFile ||
+			((strings.HasPrefix(name, "document-") || strings.HasPrefix(name, "schema-")) &&
+				name != m.DocumentFile && name != m.SchemaFile)
+		if stale {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
 // Load reads a snapshot back, verifying the checksum and format version.
+// Both the current layout and format v1 are understood.
 func Load(dir string) (*Snapshot, error) {
 	mdata, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
@@ -115,10 +219,18 @@ func Load(dir string) (*Snapshot, error) {
 	if err := json.Unmarshal(mdata, &m); err != nil {
 		return nil, fmt.Errorf("%w: bad manifest: %v", ErrCorrupt, err)
 	}
-	if m.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", m.FormatVersion, FormatVersion)
+	docFile, schemaFile := m.DocumentFile, m.SchemaFile
+	switch m.FormatVersion {
+	case 1:
+		docFile, schemaFile = legacyDocumentFile, legacySchemaFile
+	case FormatVersion:
+		if docFile == "" || docFile != filepath.Base(docFile) || (m.HasSchema && (schemaFile == "" || schemaFile != filepath.Base(schemaFile))) {
+			return nil, fmt.Errorf("%w: manifest references invalid payload file", ErrCorrupt)
+		}
+	default:
+		return nil, fmt.Errorf("store: unsupported format version %d (want <= %d)", m.FormatVersion, FormatVersion)
 	}
-	doc, err := os.ReadFile(filepath.Join(dir, documentFile))
+	doc, err := os.ReadFile(filepath.Join(dir, docFile))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -151,10 +263,49 @@ func Load(dir string) (*Snapshot, error) {
 	return snap, nil
 }
 
+// writeAtomic writes data under path via a unique temp file in the same
+// directory, fsyncs it, renames it into place, and fsyncs the directory,
+// so the file is either absent/previous or complete after a crash — never
+// half-written.
 func writeAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse fsync on directories (EINVAL); that is a
+	// durability gap we cannot close, not an error to fail the save on.
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
 }

@@ -1,18 +1,41 @@
 package store_test
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
+	"math/big"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dtd"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
 	"repro/internal/pxml"
 	"repro/internal/pxmltest"
 	"repro/internal/store"
+	"repro/internal/xmlcodec"
 )
+
+// manifestOf reads the committed manifest back, so tests can locate the
+// content-addressed payload files.
+func manifestOf(t *testing.T, dir string) store.Manifest {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	var m store.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decode manifest: %v", err)
+	}
+	return m
+}
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
@@ -29,6 +52,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if m.Worlds != "3" || m.LogicalNodes != tree.NodeCount() || !m.HasSchema {
 		t.Fatalf("manifest = %+v", m)
+	}
+	if m.FormatVersion != store.FormatVersion || m.DocumentFile == "" {
+		t.Fatalf("v2 manifest fields missing: %+v", m)
 	}
 	snap, err := store.Load(dir)
 	if err != nil {
@@ -62,8 +88,14 @@ func TestSaveWithoutSchemaRemovesStaleFile(t *testing.T) {
 	if snap.Schema != nil {
 		t.Fatalf("stale schema resurrected")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "schema.dtd")); !os.IsNotExist(err) {
-		t.Fatalf("schema file still present: %v", err)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "schema") {
+			t.Fatalf("schema file still present: %s", e.Name())
+		}
 	}
 }
 
@@ -72,7 +104,7 @@ func TestLoadDetectsTampering(t *testing.T) {
 	if _, err := store.Save(dir, pxmltest.Fig2Tree(), nil, ""); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	docPath := filepath.Join(dir, "document.xml")
+	docPath := filepath.Join(dir, manifestOf(t, dir).DocumentFile)
 	data, err := os.ReadFile(docPath)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +145,7 @@ func TestLoadErrors(t *testing.T) {
 	if _, err := store.Save(dir3, pxmltest.Fig2Tree(), nil, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir3, "document.xml")); err != nil {
+	if err := os.Remove(filepath.Join(dir3, manifestOf(t, dir3).DocumentFile)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := store.Load(dir3); err == nil {
@@ -125,11 +157,21 @@ func TestLoadErrors(t *testing.T) {
 	if _, err := store.Save(dir4, pxmltest.Fig2Tree(), schema, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir4, "schema.dtd")); err != nil {
+	if err := os.Remove(filepath.Join(dir4, manifestOf(t, dir4).SchemaFile)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := store.Load(dir4); !errors.Is(err, store.ErrCorrupt) {
 		t.Fatalf("missing schema: %v", err)
+	}
+	// A manifest escaping the snapshot directory is corrupt, not a
+	// traversal primitive.
+	dir5 := t.TempDir()
+	bad := `{"format_version": 2, "document_file": "../outside.xml", "document_sha256": "00"}`
+	if err := os.WriteFile(filepath.Join(dir5, "manifest.json"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(dir5); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("escaping document_file: %v", err)
 	}
 }
 
@@ -156,6 +198,110 @@ func TestSaveLoadManyRandomTrees(t *testing.T) {
 		if !pxml.Equal(snap.Tree.Root(), tree.Root()) {
 			t.Fatalf("round trip %d differs", i)
 		}
+	}
+}
+
+// TestLoadFormatV1 keeps backward compatibility: snapshots written by the
+// previous release (fixed filenames, no histories) still load.
+func TestLoadFormatV1(t *testing.T) {
+	dir := t.TempDir()
+	tree := pxmltest.Fig2Tree()
+	doc, err := xmlcodec.EncodeString(tree, xmlcodec.EncodeOptions{Indent: " ", KeepTrivial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(doc))
+	m := map[string]any{
+		"format_version":  1,
+		"saved_at":        time.Now().UTC().Format(time.RFC3339),
+		"document_sha256": hex.EncodeToString(sum[:]),
+		"logical_nodes":   tree.NodeCount(),
+		"worlds":          tree.WorldCount().String(),
+		"has_schema":      false,
+	}
+	mdata, _ := json.Marshal(m)
+	if err := os.WriteFile(filepath.Join(dir, "document.xml"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Load(dir)
+	if err != nil {
+		t.Fatalf("Load v1: %v", err)
+	}
+	if !pxml.Equal(snap.Tree.Root(), tree.Root()) {
+		t.Fatalf("v1 round trip differs")
+	}
+}
+
+// TestTornSaveLoadsStale is the crash-safety property of the v2 layout: a
+// save interrupted after writing the new payload but before committing the
+// manifest leaves the directory loading as the previous snapshot — stale,
+// never ErrCorrupt.
+func TestTornSaveLoadsStale(t *testing.T) {
+	dir := t.TempDir()
+	old := pxmltest.Fig2Tree()
+	if _, err := store.Save(dir, old, nil, "generation 1"); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Simulate the torn second save: the new content-addressed document
+	// landed on disk, the manifest rename did not.
+	if err := os.WriteFile(filepath.Join(dir, "document-aaaaaaaaaaaa.xml"),
+		[]byte("<addressbook><person><nm>Torn</nm></person></addressbook>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Load(dir)
+	if err != nil {
+		t.Fatalf("Load after torn save: %v", err)
+	}
+	if !pxml.Equal(snap.Tree.Root(), old.Root()) || snap.Manifest.Comment != "generation 1" {
+		t.Fatalf("torn save did not load the previous snapshot")
+	}
+}
+
+// TestHistoriesRoundTrip persists the session state the v2 manifest
+// carries: log position, integration statistics and feedback events.
+func TestHistoriesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ints := []integrate.Stats{{OracleCalls: 7, MustPairs: 2, UndecidedPairs: 1}}
+	evs := []feedback.Event{{
+		Query:        `//person/tel`,
+		Value:        "2222",
+		Judgment:     feedback.Incorrect,
+		PriorP:       0.5,
+		WorldsBefore: big.NewInt(3),
+		WorldsAfter:  big.NewInt(1),
+		When:         time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC),
+	}}
+	_, err := store.SaveWith(dir, pxmltest.Fig2Tree(), nil, store.SaveOptions{
+		Comment:      "with state",
+		LogSeq:       42,
+		Integrations: ints,
+		Feedback:     evs,
+	})
+	if err != nil {
+		t.Fatalf("SaveWith: %v", err)
+	}
+	snap, err := store.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m := snap.Manifest
+	if m.LogSeq != 42 {
+		t.Fatalf("LogSeq = %d", m.LogSeq)
+	}
+	if len(m.Integrations) != 1 || m.Integrations[0] != ints[0] {
+		t.Fatalf("integrations = %+v", m.Integrations)
+	}
+	if len(m.Feedback) != 1 {
+		t.Fatalf("feedback = %+v", m.Feedback)
+	}
+	got := m.Feedback[0]
+	if got.Query != evs[0].Query || got.Judgment != feedback.Incorrect ||
+		got.WorldsBefore.Cmp(big.NewInt(3)) != 0 || got.WorldsAfter.Cmp(big.NewInt(1)) != 0 ||
+		!got.When.Equal(evs[0].When) {
+		t.Fatalf("feedback event mangled: %+v", got)
 	}
 }
 
