@@ -7,9 +7,11 @@
 package imprecise_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -17,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	imprecise "repro"
 	"repro/internal/datagen"
@@ -712,4 +715,133 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 	b.ReportMetric(float64(replayed), "replayedops")
 	runtime.KeepAlive(cat)
+}
+
+// BenchmarkReplicationShip measures log shipping end to end over HTTP
+// loopback: a primary with b.N journaled ops, a follower started empty
+// that must bootstrap and catch up. Reported metrics are the shipped
+// throughput (shipped_ops/s) and the total catch-up latency (catchup_ms)
+// — the time a fresh read replica needs before it serves.
+func BenchmarkReplicationShip(b *testing.B) {
+	cat, err := imprecise.OpenCatalog(b.TempDir(), imprecise.CatalogOptions{
+		RootTag:      "addressbook",
+		CompactEvery: -1, // keep every op shippable: no compaction
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cat.Close()
+	db, err := cat.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	treeA, err := xmlcodec.DecodeString(benchBookSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	treeB, err := xmlcodec.DecodeString(`<addressbook><person><nm>Mary</nm></person></addressbook>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		// Alternating replace ops: fixed-size records, so the numbers
+		// isolate shipping (fetch + re-journal + swap), not integration.
+		t := treeA
+		if i%2 == 1 {
+			t = treeB
+		}
+		if err := db.Core().ReplaceTree(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(imprecise.NewCatalogHTTPHandler(cat, imprecise.ServerOptions{}))
+	defer ts.Close()
+
+	b.ResetTimer()
+	rep, err := imprecise.OpenReplica(b.TempDir(), imprecise.ReplicaOptions{
+		Primary:         ts.URL,
+		Catalog:         imprecise.CatalogOptions{RootTag: "addressbook"},
+		PollWait:        200 * time.Millisecond,
+		MembershipEvery: 20 * time.Millisecond,
+		MinBackoff:      10 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	err = rep.WaitCaughtUp(ctx)
+	cancel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	fdb, err := rep.Catalog().Get("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fdb.LastSeq() != db.LastSeq() {
+		b.Fatalf("follower at seq %d, want %d", fdb.LastSeq(), db.LastSeq())
+	}
+	if err := rep.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "shipped_ops/s")
+	b.ReportMetric(float64(elapsed.Milliseconds()), "catchup_ms")
+}
+
+// BenchmarkReplicationTail measures steady-state shipping latency: the
+// follower is already caught up, and each iteration commits one op on
+// the primary and waits until the follower has durably applied it —
+// commit-to-visible-on-replica, long-poll wakeup included.
+func BenchmarkReplicationTail(b *testing.B) {
+	cat, err := imprecise.OpenCatalog(b.TempDir(), imprecise.CatalogOptions{
+		RootTag:      "addressbook",
+		CompactEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cat.Close()
+	db, err := cat.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := xmlcodec.DecodeString(benchBookSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(imprecise.NewCatalogHTTPHandler(cat, imprecise.ServerOptions{}))
+	defer ts.Close()
+	rep, err := imprecise.OpenReplica(b.TempDir(), imprecise.ReplicaOptions{
+		Primary:         ts.URL,
+		Catalog:         imprecise.CatalogOptions{RootTag: "addressbook"},
+		PollWait:        2 * time.Second,
+		MembershipEvery: 20 * time.Millisecond,
+		MinBackoff:      10 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rep.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	err = rep.WaitCaughtUp(ctx)
+	cancel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fdb, err := rep.Catalog().Get("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Core().ReplaceTree(tree); err != nil {
+			b.Fatal(err)
+		}
+		want := db.LastSeq()
+		for fdb.LastSeq() < want {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
 }

@@ -42,6 +42,7 @@ import (
 	"repro/internal/pxml"
 	"repro/internal/query"
 	"repro/internal/queryindex"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/xmlcodec"
@@ -394,7 +395,39 @@ func OpenCatalog(dir string, opts CatalogOptions) (*Catalog, error) {
 
 // NewCatalogHTTPHandler exposes a catalog over HTTP: every per-database
 // verb under /dbs/{name}/…, catalog management on /dbs, and the legacy
-// single-database routes aliased to the catalog's default database.
+// single-database routes aliased to the catalog's default database. A
+// catalog handler is also a replication primary: it ships its write-ahead
+// logs under /dbs/{name}/wal and serves bootstrap snapshots for replicas.
 func NewCatalogHTTPHandler(c *Catalog, opts ServerOptions) http.Handler {
 	return server.NewCatalog(c, opts).Handler()
+}
+
+// --- replication ---
+
+// Replica is a live read replica: a local follower catalog kept
+// converged with a primary server by write-ahead-log shipping (snapshot
+// bootstrap, long-poll tailing, divergence detection and resync).
+type Replica = replica.Replica
+
+// ReplicaOptions configure a Replica (primary URL, follower catalog
+// options, poll/backoff tuning). Catalog.Config must match the
+// primary's: shipped ops are re-executed locally.
+type ReplicaOptions = replica.Options
+
+// ReplicaStatus reports a replica's per-database lag and sync counters.
+type ReplicaStatus = replica.Status
+
+// OpenReplica opens (creating if needed) the follower catalog rooted at
+// dir and starts synchronizing it with the primary. Close the replica to
+// stop tailing; its durable state resumes from the same position on the
+// next OpenReplica.
+func OpenReplica(dir string, opts ReplicaOptions) (*Replica, error) {
+	return replica.Open(dir, opts)
+}
+
+// NewReplicaHTTPHandler exposes a replica over HTTP: every read verb is
+// served from the follower's local state, and every mutation is rejected
+// with 403 plus the primary's address.
+func NewReplicaHTTPHandler(r *Replica, opts ServerOptions) http.Handler {
+	return server.NewReplica(r, opts).Handler()
 }

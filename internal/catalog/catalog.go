@@ -97,6 +97,16 @@ type DB struct {
 	wal  *wal
 	opts Options
 
+	// replMu serializes replicated applies (ApplyReplicated), so a
+	// follower's stream keeps its sequence check and journal append
+	// atomic with respect to other replicated ops.
+	replMu sync.Mutex
+	// commitMu guards commitCh, the broadcast channel long-poll tailers
+	// (WaitOps) block on; it is closed and replaced on every durable
+	// append.
+	commitMu sync.Mutex
+	commitCh chan struct{}
+
 	// compactMu serializes compactions (manual and background).
 	compactMu sync.Mutex
 	// opsSinceCompact triggers the background compactor.
@@ -215,7 +225,7 @@ func (c *Catalog) openDB(name string) (*DB, error) {
 		}
 	}
 	recovered := int64(0)
-	w, err := recoverWAL(filepath.Join(dbDir, walDirName), c.opts.SegmentBytes, after, func(e walEntry) error {
+	w, err := recoverWAL(filepath.Join(dbDir, walDirName), c.opts.SegmentBytes, after, func(e WALRecord) error {
 		recovered++
 		return cdb.ApplyOp(e.Op)
 	})
@@ -228,6 +238,7 @@ func (c *Catalog) openDB(name string) (*DB, error) {
 		core:         cdb,
 		wal:          w,
 		opts:         c.opts,
+		commitCh:     make(chan struct{}),
 		compactCh:    make(chan struct{}, 1),
 		done:         make(chan struct{}),
 		recoveredOps: recovered,
@@ -246,13 +257,14 @@ func (c *Catalog) openDB(name string) (*DB, error) {
 	return d, nil
 }
 
-// Record implements core.Journal: append the op durably, then poke the
-// compactor when the log tail has grown enough.
+// Record implements core.Journal: append the op durably, wake long-poll
+// tailers, then poke the compactor when the log tail has grown enough.
 func (d *DB) Record(op core.Op) (uint64, error) {
 	seq, err := d.wal.append(op)
 	if err != nil {
 		return 0, err
 	}
+	d.notifyCommit()
 	if d.opts.CompactEvery > 0 && d.opsSinceCompact.Add(1) >= int64(d.opts.CompactEvery) {
 		select {
 		case d.compactCh <- struct{}{}:
@@ -337,6 +349,9 @@ type DBStats struct {
 	TailOps      uint64 `json:"tail_ops"`
 	Compactions  int64  `json:"compactions"`
 	RecoveredOps int64  `json:"recovered_ops"`
+	// CompactEvery is the configured ops-between-compactions knob
+	// (negative: automatic compaction disabled).
+	CompactEvery int `json:"compact_every"`
 }
 
 // Stats reports the database's write-ahead-log and compaction counters.
@@ -353,6 +368,7 @@ func (d *DB) Stats() DBStats {
 		TailOps:      tail,
 		Compactions:  d.compactions.Load(),
 		RecoveredOps: d.recoveredOps,
+		CompactEvery: d.opts.CompactEvery,
 	}
 }
 

@@ -1,0 +1,178 @@
+// Replication support: the catalog's write-ahead log doubles as a
+// shipping log. A primary serves its committed records through OpsSince /
+// WaitOps (the long-poll read path); a follower applies shipped records
+// through ApplyReplicated, which re-journals each op into the follower's
+// OWN write-ahead log at the same sequence before the tree swap — so a
+// follower is crash-safe by exactly the machinery that makes a primary
+// crash-safe, and its durable lastApplied position is simply its log's
+// last committed sequence. InstallSnapshot bootstraps (or resets) a
+// follower database from a primary state snapshot at a known log
+// position, after which incremental tailing resumes from there.
+package catalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/pxml"
+	"repro/internal/store"
+)
+
+// ErrReplicaGap is returned by ApplyReplicated when the shipped sequence
+// does not continue the follower's log: records were lost between primary
+// and follower, and the follower must resynchronize from a snapshot.
+var ErrReplicaGap = errors.New("catalog: replicated op does not continue the local log")
+
+// LastSeq returns the sequence of the newest committed record in the
+// database's write-ahead log — on a follower, the durable lastApplied
+// position tailing resumes from.
+func (d *DB) LastSeq() uint64 { return d.wal.stats().LastSeq }
+
+// OpsSince returns up to limit committed records with sequence > after,
+// oldest first (limit <= 0 means a default batch). It fails with
+// ErrSeqGone when the range was compacted away or lies beyond the log;
+// the caller must then resynchronize from a snapshot.
+func (d *DB) OpsSince(after uint64, limit int) ([]WALRecord, error) {
+	return d.wal.opsSince(after, limit)
+}
+
+// WaitOps is OpsSince with long-poll semantics: when no records past
+// after exist yet, it blocks until one commits or ctx ends, and a timeout
+// returns an empty page with no error (the normal idle long-poll result).
+// Position errors (ErrSeqGone) are returned immediately.
+func (d *DB) WaitOps(ctx context.Context, after uint64, limit int) ([]WALRecord, error) {
+	for {
+		// Take the commit signal before checking the log: a commit landing
+		// between the check and the select then finds a fresh channel and
+		// cannot be missed.
+		ch := d.commitSignal()
+		recs, err := d.OpsSince(after, limit)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil
+		case <-ch:
+		}
+	}
+}
+
+// notifyCommit broadcasts a durable append to blocked WaitOps callers by
+// closing the current signal channel and replacing it.
+func (d *DB) notifyCommit() {
+	d.commitMu.Lock()
+	close(d.commitCh)
+	d.commitCh = make(chan struct{})
+	d.commitMu.Unlock()
+}
+
+// commitSignal returns a channel closed at the next durable append.
+func (d *DB) commitSignal() <-chan struct{} {
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	return d.commitCh
+}
+
+// ApplyReplicated applies one op shipped from a primary at the given
+// primary sequence. A sequence at or below the local log's last committed
+// record is skipped (idempotent re-delivery after a reconnect); a
+// sequence past lastApplied+1 is ErrReplicaGap. The apply runs through
+// core.ApplyOp, i.e. the same journaled-then-swap discipline as a local
+// mutation: the op is durably appended to the follower's own write-ahead
+// log — necessarily at the shipped sequence — before the tree swap
+// exposes it, so a kill at any instant resumes from the durable
+// lastApplied without double-applying. The returned bool reports whether
+// the op was applied (false: skipped as already applied).
+func (d *DB) ApplyReplicated(seq uint64, op core.Op) (bool, error) {
+	d.replMu.Lock()
+	defer d.replMu.Unlock()
+	last := d.LastSeq()
+	if seq <= last {
+		return false, nil
+	}
+	if seq != last+1 {
+		return false, fmt.Errorf("%w: got sequence %d after %d", ErrReplicaGap, seq, last)
+	}
+	if err := d.core.ApplyOp(op); err != nil {
+		return false, fmt.Errorf("catalog: %s: applying replicated op %d: %w", d.name, seq, err)
+	}
+	if got := d.LastSeq(); got != seq {
+		// A local (non-replicated) mutation slipped in between and stole
+		// the sequence — the follower has diverged from the primary's
+		// numbering and must resynchronize.
+		return false, fmt.Errorf("%w: op shipped as %d journaled locally as %d", ErrReplicaGap, seq, got)
+	}
+	return true, nil
+}
+
+// BootstrapSnapshot is the state a follower installs to (re)join a
+// primary: the document as of a primary log position, plus the schema and
+// session histories that position reflects.
+type BootstrapSnapshot struct {
+	// Seq is the primary log sequence the tree corresponds to; tailing
+	// resumes at Seq+1.
+	Seq          uint64
+	Tree         *pxml.Tree
+	Schema       *dtd.Schema
+	Integrations []integrate.Stats
+	Feedback     []feedback.Event
+	// Comment is stored in the snapshot manifest ("" gets a default).
+	Comment string
+}
+
+// InstallSnapshot bootstraps (or resets) the named database from a
+// primary snapshot: any existing local state — tree, write-ahead log,
+// named snapshots — is discarded, the shipped state is persisted as the
+// database's state snapshot at log position snap.Seq (v2 store format,
+// durable before the database opens), and the database is reopened with a
+// fresh log continuing at Seq+1. Used by followers joining a primary and
+// recovering from divergence.
+func (c *Catalog) InstallSnapshot(name string, snap BootstrapSnapshot) (*DB, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if snap.Tree == nil {
+		return nil, errors.New("catalog: nil snapshot tree")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("catalog: closed")
+	}
+	if old, ok := c.dbs[name]; ok {
+		delete(c.dbs, name)
+		if err := old.close(false); err != nil {
+			return nil, err
+		}
+	}
+	dbDir := filepath.Join(c.dir, name)
+	if err := os.RemoveAll(dbDir); err != nil {
+		return nil, err
+	}
+	comment := snap.Comment
+	if comment == "" {
+		comment = "replication bootstrap of " + name
+	}
+	if _, err := store.SaveWith(filepath.Join(dbDir, stateDirName), snap.Tree, snap.Schema, store.SaveOptions{
+		Comment:      comment,
+		LogSeq:       snap.Seq,
+		Integrations: snap.Integrations,
+		Feedback:     snap.Feedback,
+	}); err != nil {
+		return nil, err
+	}
+	db, err := c.openDB(name)
+	if err != nil {
+		return nil, err
+	}
+	c.dbs[name] = db
+	return db, nil
+}

@@ -38,6 +38,14 @@ import (
 // tail of the last segment).
 var ErrCorrupt = errors.New("catalog: write-ahead log corrupt")
 
+// ErrSeqGone is returned by the read path when the records just past the
+// requested position are no longer on disk (compaction folded them into
+// the snapshot) — or when the position lies beyond the committed log, so
+// the caller's idea of the sequence has diverged from this log's. Either
+// way incremental tailing is impossible: the caller must resynchronize
+// from a snapshot.
+var ErrSeqGone = errors.New("catalog: requested log position unavailable")
+
 const (
 	walDirName = "wal"
 	segPrefix  = "seg-"
@@ -48,6 +56,11 @@ const (
 	// treated as garbage, not an allocation request.
 	maxRecordBytes = 256 << 20
 
+	// defaultReadBatch bounds one opsSince page when the caller passes no
+	// limit, so a far-behind follower streams the backlog in chunks
+	// instead of one giant response.
+	defaultReadBatch = 512
+
 	// DefaultSegmentBytes rotates segments at 4 MiB, keeping individual
 	// files small enough that compaction reclaims space promptly.
 	DefaultSegmentBytes = 4 << 20
@@ -55,8 +68,11 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// walEntry is the JSON payload of one record.
-type walEntry struct {
+// WALRecord is one committed write-ahead-log record: a journaled op and
+// the sequence the log assigned it. It is both the on-disk JSON payload
+// of a frame and the unit the replication read path (OpsSince) hands to
+// followers, which re-journal it at the same sequence.
+type WALRecord struct {
 	Seq uint64  `json:"seq"`
 	Op  core.Op `json:"op"`
 }
@@ -75,6 +91,9 @@ type WALStats struct {
 	AppendedBytes int64 `json:"appended_bytes"`
 	// Rotations counts segment rollovers by this process.
 	Rotations int64 `json:"rotations"`
+	// SegmentLimitBytes is the configured rotation threshold — the
+	// -wal-segment-bytes knob as the log actually runs it.
+	SegmentLimitBytes int64 `json:"segment_limit_bytes"`
 }
 
 // wal is an open write-ahead log positioned to append.
@@ -136,7 +155,7 @@ func listSegments(dir string) ([]uint64, error) {
 // committed record with sequence > after through fn in order, truncates a
 // torn tail, and returns the log positioned to append. A replay error
 // from fn aborts recovery.
-func recoverWAL(dir string, segLimit int64, after uint64, fn func(walEntry) error) (*wal, error) {
+func recoverWAL(dir string, segLimit int64, after uint64, fn func(WALRecord) error) (*wal, error) {
 	if segLimit <= 0 {
 		segLimit = DefaultSegmentBytes
 	}
@@ -209,7 +228,7 @@ func recoverWAL(dir string, segLimit int64, after uint64, fn func(walEntry) erro
 // the torn tail and truncated away; anywhere else it is corruption. It
 // returns the number of committed records and the (post-truncation) file
 // size.
-func replaySegment(path string, start uint64, isLast bool, after uint64, fn func(walEntry) error) (records uint64, size int64, err error) {
+func replaySegment(path string, start uint64, isLast bool, after uint64, fn func(WALRecord) error) (records uint64, size int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
@@ -241,7 +260,7 @@ func replaySegment(path string, start uint64, isLast bool, after uint64, fn func
 		if crc32.Checksum(payload, crcTable) != sum {
 			return torn("checksum mismatch")
 		}
-		var e walEntry
+		var e WALRecord
 		if err := json.Unmarshal(payload, &e); err != nil {
 			return torn("undecodable record")
 		}
@@ -306,7 +325,7 @@ func (w *wal) append(op core.Op) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	seq := w.nextSeq
-	payload, err := json.Marshal(walEntry{Seq: seq, Op: op})
+	payload, err := json.Marshal(WALRecord{Seq: seq, Op: op})
 	if err != nil {
 		return 0, err
 	}
@@ -373,17 +392,129 @@ func (w *wal) dropThrough(seq uint64) (int, error) {
 	return removed, nil
 }
 
+// opsSince returns up to limit committed records with sequence > after,
+// in order — the primary half of log shipping. It fails with ErrSeqGone
+// when the range is not incrementally servable: the records were
+// compacted away, or after lies beyond the committed log. Only the log
+// geometry is snapshotted under mu; the disk reads run unlocked, so a
+// follower catching up through gigabytes of log never stalls appends.
+// That is safe because closed segments are immutable and the active
+// segment's committed prefix (fileSize at snapshot time) never changes —
+// any integrity failure inside those bounds is ErrCorrupt, never a torn
+// tail. A segment deleted between snapshot and read (compaction racing
+// us) reports ErrSeqGone, exactly as if compaction had won the race
+// outright.
+func (w *wal) opsSince(after uint64, limit int) ([]WALRecord, error) {
+	if limit <= 0 {
+		limit = defaultReadBatch
+	}
+	w.mu.Lock()
+	next := w.nextSeq
+	starts := append([]uint64(nil), w.segStarts...)
+	activeSize := w.fileSize
+	w.mu.Unlock()
+	last := next - 1
+	if after >= last {
+		if after > last {
+			return nil, fmt.Errorf("%w: position %d is beyond the committed log (last %d)", ErrSeqGone, after, last)
+		}
+		return nil, nil
+	}
+	if len(starts) == 0 || starts[0] > after+1 {
+		oldest := next
+		if len(starts) > 0 {
+			oldest = starts[0]
+		}
+		return nil, fmt.Errorf("%w: records after %d were compacted away (oldest on disk is %d)", ErrSeqGone, after, oldest)
+	}
+	var out []WALRecord
+	for i, start := range starts {
+		end := next // the last snapshotted segment covers [start, next)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		if end <= after+1 {
+			continue
+		}
+		committed := int64(-1) // whole file
+		if i == len(starts)-1 {
+			committed = activeSize
+		}
+		err := readSegment(filepath.Join(w.dir, segName(start)), start, committed, func(e WALRecord) bool {
+			if e.Seq > after {
+				out = append(out, e)
+			}
+			return len(out) < limit
+		})
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("%w: records after %d were compacted away concurrently", ErrSeqGone, after)
+			}
+			return nil, err
+		}
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// readSegment scans the committed frames of one segment in order, calling
+// fn per record until it returns false. committed >= 0 bounds the scan to
+// that prefix (the durable part of the active segment); -1 scans the whole
+// file. Unlike replaySegment this never truncates: every byte in range is
+// supposed to be committed, so any bad frame is ErrCorrupt.
+func readSegment(path string, start uint64, committed int64, fn func(WALRecord) bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if committed >= 0 && int64(len(data)) > committed {
+		data = data[:committed]
+	}
+	off := 0
+	seq := start
+	for off < len(data) {
+		if len(data)-off < frameHeaderLen {
+			return fmt.Errorf("%w: short frame header at offset %d of %s", ErrCorrupt, off, filepath.Base(path))
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxRecordBytes || len(data)-off-frameHeaderLen < int(length) {
+			return fmt.Errorf("%w: bad frame at offset %d of %s", ErrCorrupt, off, filepath.Base(path))
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return fmt.Errorf("%w: checksum mismatch at offset %d of %s", ErrCorrupt, off, filepath.Base(path))
+		}
+		var e WALRecord
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("%w: undecodable record at offset %d of %s", ErrCorrupt, off, filepath.Base(path))
+		}
+		if e.Seq != seq {
+			return fmt.Errorf("%w: record sequence %d where %d expected in %s", ErrCorrupt, e.Seq, seq, filepath.Base(path))
+		}
+		if !fn(e) {
+			return nil
+		}
+		seq++
+		off += frameHeaderLen + int(length)
+	}
+	return nil
+}
+
 // stats snapshots the counters.
 func (w *wal) stats() WALStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return WALStats{
-		LastSeq:       w.nextSeq - 1,
-		Segments:      len(w.segStarts),
-		SizeBytes:     w.sizeBelow + w.fileSize,
-		Appends:       w.appends,
-		AppendedBytes: w.appendedBytes,
-		Rotations:     w.rotations,
+		LastSeq:           w.nextSeq - 1,
+		Segments:          len(w.segStarts),
+		SizeBytes:         w.sizeBelow + w.fileSize,
+		Appends:           w.appends,
+		AppendedBytes:     w.appendedBytes,
+		Rotations:         w.rotations,
+		SegmentLimitBytes: w.segLimit,
 	}
 }
 

@@ -15,10 +15,10 @@ func testOp(i int) core.Op {
 }
 
 // collect replays a log into a slice.
-func collect(t *testing.T, dir string, after uint64) ([]walEntry, *wal) {
+func collect(t *testing.T, dir string, after uint64) ([]WALRecord, *wal) {
 	t.Helper()
-	var got []walEntry
-	w, err := recoverWAL(dir, 0, after, func(e walEntry) error {
+	var got []WALRecord
+	w, err := recoverWAL(dir, 0, after, func(e WALRecord) error {
 		got = append(got, e)
 		return nil
 	})

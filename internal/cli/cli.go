@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/pxml"
 	"repro/internal/query"
 	"repro/internal/queryindex"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/shell"
 	"repro/internal/worlds"
@@ -36,13 +38,15 @@ import (
 // Run executes one CLI invocation, writing human output to w.
 func Run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate | serve | db")
+		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate | serve | db | replication")
 	}
 	switch args[0] {
 	case "integrate":
 		return runIntegrate(args[1:], w)
 	case "db":
 		return runDBCmd(args[1:], w)
+	case "replication":
+		return runReplication(args[1:], w)
 	case "query":
 		return runQuery(args[1:], w)
 	case "stats":
@@ -60,7 +64,7 @@ func Run(args []string, w io.Writer) error {
 	case "shell":
 		return shell.New(w).Run(os.Stdin)
 	case "help", "-h", "--help":
-		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, serve, db, shell")
+		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, serve, db, replication, shell")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
@@ -415,6 +419,9 @@ func runServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	dataDir := fs.String("data", "", "durable multi-database data directory (enables /dbs/{name} routes; recovers on start)")
+	replicaOf := fs.String("replica-of", "", "primary base URL to follow as a read replica (requires -data; read verbs served locally, writes 403 to the primary)")
+	walSegBytes := fs.Int64("wal-segment-bytes", 0, "write-ahead segment rotation threshold in bytes (0 = default 4MiB; with -data)")
+	compactEvery := fs.Int("compact-every", 0, "journaled ops between background compactions (0 = default 64, negative disables; with -data)")
 	dbPath := fs.String("db", "", "initial document (default: empty document with -root tag)")
 	rootTag := fs.String("root", "db", "root element tag when starting empty")
 	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge")
@@ -464,13 +471,38 @@ func runServe(args []string, w io.Writer) error {
 		srv    *server.Server
 		banner string
 	)
-	if *dataDir != "" {
+	catOpts := catalog.Options{
+		Config:       cfg,
+		RootTag:      *rootTag,
+		SegmentBytes: *walSegBytes,
+		CompactEvery: *compactEvery,
+		Logger:       logger,
+	}
+	if *replicaOf != "" {
+		// Read-replica mode: a follower catalog under -data tails the
+		// primary's write-ahead logs; reads are local, writes are 403ed
+		// to the primary. -dtd/-rules must match the primary's, since
+		// shipped ops are re-executed locally.
+		if *dataDir == "" {
+			return errors.New("serve: -replica-of requires -data (the follower's own durable directory)")
+		}
+		if *dbPath != "" {
+			return errors.New("serve: -db cannot be combined with -replica-of (the primary's databases are replicated)")
+		}
+		rep, err := replica.Open(*dataDir, replica.Options{Primary: *replicaOf, Catalog: catOpts, Logger: logger})
+		if err != nil {
+			return err
+		}
+		defer rep.Close()
+		srv = server.NewReplica(rep, opts)
+		banner = fmt.Sprintf("read replica of %s in %s", rep.Primary(), *dataDir)
+	} else if *dataDir != "" {
 		// Durable catalog mode: every database recovers (snapshot + WAL
 		// tail) before the listener opens.
 		if *dbPath != "" {
 			return errors.New("serve: -db cannot be combined with -data (create databases via `imprecise db` or the /dbs API)")
 		}
-		cat, err := catalog.Open(*dataDir, catalog.Options{Config: cfg, RootTag: *rootTag, Logger: logger})
+		cat, err := catalog.Open(*dataDir, catOpts)
 		if err != nil {
 			return err
 		}
@@ -630,6 +662,99 @@ func runDBCmd(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("db: unknown verb %q (create | list | drop | stats)", rest[0])
 	}
+}
+
+// replicationStatusBody decodes the /replication response of either
+// role: primary rows carry last_seq/digest, replica rows the follower
+// lag and sync counters.
+type replicationStatusBody struct {
+	Role      string `json:"role"`
+	Primary   string `json:"primary"`
+	Connected bool   `json:"connected"`
+	LastError string `json:"last_error"`
+	Databases []struct {
+		Name               string `json:"name"`
+		LastSeq            uint64 `json:"last_seq"`
+		Digest             string `json:"digest"`
+		SnapshotSeq        uint64 `json:"snapshot_seq"`
+		TailOps            uint64 `json:"tail_ops"`
+		LastApplied        uint64 `json:"last_applied"`
+		PrimarySeq         uint64 `json:"primary_seq"`
+		Lag                uint64 `json:"lag"`
+		CaughtUp           bool   `json:"caught_up"`
+		OpsApplied         int64  `json:"ops_applied"`
+		SnapshotsInstalled int64  `json:"snapshots_installed"`
+		Divergences        int64  `json:"divergences"`
+		LastError          string `json:"last_error"`
+	} `json:"databases"`
+}
+
+// runReplication implements `imprecise replication status [-url U]`: it
+// asks a running server for its /replication report and prints it.
+func runReplication(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("replication", flag.ContinueOnError)
+	baseURL := fs.String("url", "http://localhost:8080", "base URL of the server to inspect")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 || rest[0] != "status" {
+		return errors.New("replication: verb required: status (imprecise replication status -url http://host:port)")
+	}
+	// Flags are accepted on either side of the verb (flag.Parse stops at
+	// the first non-flag argument, and `replication status -url …` is the
+	// natural order).
+	if err := fs.Parse(rest[1:]); err != nil {
+		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("replication status: unexpected arguments %q", fs.Args())
+	}
+	u := strings.TrimRight(*baseURL, "/") + "/replication"
+	resp, err := http.Get(u)
+	if err != nil {
+		return fmt.Errorf("replication: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replication: GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st replicationStatusBody
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("replication: decoding status: %w", err)
+	}
+	fmt.Fprintf(w, "role:      %s\n", st.Role)
+	switch st.Role {
+	case "replica":
+		fmt.Fprintf(w, "primary:   %s\n", st.Primary)
+		fmt.Fprintf(w, "connected: %v\n", st.Connected)
+		if st.LastError != "" {
+			fmt.Fprintf(w, "last err:  %s\n", st.LastError)
+		}
+		for _, db := range st.Databases {
+			state := "catching up"
+			if db.CaughtUp {
+				state = "caught up"
+			}
+			fmt.Fprintf(w, "%-20s applied %6d / primary %6d  lag %4d  %s  (%d op(s) streamed, %d snapshot(s), %d divergence(s))\n",
+				db.Name, db.LastApplied, db.PrimarySeq, db.Lag, state,
+				db.OpsApplied, db.SnapshotsInstalled, db.Divergences)
+			if db.LastError != "" {
+				fmt.Fprintf(w, "%-20s   error: %s\n", "", db.LastError)
+			}
+		}
+	default:
+		for _, db := range st.Databases {
+			fmt.Fprintf(w, "%-20s seq %6d  digest %s  snapshot seq %6d  (%d tail op(s))\n",
+				db.Name, db.LastSeq, db.Digest, db.SnapshotSeq, db.TailOps)
+		}
+	}
+	if len(st.Databases) == 0 {
+		fmt.Fprintln(w, "(no databases)")
+	}
+	return nil
 }
 
 func runGenerate(args []string, w io.Writer) error {

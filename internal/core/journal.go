@@ -224,6 +224,26 @@ func (db *Database) View() SnapshotView {
 	}
 }
 
+// AppliedSeq returns the journal sequence of the last mutation the
+// current tree reflects — an O(1) read for health and replication
+// reporting (View copies the histories too; this does not).
+func (db *Database) AppliedSeq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.appliedSeq
+}
+
+// TreeSeq returns the current tree and the journal sequence it reflects
+// as one consistent pair, without the history copies View makes. The
+// log-shipping hot path reads this once per commit per connected
+// follower; separate Tree() and AppliedSeq() calls could straddle a
+// swap and pair a tree with the wrong sequence.
+func (db *Database) TreeSeq() (*pxml.Tree, uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree, db.appliedSeq
+}
+
 // RestoreHistories installs previously persisted session histories (from
 // a snapshot manifest), so stats counters survive a restart. It is called
 // during recovery, before the write-ahead tail is replayed.

@@ -1,0 +1,619 @@
+// Package replica implements the follower half of IMPrECISE's
+// log-shipping replication. A Replica owns a local follower catalog (its
+// own data directory, write-ahead logs and compactor) and keeps it
+// converged with a primary server over plain HTTP:
+//
+//   - membership: the primary's database set is polled via GET
+//     /replication; local databases are created (bootstrapped from a
+//     snapshot) or dropped to match.
+//   - bootstrap: a database joins via GET /dbs/{name}/snapshot — the
+//     primary state at a known log position, installed through the v2
+//     store format (catalog.InstallSnapshot) so it is durable before a
+//     single op streams.
+//   - tailing: each database long-polls GET /dbs/{name}/wal?since=
+//     from its own durable lastApplied and applies the shipped ops
+//     through catalog.DB.ApplyReplicated — journaled-then-swapped, so a
+//     kill -9 at any instant resumes exactly where the log ends, with
+//     re-delivered ops skipped idempotently.
+//   - divergence: a 410 from the primary (position compacted away or
+//     beyond its log) or a digest mismatch once caught up resets the
+//     database from a fresh snapshot.
+//
+// Failures never kill the loop: every fetch retries with exponential
+// backoff, and the replica keeps serving reads from its last converged
+// state throughout.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dtd"
+	"repro/internal/xmlcodec"
+)
+
+// Options configure a Replica.
+type Options struct {
+	// Primary is the base URL of the primary server (e.g.
+	// "http://primary:8080"). Required.
+	Primary string
+	// Catalog configures the local follower catalog. Its Config must
+	// match the primary's (schema, rules, integration settings): shipped
+	// ops are re-executed locally, and determinism across the pair is
+	// what makes log shipping converge.
+	Catalog catalog.Options
+	// Client performs the HTTP requests (nil: a default client; it must
+	// not carry a global timeout shorter than PollWait).
+	Client *http.Client
+	// PollWait is the long-poll wait requested from the primary per WAL
+	// fetch (0 means 10s).
+	PollWait time.Duration
+	// BatchLimit caps records per WAL fetch (0 means the server default).
+	BatchLimit int
+	// MembershipEvery is the primary database-set poll interval (0 means
+	// 3s).
+	MembershipEvery time.Duration
+	// MinBackoff and MaxBackoff bound the exponential retry backoff after
+	// fetch or apply failures (0 means 100ms / 5s).
+	MinBackoff, MaxBackoff time.Duration
+	// Logger receives bootstrap, divergence and error notes; nil disables.
+	Logger *log.Logger
+}
+
+// DBStatus is the replication state of one followed database.
+type DBStatus struct {
+	Name string `json:"name"`
+	// LastApplied is the follower's durable log position; PrimarySeq the
+	// primary's position as of the last contact; Lag their distance.
+	LastApplied uint64 `json:"last_applied"`
+	PrimarySeq  uint64 `json:"primary_seq"`
+	Lag         uint64 `json:"lag"`
+	CaughtUp    bool   `json:"caught_up"`
+	// OpsApplied counts ops applied by this process (not recovery);
+	// SnapshotsInstalled counts bootstraps; Divergences counts digest
+	// mismatches that forced one.
+	OpsApplied         int64  `json:"ops_applied"`
+	SnapshotsInstalled int64  `json:"snapshots_installed"`
+	Divergences        int64  `json:"divergences"`
+	LastError          string `json:"last_error,omitempty"`
+}
+
+// Status is a replica's overall replication state (served by the replica
+// server under GET /replication).
+type Status struct {
+	Primary     string     `json:"primary"`
+	Connected   bool       `json:"connected"`
+	LastContact time.Time  `json:"last_contact,omitzero"`
+	LastError   string     `json:"last_error,omitempty"`
+	Databases   []DBStatus `json:"databases"`
+}
+
+// errGone marks a 410 from the primary: the requested log position is not
+// incrementally servable and the follower must resynchronize.
+var errGone = errors.New("replica: log position gone on primary")
+
+// Replica is a live follower: a local catalog plus the sync loops keeping
+// it converged with a primary.
+type Replica struct {
+	opts    Options
+	primary string
+	client  *http.Client
+	cat     *catalog.Catalog
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu          sync.Mutex
+	tailers     map[string]*tailer
+	connected   bool
+	lastContact time.Time
+	lastErr     string
+}
+
+// tailer is the per-database sync goroutine's handle and status. Its
+// context is derived from the replica's and canceled when the database
+// leaves the primary, so a drop interrupts even an in-flight long-poll.
+type tailer struct {
+	name   string
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	st     DBStatus // guarded by Replica.mu
+}
+
+// Open opens (creating if needed) the follower catalog rooted at dir —
+// recovering every database from its snapshot and write-ahead tail, like
+// any catalog open — and starts synchronizing it with the primary.
+func Open(dir string, opts Options) (*Replica, error) {
+	if opts.Primary == "" {
+		return nil, errors.New("replica: primary URL required")
+	}
+	u, err := url.Parse(opts.Primary)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("replica: invalid primary URL %q (want http[s]://host[:port])", opts.Primary)
+	}
+	if opts.PollWait <= 0 {
+		opts.PollWait = 10 * time.Second
+	}
+	if opts.MembershipEvery <= 0 {
+		opts.MembershipEvery = 3 * time.Second
+	}
+	if opts.MinBackoff <= 0 {
+		opts.MinBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	cat, err := catalog.Open(dir, opts.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		opts:    opts,
+		primary: normalizeBase(opts.Primary),
+		client:  client,
+		cat:     cat,
+		tailers: map[string]*tailer{},
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	r.wg.Add(1)
+	go r.membershipLoop()
+	return r, nil
+}
+
+// normalizeBase strips a trailing slash so path joins stay canonical.
+func normalizeBase(u string) string {
+	for len(u) > 1 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// Catalog returns the follower catalog the replica serves reads from.
+func (r *Replica) Catalog() *catalog.Catalog { return r.cat }
+
+// Primary returns the primary's base URL.
+func (r *Replica) Primary() string { return r.primary }
+
+// Close stops the sync loops and closes the follower catalog. The
+// on-disk state stays exactly at the durable lastApplied of every
+// database; a later Open resumes tailing from there.
+func (r *Replica) Close() error {
+	r.cancel()
+	r.wg.Wait()
+	return r.cat.Close()
+}
+
+// Status snapshots the replica's replication state, databases in the
+// catalog's sorted name order.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		Primary:     r.primary,
+		Connected:   r.connected,
+		LastContact: r.lastContact,
+		LastError:   r.lastErr,
+		Databases:   []DBStatus{},
+	}
+	for _, name := range r.cat.Names() {
+		if t, ok := r.tailers[name]; ok {
+			st.Databases = append(st.Databases, t.st)
+		}
+	}
+	return st
+}
+
+// WaitCaughtUp fetches the primary's positions once and blocks until the
+// local catalog has every primary database applied at least that far (or
+// ctx ends). It is the test and scripting barrier for "the follower has
+// converged on everything committed before this call".
+func (r *Replica) WaitCaughtUp(ctx context.Context) error {
+	ps, err := r.fetchPrimaryStatus(ctx)
+	if err != nil {
+		return err
+	}
+	for {
+		behind := ""
+		for _, pdb := range ps.Databases {
+			db, err := r.cat.Get(pdb.Name)
+			if err != nil || db.LastSeq() < pdb.LastSeq {
+				behind = pdb.Name
+				break
+			}
+		}
+		if behind == "" {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("replica: %w waiting for %q to catch up", ctx.Err(), behind)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// --- membership ---
+
+// membershipLoop keeps the local database set matching the primary's,
+// starting a tailer per primary database and dropping local databases the
+// primary no longer has.
+func (r *Replica) membershipLoop() {
+	defer r.wg.Done()
+	backoff := r.opts.MinBackoff
+	for {
+		ps, err := r.fetchPrimaryStatus(r.ctx)
+		if err != nil {
+			r.noteDisconnect(err)
+			if !r.sleep(backoff) {
+				return
+			}
+			backoff = r.growBackoff(backoff)
+			continue
+		}
+		backoff = r.opts.MinBackoff
+		r.reconcile(ps)
+		if !r.sleep(r.opts.MembershipEvery) {
+			return
+		}
+	}
+}
+
+// reconcile applies one primary membership observation.
+func (r *Replica) reconcile(ps *PrimaryStatus) {
+	want := map[string]bool{}
+	for _, pdb := range ps.Databases {
+		want[pdb.Name] = true
+	}
+	r.mu.Lock()
+	r.connected = true
+	r.lastContact = time.Now()
+	r.lastErr = ""
+	for _, pdb := range ps.Databases {
+		if t, ok := r.tailers[pdb.Name]; ok {
+			// Refresh positions for running tailers too: their own WAL
+			// poll may be parked long-polling an idle primary, and the
+			// membership report is just as authoritative about lag.
+			if db, err := r.cat.Get(pdb.Name); err == nil {
+				t.st.LastApplied = db.LastSeq()
+			}
+			if pdb.LastSeq > t.st.PrimarySeq {
+				t.st.PrimarySeq = pdb.LastSeq
+			}
+			t.st.Lag = 0
+			if t.st.PrimarySeq > t.st.LastApplied {
+				t.st.Lag = t.st.PrimarySeq - t.st.LastApplied
+			}
+			t.st.CaughtUp = t.st.Lag == 0
+			continue
+		}
+		ctx, cancel := context.WithCancel(r.ctx)
+		t := &tailer{
+			name:   pdb.Name,
+			ctx:    ctx,
+			cancel: cancel,
+			done:   make(chan struct{}),
+			st:     DBStatus{Name: pdb.Name, PrimarySeq: pdb.LastSeq},
+		}
+		r.tailers[pdb.Name] = t
+		r.wg.Add(1)
+		go r.runTailer(t)
+	}
+	var dropped []*tailer
+	for name, t := range r.tailers {
+		if !want[name] {
+			delete(r.tailers, name)
+			dropped = append(dropped, t)
+		}
+	}
+	r.mu.Unlock()
+	for _, t := range dropped {
+		t.cancel()
+		<-t.done
+		if err := r.cat.Drop(t.name); err != nil && !errors.Is(err, catalog.ErrNotFound) {
+			r.logf("replica: dropping %s: %v", t.name, err)
+		} else {
+			r.logf("replica: dropped %s (no longer on primary)", t.name)
+		}
+	}
+	// Local leftovers with no tailer (e.g. from a previous run against a
+	// different primary) are dropped too: the primary's set is the truth.
+	for _, name := range r.cat.Names() {
+		r.mu.Lock()
+		_, tracked := r.tailers[name]
+		r.mu.Unlock()
+		if !tracked && !want[name] {
+			if err := r.cat.Drop(name); err == nil {
+				r.logf("replica: dropped local-only database %s", name)
+			}
+		}
+	}
+}
+
+func (r *Replica) noteDisconnect(err error) {
+	r.mu.Lock()
+	r.connected = false
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+// --- per-database tailing ---
+
+// runTailer is the sync loop of one database: bootstrap if missing, then
+// long-poll tail, with backoff on errors and snapshot resync on gaps or
+// divergence.
+func (r *Replica) runTailer(t *tailer) {
+	defer r.wg.Done()
+	defer close(t.done)
+	defer t.cancel()
+	backoff := r.opts.MinBackoff
+	for {
+		if t.ctx.Err() != nil {
+			return
+		}
+		err := r.tailOnce(t)
+		if err == nil {
+			backoff = r.opts.MinBackoff
+			continue
+		}
+		if t.ctx.Err() != nil {
+			return
+		}
+		r.setDBError(t, err)
+		select {
+		case <-t.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff = r.growBackoff(backoff)
+	}
+}
+
+// tailOnce performs one fetch-and-apply round for t's database.
+func (r *Replica) tailOnce(t *tailer) error {
+	db, err := r.cat.Get(t.name)
+	if errors.Is(err, catalog.ErrNotFound) {
+		db, err = r.bootstrap(t)
+	}
+	if err != nil {
+		return err
+	}
+	since := db.LastSeq()
+	page, err := r.fetchWAL(t.ctx, t.name, since)
+	if errors.Is(err, errGone) {
+		// The primary compacted past us, or reset below us: full resync.
+		r.logf("replica: %s: position %d gone on primary, resynchronizing from snapshot", t.name, since)
+		_, err = r.bootstrap(t)
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	applied := int64(0)
+	for _, rec := range page.Records {
+		ok, err := db.ApplyReplicated(rec.Seq, rec.Op)
+		if errors.Is(err, catalog.ErrReplicaGap) {
+			r.logf("replica: %s: %v, resynchronizing from snapshot", t.name, err)
+			_, err = r.bootstrap(t)
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		if ok {
+			applied++
+		}
+	}
+	last := db.LastSeq()
+	r.mu.Lock()
+	t.st.LastApplied = last
+	t.st.PrimarySeq = page.LastSeq
+	t.st.Lag = 0
+	if page.LastSeq > last {
+		t.st.Lag = page.LastSeq - last
+	}
+	t.st.CaughtUp = t.st.Lag == 0
+	t.st.OpsApplied += applied
+	t.st.LastError = ""
+	r.lastContact = time.Now()
+	r.mu.Unlock()
+	// Only a caught-up follower can compare digests: the pair
+	// (page.LastSeq, page.Digest) is consistent, so at equal positions
+	// the trees must be structurally identical.
+	if last == page.LastSeq && page.Digest != "" {
+		if local := DigestString(db.Core().Tree()); local != page.Digest {
+			r.mu.Lock()
+			t.st.Divergences++
+			r.mu.Unlock()
+			r.logf("replica: %s: DIVERGED at seq %d (local digest %s, primary %s), resynchronizing from snapshot",
+				t.name, last, local, page.Digest)
+			_, err := r.bootstrap(t)
+			return err
+		}
+	}
+	return nil
+}
+
+// bootstrap installs a fresh primary snapshot for t's database — the join
+// and divergence-recovery path.
+func (r *Replica) bootstrap(t *tailer) (*catalog.DB, error) {
+	payload, err := r.fetchSnapshot(t.ctx, t.name)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := xmlcodec.DecodeString(payload.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("replica: %s: bad snapshot document: %w", t.name, err)
+	}
+	var schema *dtd.Schema
+	if payload.Schema != "" {
+		schema, err = dtd.ParseString(payload.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("replica: %s: bad snapshot schema: %w", t.name, err)
+		}
+	}
+	db, err := r.cat.InstallSnapshot(t.name, catalog.BootstrapSnapshot{
+		Seq:          payload.Seq,
+		Tree:         tree,
+		Schema:       schema,
+		Integrations: payload.Integrations,
+		Feedback:     payload.Feedback,
+		Comment:      "replicated from " + r.primary,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if payload.Digest != "" {
+		if local := DigestString(db.Core().Tree()); local != payload.Digest {
+			return nil, fmt.Errorf("replica: %s: installed snapshot digest %s does not match primary %s",
+				t.name, local, payload.Digest)
+		}
+	}
+	r.mu.Lock()
+	t.st.SnapshotsInstalled++
+	t.st.LastApplied = payload.Seq
+	if t.st.PrimarySeq < payload.Seq {
+		t.st.PrimarySeq = payload.Seq
+	}
+	t.st.Lag = t.st.PrimarySeq - t.st.LastApplied
+	t.st.CaughtUp = t.st.Lag == 0
+	r.mu.Unlock()
+	r.logf("replica: %s: installed snapshot at seq %d (%d node(s))", t.name, payload.Seq, tree.NodeCount())
+	return db, nil
+}
+
+func (r *Replica) setDBError(t *tailer, err error) {
+	r.mu.Lock()
+	t.st.LastError = err.Error()
+	r.mu.Unlock()
+	r.logf("replica: %s: %v", t.name, err)
+}
+
+// --- HTTP plumbing ---
+
+// fetchPrimaryStatus reads the primary's role and database positions.
+func (r *Replica) fetchPrimaryStatus(ctx context.Context) (*PrimaryStatus, error) {
+	var ps PrimaryStatus
+	if err := r.getJSON(ctx, "/replication", nil, 30*time.Second, &ps); err != nil {
+		return nil, err
+	}
+	// Only a catalog-mode primary is an acceptable sync source. Anything
+	// else must fail the round, NOT return an empty database set:
+	// reconcile treats the primary's set as authoritative and would drop
+	// every local follower database over a transient misconfiguration
+	// (e.g. the primary restarted without -data).
+	switch ps.Role {
+	case "primary":
+	case "replica":
+		return nil, fmt.Errorf("replica: primary %s is itself a replica of another node — chain followers off primaries only", r.primary)
+	default:
+		return nil, fmt.Errorf("replica: %s reports role %q — a follower needs a catalog-mode primary (serve -data)", r.primary, ps.Role)
+	}
+	return &ps, nil
+}
+
+// fetchWAL long-polls one page of the primary's op log past since.
+func (r *Replica) fetchWAL(ctx context.Context, name string, since uint64) (*WALPage, error) {
+	q := url.Values{
+		"since": {strconv.FormatUint(since, 10)},
+		"wait":  {strconv.FormatInt(r.opts.PollWait.Milliseconds(), 10)},
+	}
+	if r.opts.BatchLimit > 0 {
+		q.Set("limit", strconv.Itoa(r.opts.BatchLimit))
+	}
+	var page WALPage
+	err := r.getJSON(ctx, "/dbs/"+url.PathEscape(name)+"/wal", q, r.opts.PollWait+15*time.Second, &page)
+	if err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// fetchSnapshot reads the primary's full state for one database.
+func (r *Replica) fetchSnapshot(ctx context.Context, name string) (*SnapshotPayload, error) {
+	var payload SnapshotPayload
+	err := r.getJSON(ctx, "/dbs/"+url.PathEscape(name)+"/snapshot", nil, 60*time.Second, &payload)
+	if err != nil {
+		return nil, err
+	}
+	return &payload, nil
+}
+
+// getJSON performs one GET against the primary and decodes the JSON
+// body, mapping 410 to errGone and other non-200s to descriptive errors.
+func (r *Replica) getJSON(ctx context.Context, path string, q url.Values, timeout time.Duration, v any) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	u := r.primary + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%w (%s)", errGone, path)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replica: GET %s: %s: %s", path, resp.Status, firstLine(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// --- loop helpers ---
+
+// sleep waits d or until the replica closes; false means closing.
+func (r *Replica) sleep(d time.Duration) bool {
+	select {
+	case <-r.ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func (r *Replica) growBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > r.opts.MaxBackoff {
+		d = r.opts.MaxBackoff
+	}
+	return d
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.opts.Logger != nil {
+		r.opts.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,83 @@
+// Wire types of the replication protocol. They live in this package —
+// not internal/server — so both halves of the protocol (the primary's
+// HTTP handlers and the follower's client loop) marshal and unmarshal the
+// exact same structs and cannot drift apart.
+package replica
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/pxml"
+)
+
+// WALPage is the body of GET /dbs/{name}/wal?since=S — one page of the
+// primary's committed op log past S, plus the primary's current position
+// for lag and divergence accounting.
+type WALPage struct {
+	Database string `json:"database"`
+	// Since echoes the request's position.
+	Since uint64 `json:"since"`
+	// LastSeq and Digest are a consistent (applied sequence, tree digest)
+	// pair of the serving node at response time. A follower whose
+	// lastApplied reaches LastSeq must hold a tree with this digest;
+	// anything else is divergence.
+	LastSeq uint64 `json:"last_seq"`
+	Digest  string `json:"digest"`
+	// Records are the shipped ops, oldest first, starting at Since+1. An
+	// empty page means the follower is caught up (the long-poll wait
+	// expired without new commits).
+	Records []catalog.WALRecord `json:"records"`
+}
+
+// SnapshotPayload is the body of GET /dbs/{name}/snapshot — the full
+// state a follower bootstraps from, mirroring the v2 store snapshot
+// format field for field (document as marker XML, schema as DTD text,
+// manifest histories, log position): installing it on the follower goes
+// straight through store.SaveWith.
+type SnapshotPayload struct {
+	Database string `json:"database"`
+	// FormatVersion is the store snapshot format this payload mirrors.
+	FormatVersion int `json:"format_version"`
+	// Seq is the primary log position the state reflects; tailing resumes
+	// at Seq+1.
+	Seq uint64 `json:"seq"`
+	// Digest is the structural digest of Tree (16 hex digits); the
+	// follower verifies its installed tree against it.
+	Digest string `json:"digest"`
+	// Tree is the document as probabilistic-marker XML.
+	Tree string `json:"tree"`
+	// Schema is the DTD knowledge ("" when none).
+	Schema string `json:"schema,omitempty"`
+	// Integrations and Feedback are the session histories at Seq.
+	Integrations []integrate.Stats `json:"integrations,omitempty"`
+	Feedback     []feedback.Event  `json:"feedback,omitempty"`
+}
+
+// PrimaryStatus is the body GET /replication returns on a primary (and,
+// role aside, on a standalone server): the membership and per-database
+// positions a follower synchronizes against.
+type PrimaryStatus struct {
+	Role      string            `json:"role"`
+	Databases []PrimaryDBStatus `json:"databases"`
+}
+
+// PrimaryDBStatus is one database row of PrimaryStatus.
+type PrimaryDBStatus struct {
+	Name string `json:"name"`
+	// LastSeq and Digest are the consistent (applied sequence, digest)
+	// pair of the database's current tree.
+	LastSeq uint64 `json:"last_seq"`
+	Digest  string `json:"digest"`
+	// SnapshotSeq and TailOps describe the on-disk durability position.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	TailOps     uint64 `json:"tail_ops"`
+}
+
+// DigestString renders a tree's structural digest in the protocol's wire
+// form (16 hex digits), shared so both ends format it identically.
+func DigestString(t *pxml.Tree) string {
+	return fmt.Sprintf("%016x", t.Digest())
+}

@@ -1,0 +1,299 @@
+// Replication endpoints and the role machinery. A catalog-mode server is
+// a primary: it ships committed write-ahead records (GET /dbs/{name}/wal,
+// long-poll), serves bootstrap state (GET /dbs/{name}/snapshot) and
+// reports positions (GET /replication). A replica server reuses the read
+// endpoints over its follower catalog, while guardMutation turns every
+// write verb into a 403 carrying the primary's address.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/internal/xmlcodec"
+)
+
+const (
+	// maxWALLimit caps one /wal page regardless of the requested limit.
+	maxWALLimit = 4096
+	// maxWALWait caps the long-poll wait a /wal request may ask for.
+	maxWALWait = 30 * time.Second
+)
+
+// ReadOnlyError is the 403 body a replica answers mutations with: the
+// error plus the primary's address, so clients can redirect the write.
+type ReadOnlyError struct {
+	Error   string `json:"error"`
+	Primary string `json:"primary"`
+}
+
+// writeReadOnly rejects a mutating verb on a read replica.
+func (s *Server) writeReadOnly(w http.ResponseWriter, verb string) {
+	if s.primary != "" {
+		// A redirect hint, not a redirect: replaying a POST body across
+		// hosts is the client's call to make.
+		w.Header().Set("Location", s.primary)
+	}
+	writeJSON(w, http.StatusForbidden, ReadOnlyError{
+		Error:   fmt.Sprintf("%s: this node is a read replica; send writes to the primary", verb),
+		Primary: s.primary,
+	})
+}
+
+// guardMutation wraps a mutating per-database handler with the replica
+// read-only check.
+func (s *Server) guardMutation(h func(http.ResponseWriter, *http.Request, target)) func(http.ResponseWriter, *http.Request, target) {
+	return func(w http.ResponseWriter, r *http.Request, t target) {
+		if s.readOnly {
+			s.writeReadOnly(w, r.URL.Path)
+			return
+		}
+		h(w, r, t)
+	}
+}
+
+// role names what this server is: "standalone" (one bare database),
+// "primary" (durable catalog), or "replica" (follower catalog).
+func (s *Server) role() string {
+	switch {
+	case s.rep != nil:
+		return "replica"
+	case s.cat != nil:
+		return "primary"
+	default:
+		return "standalone"
+	}
+}
+
+// handleWAL serves one page of a database's committed op log — the
+// primary half of log shipping. Parameters: since (position to read past,
+// default 0), limit (records per page, capped), wait (long-poll
+// milliseconds to hold an empty page open for, capped). A position the
+// log cannot serve incrementally (compacted away, or beyond the log) is
+// 410 Gone: the follower must bootstrap from /snapshot.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
+	if t.cdb == nil {
+		writeError(w, http.StatusServiceUnavailable, "wal: log shipping requires a durable catalog (start the server with a data directory)")
+		return
+	}
+	since, err := uintParam(r, "since", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "wal: %v", err)
+		return
+	}
+	limit, err := intParam(r, "limit", 0)
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, "wal: bad limit parameter")
+		return
+	}
+	if limit > maxWALLimit {
+		limit = maxWALLimit
+	}
+	waitMS, err := intParam(r, "wait", 0)
+	if err != nil || waitMS < 0 {
+		writeError(w, http.StatusBadRequest, "wal: bad wait parameter")
+		return
+	}
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait > maxWALWait {
+		wait = maxWALWait
+	}
+	var recs []catalog.WALRecord
+	if wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		recs, err = t.cdb.WaitOps(ctx, since, limit)
+		cancel()
+	} else {
+		recs, err = t.cdb.OpsSince(since, limit)
+	}
+	switch {
+	case errors.Is(err, catalog.ErrSeqGone):
+		writeError(w, http.StatusGone, "wal: %v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "wal: %v", err)
+		return
+	}
+	if recs == nil {
+		recs = []catalog.WALRecord{}
+	}
+	// The (seq, digest) pair comes from one consistent snapshot, so a
+	// follower reaching LastSeq can compare trees structurally.
+	tree, seq := t.core.TreeSeq()
+	writeJSON(w, http.StatusOK, replica.WALPage{
+		Database: t.name,
+		Since:    since,
+		LastSeq:  seq,
+		Digest:   replica.DigestString(tree),
+		Records:  recs,
+	})
+}
+
+// handleSnapshot serves the database's full current state — the payload a
+// follower bootstraps from, mirroring the v2 store snapshot format.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, t target) {
+	if t.cdb == nil {
+		writeError(w, http.StatusServiceUnavailable, "snapshot: replication requires a durable catalog (start the server with a data directory)")
+		return
+	}
+	v := t.core.View()
+	// KeepTrivial matches the journal encoding: the round trip preserves
+	// structure (pxml.Equal), which is what replay determinism needs.
+	tree, err := xmlcodec.EncodeString(v.Tree, xmlcodec.EncodeOptions{KeepTrivial: true})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	payload := replica.SnapshotPayload{
+		Database:      t.name,
+		FormatVersion: store.FormatVersion,
+		Seq:           v.Seq,
+		Digest:        replica.DigestString(v.Tree),
+		Tree:          tree,
+		Integrations:  v.Integrations,
+		Feedback:      v.Events,
+	}
+	if v.Schema != nil {
+		payload.Schema = v.Schema.String()
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// replicaReplicationResponse is the /replication body on a replica: the
+// follower's live status under its role tag.
+type replicaReplicationResponse struct {
+	Role string `json:"role"`
+	replica.Status
+}
+
+// handleReplication reports the node's replication role and positions:
+// on a primary (or standalone server) the per-database shipped positions
+// a follower syncs against, on a replica the follower lag and sync
+// counters.
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	if s.rep != nil {
+		writeJSON(w, http.StatusOK, replicaReplicationResponse{Role: "replica", Status: s.rep.Status()})
+		return
+	}
+	ps := replica.PrimaryStatus{Role: s.role(), Databases: []replica.PrimaryDBStatus{}}
+	if s.cat != nil {
+		for _, db := range s.cat.List() {
+			tree, seq := db.Core().TreeSeq()
+			st := db.Stats()
+			ps.Databases = append(ps.Databases, replica.PrimaryDBStatus{
+				Name:        db.Name(),
+				LastSeq:     seq,
+				Digest:      replica.DigestString(tree),
+				SnapshotSeq: st.SnapshotSeq,
+				TailOps:     st.TailOps,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, ps)
+}
+
+// HealthDB is one database row of a verbose health report.
+type HealthDB struct {
+	Name string `json:"name"`
+	// CommittedSeq is the newest durable op; AppliedSeq the op the
+	// in-memory tree reflects; TailOps how many ops a recovery would
+	// replay; RecoveredOps how many the last open actually replayed.
+	CommittedSeq uint64 `json:"committed_seq"`
+	AppliedSeq   uint64 `json:"applied_seq"`
+	TailOps      uint64 `json:"tail_ops"`
+	RecoveredOps int64  `json:"recovered_ops"`
+	// PrimarySeq and Lag are present on replicas.
+	PrimarySeq uint64 `json:"primary_seq,omitempty"`
+	Lag        uint64 `json:"lag,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// HealthResponse is the /healthz body. The bare probe keeps its original
+// one-field contract ({"status":"ok"}, always 200 while the process
+// serves); ?verbose=1 adds the readiness report — role, per-database log
+// positions, and on followers the replication lag.
+type HealthResponse struct {
+	Status    string     `json:"status"`
+	Role      string     `json:"role,omitempty"`
+	Primary   string     `json:"primary,omitempty"`
+	Connected *bool      `json:"connected,omitempty"`
+	Databases []HealthDB `json:"databases,omitempty"`
+}
+
+// handleHealthz is the liveness probe — O(1) by default on purpose, so
+// orchestrators can poll it against arbitrarily large documents (world
+// counting lives in /stats, where the cost is expected). verbose=1 adds
+// per-database readiness detail, still without touching document sizes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	verbose := false
+	switch v := r.URL.Query().Get("verbose"); v {
+	case "", "0", "false":
+	case "1", "true":
+		verbose = true
+	default:
+		writeError(w, http.StatusBadRequest, "healthz: bad verbose parameter %q (0 | 1)", v)
+		return
+	}
+	resp := HealthResponse{Status: "ok"}
+	if !verbose {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Role = s.role()
+	var lagByName map[string]replica.DBStatus
+	if s.rep != nil {
+		st := s.rep.Status()
+		resp.Primary = st.Primary
+		connected := st.Connected
+		resp.Connected = &connected
+		lagByName = make(map[string]replica.DBStatus, len(st.Databases))
+		for _, d := range st.Databases {
+			lagByName[d.Name] = d
+		}
+	}
+	resp.Databases = []HealthDB{}
+	if s.cat != nil {
+		for _, db := range s.cat.List() {
+			st := db.Stats()
+			row := HealthDB{
+				Name:         db.Name(),
+				CommittedSeq: st.WAL.LastSeq,
+				AppliedSeq:   db.Core().AppliedSeq(),
+				TailOps:      st.TailOps,
+				RecoveredOps: st.RecoveredOps,
+			}
+			if d, ok := lagByName[db.Name()]; ok {
+				row.PrimarySeq = d.PrimarySeq
+				row.Lag = d.Lag
+				row.LastError = d.LastError
+			}
+			resp.Databases = append(resp.Databases, row)
+		}
+	} else if s.db != nil {
+		resp.Databases = append(resp.Databases, HealthDB{
+			Name:       catalog.DefaultName,
+			AppliedSeq: s.db.AppliedSeq(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// uintParam parses an unsigned integer query parameter.
+func uintParam(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter %q", name, v)
+	}
+	return n, nil
+}

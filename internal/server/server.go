@@ -6,11 +6,22 @@
 // query traffic keeps being served from a consistent snapshot while an
 // integration is in flight.
 //
-// A server fronts either one bare core.Database (New) or a durable
-// multi-database catalog (NewCatalog). In catalog mode every database is
-// addressed under /dbs/{name}/…, the catalog can be managed over HTTP,
-// and the legacy single-database routes below alias to the catalog's
-// "default" database, so old clients keep working unchanged.
+// A server fronts one bare core.Database (New), a durable multi-database
+// catalog (NewCatalog), or a read replica following a primary
+// (NewReplica). In catalog mode every database is addressed under
+// /dbs/{name}/…, the catalog can be managed over HTTP, and the legacy
+// single-database routes below alias to the catalog's "default" database,
+// so old clients keep working unchanged.
+//
+// Catalog-mode servers are replication primaries: they ship their
+// write-ahead logs under GET /dbs/{name}/wal (long-poll framed op
+// stream), serve bootstrap state under GET /dbs/{name}/snapshot, and
+// report positions under GET /replication. A replica server serves every
+// read verb from its local follower catalog but rejects mutations with
+// 403 plus the primary's address. It exposes the same log-shipping read
+// endpoints over its own catalog; the official follower client still
+// refuses to sync off a replica, keeping replication trees rooted at
+// primaries.
 //
 // Endpoints (all responses are JSON; errors use {"error": "…"}):
 //
@@ -26,7 +37,15 @@
 //	GET  /export                        the document as probabilistic XML
 //	POST /save                          {"name","comment"} -> manifest
 //	POST /load                          {"name"} -> manifest
-//	GET  /healthz                       liveness probe
+//	GET  /healthz                       liveness probe; ?verbose=1 adds a
+//	                                    readiness report (per-db log
+//	                                    positions, replication lag)
+//	GET  /replication                   role + per-database replication
+//	                                    positions / follower lag
+//	GET  /wal?since=&limit=&wait=       committed op-log page (catalog
+//	                                    mode; long-poll when wait>0;
+//	                                    410 when compacted past since)
+//	GET  /snapshot                      full-state bootstrap payload
 //
 // Catalog management (catalog mode; 503 otherwise):
 //
@@ -55,6 +74,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/pxml"
 	"repro/internal/query"
+	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/worlds"
 	"repro/internal/xmlcodec"
@@ -83,13 +103,18 @@ type Options struct {
 	Logger *log.Logger
 }
 
-// Server is the HTTP front end over one core.Database (legacy mode) or a
-// durable multi-database catalog.
+// Server is the HTTP front end over one core.Database (legacy mode), a
+// durable multi-database catalog, or a read replica's follower catalog.
 type Server struct {
 	db   *core.Database   // legacy single-database mode; nil in catalog mode
 	cat  *catalog.Catalog // catalog mode; nil in legacy mode
+	rep  *replica.Replica // replica mode; cat is then the follower catalog
 	opts Options
 	mux  *http.ServeMux
+	// readOnly rejects every mutating verb with 403 + primary (replica
+	// mode).
+	readOnly bool
+	primary  string
 }
 
 // target is the database one request operates on: its core plus, in
@@ -104,63 +129,98 @@ type target struct {
 // New builds a Server over one bare database. The database carries all
 // integration knowledge (schema, rules); the server only translates HTTP.
 func New(db *core.Database, opts Options) *Server {
-	return newServer(db, nil, opts)
+	return newServer(db, nil, nil, opts)
 }
 
 // NewCatalog builds a Server over a durable multi-database catalog. Each
 // database is addressed under /dbs/{name}/…; the legacy single-database
 // routes alias to the catalog's default database.
 func NewCatalog(cat *catalog.Catalog, opts Options) *Server {
-	return newServer(nil, cat, opts)
+	return newServer(nil, cat, nil, opts)
 }
 
-func newServer(db *core.Database, cat *catalog.Catalog, opts Options) *Server {
+// NewReplica builds a read-replica Server over a live follower. Every
+// read verb is served from the follower catalog's local state; every
+// mutating verb is rejected with 403 and the primary's address, so
+// clients know where to send writes.
+func NewReplica(rep *replica.Replica, opts Options) *Server {
+	return newServer(nil, rep.Catalog(), rep, opts)
+}
+
+func newServer(db *core.Database, cat *catalog.Catalog, rep *replica.Replica, opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	if opts.MaxWorlds <= 0 {
 		opts.MaxWorlds = DefaultMaxWorlds
 	}
-	s := &Server{db: db, cat: cat, opts: opts, mux: http.NewServeMux()}
+	s := &Server{db: db, cat: cat, rep: rep, opts: opts, mux: http.NewServeMux()}
+	if rep != nil {
+		s.readOnly = true
+		s.primary = rep.Primary()
+	}
 	// Every per-database verb is registered twice: at the root (legacy
-	// alias of the default database) and under /dbs/{name}.
+	// alias of the default database) and under /dbs/{name}. Mutating
+	// verbs are guarded: a replica rejects them with 403 + primary.
 	verbs := []struct {
-		pattern string
-		h       func(http.ResponseWriter, *http.Request, target)
+		pattern  string
+		h        func(http.ResponseWriter, *http.Request, target)
+		mutating bool
 	}{
-		{"POST /integrate", s.handleIntegrate},
-		{"POST /integrate/batch", s.handleIntegrateBatch},
-		{"GET /query", s.handleQuery},
-		{"POST /feedback", s.handleFeedback},
-		{"GET /stats", s.handleStats},
-		{"GET /worlds", s.handleWorlds},
-		{"GET /export", s.handleExport},
-		{"POST /save", s.handleSave},
-		{"POST /load", s.handleLoad},
+		{"POST /integrate", s.handleIntegrate, true},
+		{"POST /integrate/batch", s.handleIntegrateBatch, true},
+		{"GET /query", s.handleQuery, false},
+		{"POST /feedback", s.handleFeedback, true},
+		{"GET /stats", s.handleStats, false},
+		{"GET /worlds", s.handleWorlds, false},
+		{"GET /export", s.handleExport, false},
+		// /save writes a server-side snapshot file without touching the
+		// database — legal on a replica (local backups of replicated
+		// state); /load swaps the document and is a mutation.
+		{"POST /save", s.handleSave, false},
+		{"POST /load", s.handleLoad, true},
+		{"GET /wal", s.handleWAL, false},
+		{"GET /snapshot", s.handleSnapshot, false},
 	}
 	for _, v := range verbs {
+		h := v.h
+		if v.mutating {
+			h = s.guardMutation(h)
+		}
 		method, path, _ := strings.Cut(v.pattern, " ")
-		s.mux.HandleFunc(v.pattern, s.withDefault(v.h))
-		s.mux.HandleFunc(method+" /dbs/{name}"+path, s.withNamed(v.h))
+		s.mux.HandleFunc(v.pattern, s.withDefault(h))
+		s.mux.HandleFunc(method+" /dbs/{name}"+path, s.withNamed(h))
 	}
 	s.mux.HandleFunc("GET /dbs", s.handleListDBs)
 	s.mux.HandleFunc("POST /dbs", s.handleCreateDB)
 	s.mux.HandleFunc("PUT /dbs/{name}", s.handleCreateDB)
 	s.mux.HandleFunc("DELETE /dbs/{name}", s.handleDropDB)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /replication", s.handleReplication)
 	return s
 }
 
 // withDefault routes a legacy request to the single database (legacy
-// mode) or the catalog's default database.
+// mode) or the catalog's default database. A replica never creates the
+// default database — its set is whatever the primary ships — so there the
+// alias resolves strictly.
 func (s *Server) withDefault(h func(http.ResponseWriter, *http.Request, target)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.db != nil {
 			h(w, r, target{core: s.db, name: catalog.DefaultName})
 			return
 		}
-		db, err := s.cat.Default()
-		if err != nil {
+		var (
+			db  *catalog.DB
+			err error
+		)
+		if s.readOnly {
+			db, err = s.cat.Get(catalog.DefaultName)
+			if err != nil {
+				writeError(w, http.StatusNotFound, "db %q is not replicated here (address replicated databases under /dbs/{name})", catalog.DefaultName)
+				return
+			}
+		} else if db, err = s.cat.Default(); err != nil {
 			writeError(w, http.StatusInternalServerError, "default database: %v", err)
 			return
 		}
@@ -553,21 +613,27 @@ type DurabilityStats struct {
 	Rotations     int64 `json:"rotations"`
 	Compactions   int64 `json:"compactions"`
 	RecoveredOps  int64 `json:"recovered_ops"`
+	// SegmentLimitBytes and CompactEvery surface the tuning knobs the
+	// database actually runs with (-wal-segment-bytes, -compact-every).
+	SegmentLimitBytes int64 `json:"segment_limit_bytes"`
+	CompactEvery      int   `json:"compact_every"`
 }
 
 func durabilityStats(db *catalog.DB) *DurabilityStats {
 	st := db.Stats()
 	return &DurabilityStats{
-		LastSeq:       st.WAL.LastSeq,
-		SnapshotSeq:   st.SnapshotSeq,
-		TailOps:       st.TailOps,
-		Segments:      st.WAL.Segments,
-		SizeBytes:     st.WAL.SizeBytes,
-		Appends:       st.WAL.Appends,
-		AppendedBytes: st.WAL.AppendedBytes,
-		Rotations:     st.WAL.Rotations,
-		Compactions:   st.Compactions,
-		RecoveredOps:  st.RecoveredOps,
+		LastSeq:           st.WAL.LastSeq,
+		SnapshotSeq:       st.SnapshotSeq,
+		TailOps:           st.TailOps,
+		Segments:          st.WAL.Segments,
+		SizeBytes:         st.WAL.SizeBytes,
+		Appends:           st.WAL.Appends,
+		AppendedBytes:     st.WAL.AppendedBytes,
+		Rotations:         st.WAL.Rotations,
+		Compactions:       st.Compactions,
+		RecoveredOps:      st.RecoveredOps,
+		SegmentLimitBytes: st.WAL.SegmentLimitBytes,
+		CompactEvery:      st.CompactEvery,
 	}
 }
 
@@ -880,6 +946,10 @@ func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
 	if !s.requireCatalog(w) {
 		return
 	}
+	if s.readOnly {
+		s.writeReadOnly(w, "create db")
+		return
+	}
 	// PUT /dbs/{name} carries the name in the path; POST /dbs in the body.
 	name := r.PathValue("name")
 	if name == "" {
@@ -901,24 +971,16 @@ func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
 	if !s.requireCatalog(w) {
 		return
 	}
+	if s.readOnly {
+		s.writeReadOnly(w, "drop db")
+		return
+	}
 	name := r.PathValue("name")
 	if err := s.cat.Drop(name); err != nil {
 		writeError(w, catalogErrStatus(err), "drop db: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, DropDBResponse{Dropped: name})
-}
-
-// HealthResponse is the /healthz body.
-type HealthResponse struct {
-	Status string `json:"status"`
-}
-
-// handleHealthz is a pure liveness probe: O(1) on purpose, so
-// orchestrators can poll it against arbitrarily large documents
-// (world counting lives in /stats, where the cost is expected).
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
 // --- helpers ---

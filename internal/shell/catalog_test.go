@@ -115,3 +115,35 @@ func TestShellCatalogErrors(t *testing.T) {
 		t.Fatalf("use with escaping name should fail")
 	}
 }
+
+// TestShellWALCommand: `wal` lists the journaled tail of the active
+// database and guides the user outside catalog mode.
+func TestShellWALCommand(t *testing.T) {
+	var out strings.Builder
+	sh := shell.New(&out)
+	if err := sh.Execute("wal"); err == nil || !strings.Contains(err.Error(), "no catalog database") {
+		t.Fatalf("wal without catalog: %v", err)
+	}
+	for _, line := range []string{
+		`data ` + t.TempDir(),
+		`use movies`,
+		`loadxml <addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`,
+		`integratexml <addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>`,
+		`query //person[nm="John"]/tel`,
+		`feedback incorrect 2222`,
+		`wal`,
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("execute %q: %v\n%s", line, err, out.String())
+		}
+	}
+	got := out.String()
+	for _, want := range []string{"replace", "integrate", "feedback", `incorrect "2222"`} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("wal output missing %q:\n%s", want, got)
+		}
+	}
+	if err := sh.Execute("wal x"); err == nil {
+		t.Fatalf("wal with bad count should fail")
+	}
+}

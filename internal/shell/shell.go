@@ -8,6 +8,7 @@ package shell
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -137,6 +138,8 @@ func (s *Shell) Execute(line string) error {
 		return s.listDBs()
 	case "use":
 		return s.use(rest)
+	case "wal":
+		return s.walCmd(rest)
 	case "demo":
 		return s.demo()
 	default:
@@ -180,6 +183,8 @@ func (s *Shell) help() {
   dbs                     list the attached catalog's databases
   use <name>              switch to (or create) a catalog database; from
                           then on mutations are write-ahead logged
+  wal [n]                 show the last n ops of the active database's
+                          write-ahead log (default 10)
   demo                    run the built-in Figure-2 walkthrough
   quit                    leave
 `)
@@ -719,6 +724,63 @@ func (s *Shell) use(name string) error {
 	return nil
 }
 
+// walCmd lists the tail of the active catalog database's write-ahead log
+// — the records a follower would be shipped next.
+func (s *Shell) walCmd(rest string) error {
+	if s.db == nil {
+		return fmt.Errorf("no catalog database selected (use data <dir>, then use <name>)")
+	}
+	n := 10
+	if rest != "" {
+		v, err := strconv.Atoi(rest)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("usage: wal [n]")
+		}
+		n = v
+	}
+	last := s.db.LastSeq()
+	var since uint64
+	if uint64(n) < last {
+		since = last - uint64(n)
+	}
+	recs, err := s.db.OpsSince(since, n)
+	if errors.Is(err, catalog.ErrSeqGone) && since < last {
+		// The requested window starts below the oldest on-disk record;
+		// fall back to the snapshot position (always servable) so the
+		// still-available tail is shown rather than nothing.
+		snap := s.db.Stats().SnapshotSeq
+		fmt.Fprintf(s.out, "(records through seq %d are compacted into the snapshot)\n", snap)
+		if snap <= since {
+			return nil
+		}
+		recs, err = s.db.OpsSince(snap, n)
+	}
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Fprintf(s.out, "(log empty at seq %d)\n", last)
+		return nil
+	}
+	for _, rec := range recs {
+		detail := ""
+		switch rec.Op.Kind {
+		case core.OpIntegrate, core.OpBatch:
+			detail = fmt.Sprintf("%d source(s)", len(rec.Op.Sources))
+		case core.OpFeedback:
+			verdict := "incorrect"
+			if rec.Op.Correct {
+				verdict = "correct"
+			}
+			detail = fmt.Sprintf("%s %q on %s", verdict, rec.Op.Value, rec.Op.Query)
+		case core.OpReplace, core.OpLoad:
+			detail = fmt.Sprintf("%d byte document", len(rec.Op.Tree))
+		}
+		fmt.Fprintf(s.out, "%6d  %-10s %s\n", rec.Seq, rec.Op.Kind, detail)
+	}
+	return nil
+}
+
 // demo replays the paper's Figure-2 walkthrough inside the shell.
 func (s *Shell) demo() error {
 	script := []string{
@@ -746,7 +808,7 @@ func Tags() []string {
 		"help", "load", "loadxml", "dtd", "dtdinline", "rules", "integrate",
 		"integratexml", "query", "plan", "feedback", "explain", "stats",
 		"worlds", "normalize", "export", "save", "open", "data", "dbs",
-		"use", "demo", "quit",
+		"use", "wal", "demo", "quit",
 	}
 	sort.Strings(cmds)
 	return cmds

@@ -60,6 +60,13 @@ type Manifest struct {
 	// DocumentSHA256 is the checksum of the document file, verified on
 	// load.
 	DocumentSHA256 string `json:"document_sha256"`
+	// TreeDigest is the structural digest (pxml.Tree.Digest, 16 hex
+	// digits) of the saved document, verified on load when present. It
+	// catches what the byte checksum cannot: a document file that decodes
+	// to a different tree than the one saved (codec drift), and it lets
+	// replication compare a snapshot against a primary position without
+	// decoding.
+	TreeDigest string `json:"tree_digest,omitempty"`
 	// LogicalNodes and Worlds record the size at save time (Worlds as a
 	// decimal string; it can exceed every integer type).
 	LogicalNodes int64  `json:"logical_nodes"`
@@ -156,6 +163,7 @@ func SaveWith(dir string, tree *pxml.Tree, schema *dtd.Schema, opts SaveOptions)
 		SavedAt:        time.Now().UTC(),
 		DocumentFile:   fmt.Sprintf("document-%s.xml", hex.EncodeToString(sum[:6])),
 		DocumentSHA256: hex.EncodeToString(sum[:]),
+		TreeDigest:     fmt.Sprintf("%016x", tree.Digest()),
 		LogicalNodes:   tree.NodeCount(),
 		Worlds:         tree.WorldCount().String(),
 		HasSchema:      schema != nil,
@@ -247,6 +255,13 @@ func Load(dir string) (*Snapshot, error) {
 	}
 	if got := tree.NodeCount(); got != m.LogicalNodes {
 		return nil, fmt.Errorf("%w: node count %d differs from manifest %d", ErrCorrupt, got, m.LogicalNodes)
+	}
+	// Older manifests carry no digest; when present it must match the
+	// decoded tree structurally.
+	if m.TreeDigest != "" {
+		if got := fmt.Sprintf("%016x", tree.Digest()); got != m.TreeDigest {
+			return nil, fmt.Errorf("%w: tree digest %s differs from manifest %s", ErrCorrupt, got, m.TreeDigest)
+		}
 	}
 	snap := &Snapshot{Tree: tree, Manifest: m}
 	if m.HasSchema {
