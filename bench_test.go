@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -844,4 +845,163 @@ func BenchmarkReplicationTail(b *testing.B) {
 			time.Sleep(200 * time.Microsecond)
 		}
 	}
+}
+
+// --- failover ---
+
+// failoverCluster builds a primary at ts with n committed ops and a
+// caught-up follower, returning the pieces a failover benchmark needs.
+// The returned stop function kills the primary's listener (the crash the
+// promotion recovers from).
+func failoverCluster(b *testing.B, n int) (rep *imprecise.Replica, repURL string, stopPrimary func(), closeAll func()) {
+	b.Helper()
+	cat, err := imprecise.OpenCatalog(b.TempDir(), imprecise.CatalogOptions{
+		RootTag:      "addressbook",
+		CompactEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := cat.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := xmlcodec.DecodeString(benchBookSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Core().ReplaceTree(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(imprecise.NewCatalogHTTPHandler(cat, imprecise.ServerOptions{}))
+	rep, err = imprecise.OpenReplica(b.TempDir(), imprecise.ReplicaOptions{
+		Primary:         ts.URL,
+		Catalog:         imprecise.CatalogOptions{RootTag: "addressbook"},
+		PollWait:        200 * time.Millisecond,
+		MembershipEvery: 20 * time.Millisecond,
+		MinBackoff:      10 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	err = rep.WaitCaughtUp(ctx)
+	cancel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(imprecise.NewReplicaHTTPHandler(rep, imprecise.ServerOptions{}))
+	return rep, rts.URL, ts.Close, func() {
+		rts.Close()
+		ts.Close()
+		rep.Close()
+		cat.Close()
+	}
+}
+
+// promoteNode POSTs /promote and fails the benchmark on anything but 200.
+func promoteNode(b *testing.B, repURL string) {
+	b.Helper()
+	resp, err := http.Post(repURL+"/promote", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("promote: status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkFailoverPromote measures time-to-promote: the primary (100
+// committed ops, follower caught up) dies, and the clock runs from the
+// POST /promote until the follower answers as a primary — final drain
+// attempt, epoch raise + durable fence, and role flip included.
+func BenchmarkFailoverPromote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_, repURL, stopPrimary, closeAll := failoverCluster(b, 100)
+		stopPrimary()
+		b.StartTimer()
+		promoteNode(b, repURL)
+		b.StopTimer()
+		closeAll()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "promote_ms")
+}
+
+// BenchmarkFailoverSteadyOps measures the promoted node as a working
+// primary: after the failover completes, b.N ops commit against it. The
+// ops/s of the NEW primary is the cluster's post-failover write capacity.
+func BenchmarkFailoverSteadyOps(b *testing.B) {
+	rep, repURL, stopPrimary, closeAll := failoverCluster(b, 10)
+	defer closeAll()
+	stopPrimary()
+	promoteNode(b, repURL)
+	db, err := rep.Catalog().Get("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := xmlcodec.DecodeString(benchBookSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Core().ReplaceTree(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steady_ops/s")
+}
+
+// BenchmarkFailoverCatchup measures post-promotion catch-up: a fresh
+// follower bootstraps from the PROMOTED primary — epoch-stamped snapshot
+// plus b.N epoch-1 log records — until it serves. This is the time to
+// restore read capacity after a failover.
+func BenchmarkFailoverCatchup(b *testing.B) {
+	rep, repURL, stopPrimary, closeAll := failoverCluster(b, 10)
+	defer closeAll()
+	stopPrimary()
+	promoteNode(b, repURL)
+	db, err := rep.Catalog().Get("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := xmlcodec.DecodeString(benchBookSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := db.Core().ReplaceTree(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	rep2, err := imprecise.OpenReplica(b.TempDir(), imprecise.ReplicaOptions{
+		Primary:         repURL,
+		Catalog:         imprecise.CatalogOptions{RootTag: "addressbook"},
+		PollWait:        200 * time.Millisecond,
+		MembershipEvery: 20 * time.Millisecond,
+		MinBackoff:      10 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	err = rep2.WaitCaughtUp(ctx)
+	cancel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	if err := rep2.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(elapsed.Milliseconds()), "catchup_ms")
 }

@@ -427,7 +427,15 @@ func OpenReplica(dir string, opts ReplicaOptions) (*Replica, error) {
 
 // NewReplicaHTTPHandler exposes a replica over HTTP: every read verb is
 // served from the follower's local state, and every mutation is rejected
-// with 403 plus the primary's address.
+// with 403 plus the primary's address. POST /promote turns the replica
+// into the cluster's primary: the cluster epoch is raised, the old
+// primary is fenced (its stale ships rejected with ErrStaleEpoch), and
+// mutations start being accepted.
 func NewReplicaHTTPHandler(r *Replica, opts ServerOptions) http.Handler {
 	return server.NewReplica(r, opts).Handler()
 }
+
+// ErrStaleEpoch is returned (wrapped) when a replication record or page
+// arrives from a node whose cluster epoch is below the local one — the
+// signature of a deposed primary still trying to ship after a failover.
+var ErrStaleEpoch = catalog.ErrStaleEpoch

@@ -86,6 +86,10 @@ type Catalog struct {
 	mu     sync.Mutex
 	dbs    map[string]*DB
 	closed bool
+	// epoch is the highest cluster epoch this catalog has witnessed; new
+	// databases are seeded with it so every database in the catalog always
+	// commits under the same fencing term.
+	epoch uint64
 }
 
 // DB is one named database: a core.Database wired to its write-ahead log
@@ -115,9 +119,10 @@ type DB struct {
 	done            chan struct{}
 	wg              sync.WaitGroup
 
-	compactions  atomic.Int64
-	snapshotSeq  atomic.Uint64 // journal seq the state/ snapshot reflects
-	recoveredOps int64         // ops replayed at open (immutable after)
+	compactions   atomic.Int64
+	snapshotSeq   atomic.Uint64 // journal seq the state/ snapshot reflects
+	snapshotEpoch atomic.Uint64 // epoch the state/ snapshot manifest carries
+	recoveredOps  int64         // ops replayed at open (immutable after)
 }
 
 // Open opens (creating if needed) the catalog rooted at dir, recovering
@@ -150,12 +155,15 @@ func Open(dir string, opts Options) (*Catalog, error) {
 		if !e.IsDir() || validateName(e.Name()) != nil {
 			continue
 		}
-		db, err := c.openDB(e.Name())
+		db, err := c.openDB(e.Name(), 0)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("catalog: recovering %q: %w", e.Name(), err)
 		}
 		c.dbs[e.Name()] = db
+		if e := db.Epoch(); e > c.epoch {
+			c.epoch = e
+		}
 	}
 	return c, nil
 }
@@ -177,16 +185,20 @@ func validateName(name string) error {
 }
 
 // openDB recovers (or freshly initializes) one database directory.
-func (c *Catalog) openDB(name string) (*DB, error) {
+// seedEpoch is the cluster epoch a freshly created database starts in
+// (pinned into its initial manifest); an existing database's epoch comes
+// from its own manifest and log instead.
+func (c *Catalog) openDB(name string, seedEpoch uint64) (*DB, error) {
 	dbDir := filepath.Join(c.dir, name)
 	if err := os.MkdirAll(dbDir, 0o755); err != nil {
 		return nil, err
 	}
 	cfg := c.opts.Config
 	var (
-		cdb      *core.Database
-		after    uint64
-		snapshot = filepath.Join(dbDir, stateDirName)
+		cdb       *core.Database
+		after     uint64
+		snapEpoch uint64
+		snapshot  = filepath.Join(dbDir, stateDirName)
 	)
 	_, statErr := os.Stat(filepath.Join(snapshot, "manifest.json"))
 	if statErr != nil && !os.IsNotExist(statErr) {
@@ -206,6 +218,7 @@ func (c *Catalog) openDB(name string) (*DB, error) {
 		}
 		cdb.RestoreHistories(snap.Manifest.Integrations, snap.Manifest.Feedback)
 		after = snap.Manifest.LogSeq
+		snapEpoch = snap.Manifest.Epoch
 	} else {
 		empty, err := xmlcodec.DecodeString("<" + c.opts.RootTag + "/>")
 		if err != nil {
@@ -220,12 +233,14 @@ func (c *Catalog) openDB(name string) (*DB, error) {
 		// across restarts.
 		if _, err := store.SaveWith(snapshot, empty, cfg.Schema, store.SaveOptions{
 			Comment: "initial state of " + name,
+			Epoch:   seedEpoch,
 		}); err != nil {
 			return nil, err
 		}
+		snapEpoch = seedEpoch
 	}
 	recovered := int64(0)
-	w, err := recoverWAL(filepath.Join(dbDir, walDirName), c.opts.SegmentBytes, after, func(e WALRecord) error {
+	w, err := recoverWAL(filepath.Join(dbDir, walDirName), c.opts.SegmentBytes, after, snapEpoch, func(e WALRecord) error {
 		recovered++
 		return cdb.ApplyOp(e.Op)
 	})
@@ -244,6 +259,7 @@ func (c *Catalog) openDB(name string) (*DB, error) {
 		recoveredOps: recovered,
 	}
 	d.snapshotSeq.Store(after)
+	d.snapshotEpoch.Store(snapEpoch)
 	// The watermark the journal resumes from: everything on disk is now
 	// reflected in the tree.
 	last := w.stats().LastSeq
@@ -295,15 +311,21 @@ func (d *DB) compactLoop() {
 func (d *DB) Compact() error {
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
+	// Read the epoch before the view: if a promotion raises it mid-save
+	// the manifest understates the epoch, which recovery repairs (it takes
+	// the max of manifest and log), whereas overstating could fence out
+	// records legitimately committed under the older epoch.
+	epoch := d.wal.currentEpoch()
 	v := d.core.View()
-	if v.Seq <= d.snapshotSeq.Load() {
-		// Nothing journaled since the last snapshot (the initial one
-		// written at creation covers sequence 0).
+	if v.Seq <= d.snapshotSeq.Load() && epoch <= d.snapshotEpoch.Load() {
+		// Nothing journaled and no epoch raise since the last snapshot
+		// (the initial one written at creation covers sequence 0).
 		return nil
 	}
 	_, err := store.SaveWith(filepath.Join(d.dir, stateDirName), v.Tree, v.Schema, store.SaveOptions{
 		Comment:      fmt.Sprintf("compaction of %s", d.name),
 		LogSeq:       v.Seq,
+		Epoch:        epoch,
 		Integrations: v.Integrations,
 		Feedback:     v.Events,
 	})
@@ -311,6 +333,7 @@ func (d *DB) Compact() error {
 		return err
 	}
 	d.snapshotSeq.Store(v.Seq)
+	d.snapshotEpoch.Store(epoch)
 	d.compactions.Add(1)
 	d.opsSinceCompact.Store(0)
 	_, err = d.wal.dropThrough(v.Seq)
@@ -336,6 +359,20 @@ func (d *DB) close(compact bool) error {
 // Name returns the database's name.
 func (d *DB) Name() string { return d.name }
 
+// Epoch reports the cluster epoch this database commits under.
+func (d *DB) Epoch() uint64 { return d.wal.currentEpoch() }
+
+// RaiseEpoch lifts the database's epoch to e and durably persists the
+// raise (a snapshot manifest carrying the new epoch) before returning,
+// so a promoted node can never be re-fenced backwards by a crash.
+// Epochs only rise; e at or below the current epoch is a no-op.
+func (d *DB) RaiseEpoch(e uint64) error {
+	if !d.wal.raiseEpoch(e) {
+		return nil
+	}
+	return d.Compact()
+}
+
 // Core returns the underlying core.Database. All mutations performed on
 // it are journaled through the catalog's write-ahead log.
 func (d *DB) Core() *core.Database { return d.core }
@@ -343,6 +380,8 @@ func (d *DB) Core() *core.Database { return d.core }
 // Stats reports the durability counters of this database.
 type DBStats struct {
 	WAL WALStats `json:"wal"`
+	// Epoch is the cluster epoch new commits are stamped with.
+	Epoch uint64 `json:"epoch"`
 	// SnapshotSeq is the journal sequence the on-disk snapshot reflects;
 	// TailOps is how many committed ops recovery would replay right now.
 	SnapshotSeq  uint64 `json:"snapshot_seq"`
@@ -364,6 +403,7 @@ func (d *DB) Stats() DBStats {
 	}
 	return DBStats{
 		WAL:          ws,
+		Epoch:        ws.Epoch,
 		SnapshotSeq:  snap,
 		TailOps:      tail,
 		Compactions:  d.compactions.Load(),
@@ -413,12 +453,60 @@ func (c *Catalog) Create(name string) (*DB, error) {
 	if _, ok := c.dbs[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	db, err := c.openDB(name)
+	db, err := c.openDB(name, c.epochLocked())
 	if err != nil {
 		return nil, err
 	}
 	c.dbs[name] = db
 	return db, nil
+}
+
+// epochLocked computes the catalog's cluster epoch: the highest epoch
+// witnessed by any database or raised via RaiseEpoch. Callers hold c.mu.
+func (c *Catalog) epochLocked() uint64 {
+	e := c.epoch
+	for _, db := range c.dbs {
+		if de := db.Epoch(); de > e {
+			e = de
+		}
+	}
+	return e
+}
+
+// Epoch reports the catalog's cluster epoch — the highest epoch any of
+// its databases commits under.
+func (c *Catalog) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochLocked()
+}
+
+// RaiseEpoch lifts every database (and the catalog itself, so databases
+// created later inherit it) to epoch e, durably persisting each raise
+// before returning. This is the fencing half of promotion: once it
+// returns, nothing committed under a lower epoch can ever be accepted
+// here again. Epochs only rise; e at or below the current epoch of a
+// database leaves that database untouched.
+func (c *Catalog) RaiseEpoch(e uint64) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("catalog: closed")
+	}
+	if e > c.epoch {
+		c.epoch = e
+	}
+	dbs := make([]*DB, 0, len(c.dbs))
+	for _, db := range c.dbs {
+		dbs = append(dbs, db)
+	}
+	c.mu.Unlock()
+	for _, db := range dbs {
+		if err := db.RaiseEpoch(e); err != nil {
+			return fmt.Errorf("catalog: raising epoch of %s: %w", db.name, err)
+		}
+	}
+	return nil
 }
 
 // Get returns a database by name.

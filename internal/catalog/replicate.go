@@ -17,7 +17,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/feedback"
 	"repro/internal/integrate"
@@ -29,6 +28,13 @@ import (
 // does not continue the follower's log: records were lost between primary
 // and follower, and the follower must resynchronize from a snapshot.
 var ErrReplicaGap = errors.New("catalog: replicated op does not continue the local log")
+
+// ErrStaleEpoch is returned when a shipped record (or snapshot) carries
+// a cluster epoch below the local one: the sender is a deposed primary
+// still writing under its old term. Its records must never be applied —
+// accepting them would fork history past the promotion point — and the
+// sender should step down when it sees this error.
+var ErrStaleEpoch = errors.New("catalog: record epoch below local epoch (stale primary)")
 
 // LastSeq returns the sequence of the newest committed record in the
 // database's write-ahead log — on a follower, the durable lastApplied
@@ -81,34 +87,44 @@ func (d *DB) commitSignal() <-chan struct{} {
 	return d.commitCh
 }
 
-// ApplyReplicated applies one op shipped from a primary at the given
-// primary sequence. A sequence at or below the local log's last committed
-// record is skipped (idempotent re-delivery after a reconnect); a
-// sequence past lastApplied+1 is ErrReplicaGap. The apply runs through
+// ApplyReplicated applies one record shipped from a primary at the
+// primary's sequence and epoch. A sequence at or below the local log's
+// last committed record is skipped (idempotent re-delivery after a
+// reconnect); a sequence past lastApplied+1 is ErrReplicaGap. A record
+// whose epoch is below the local epoch is ErrStaleEpoch — the sender is
+// a deposed primary and nothing it ships may land here; a higher epoch
+// raises the local one first, so the follower's log mirrors the
+// primary's record for record, epochs included. The apply runs through
 // core.ApplyOp, i.e. the same journaled-then-swap discipline as a local
 // mutation: the op is durably appended to the follower's own write-ahead
 // log — necessarily at the shipped sequence — before the tree swap
 // exposes it, so a kill at any instant resumes from the durable
 // lastApplied without double-applying. The returned bool reports whether
 // the op was applied (false: skipped as already applied).
-func (d *DB) ApplyReplicated(seq uint64, op core.Op) (bool, error) {
+func (d *DB) ApplyReplicated(rec WALRecord) (bool, error) {
 	d.replMu.Lock()
 	defer d.replMu.Unlock()
 	last := d.LastSeq()
-	if seq <= last {
+	if rec.Seq <= last {
 		return false, nil
 	}
-	if seq != last+1 {
-		return false, fmt.Errorf("%w: got sequence %d after %d", ErrReplicaGap, seq, last)
+	if local := d.wal.currentEpoch(); rec.Epoch < local {
+		return false, fmt.Errorf("%w: op %d shipped at epoch %d, local epoch is %d", ErrStaleEpoch, rec.Seq, rec.Epoch, local)
 	}
-	if err := d.core.ApplyOp(op); err != nil {
-		return false, fmt.Errorf("catalog: %s: applying replicated op %d: %w", d.name, seq, err)
+	if rec.Seq != last+1 {
+		return false, fmt.Errorf("%w: got sequence %d after %d", ErrReplicaGap, rec.Seq, last)
 	}
-	if got := d.LastSeq(); got != seq {
+	// Raise before the apply so the journal append underneath ApplyOp
+	// stamps the shipped epoch.
+	d.wal.raiseEpoch(rec.Epoch)
+	if err := d.core.ApplyOp(rec.Op); err != nil {
+		return false, fmt.Errorf("catalog: %s: applying replicated op %d: %w", d.name, rec.Seq, err)
+	}
+	if got := d.LastSeq(); got != rec.Seq {
 		// A local (non-replicated) mutation slipped in between and stole
 		// the sequence — the follower has diverged from the primary's
 		// numbering and must resynchronize.
-		return false, fmt.Errorf("%w: op shipped as %d journaled locally as %d", ErrReplicaGap, seq, got)
+		return false, fmt.Errorf("%w: op shipped as %d journaled locally as %d", ErrReplicaGap, rec.Seq, got)
 	}
 	return true, nil
 }
@@ -119,7 +135,10 @@ func (d *DB) ApplyReplicated(seq uint64, op core.Op) (bool, error) {
 type BootstrapSnapshot struct {
 	// Seq is the primary log sequence the tree corresponds to; tailing
 	// resumes at Seq+1.
-	Seq          uint64
+	Seq uint64
+	// Epoch is the cluster epoch in force at Seq (0 for pre-epoch
+	// primaries). Installing below the local epoch is refused.
+	Epoch        uint64
 	Tree         *pxml.Tree
 	Schema       *dtd.Schema
 	Integrations []integrate.Stats
@@ -148,6 +167,11 @@ func (c *Catalog) InstallSnapshot(name string, snap BootstrapSnapshot) (*DB, err
 		return nil, errors.New("catalog: closed")
 	}
 	if old, ok := c.dbs[name]; ok {
+		if e := old.Epoch(); snap.Epoch < e {
+			// A snapshot from a deposed primary must never replace state
+			// committed under a newer epoch.
+			return nil, fmt.Errorf("%w: snapshot at epoch %d, local epoch is %d", ErrStaleEpoch, snap.Epoch, e)
+		}
 		delete(c.dbs, name)
 		if err := old.close(false); err != nil {
 			return nil, err
@@ -164,12 +188,13 @@ func (c *Catalog) InstallSnapshot(name string, snap BootstrapSnapshot) (*DB, err
 	if _, err := store.SaveWith(filepath.Join(dbDir, stateDirName), snap.Tree, snap.Schema, store.SaveOptions{
 		Comment:      comment,
 		LogSeq:       snap.Seq,
+		Epoch:        snap.Epoch,
 		Integrations: snap.Integrations,
 		Feedback:     snap.Feedback,
 	}); err != nil {
 		return nil, err
 	}
-	db, err := c.openDB(name)
+	db, err := c.openDB(name, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -282,11 +282,11 @@ func TestApplyReplicatedSequencing(t *testing.T) {
 	}
 
 	// A gap (skipping seq 1) must be rejected before anything applies.
-	if _, err := fdb.ApplyReplicated(recs[1].Seq, recs[1].Op); !errors.Is(err, ErrReplicaGap) {
+	if _, err := fdb.ApplyReplicated(recs[1]); !errors.Is(err, ErrReplicaGap) {
 		t.Fatalf("gap apply returned %v, want ErrReplicaGap", err)
 	}
 	for _, rec := range recs {
-		applied, err := fdb.ApplyReplicated(rec.Seq, rec.Op)
+		applied, err := fdb.ApplyReplicated(rec)
 		if err != nil {
 			t.Fatalf("apply seq %d: %v", rec.Seq, err)
 		}
@@ -297,7 +297,7 @@ func TestApplyReplicatedSequencing(t *testing.T) {
 	// Re-delivery of the whole stream is a no-op.
 	before := fdb.Core().Tree()
 	for _, rec := range recs {
-		applied, err := fdb.ApplyReplicated(rec.Seq, rec.Op)
+		applied, err := fdb.ApplyReplicated(rec)
 		if err != nil {
 			t.Fatalf("re-apply seq %d: %v", rec.Seq, err)
 		}
@@ -375,7 +375,7 @@ func TestFollowerCrashRestartEveryBoundary(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, rec := range recs[:boundary] {
-				if _, err := fdb.ApplyReplicated(rec.Seq, rec.Op); err != nil {
+				if _, err := fdb.ApplyReplicated(rec); err != nil {
 					t.Fatalf("apply seq %d: %v", rec.Seq, err)
 				}
 			}
@@ -405,7 +405,7 @@ func TestFollowerCrashRestartEveryBoundary(t *testing.T) {
 				resume = 0
 			}
 			for _, rec := range recs[resume:] {
-				applied, err := fdb2.ApplyReplicated(rec.Seq, rec.Op)
+				applied, err := fdb2.ApplyReplicated(rec)
 				if err != nil {
 					t.Fatalf("resume apply seq %d: %v", rec.Seq, err)
 				}

@@ -7,13 +7,20 @@
 //
 //	segment file  wal/seg-<first-seq, 16 hex digits>.log
 //	record frame  [4B payload length][4B CRC-32C of payload][payload]
-//	payload       JSON {"seq": N, "op": {...}}
+//	payload       JSON {"seq": N, "epoch": E, "op": {...}}
 //
 // A record is committed iff its full frame is on disk and the CRC
 // matches. The last segment may end in a torn frame (the write the crash
 // interrupted); recovery truncates the file back to the last committed
 // record. A bad frame anywhere else — or a committed frame with an
 // out-of-order sequence — is corruption and refuses to load.
+//
+// The epoch is the cluster term the record was committed under. It is
+// omitted when zero, which is exactly how pre-epoch (format v2) logs
+// read back: every record decodes as epoch 0. Epochs may only rise
+// along the log; a committed record with a lower epoch than its
+// predecessor is corruption, because promotion only ever increments the
+// epoch and fences the old one before new appends happen.
 package catalog
 
 import (
@@ -68,13 +75,15 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// WALRecord is one committed write-ahead-log record: a journaled op and
-// the sequence the log assigned it. It is both the on-disk JSON payload
-// of a frame and the unit the replication read path (OpsSince) hands to
-// followers, which re-journal it at the same sequence.
+// WALRecord is one committed write-ahead-log record: a journaled op,
+// the sequence the log assigned it, and the cluster epoch it was
+// committed under. It is both the on-disk JSON payload of a frame and
+// the unit the replication read path (OpsSince) hands to followers,
+// which re-journal it at the same sequence and epoch.
 type WALRecord struct {
-	Seq uint64  `json:"seq"`
-	Op  core.Op `json:"op"`
+	Seq   uint64  `json:"seq"`
+	Epoch uint64  `json:"epoch,omitempty"`
+	Op    core.Op `json:"op"`
 }
 
 // WALStats are the log's observability counters (served under /stats).
@@ -82,6 +91,8 @@ type WALStats struct {
 	// LastSeq is the sequence of the newest committed record (0 when the
 	// log is empty).
 	LastSeq uint64 `json:"last_seq"`
+	// Epoch is the cluster epoch new appends are stamped with.
+	Epoch uint64 `json:"epoch"`
 	// Segments is the number of live segment files.
 	Segments int `json:"segments"`
 	// SizeBytes is the total size of the live segments.
@@ -105,6 +116,9 @@ type wal struct {
 	f        *os.File // active (last) segment
 	fileSize int64
 	nextSeq  uint64
+	// epoch stamps every append; raised by promotion (raiseEpoch) and by
+	// replicated records from a newer primary, never lowered.
+	epoch uint64
 	// segStarts holds the first sequence of every live segment, sorted;
 	// the last entry is the active segment.
 	segStarts []uint64
@@ -154,8 +168,13 @@ func listSegments(dir string) ([]uint64, error) {
 // recoverWAL opens (creating if needed) the log under dir, replays every
 // committed record with sequence > after through fn in order, truncates a
 // torn tail, and returns the log positioned to append. A replay error
-// from fn aborts recovery.
-func recoverWAL(dir string, segLimit int64, after uint64, fn func(WALRecord) error) (*wal, error) {
+// from fn aborts recovery. snapEpoch is the epoch recorded in the
+// snapshot manifest (0 for pre-epoch snapshots); the recovered log's
+// epoch is the maximum of snapEpoch and the last committed record's
+// epoch, so a node resumes appending in the newest epoch it ever
+// witnessed. Records past the snapshot position carrying an epoch below
+// snapEpoch — or any epoch regression along the log — refuse to load.
+func recoverWAL(dir string, segLimit int64, after uint64, snapEpoch uint64, fn func(WALRecord) error) (*wal, error) {
 	if segLimit <= 0 {
 		segLimit = DefaultSegmentBytes
 	}
@@ -166,19 +185,22 @@ func recoverWAL(dir string, segLimit int64, after uint64, fn func(WALRecord) err
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{dir: dir, segLimit: segLimit, segStarts: starts}
+	w := &wal{dir: dir, segLimit: segLimit, segStarts: starts, epoch: snapEpoch}
 	// Fresh log: create the first segment, numbering records after the
 	// snapshot (after+1), so replay watermarks stay monotonic.
 	if len(starts) == 0 {
 		return w, w.openSegmentLocked(after + 1)
 	}
 	next := starts[0]
+	// epochSeen is the high-water epoch across the whole log; epochs may
+	// only rise record to record (segment boundaries included).
+	var epochSeen uint64
 	for i, start := range starts {
 		if start != next {
 			return nil, fmt.Errorf("%w: segment %s does not continue at sequence %d", ErrCorrupt, segName(start), next)
 		}
 		last := i == len(starts)-1
-		n, size, err := replaySegment(filepath.Join(dir, segName(start)), start, last, after, fn)
+		n, size, err := replaySegment(filepath.Join(dir, segName(start)), start, last, after, snapEpoch, &epochSeen, fn)
 		if err != nil {
 			return nil, err
 		}
@@ -190,6 +212,9 @@ func recoverWAL(dir string, segLimit int64, after uint64, fn func(WALRecord) err
 		}
 	}
 	w.nextSeq = next
+	if epochSeen > w.epoch {
+		w.epoch = epochSeen
+	}
 	if next <= after {
 		// The log ends at or before the snapshot (its tail segments were
 		// removed out of band). Every record on disk is covered by the
@@ -224,11 +249,12 @@ func recoverWAL(dir string, segLimit int64, after uint64, fn func(WALRecord) err
 
 // replaySegment scans one segment file, invoking fn for every committed
 // record with sequence > after. It verifies the sequence numbering is
-// dense starting at start. For the last segment a bad frame is treated as
-// the torn tail and truncated away; anywhere else it is corruption. It
-// returns the number of committed records and the (post-truncation) file
-// size.
-func replaySegment(path string, start uint64, isLast bool, after uint64, fn func(WALRecord) error) (records uint64, size int64, err error) {
+// dense starting at start and that epochs never regress (epochSeen is
+// the running high-water mark, carried across segments by the caller).
+// For the last segment a bad frame is treated as the torn tail and
+// truncated away; anywhere else it is corruption. It returns the number
+// of committed records and the (post-truncation) file size.
+func replaySegment(path string, start uint64, isLast bool, after uint64, snapEpoch uint64, epochSeen *uint64, fn func(WALRecord) error) (records uint64, size int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
@@ -267,9 +293,21 @@ func replaySegment(path string, start uint64, isLast bool, after uint64, fn func
 		if e.Seq != seq {
 			return 0, 0, fmt.Errorf("%w: record sequence %d where %d expected in %s", ErrCorrupt, e.Seq, seq, filepath.Base(path))
 		}
-		if e.Seq > after && fn != nil {
-			if err := fn(e); err != nil {
-				return 0, 0, fmt.Errorf("catalog: replaying op %d: %w", e.Seq, err)
+		if e.Epoch < *epochSeen {
+			return 0, 0, fmt.Errorf("%w: record %d regresses from epoch %d to %d in %s", ErrCorrupt, e.Seq, *epochSeen, e.Epoch, filepath.Base(path))
+		}
+		*epochSeen = e.Epoch
+		if e.Seq > after {
+			// Records past the snapshot position must be at least as new as
+			// the manifest epoch: the manifest is only ever written after
+			// the epoch it names was already stamping appends.
+			if e.Epoch < snapEpoch {
+				return 0, 0, fmt.Errorf("%w: record %d at epoch %d predates manifest epoch %d in %s", ErrCorrupt, e.Seq, e.Epoch, snapEpoch, filepath.Base(path))
+			}
+			if fn != nil {
+				if err := fn(e); err != nil {
+					return 0, 0, fmt.Errorf("catalog: replaying op %d: %w", e.Seq, err)
+				}
 			}
 		}
 		seq++
@@ -325,7 +363,7 @@ func (w *wal) append(op core.Op) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	seq := w.nextSeq
-	payload, err := json.Marshal(WALRecord{Seq: seq, Op: op})
+	payload, err := json.Marshal(WALRecord{Seq: seq, Epoch: w.epoch, Op: op})
 	if err != nil {
 		return 0, err
 	}
@@ -503,12 +541,33 @@ func readSegment(path string, start uint64, committed int64, fn func(WALRecord) 
 	return nil
 }
 
+// currentEpoch reports the epoch new appends are stamped with.
+func (w *wal) currentEpoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// raiseEpoch lifts the append epoch to e. Epochs are fencing tokens:
+// they only ever rise, so a stale caller (e below the current epoch) is
+// a no-op. Reports whether the epoch changed.
+func (w *wal) raiseEpoch(e uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e <= w.epoch {
+		return false
+	}
+	w.epoch = e
+	return true
+}
+
 // stats snapshots the counters.
 func (w *wal) stats() WALStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return WALStats{
 		LastSeq:           w.nextSeq - 1,
+		Epoch:             w.epoch,
 		Segments:          len(w.segStarts),
 		SizeBytes:         w.sizeBelow + w.fileSize,
 		Appends:           w.appends,

@@ -18,7 +18,7 @@ func testOp(i int) core.Op {
 func collect(t *testing.T, dir string, after uint64) ([]WALRecord, *wal) {
 	t.Helper()
 	var got []WALRecord
-	w, err := recoverWAL(dir, 0, after, func(e WALRecord) error {
+	w, err := recoverWAL(dir, 0, after, 0, func(e WALRecord) error {
 		got = append(got, e)
 		return nil
 	})
@@ -30,7 +30,7 @@ func collect(t *testing.T, dir string, after uint64) ([]WALRecord, *wal) {
 
 func TestWALAppendReplayRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	w, err := recoverWAL(dir, 0, 0, nil)
+	w, err := recoverWAL(dir, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatalf("recoverWAL (fresh): %v", err)
 	}
@@ -69,7 +69,7 @@ func TestWALAppendReplayRoundTrip(t *testing.T) {
 
 func TestWALRotationAndDropThrough(t *testing.T) {
 	dir := t.TempDir()
-	w, err := recoverWAL(dir, 64, 0, nil) // tiny limit: every record rotates
+	w, err := recoverWAL(dir, 64, 0, 0, nil) // tiny limit: every record rotates
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestWALRotationAndDropThrough(t *testing.T) {
 
 func TestWALTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
-	w, _ := recoverWAL(dir, 0, 0, nil)
+	w, _ := recoverWAL(dir, 0, 0, 0, nil)
 	for i := 0; i < 3; i++ {
 		if _, err := w.append(testOp(i)); err != nil {
 			t.Fatal(err)
@@ -125,7 +125,8 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 	// The file was physically truncated back to the committed prefix.
 	info, _ := os.Stat(seg)
-	if _, _, err := replaySegment(seg, 1, true, 0, nil); err != nil {
+	var epochSeen uint64
+	if _, _, err := replaySegment(seg, 1, true, 0, 0, &epochSeen, nil); err != nil {
 		t.Fatalf("re-scan after truncation: %v", err)
 	}
 	if next, err := w2.append(testOp(9)); err != nil || next != 3 {
@@ -135,7 +136,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 
 func TestWALMidLogCorruptionDetected(t *testing.T) {
 	dir := t.TempDir()
-	w, _ := recoverWAL(dir, 64, 0, nil) // force multiple segments
+	w, _ := recoverWAL(dir, 64, 0, 0, nil) // force multiple segments
 	for i := 0; i < 4; i++ {
 		if _, err := w.append(testOp(i)); err != nil {
 			t.Fatal(err)
@@ -153,7 +154,7 @@ func TestWALMidLogCorruptionDetected(t *testing.T) {
 	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = recoverWAL(dir, 64, 0, nil)
+	_, err = recoverWAL(dir, 64, 0, 0, nil)
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}
@@ -163,7 +164,7 @@ func TestWALFreshStartsAfterSnapshotSeq(t *testing.T) {
 	// A snapshot at seq 41 with no (or a removed) log must number new
 	// records from 42, or later recoveries would skip them.
 	dir := t.TempDir()
-	w, err := recoverWAL(dir, 0, 41, nil)
+	w, err := recoverWAL(dir, 0, 41, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestWALBehindSnapshotRepairSurvivesReopen(t *testing.T) {
 	// resuming after the snapshot — and, critically, the repaired log
 	// must open cleanly again: the repair must not leave a sequence gap.
 	dir := t.TempDir()
-	w, err := recoverWAL(dir, 0, 0, nil)
+	w, err := recoverWAL(dir, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestWALBehindSnapshotRepairSurvivesReopen(t *testing.T) {
 	}
 	w.close()
 	// Snapshot claims seq 5 > 2: first open repairs.
-	w2, err := recoverWAL(dir, 0, 5, nil)
+	w2, err := recoverWAL(dir, 0, 5, 0, nil)
 	if err != nil {
 		t.Fatalf("repair open: %v", err)
 	}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -38,7 +39,7 @@ import (
 // Run executes one CLI invocation, writing human output to w.
 func Run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate | serve | db | replication")
+		return errors.New("missing subcommand: integrate | query | stats | worlds | feedback | generate | serve | db | replication | promote")
 	}
 	switch args[0] {
 	case "integrate":
@@ -47,6 +48,8 @@ func Run(args []string, w io.Writer) error {
 		return runDBCmd(args[1:], w)
 	case "replication":
 		return runReplication(args[1:], w)
+	case "promote":
+		return runPromote(args[1:], w)
 	case "query":
 		return runQuery(args[1:], w)
 	case "stats":
@@ -64,7 +67,7 @@ func Run(args []string, w io.Writer) error {
 	case "shell":
 		return shell.New(w).Run(os.Stdin)
 	case "help", "-h", "--help":
-		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, serve, db, replication, shell")
+		fmt.Fprintln(w, "subcommands: integrate, query, explain, stats, worlds, feedback, generate, serve, db, replication, promote, shell")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
@@ -669,6 +672,7 @@ func runDBCmd(args []string, w io.Writer) error {
 // lag and sync counters.
 type replicationStatusBody struct {
 	Role      string `json:"role"`
+	Epoch     uint64 `json:"epoch"`
 	Primary   string `json:"primary"`
 	Connected bool   `json:"connected"`
 	LastError string `json:"last_error"`
@@ -726,6 +730,7 @@ func runReplication(args []string, w io.Writer) error {
 		return fmt.Errorf("replication: decoding status: %w", err)
 	}
 	fmt.Fprintf(w, "role:      %s\n", st.Role)
+	fmt.Fprintf(w, "epoch:     %d\n", st.Epoch)
 	switch st.Role {
 	case "replica":
 		fmt.Fprintf(w, "primary:   %s\n", st.Primary)
@@ -746,6 +751,11 @@ func runReplication(args []string, w io.Writer) error {
 			}
 		}
 	default:
+		// Primary-style rows; a demoted ex-primary additionally discloses
+		// where writes moved.
+		if st.Primary != "" {
+			fmt.Fprintf(w, "primary:   %s\n", st.Primary)
+		}
 		for _, db := range st.Databases {
 			fmt.Fprintf(w, "%-20s seq %6d  digest %s  snapshot seq %6d  (%d tail op(s))\n",
 				db.Name, db.LastSeq, db.Digest, db.SnapshotSeq, db.TailOps)
@@ -753,6 +763,50 @@ func runReplication(args []string, w io.Writer) error {
 	}
 	if len(st.Databases) == 0 {
 		fmt.Fprintln(w, "(no databases)")
+	}
+	return nil
+}
+
+// runPromote implements `imprecise promote -url U [-advertise A]`: it
+// asks a running replica server to take over as primary (POST /promote)
+// and prints the new epoch and the node being fenced.
+func runPromote(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("promote", flag.ContinueOnError)
+	baseURL := fs.String("url", "http://localhost:8080", "base URL of the replica server to promote")
+	advertise := fs.String("advertise", "", "URL the promoted node should advertise to the cluster (default: its own address)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("promote: unexpected arguments %q", fs.Args())
+	}
+	body, err := json.Marshal(map[string]string{"advertise_url": *advertise})
+	if err != nil {
+		return err
+	}
+	u := strings.TrimRight(*baseURL, "/") + "/promote"
+	resp, err := http.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("promote: POST %s: %s: %s", u, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var pr struct {
+		Role       string `json:"role"`
+		Epoch      uint64 `json:"epoch"`
+		OldPrimary string `json:"old_primary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return fmt.Errorf("promote: decoding response: %w", err)
+	}
+	fmt.Fprintf(w, "role:  %s\n", pr.Role)
+	fmt.Fprintf(w, "epoch: %d\n", pr.Epoch)
+	if pr.OldPrimary != "" {
+		fmt.Fprintf(w, "fencing old primary %s\n", pr.OldPrimary)
 	}
 	return nil
 }

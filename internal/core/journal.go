@@ -68,6 +68,27 @@ type Journal interface {
 	Record(op Op) (seq uint64, err error)
 }
 
+// EpochJournal is optionally implemented by journals that stamp records
+// with a cluster epoch — the fencing term replication uses to reject
+// writes from a deposed primary. The catalog's write-ahead log is one.
+type EpochJournal interface {
+	Journal
+	Epoch() uint64
+}
+
+// JournalEpoch reports the cluster epoch the attached journal commits
+// under, or 0 when no journal is attached or the journal does not track
+// epochs (a plain in-memory database).
+func (db *Database) JournalEpoch() uint64 {
+	db.mu.RLock()
+	j := db.journal
+	db.mu.RUnlock()
+	if ej, ok := j.(EpochJournal); ok {
+		return ej.Epoch()
+	}
+	return 0
+}
+
 // SetJournal attaches a journal and seeds the applied-sequence watermark
 // (the sequence of the last mutation already reflected in the current
 // tree — after recovery, the last replayed record). Passing nil detaches.

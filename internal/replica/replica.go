@@ -73,6 +73,8 @@ type Options struct {
 // DBStatus is the replication state of one followed database.
 type DBStatus struct {
 	Name string `json:"name"`
+	// Epoch is the cluster epoch the local database commits under.
+	Epoch uint64 `json:"epoch"`
 	// LastApplied is the follower's durable log position; PrimarySeq the
 	// primary's position as of the last contact; Lag their distance.
 	LastApplied uint64 `json:"last_applied"`
@@ -91,7 +93,9 @@ type DBStatus struct {
 // Status is a replica's overall replication state (served by the replica
 // server under GET /replication).
 type Status struct {
-	Primary     string     `json:"primary"`
+	Primary string `json:"primary"`
+	// Epoch is the follower catalog's cluster epoch.
+	Epoch       uint64     `json:"epoch"`
 	Connected   bool       `json:"connected"`
 	LastContact time.Time  `json:"last_contact,omitzero"`
 	LastError   string     `json:"last_error,omitempty"`
@@ -119,6 +123,7 @@ type Replica struct {
 	connected   bool
 	lastContact time.Time
 	lastErr     string
+	stopped     bool
 }
 
 // tailer is the per-database sync goroutine's handle and status. Its
@@ -187,15 +192,41 @@ func normalizeBase(u string) string {
 // Catalog returns the follower catalog the replica serves reads from.
 func (r *Replica) Catalog() *catalog.Catalog { return r.cat }
 
-// Primary returns the primary's base URL.
-func (r *Replica) Primary() string { return r.primary }
+// Primary returns the base URL of the node currently followed. It can
+// change at runtime: when the followed node reports it was itself
+// demoted (or is a replica pointing elsewhere), the membership loop
+// chases its primary pointer.
+func (r *Replica) Primary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary
+}
+
+// repoint swaps the followed URL after the current one disclosed a newer
+// primary.
+func (r *Replica) repoint(u string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.primary = u
+}
+
+// StopSync permanently stops the membership and tailer loops, leaving
+// the follower catalog open and exactly at the durable lastApplied of
+// every database. It is the first half of promotion: the catalog stops
+// following before it starts leading. Safe to call more than once.
+func (r *Replica) StopSync() {
+	r.mu.Lock()
+	r.stopped = true
+	r.mu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+}
 
 // Close stops the sync loops and closes the follower catalog. The
 // on-disk state stays exactly at the durable lastApplied of every
 // database; a later Open resumes tailing from there.
 func (r *Replica) Close() error {
-	r.cancel()
-	r.wg.Wait()
+	r.StopSync()
 	return r.cat.Close()
 }
 
@@ -206,6 +237,7 @@ func (r *Replica) Status() Status {
 	defer r.mu.Unlock()
 	st := Status{
 		Primary:     r.primary,
+		Epoch:       r.cat.Epoch(),
 		Connected:   r.connected,
 		LastContact: r.lastContact,
 		LastError:   r.lastErr,
@@ -291,6 +323,7 @@ func (r *Replica) reconcile(ps *PrimaryStatus) {
 			// membership report is just as authoritative about lag.
 			if db, err := r.cat.Get(pdb.Name); err == nil {
 				t.st.LastApplied = db.LastSeq()
+				t.st.Epoch = db.Epoch()
 			}
 			if pdb.LastSeq > t.st.PrimarySeq {
 				t.st.PrimarySeq = pdb.LastSeq
@@ -394,7 +427,8 @@ func (r *Replica) tailOnce(t *tailer) error {
 		return err
 	}
 	since := db.LastSeq()
-	page, err := r.fetchWAL(t.ctx, t.name, since)
+	localEpoch := db.Epoch()
+	page, err := r.fetchWAL(t.ctx, t.name, since, localEpoch)
 	if errors.Is(err, errGone) {
 		// The primary compacted past us, or reset below us: full resync.
 		r.logf("replica: %s: position %d gone on primary, resynchronizing from snapshot", t.name, since)
@@ -404,9 +438,17 @@ func (r *Replica) tailOnce(t *tailer) error {
 	if err != nil {
 		return err
 	}
+	if page.Epoch < localEpoch {
+		// The serving node is a deposed primary still answering under its
+		// old term. Nothing it says may land here — and crucially this
+		// must NOT trigger a snapshot resync, which would overwrite
+		// promoted state with stale state. Fail the round and retry; the
+		// stale node steps down once it learns of the new epoch.
+		return fmt.Errorf("%w: %s: page at epoch %d, local epoch is %d", catalog.ErrStaleEpoch, t.name, page.Epoch, localEpoch)
+	}
 	applied := int64(0)
 	for _, rec := range page.Records {
-		ok, err := db.ApplyReplicated(rec.Seq, rec.Op)
+		ok, err := db.ApplyReplicated(rec)
 		if errors.Is(err, catalog.ErrReplicaGap) {
 			r.logf("replica: %s: %v, resynchronizing from snapshot", t.name, err)
 			_, err = r.bootstrap(t)
@@ -422,6 +464,7 @@ func (r *Replica) tailOnce(t *tailer) error {
 	last := db.LastSeq()
 	r.mu.Lock()
 	t.st.LastApplied = last
+	t.st.Epoch = db.Epoch()
 	t.st.PrimarySeq = page.LastSeq
 	t.st.Lag = 0
 	if page.LastSeq > last {
@@ -456,6 +499,12 @@ func (r *Replica) bootstrap(t *tailer) (*catalog.DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Never install a snapshot from an older epoch than anything this
+	// catalog already holds: a deposed primary's state must not replace a
+	// promoted one's, even through the resync path.
+	if local := r.cat.Epoch(); payload.Epoch < local {
+		return nil, fmt.Errorf("%w: %s: snapshot at epoch %d, local epoch is %d", catalog.ErrStaleEpoch, t.name, payload.Epoch, local)
+	}
 	tree, err := xmlcodec.DecodeString(payload.Tree)
 	if err != nil {
 		return nil, fmt.Errorf("replica: %s: bad snapshot document: %w", t.name, err)
@@ -469,11 +518,12 @@ func (r *Replica) bootstrap(t *tailer) (*catalog.DB, error) {
 	}
 	db, err := r.cat.InstallSnapshot(t.name, catalog.BootstrapSnapshot{
 		Seq:          payload.Seq,
+		Epoch:        payload.Epoch,
 		Tree:         tree,
 		Schema:       schema,
 		Integrations: payload.Integrations,
 		Feedback:     payload.Feedback,
-		Comment:      "replicated from " + r.primary,
+		Comment:      "replicated from " + r.Primary(),
 	})
 	if err != nil {
 		return nil, err
@@ -487,6 +537,7 @@ func (r *Replica) bootstrap(t *tailer) (*catalog.DB, error) {
 	r.mu.Lock()
 	t.st.SnapshotsInstalled++
 	t.st.LastApplied = payload.Seq
+	t.st.Epoch = db.Epoch()
 	if t.st.PrimarySeq < payload.Seq {
 		t.st.PrimarySeq = payload.Seq
 	}
@@ -516,22 +567,41 @@ func (r *Replica) fetchPrimaryStatus(ctx context.Context) (*PrimaryStatus, error
 	// else must fail the round, NOT return an empty database set:
 	// reconcile treats the primary's set as authoritative and would drop
 	// every local follower database over a transient misconfiguration
-	// (e.g. the primary restarted without -data).
+	// (e.g. the primary restarted without -data). A followed node that
+	// stopped being the primary but discloses its successor (a demoted
+	// ex-primary, or a replica that was promoted elsewhere) re-points this
+	// follower at the successor; the next round syncs from there.
 	switch ps.Role {
 	case "primary":
+	case "demoted":
+		// The followed node was deposed and discloses its successor: chase
+		// the pointer so surviving followers converge on the new primary.
+		// A plain "replica" role deliberately does NOT re-point — chaining
+		// followers off healthy replicas stays an error, so replication
+		// trees remain rooted at primaries.
+		if ps.Primary != "" && normalizeBase(ps.Primary) != r.Primary() {
+			next := normalizeBase(ps.Primary)
+			r.logf("replica: %s reports role %q, re-pointing at its primary %s", r.Primary(), ps.Role, next)
+			r.repoint(next)
+			return nil, fmt.Errorf("replica: followed node stepped down, now following %s", next)
+		}
+		return nil, fmt.Errorf("replica: primary %s was demoted and names no successor — wait or re-point manually", r.Primary())
 	case "replica":
-		return nil, fmt.Errorf("replica: primary %s is itself a replica of another node — chain followers off primaries only", r.primary)
+		return nil, fmt.Errorf("replica: primary %s is itself a %s of another node — chain followers off primaries only", r.Primary(), ps.Role)
 	default:
-		return nil, fmt.Errorf("replica: %s reports role %q — a follower needs a catalog-mode primary (serve -data)", r.primary, ps.Role)
+		return nil, fmt.Errorf("replica: %s reports role %q — a follower needs a catalog-mode primary (serve -data)", r.Primary(), ps.Role)
 	}
 	return &ps, nil
 }
 
-// fetchWAL long-polls one page of the primary's op log past since.
-func (r *Replica) fetchWAL(ctx context.Context, name string, since uint64) (*WALPage, error) {
+// fetchWAL long-polls one page of the primary's op log past since. The
+// follower's own epoch rides along so a deposed primary learns of its
+// deposition from the very followers it tries to keep shipping to.
+func (r *Replica) fetchWAL(ctx context.Context, name string, since, epoch uint64) (*WALPage, error) {
 	q := url.Values{
 		"since": {strconv.FormatUint(since, 10)},
 		"wait":  {strconv.FormatInt(r.opts.PollWait.Milliseconds(), 10)},
+		"epoch": {strconv.FormatUint(epoch, 10)},
 	}
 	if r.opts.BatchLimit > 0 {
 		q.Set("limit", strconv.Itoa(r.opts.BatchLimit))
@@ -559,7 +629,7 @@ func (r *Replica) fetchSnapshot(ctx context.Context, name string) (*SnapshotPayl
 func (r *Replica) getJSON(ctx context.Context, path string, q url.Values, timeout time.Duration, v any) error {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	u := r.primary + path
+	u := r.Primary() + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}

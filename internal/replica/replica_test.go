@@ -261,7 +261,7 @@ func TestReplicationDivergenceResync(t *testing.T) {
 	// then align while the trees differ — exactly what digest comparison
 	// must catch.
 	forged := core.Op{Kind: core.OpReplace, Tree: abC}
-	if _, err := fdb.ApplyReplicated(2, forged); err != nil {
+	if _, err := fdb.ApplyReplicated(catalog.WALRecord{Seq: 2, Op: forged}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := pdb.Core().IntegrateXMLString(abB); err != nil {

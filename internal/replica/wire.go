@@ -26,6 +26,10 @@ type WALPage struct {
 	// anything else is divergence.
 	LastSeq uint64 `json:"last_seq"`
 	Digest  string `json:"digest"`
+	// Epoch is the cluster epoch the serving node commits under. A page
+	// from an epoch below the follower's own is stale — the sender was
+	// deposed — and must be rejected, never resynced from.
+	Epoch uint64 `json:"epoch"`
 	// Records are the shipped ops, oldest first, starting at Since+1. An
 	// empty page means the follower is caught up (the long-poll wait
 	// expired without new commits).
@@ -44,6 +48,8 @@ type SnapshotPayload struct {
 	// Seq is the primary log position the state reflects; tailing resumes
 	// at Seq+1.
 	Seq uint64 `json:"seq"`
+	// Epoch is the cluster epoch the state was committed under.
+	Epoch uint64 `json:"epoch"`
 	// Digest is the structural digest of Tree (16 hex digits); the
 	// follower verifies its installed tree against it.
 	Digest string `json:"digest"`
@@ -60,7 +66,15 @@ type SnapshotPayload struct {
 // role aside, on a standalone server): the membership and per-database
 // positions a follower synchronizes against.
 type PrimaryStatus struct {
-	Role      string            `json:"role"`
+	Role string `json:"role"`
+	// Epoch is the node's cluster epoch — the fencing term its commits
+	// are stamped with.
+	Epoch uint64 `json:"epoch"`
+	// Primary is the URL of the node this one believes is the primary:
+	// empty on a primary itself, the upstream on a replica, and the
+	// promoted successor on a demoted ex-primary. Followers polling a
+	// non-primary chase this pointer to re-point after a promotion.
+	Primary   string            `json:"primary,omitempty"`
 	Databases []PrimaryDBStatus `json:"databases"`
 }
 
@@ -74,6 +88,8 @@ type PrimaryDBStatus struct {
 	// SnapshotSeq and TailOps describe the on-disk durability position.
 	SnapshotSeq uint64 `json:"snapshot_seq"`
 	TailOps     uint64 `json:"tail_ops"`
+	// Epoch is the cluster epoch the database commits under.
+	Epoch uint64 `json:"epoch"`
 }
 
 // DigestString renders a tree's structural digest in the protocol's wire

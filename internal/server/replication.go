@@ -34,16 +34,22 @@ type ReadOnlyError struct {
 	Primary string `json:"primary"`
 }
 
-// writeReadOnly rejects a mutating verb on a read replica.
+// writeReadOnly rejects a mutating verb on a read replica (or a demoted
+// ex-primary).
 func (s *Server) writeReadOnly(w http.ResponseWriter, verb string) {
-	if s.primary != "" {
+	primary := s.primaryHint()
+	if primary != "" {
 		// A redirect hint, not a redirect: replaying a POST body across
 		// hosts is the client's call to make.
-		w.Header().Set("Location", s.primary)
+		w.Header().Set("Location", primary)
+	}
+	what := "a read replica"
+	if s.role() == "demoted" {
+		what = "a demoted ex-primary"
 	}
 	writeJSON(w, http.StatusForbidden, ReadOnlyError{
-		Error:   fmt.Sprintf("%s: this node is a read replica; send writes to the primary", verb),
-		Primary: s.primary,
+		Error:   fmt.Sprintf("%s: this node is %s; send writes to the primary", verb, what),
+		Primary: primary,
 	})
 }
 
@@ -51,7 +57,7 @@ func (s *Server) writeReadOnly(w http.ResponseWriter, verb string) {
 // read-only check.
 func (s *Server) guardMutation(h func(http.ResponseWriter, *http.Request, target)) func(http.ResponseWriter, *http.Request, target) {
 	return func(w http.ResponseWriter, r *http.Request, t target) {
-		if s.readOnly {
+		if s.isReadOnly() {
 			s.writeReadOnly(w, r.URL.Path)
 			return
 		}
@@ -60,11 +66,19 @@ func (s *Server) guardMutation(h func(http.ResponseWriter, *http.Request, target
 }
 
 // role names what this server is: "standalone" (one bare database),
-// "primary" (durable catalog), or "replica" (follower catalog).
+// "primary" (durable catalog, or a promoted replica), "replica"
+// (follower catalog), or "demoted" (an ex-primary that stepped down
+// after a replica was promoted over it).
 func (s *Server) role() string {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
 	switch {
-	case s.rep != nil:
+	case s.rep != nil && !s.promoted:
 		return "replica"
+	case s.rep != nil:
+		return "primary"
+	case s.cat != nil && s.demoted:
+		return "demoted"
 	case s.cat != nil:
 		return "primary"
 	default:
@@ -75,8 +89,10 @@ func (s *Server) role() string {
 // handleWAL serves one page of a database's committed op log — the
 // primary half of log shipping. Parameters: since (position to read past,
 // default 0), limit (records per page, capped), wait (long-poll
-// milliseconds to hold an empty page open for, capped). A position the
-// log cannot serve incrementally (compacted away, or beyond the log) is
+// milliseconds to hold an empty page open for, capped), epoch (the
+// follower's cluster epoch; a value above this node's means this node
+// was deposed — it steps down and answers 409). A position the log
+// cannot serve incrementally (compacted away, or beyond the log) is
 // 410 Gone: the follower must bootstrap from /snapshot.
 func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
 	if t.cdb == nil {
@@ -86,6 +102,19 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
 	since, err := uintParam(r, "since", 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "wal: %v", err)
+		return
+	}
+	followerEpoch, err := uintParam(r, "epoch", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "wal: %v", err)
+		return
+	}
+	if local := s.cat.Epoch(); followerEpoch > local {
+		// The requester has witnessed a newer epoch than this node: a
+		// replica was promoted over us. Step down rather than keep
+		// shipping a log the cluster has moved past.
+		s.stepDown(local, followerEpoch, "")
+		writeError(w, http.StatusConflict, "wal: this node is at epoch %d, the cluster has moved to %d (stepping down)", local, followerEpoch)
 		return
 	}
 	limit, err := intParam(r, "limit", 0)
@@ -132,6 +161,7 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
 		Since:    since,
 		LastSeq:  seq,
 		Digest:   replica.DigestString(tree),
+		Epoch:    t.cdb.Epoch(),
 		Records:  recs,
 	})
 }
@@ -143,6 +173,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, t target
 		writeError(w, http.StatusServiceUnavailable, "snapshot: replication requires a durable catalog (start the server with a data directory)")
 		return
 	}
+	// Read the epoch before the view: if a concurrent raise lands between
+	// the two reads the payload understates the epoch, which a follower
+	// tolerates (it refuses only snapshots BELOW its own epoch).
+	epoch := t.cdb.Epoch()
 	v := t.core.View()
 	// KeepTrivial matches the journal encoding: the round trip preserves
 	// structure (pxml.Equal), which is what replay determinism needs.
@@ -155,6 +189,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, t target
 		Database:      t.name,
 		FormatVersion: store.FormatVersion,
 		Seq:           v.Seq,
+		Epoch:         epoch,
 		Digest:        replica.DigestString(v.Tree),
 		Tree:          tree,
 		Integrations:  v.Integrations,
@@ -178,12 +213,13 @@ type replicaReplicationResponse struct {
 // a follower syncs against, on a replica the follower lag and sync
 // counters.
 func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
-	if s.rep != nil {
+	if s.rep != nil && !s.isPromoted() {
 		writeJSON(w, http.StatusOK, replicaReplicationResponse{Role: "replica", Status: s.rep.Status()})
 		return
 	}
-	ps := replica.PrimaryStatus{Role: s.role(), Databases: []replica.PrimaryDBStatus{}}
+	ps := replica.PrimaryStatus{Role: s.role(), Primary: s.primaryHint(), Databases: []replica.PrimaryDBStatus{}}
 	if s.cat != nil {
+		ps.Epoch = s.cat.Epoch()
 		for _, db := range s.cat.List() {
 			tree, seq := db.Core().TreeSeq()
 			st := db.Stats()
@@ -193,6 +229,7 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 				Digest:      replica.DigestString(tree),
 				SnapshotSeq: st.SnapshotSeq,
 				TailOps:     st.TailOps,
+				Epoch:       st.Epoch,
 			})
 		}
 	}
@@ -220,9 +257,11 @@ type HealthDB struct {
 // serves); ?verbose=1 adds the readiness report — role, per-database log
 // positions, and on followers the replication lag.
 type HealthResponse struct {
-	Status    string     `json:"status"`
-	Role      string     `json:"role,omitempty"`
-	Primary   string     `json:"primary,omitempty"`
+	Status  string `json:"status"`
+	Role    string `json:"role,omitempty"`
+	Primary string `json:"primary,omitempty"`
+	// Epoch is the node's cluster epoch (catalog and replica modes).
+	Epoch     *uint64    `json:"epoch,omitempty"`
 	Connected *bool      `json:"connected,omitempty"`
 	Databases []HealthDB `json:"databases,omitempty"`
 }
@@ -247,8 +286,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Role = s.role()
+	if s.cat != nil {
+		epoch := s.cat.Epoch()
+		resp.Epoch = &epoch
+	}
 	var lagByName map[string]replica.DBStatus
-	if s.rep != nil {
+	if s.rep != nil && !s.isPromoted() {
 		st := s.rep.Status()
 		resp.Primary = st.Primary
 		connected := st.Connected
@@ -257,6 +300,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		for _, d := range st.Databases {
 			lagByName[d.Name] = d
 		}
+	} else if p := s.primaryHint(); p != "" {
+		// A demoted ex-primary discloses where writes went.
+		resp.Primary = p
 	}
 	resp.Databases = []HealthDB{}
 	if s.cat != nil {

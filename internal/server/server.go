@@ -57,6 +57,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -67,6 +68,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -105,16 +107,35 @@ type Options struct {
 
 // Server is the HTTP front end over one core.Database (legacy mode), a
 // durable multi-database catalog, or a read replica's follower catalog.
+// A replica server can be promoted to primary at runtime (POST
+// /promote) and a primary can step down (POST /stepdown), so the role
+// state below is mutable and guarded.
 type Server struct {
 	db   *core.Database   // legacy single-database mode; nil in catalog mode
 	cat  *catalog.Catalog // catalog mode; nil in legacy mode
 	rep  *replica.Replica // replica mode; cat is then the follower catalog
 	opts Options
 	mux  *http.ServeMux
+
+	// roleMu guards the mutable role state: readOnly, primary, promoted
+	// and demoted. promoteMu serializes whole promotions (held across the
+	// drain + epoch raise, not just the flag flip).
+	roleMu    sync.RWMutex
+	promoteMu sync.Mutex
 	// readOnly rejects every mutating verb with 403 + primary (replica
-	// mode).
+	// mode, and demoted ex-primaries).
 	readOnly bool
 	primary  string
+	// promoted: this server started as a replica and was promoted; it now
+	// serves as a primary over the (former follower) catalog. demoted:
+	// this server started as a primary and stepped down after a replica
+	// was promoted over it.
+	promoted bool
+	demoted  bool
+
+	// fencing goroutine bookkeeping (started by a promotion).
+	fenceCancel context.CancelFunc
+	fenceWG     sync.WaitGroup
 }
 
 // target is the database one request operates on: its core plus, in
@@ -197,7 +218,45 @@ func newServer(db *core.Database, cat *catalog.Catalog, rep *replica.Replica, op
 	s.mux.HandleFunc("DELETE /dbs/{name}", s.handleDropDB)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /replication", s.handleReplication)
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
+	s.mux.HandleFunc("POST /stepdown", s.handleStepdown)
 	return s
+}
+
+// Close stops background work the server may have started (the fencing
+// goroutine a promotion spawns). It does not close the underlying
+// catalog or replica; their owners do that.
+func (s *Server) Close() {
+	s.roleMu.Lock()
+	cancel := s.fenceCancel
+	s.fenceCancel = nil
+	s.roleMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.fenceWG.Wait()
+}
+
+// isReadOnly reports whether mutating verbs are currently rejected.
+func (s *Server) isReadOnly() bool {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.readOnly
+}
+
+// primaryHint is the URL of the node this server believes is the
+// primary ("" when it is the primary itself, or does not know).
+func (s *Server) primaryHint() string {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.primary
+}
+
+// isPromoted reports whether this replica server has been promoted.
+func (s *Server) isPromoted() bool {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.promoted
 }
 
 // withDefault routes a legacy request to the single database (legacy
@@ -214,7 +273,7 @@ func (s *Server) withDefault(h func(http.ResponseWriter, *http.Request, target))
 			db  *catalog.DB
 			err error
 		)
-		if s.readOnly {
+		if s.isReadOnly() {
 			db, err = s.cat.Get(catalog.DefaultName)
 			if err != nil {
 				writeError(w, http.StatusNotFound, "db %q is not replicated here (address replicated databases under /dbs/{name})", catalog.DefaultName)
@@ -602,6 +661,8 @@ type DurabilityStats struct {
 	LastSeq     uint64 `json:"last_seq"`
 	SnapshotSeq uint64 `json:"snapshot_seq"`
 	TailOps     uint64 `json:"tail_ops"`
+	// Epoch is the cluster epoch commits are stamped with.
+	Epoch uint64 `json:"epoch"`
 	// Segments / SizeBytes describe the live log on disk.
 	Segments  int   `json:"segments"`
 	SizeBytes int64 `json:"size_bytes"`
@@ -625,6 +686,7 @@ func durabilityStats(db *catalog.DB) *DurabilityStats {
 		LastSeq:           st.WAL.LastSeq,
 		SnapshotSeq:       st.SnapshotSeq,
 		TailOps:           st.TailOps,
+		Epoch:             st.Epoch,
 		Segments:          st.WAL.Segments,
 		SizeBytes:         st.WAL.SizeBytes,
 		Appends:           st.WAL.Appends,
@@ -946,7 +1008,7 @@ func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
 	if !s.requireCatalog(w) {
 		return
 	}
-	if s.readOnly {
+	if s.isReadOnly() {
 		s.writeReadOnly(w, "create db")
 		return
 	}
@@ -971,7 +1033,7 @@ func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
 	if !s.requireCatalog(w) {
 		return
 	}
-	if s.readOnly {
+	if s.isReadOnly() {
 		s.writeReadOnly(w, "drop db")
 		return
 	}

@@ -8,9 +8,12 @@ package shell
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -140,6 +143,8 @@ func (s *Shell) Execute(line string) error {
 		return s.use(rest)
 	case "wal":
 		return s.walCmd(rest)
+	case "promote":
+		return s.promote(rest)
 	case "demo":
 		return s.demo()
 	default:
@@ -185,6 +190,9 @@ func (s *Shell) help() {
                           then on mutations are write-ahead logged
   wal [n]                 show the last n ops of the active database's
                           write-ahead log (default 10)
+  promote <url> [advertise-url]
+                          promote the replica server at url to primary
+                          (raises the cluster epoch, fences the old one)
   demo                    run the built-in Figure-2 walkthrough
   quit                    leave
 `)
@@ -726,6 +734,48 @@ func (s *Shell) use(name string) error {
 
 // walCmd lists the tail of the active catalog database's write-ahead log
 // — the records a follower would be shipped next.
+// promote asks a running replica server (over HTTP) to take over as
+// primary: POST /promote raises the cluster epoch and fences the old
+// primary. The shell stays attached to whatever catalog it had — this is
+// a cluster-operations command, not a local-state one.
+func (s *Shell) promote(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("usage: promote <url> [advertise-url]")
+	}
+	advertise := ""
+	if len(fields) == 2 {
+		advertise = fields[1]
+	}
+	body, err := json.Marshal(map[string]string{"advertise_url": advertise})
+	if err != nil {
+		return err
+	}
+	u := strings.TrimRight(fields[0], "/") + "/promote"
+	resp, err := http.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("promote: POST %s: %s: %s", u, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var pr struct {
+		Role       string `json:"role"`
+		Epoch      uint64 `json:"epoch"`
+		OldPrimary string `json:"old_primary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return fmt.Errorf("promote: decoding response: %w", err)
+	}
+	fmt.Fprintf(s.out, "promoted: role %s, epoch %d\n", pr.Role, pr.Epoch)
+	if pr.OldPrimary != "" {
+		fmt.Fprintf(s.out, "fencing old primary %s\n", pr.OldPrimary)
+	}
+	return nil
+}
+
 func (s *Shell) walCmd(rest string) error {
 	if s.db == nil {
 		return fmt.Errorf("no catalog database selected (use data <dir>, then use <name>)")

@@ -40,8 +40,14 @@ import (
 
 const (
 	// FormatVersion identifies the snapshot layout; bumped on breaking
-	// changes. Version 1 (fixed filenames, no histories) is still loaded.
-	FormatVersion = 2
+	// changes. Version 3 adds the cluster epoch to the manifest. Versions
+	// 1 (fixed filenames, no histories) and 2 (no epoch — loads as epoch
+	// 0) are still loaded.
+	FormatVersion = 3
+
+	// formatVersionV2 is the pre-epoch content-addressed layout; identical
+	// to v3 except the manifest never carries an epoch.
+	formatVersionV2 = 2
 
 	manifestFile = "manifest.json"
 	// Legacy v1 filenames; v2 names are content-addressed.
@@ -77,6 +83,10 @@ type Manifest struct {
 	// LogSeq is the write-ahead-log sequence number this snapshot
 	// reflects: recovery replays only log entries with a higher sequence.
 	LogSeq uint64 `json:"log_seq,omitempty"`
+	// Epoch is the cluster epoch in force when the snapshot was taken.
+	// Absent (0) in v1/v2 manifests; recovery resumes at the highest of
+	// this and the last write-ahead-log record's epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Integrations and Feedback persist the session histories, so stats
 	// counters survive a save/load round trip or a crash recovery.
 	Integrations []integrate.Stats `json:"integrations,omitempty"`
@@ -100,6 +110,8 @@ type SaveOptions struct {
 	Comment string
 	// LogSeq records the write-ahead-log position the snapshot reflects.
 	LogSeq uint64
+	// Epoch records the cluster epoch in force at save time.
+	Epoch uint64
 	// Integrations and Feedback are the session histories to persist.
 	Integrations []integrate.Stats
 	Feedback     []feedback.Event
@@ -169,6 +181,7 @@ func SaveWith(dir string, tree *pxml.Tree, schema *dtd.Schema, opts SaveOptions)
 		HasSchema:      schema != nil,
 		Comment:        opts.Comment,
 		LogSeq:         opts.LogSeq,
+		Epoch:          opts.Epoch,
 		Integrations:   opts.Integrations,
 		Feedback:       opts.Feedback,
 	}
@@ -231,7 +244,7 @@ func Load(dir string) (*Snapshot, error) {
 	switch m.FormatVersion {
 	case 1:
 		docFile, schemaFile = legacyDocumentFile, legacySchemaFile
-	case FormatVersion:
+	case formatVersionV2, FormatVersion:
 		if docFile == "" || docFile != filepath.Base(docFile) || (m.HasSchema && (schemaFile == "" || schemaFile != filepath.Base(schemaFile))) {
 			return nil, fmt.Errorf("%w: manifest references invalid payload file", ErrCorrupt)
 		}
