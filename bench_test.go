@@ -8,6 +8,7 @@ package imprecise_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/pxml"
 	"repro/internal/query"
 	"repro/internal/queryindex"
+	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/worlds"
 	"repro/internal/xmlcodec"
@@ -592,140 +594,227 @@ func BenchmarkStoreSaveLoad(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotLoad measures store.Load over the two document
+// payload formats — the v4 binary arena against the v3 marker-XML
+// escape hatch — on a datagen movie document. Load is the recovery and
+// replica-bootstrap hot path.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	doc := planBenchDocument(b)
+	for _, enc := range []string{store.EncodingBinary, store.EncodingXML} {
+		b.Run(enc, func(b *testing.B) {
+			dir := b.TempDir()
+			if _, err := store.SaveWith(dir, doc, datagen.MovieDTD(), store.SaveOptions{Encoding: enc}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Load(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodecRoundTrip compares the two document codecs head to head
+// on the same datagen movie document: the flat arena format
+// (pxml.AppendBinary / pxml.DecodeArena) against marker XML. The
+// payload_bytes metric shows the size ratio next to the speed ratio.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	doc := planBenchDocument(b)
+	bin := doc.AppendBinary(nil)
+	xml, err := xmlcodec.EncodeString(doc, xmlcodec.EncodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary/encode", func(b *testing.B) {
+		buf := make([]byte, 0, len(bin))
+		for i := 0; i < b.N; i++ {
+			buf = doc.AppendBinary(buf[:0])
+		}
+		b.ReportMetric(float64(len(buf)), "payload_bytes")
+	})
+	b.Run("binary/decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pxml.DecodeArena(bin); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(bin)), "payload_bytes")
+	})
+	b.Run("xml/encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xmlcodec.EncodeString(doc, xmlcodec.EncodeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(xml)), "payload_bytes")
+	})
+	b.Run("xml/decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xmlcodec.DecodeString(xml); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(xml)), "payload_bytes")
+	})
+}
+
 const benchBookSource = `<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`
 
-// BenchmarkWALAppend measures the durable-commit path: one journaled
-// mutation = one CRC-framed, fsynced write-ahead record. The fsync
-// dominates; the metric that matters operationally is ops/sec on the
-// deployment's storage.
+// walEncodings drives the json/binary sub-benchmarks of the durability
+// and replication suites: "binary" is the default hot-path format,
+// "json" the v1 format kept as the compatibility baseline. The ratio
+// between the two sub-results is the codec layer's payoff.
+var walEncodings = []string{"binary", "json"}
+
+// BenchmarkWALAppend measures the durable-commit path per encoding: one
+// journaled mutation = one CRC-framed, fsynced write-ahead record of a
+// datagen movie document, so the record-encoding cost is visible next
+// to the fsync.
 func BenchmarkWALAppend(b *testing.B) {
-	cat, err := imprecise.OpenCatalog(b.TempDir(), imprecise.CatalogOptions{
-		RootTag:      "addressbook",
-		CompactEvery: -1,
+	doc := planBenchDocument(b)
+	for _, enc := range walEncodings {
+		b.Run(enc, func(b *testing.B) {
+			cat, err := imprecise.OpenCatalog(b.TempDir(), imprecise.CatalogOptions{
+				RootTag:      "catalog",
+				CompactEvery: -1,
+				WALEncoding:  enc,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cat.Close()
+			db, err := cat.Create("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// ReplaceTree journals the whole document: a fixed-size
+				// record, so the numbers isolate the append path.
+				if err := db.Core().ReplaceTree(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := db.Stats()
+			b.ReportMetric(float64(st.WAL.AppendedBytes)/float64(st.WAL.Appends), "walbytes/op")
+		})
+	}
+}
+
+// copyBenchDir clones a benchmark data directory file by file.
+func copyBenchDir(b *testing.B, src, dst string) {
+	b.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer cat.Close()
-	db, err := cat.Create("bench")
-	if err != nil {
-		b.Fatal(err)
-	}
-	tree, err := xmlcodec.DecodeString(benchBookSource)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		// ReplaceTree journals the whole document: a fixed-size record,
-		// so the numbers isolate the log append + fsync cost.
-		if err := db.Core().ReplaceTree(tree); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.StopTimer()
-	st := db.Stats()
-	b.ReportMetric(float64(st.WAL.AppendedBytes)/float64(st.WAL.Appends), "walbytes/op")
 }
 
 // BenchmarkRecovery measures catalog open over the disk state a crash
-// leaves behind: a snapshot plus a write-ahead tail of 32 replayable
-// ops. The template directory is built once (and never cleanly closed,
-// so the tail survives); every iteration recovers a fresh copy of it.
+// leaves behind, per WAL encoding: a snapshot plus a write-ahead tail
+// of 32 replayable datagen-document ops. The template directory is
+// built once (and never cleanly closed, so the tail survives); every
+// iteration recovers a fresh copy of it. Replay cost is decode-bound,
+// so this is the benchmark where the binary record format must earn
+// its keep.
 func BenchmarkRecovery(b *testing.B) {
-	staging := b.TempDir()
-	cat, err := imprecise.OpenCatalog(staging, imprecise.CatalogOptions{
-		RootTag:      "addressbook",
-		CompactEvery: -1,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	db, err := cat.Create("bench")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if _, err := db.Core().IntegrateXMLString(benchBookSource); err != nil {
-		b.Fatal(err)
-	}
-	if err := db.Compact(); err != nil {
-		b.Fatal(err)
-	}
-	tree, err := xmlcodec.DecodeString(benchBookSource)
-	if err != nil {
-		b.Fatal(err)
-	}
-	const tailOps = 32
-	for i := 0; i < tailOps; i++ {
-		if err := db.Core().ReplaceTree(tree); err != nil {
-			b.Fatal(err)
-		}
-	}
-	// Deliberately no cat.Close(): a clean shutdown would compact the
-	// tail away. The staging catalog stays open (its lock is on the
-	// staging dir only); iterations run on copies.
-	copyBenchDir := func(dst string) {
-		err := filepath.Walk(staging, func(path string, info os.FileInfo, err error) error {
+	doc := planBenchDocument(b)
+	for _, enc := range walEncodings {
+		b.Run(enc, func(b *testing.B) {
+			staging := b.TempDir()
+			opts := imprecise.CatalogOptions{
+				RootTag:      "catalog",
+				CompactEvery: -1,
+				WALEncoding:  enc,
+			}
+			cat, err := imprecise.OpenCatalog(staging, opts)
 			if err != nil {
-				return err
+				b.Fatal(err)
 			}
-			rel, err := filepath.Rel(staging, path)
+			db, err := cat.Create("bench")
 			if err != nil {
-				return err
+				b.Fatal(err)
 			}
-			if info.IsDir() {
-				return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+			if err := db.Core().ReplaceTree(doc); err != nil {
+				b.Fatal(err)
 			}
-			data, err := os.ReadFile(path)
-			if err != nil {
-				return err
+			if err := db.Compact(); err != nil {
+				b.Fatal(err)
 			}
-			return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+			const tailOps = 32
+			for i := 0; i < tailOps; i++ {
+				if err := db.Core().ReplaceTree(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Deliberately no cat.Close(): a clean shutdown would compact
+			// the tail away. The staging catalog stays open (its lock is
+			// on the staging dir only); iterations run on copies.
+			replayed := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				copyBenchDir(b, staging, dir)
+				b.StartTimer()
+				c, err := imprecise.OpenCatalog(dir, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				d, err := c.Get("bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				replayed = d.Stats().RecoveredOps
+				if replayed != tailOps {
+					b.Fatalf("recovered %d ops, want %d", replayed, tailOps)
+				}
+				if err := c.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(replayed), "replayedops")
+			runtime.KeepAlive(cat)
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 	}
-	replayed := int64(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		dir := b.TempDir()
-		copyBenchDir(dir)
-		b.StartTimer()
-		c, err := imprecise.OpenCatalog(dir, imprecise.CatalogOptions{
-			RootTag:      "addressbook",
-			CompactEvery: -1,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.StopTimer()
-		d, err := c.Get("bench")
-		if err != nil {
-			b.Fatal(err)
-		}
-		replayed = d.Stats().RecoveredOps
-		if replayed != tailOps {
-			b.Fatalf("recovered %d ops, want %d", replayed, tailOps)
-		}
-		if err := c.Close(); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
-	}
-	b.ReportMetric(float64(replayed), "replayedops")
-	runtime.KeepAlive(cat)
 }
 
-// BenchmarkReplicationShip measures log shipping end to end over HTTP
-// loopback: a primary with b.N journaled ops, a follower started empty
-// that must bootstrap and catch up. Reported metrics are the shipped
-// throughput (shipped_ops/s) and the total catch-up latency (catchup_ms)
-// — the time a fresh read replica needs before it serves.
+// BenchmarkReplicationShip measures the log-shipping wire end to end
+// over HTTP loopback, per negotiated encoding: a primary holding a
+// fixed journaled history of datagen-document ops; each iteration
+// fetches and decodes that history in WAL pages exactly as a
+// follower's tailer does (server side: disk read, then a raw byte copy
+// on the binary wire or decode + JSON render on the fallback; client
+// side: wire decode + negotiation). The follower's
+// re-journal fsync is deliberately outside the loop — it is
+// storage-bound and identical under both encodings; the end-to-end
+// commit-to-visible path is BenchmarkReplicationTail.
 func BenchmarkReplicationShip(b *testing.B) {
+	treeA := planBenchDocument(b)
+	treeB := datagen.Confusing(12, 2).A.Tree
 	cat, err := imprecise.OpenCatalog(b.TempDir(), imprecise.CatalogOptions{
-		RootTag:      "addressbook",
+		RootTag:      "catalog",
 		CompactEvery: -1, // keep every op shippable: no compaction
 	})
 	if err != nil {
@@ -736,17 +825,10 @@ func BenchmarkReplicationShip(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	treeA, err := xmlcodec.DecodeString(benchBookSource)
-	if err != nil {
-		b.Fatal(err)
-	}
-	treeB, err := xmlcodec.DecodeString(`<addressbook><person><nm>Mary</nm></person></addressbook>`)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < b.N; i++ {
+	const ops = 64
+	for i := 0; i < ops; i++ {
 		// Alternating replace ops: fixed-size records, so the numbers
-		// isolate shipping (fetch + re-journal + swap), not integration.
+		// isolate shipping, not integration.
 		t := treeA
 		if i%2 == 1 {
 			t = treeB
@@ -757,38 +839,56 @@ func BenchmarkReplicationShip(b *testing.B) {
 	}
 	ts := httptest.NewServer(imprecise.NewCatalogHTTPHandler(cat, imprecise.ServerOptions{}))
 	defer ts.Close()
-
-	b.ResetTimer()
-	rep, err := imprecise.OpenReplica(b.TempDir(), imprecise.ReplicaOptions{
-		Primary:         ts.URL,
-		Catalog:         imprecise.CatalogOptions{RootTag: "addressbook"},
-		PollWait:        200 * time.Millisecond,
-		MembershipEvery: 20 * time.Millisecond,
-		MinBackoff:      10 * time.Millisecond,
-	})
-	if err != nil {
-		b.Fatal(err)
+	for _, enc := range walEncodings {
+		b.Run(enc, func(b *testing.B) {
+			client := ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var since uint64
+				shipped := 0
+				for shipped < ops {
+					req, err := http.NewRequest(http.MethodGet,
+						fmt.Sprintf("%s/dbs/bench/wal?since=%d&limit=16", ts.URL, since), nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if enc == "binary" {
+						req.Header.Set("Accept", "application/x-imprecise-wal")
+					}
+					resp, err := client.Do(req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("wal fetch status %d", resp.StatusCode)
+					}
+					var page *replica.WALPage
+					if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-imprecise-wal") {
+						page, err = replica.DecodeWALPage(resp.Body)
+					} else {
+						page = &replica.WALPage{}
+						err = json.NewDecoder(resp.Body).Decode(page)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if enc == "binary" != strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-imprecise-wal") {
+						b.Fatalf("negotiated the wrong encoding for %q", enc)
+					}
+					if len(page.Records) == 0 {
+						b.Fatal("empty page before catch-up")
+					}
+					shipped += len(page.Records)
+					since = page.Records[len(page.Records)-1].Seq
+				}
+			}
+			elapsed := b.Elapsed()
+			b.StopTimer()
+			b.ReportMetric(float64(ops*b.N)/elapsed.Seconds(), "shipped_ops/s")
+		})
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	err = rep.WaitCaughtUp(ctx)
-	cancel()
-	if err != nil {
-		b.Fatal(err)
-	}
-	elapsed := b.Elapsed()
-	b.StopTimer()
-	fdb, err := rep.Catalog().Get("bench")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if fdb.LastSeq() != db.LastSeq() {
-		b.Fatalf("follower at seq %d, want %d", fdb.LastSeq(), db.LastSeq())
-	}
-	if err := rep.Close(); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "shipped_ops/s")
-	b.ReportMetric(float64(elapsed.Milliseconds()), "catchup_ms")
 }
 
 // BenchmarkReplicationTail measures steady-state shipping latency: the

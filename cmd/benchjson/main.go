@@ -1,12 +1,15 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, so CI can archive benchmark runs as machine-readable
-// artifacts (BENCH_integrate.json, BENCH_query.json) and the perf
-// trajectory of the hot paths accumulates comparable data points per
-// commit.
+// artifacts (BENCH_integrate.json, BENCH_query.json, BENCH_store.json,
+// BENCH_replication.json, BENCH_codec.json, BENCH_failover.json) and the
+// perf trajectory of the hot paths accumulates comparable data points per
+// commit. Encoding-split suites (store, replication, codec) carry the
+// json/binary sub-benchmark pairs whose ratio gates the binary formats.
 //
 // Usage:
 //
 //	go test -run '^$' -bench Integrate -benchtime 1x . | go run ./cmd/benchjson -suite integrate
+//	go test -run '^$' -bench 'CodecRoundTrip|SnapshotLoad' -benchtime 20x . | go run ./cmd/benchjson -suite codec
 //
 // Standard metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric
 // units (components, workers, nodes, …) all land in the per-benchmark

@@ -73,6 +73,12 @@ type Options struct {
 	// automatic compaction, including the final one at Close — only
 	// explicit DB.Compact calls write snapshots then).
 	CompactEvery int
+	// WALEncoding selects the payload format of new write-ahead appends:
+	// EncodingBinary (the default, also chosen by "") or EncodingJSON, the
+	// escape hatch for data dirs that must stay readable by pre-binary
+	// builds. Reading is always format-agnostic — recovery dispatches per
+	// record — so the setting can change between opens of the same dir.
+	WALEncoding string
 	// Logger receives recovery and compaction notes; nil disables.
 	Logger *log.Logger
 }
@@ -122,6 +128,7 @@ type DB struct {
 	compactions   atomic.Int64
 	snapshotSeq   atomic.Uint64 // journal seq the state/ snapshot reflects
 	snapshotEpoch atomic.Uint64 // epoch the state/ snapshot manifest carries
+	storeFormat   atomic.Int64  // format version of the state/ snapshot
 	recoveredOps  int64         // ops replayed at open (immutable after)
 }
 
@@ -134,6 +141,11 @@ func Open(dir string, opts Options) (*Catalog, error) {
 	}
 	if opts.CompactEvery == 0 {
 		opts.CompactEvery = DefaultCompactEvery
+	}
+	switch opts.WALEncoding {
+	case "", EncodingBinary, EncodingJSON:
+	default:
+		return nil, fmt.Errorf("catalog: unknown WAL encoding %q (want %q or %q)", opts.WALEncoding, EncodingBinary, EncodingJSON)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -195,10 +207,11 @@ func (c *Catalog) openDB(name string, seedEpoch uint64) (*DB, error) {
 	}
 	cfg := c.opts.Config
 	var (
-		cdb       *core.Database
-		after     uint64
-		snapEpoch uint64
-		snapshot  = filepath.Join(dbDir, stateDirName)
+		cdb        *core.Database
+		after      uint64
+		snapEpoch  uint64
+		snapFormat = store.FormatVersion
+		snapshot   = filepath.Join(dbDir, stateDirName)
 	)
 	_, statErr := os.Stat(filepath.Join(snapshot, "manifest.json"))
 	if statErr != nil && !os.IsNotExist(statErr) {
@@ -219,6 +232,7 @@ func (c *Catalog) openDB(name string, seedEpoch uint64) (*DB, error) {
 		cdb.RestoreHistories(snap.Manifest.Integrations, snap.Manifest.Feedback)
 		after = snap.Manifest.LogSeq
 		snapEpoch = snap.Manifest.Epoch
+		snapFormat = snap.Manifest.FormatVersion
 	} else {
 		empty, err := xmlcodec.DecodeString("<" + c.opts.RootTag + "/>")
 		if err != nil {
@@ -247,6 +261,7 @@ func (c *Catalog) openDB(name string, seedEpoch uint64) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.jsonAppends = c.opts.WALEncoding == EncodingJSON
 	d := &DB{
 		name:         name,
 		dir:          dbDir,
@@ -260,6 +275,7 @@ func (c *Catalog) openDB(name string, seedEpoch uint64) (*DB, error) {
 	}
 	d.snapshotSeq.Store(after)
 	d.snapshotEpoch.Store(snapEpoch)
+	d.storeFormat.Store(int64(snapFormat))
 	// The watermark the journal resumes from: everything on disk is now
 	// reflected in the tree.
 	last := w.stats().LastSeq
@@ -334,6 +350,7 @@ func (d *DB) Compact() error {
 	}
 	d.snapshotSeq.Store(v.Seq)
 	d.snapshotEpoch.Store(epoch)
+	d.storeFormat.Store(store.FormatVersion)
 	d.compactions.Add(1)
 	d.opsSinceCompact.Store(0)
 	_, err = d.wal.dropThrough(v.Seq)
@@ -388,6 +405,10 @@ type DBStats struct {
 	TailOps      uint64 `json:"tail_ops"`
 	Compactions  int64  `json:"compactions"`
 	RecoveredOps int64  `json:"recovered_ops"`
+	// StoreFormat is the snapshot format version currently on disk; an
+	// old directory advances to store.FormatVersion at its next
+	// compaction.
+	StoreFormat int `json:"store_format"`
 	// CompactEvery is the configured ops-between-compactions knob
 	// (negative: automatic compaction disabled).
 	CompactEvery int `json:"compact_every"`
@@ -408,6 +429,7 @@ func (d *DB) Stats() DBStats {
 		TailOps:      tail,
 		Compactions:  d.compactions.Load(),
 		RecoveredOps: d.recoveredOps,
+		StoreFormat:  int(d.storeFormat.Load()),
 		CompactEvery: d.opts.CompactEvery,
 	}
 }

@@ -58,6 +58,14 @@ func TestCrashRecoveryEveryByteOffset(t *testing.T) {
 	// No clean shutdown: the live catalog is abandoned, only the fsynced
 	// bytes exist. (Closing it here would compact and change the disk.)
 
+	runEveryByteCut(t, data, sizePre, sizePost, preTree, postTree)
+}
+
+// runEveryByteCut clones data, truncates the segment to every offset in
+// [sizePre, sizePost], and verifies recovery lands on exactly the pre-op
+// or post-op tree and keeps accepting appends.
+func runEveryByteCut(t *testing.T, data string, sizePre, sizePost int64, preTree, postTree *pxml.Tree) {
+	t.Helper()
 	for cut := sizePre; cut <= sizePost; cut++ {
 		cut := cut
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
@@ -93,4 +101,48 @@ func TestCrashRecoveryEveryByteOffset(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCrashRecoveryMixedEncodingEveryByteOffset reruns the crash-safety
+// property over a mixed-format log: op 1 journaled as JSON (the log an
+// older build left behind), op 2 appended in binary by this build. Every
+// cut inside the binary frame must recover to the JSON-committed pre
+// state; the full frame to the post state.
+func TestCrashRecoveryMixedEncodingEveryByteOffset(t *testing.T) {
+	base := t.TempDir()
+	data := filepath.Join(base, "data")
+	opts := testOptions()
+	opts.WALEncoding = EncodingJSON
+	cat, err := Open(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cat.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb := db.Core()
+	seg := filepath.Join(data, "x", walDirName, segName(1))
+
+	if _, err := cdb.IntegrateXMLString(abA); err != nil {
+		t.Fatal(err)
+	}
+	preTree := cdb.Tree()
+	preInfo, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The binary-era build continues the same log: flip the append format
+	// in place, exactly what reopening with the default encoding does.
+	db.wal.jsonAppends = false
+	if _, err := cdb.IntegrateXMLString(abB); err != nil {
+		t.Fatal(err)
+	}
+	postTree := cdb.Tree()
+	postInfo, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEveryByteCut(t, data, preInfo.Size(), postInfo.Size(), preTree, postTree)
 }

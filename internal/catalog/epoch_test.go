@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // frameBytes encodes one WAL record in the on-disk frame format
@@ -159,8 +160,22 @@ func TestManifestV2Compat(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Rewrite the manifest as the previous release would have written it.
-	mPath := filepath.Join(dir, "x", stateDirName, "manifest.json")
+	// Rewrite the snapshot as the previous release would have written it:
+	// XML document payload, format_version 2, no epoch key.
+	stateDir := filepath.Join(dir, "x", stateDirName)
+	snap, err := store.Load(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SaveWith(stateDir, snap.Tree, snap.Schema, store.SaveOptions{
+		Encoding:     store.EncodingXML,
+		LogSeq:       snap.Manifest.LogSeq,
+		Integrations: snap.Manifest.Integrations,
+		Feedback:     snap.Manifest.Feedback,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mPath := filepath.Join(stateDir, "manifest.json")
 	raw, err := os.ReadFile(mPath)
 	if err != nil {
 		t.Fatal(err)

@@ -49,6 +49,14 @@ func (d *DB) OpsSince(after uint64, limit int) ([]WALRecord, error) {
 	return d.wal.opsSince(after, limit)
 }
 
+// RawOpsSince is OpsSince without the decode: the same page of records
+// as the exact payload bytes the log holds. The binary replication wire
+// serves from this — shipping a record then costs a CRC check and a
+// header peek, not a tree decode plus re-encode per page.
+func (d *DB) RawOpsSince(after uint64, limit int) ([]RawWALRecord, error) {
+	return d.wal.rawOpsSince(after, limit)
+}
+
 // WaitOps is OpsSince with long-poll semantics: when no records past
 // after exist yet, it blocks until one commits or ctx ends, and a timeout
 // returns an empty page with no error (the normal idle long-poll result).
@@ -60,6 +68,23 @@ func (d *DB) WaitOps(ctx context.Context, after uint64, limit int) ([]WALRecord,
 		// cannot be missed.
 		ch := d.commitSignal()
 		recs, err := d.OpsSince(after, limit)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil
+		case <-ch:
+		}
+	}
+}
+
+// WaitRawOps is RawOpsSince with the same long-poll semantics as
+// WaitOps.
+func (d *DB) WaitRawOps(ctx context.Context, after uint64, limit int) ([]RawWALRecord, error) {
+	for {
+		ch := d.commitSignal()
+		recs, err := d.RawOpsSince(after, limit)
 		if err != nil || len(recs) > 0 {
 			return recs, err
 		}

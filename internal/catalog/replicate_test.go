@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
-	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -91,8 +90,23 @@ func TestOpsSincePaging(t *testing.T) {
 		paged = append(paged, page...)
 		after = page[len(page)-1].Seq
 	}
-	if !reflect.DeepEqual(paged, recs) {
-		t.Fatalf("paged read differs from full read")
+	// Records decoded from the binary log carry freshly decoded trees, so
+	// compare structurally rather than by reflect.DeepEqual.
+	if len(paged) != len(recs) {
+		t.Fatalf("paged read returned %d records, full read %d", len(paged), len(recs))
+	}
+	for i := range recs {
+		if paged[i].Seq != recs[i].Seq || paged[i].Epoch != recs[i].Epoch || paged[i].Op.Kind != recs[i].Op.Kind {
+			t.Fatalf("paged record %d = %+v, full read %+v", i, paged[i], recs[i])
+		}
+		if len(paged[i].Op.SourceTrees) != len(recs[i].Op.SourceTrees) {
+			t.Fatalf("paged record %d carries %d trees, full read %d", i, len(paged[i].Op.SourceTrees), len(recs[i].Op.SourceTrees))
+		}
+		for j, tr := range recs[i].Op.SourceTrees {
+			if !pxml.Equal(paged[i].Op.SourceTrees[j].Root(), tr.Root()) {
+				t.Fatalf("paged record %d tree %d differs from full read", i, j)
+			}
+		}
 	}
 
 	if recs, err := db.OpsSince(last, 0); err != nil || len(recs) != 0 {
@@ -100,6 +114,71 @@ func TestOpsSincePaging(t *testing.T) {
 	}
 	if _, err := db.OpsSince(last+1, 0); !errors.Is(err, ErrSeqGone) {
 		t.Fatalf("OpsSince beyond the log returned %v, want ErrSeqGone", err)
+	}
+}
+
+// TestRawOpsSinceMatchesDecoded pins the invariant the zero-re-encode
+// binary wire rests on: RawOpsSince returns the exact on-disk payload
+// bytes, in the log's own encoding, whose decode equals the structured
+// page OpsSince serves — for binary and JSON logs alike.
+func TestRawOpsSinceMatchesDecoded(t *testing.T) {
+	for _, enc := range []string{EncodingBinary, EncodingJSON} {
+		t.Run(enc, func(t *testing.T) {
+			opts := testOptions()
+			opts.WALEncoding = enc
+			cat, err := Open(t.TempDir(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cat.Close()
+			db, err := cat.Create("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutateAll(t, db.Core())
+
+			recs, err := db.OpsSince(2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raws, err := db.RawOpsSince(2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(raws) != len(recs) || len(raws) == 0 {
+				t.Fatalf("%d raw records for %d decoded", len(raws), len(recs))
+			}
+			wantMarker := byte(0x00)
+			if enc == EncodingJSON {
+				wantMarker = '{'
+			}
+			for i := range raws {
+				if raws[i].Seq != recs[i].Seq || raws[i].Epoch != recs[i].Epoch {
+					t.Fatalf("raw %d header (%d,%d), decoded (%d,%d)",
+						i, raws[i].Seq, raws[i].Epoch, recs[i].Seq, recs[i].Epoch)
+				}
+				if raws[i].Payload[0] != wantMarker {
+					t.Fatalf("raw %d starts with %#x, want %#x (log encoding %s)",
+						i, raws[i].Payload[0], wantMarker, enc)
+				}
+				dec, err := DecodeWALRecord(raws[i].Payload)
+				if err != nil {
+					t.Fatalf("raw %d does not decode: %v", i, err)
+				}
+				if dec.Seq != recs[i].Seq || dec.Op.Kind != recs[i].Op.Kind {
+					t.Fatalf("raw %d decodes to (%d,%s), want (%d,%s)",
+						i, dec.Seq, dec.Op.Kind, recs[i].Seq, recs[i].Op.Kind)
+				}
+			}
+
+			// The long-poll form serves the same raw page.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			waited, err := db.WaitRawOps(ctx, 2, 0)
+			if err != nil || len(waited) != len(raws) {
+				t.Fatalf("WaitRawOps = %d records (err %v), want %d", len(waited), err, len(raws))
+			}
+		})
 	}
 }
 

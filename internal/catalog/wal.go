@@ -7,7 +7,13 @@
 //
 //	segment file  wal/seg-<first-seq, 16 hex digits>.log
 //	record frame  [4B payload length][4B CRC-32C of payload][payload]
-//	payload       JSON {"seq": N, "epoch": E, "op": {...}}
+//	payload       binary record (first byte 0x00; see walrecord.go) or
+//	              JSON {"seq": N, "epoch": E, "op": {...}} (first byte '{')
+//
+// New appends default to the binary payload (Options.WALEncoding "json"
+// keeps writing JSON); the read path dispatches per record on the first
+// payload byte, so logs written by older builds — and logs that switch
+// encodings mid-segment — recover unchanged.
 //
 // A record is committed iff its full frame is on disk and the CRC
 // matches. The last segment may end in a torn frame (the write the crash
@@ -105,12 +111,19 @@ type WALStats struct {
 	// SegmentLimitBytes is the configured rotation threshold — the
 	// -wal-segment-bytes knob as the log actually runs it.
 	SegmentLimitBytes int64 `json:"segment_limit_bytes"`
+	// Encoding is the payload format new appends use ("binary" or
+	// "json"); records already on disk may be either.
+	Encoding string `json:"encoding"`
 }
 
 // wal is an open write-ahead log positioned to append.
 type wal struct {
 	dir      string
 	segLimit int64
+	// jsonAppends makes append write JSON payloads (the escape hatch for
+	// data dirs that must stay readable by pre-binary builds). The read
+	// path always accepts both.
+	jsonAppends bool
 
 	mu       sync.Mutex
 	f        *os.File // active (last) segment
@@ -286,8 +299,8 @@ func replaySegment(path string, start uint64, isLast bool, after uint64, snapEpo
 		if crc32.Checksum(payload, crcTable) != sum {
 			return torn("checksum mismatch")
 		}
-		var e WALRecord
-		if err := json.Unmarshal(payload, &e); err != nil {
+		e, err := DecodeWALRecord(payload)
+		if err != nil {
 			return torn("undecodable record")
 		}
 		if e.Seq != seq {
@@ -363,7 +376,19 @@ func (w *wal) append(op core.Op) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	seq := w.nextSeq
-	payload, err := json.Marshal(WALRecord{Seq: seq, Epoch: w.epoch, Op: op})
+	rec := WALRecord{Seq: seq, Epoch: w.epoch, Op: op}
+	var payload []byte
+	var err error
+	if w.jsonAppends {
+		// rec holds a private copy of op, so materializing the XML string
+		// fields for JSON never mutates the caller's op.
+		if err = rec.Op.EncodePortable(); err != nil {
+			return 0, err
+		}
+		payload, err = json.Marshal(rec)
+	} else {
+		payload, err = EncodeWALRecord(rec)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -430,19 +455,50 @@ func (w *wal) dropThrough(seq uint64) (int, error) {
 	return removed, nil
 }
 
+// RawWALRecord is one committed log record in its on-disk form: the
+// position and epoch (peeked from the payload header) plus the exact
+// payload bytes inside the CRC envelope. The raw form is what the
+// binary replication wire ships — a record travels from the primary's
+// disk to the follower without an intermediate decode/re-encode — and
+// DecodeWALRecord turns Payload back into a WALRecord on the other end.
+type RawWALRecord struct {
+	Seq     uint64
+	Epoch   uint64
+	Payload []byte
+}
+
 // opsSince returns up to limit committed records with sequence > after,
-// in order — the primary half of log shipping. It fails with ErrSeqGone
-// when the range is not incrementally servable: the records were
-// compacted away, or after lies beyond the committed log. Only the log
-// geometry is snapshotted under mu; the disk reads run unlocked, so a
-// follower catching up through gigabytes of log never stalls appends.
-// That is safe because closed segments are immutable and the active
-// segment's committed prefix (fileSize at snapshot time) never changes —
-// any integrity failure inside those bounds is ErrCorrupt, never a torn
-// tail. A segment deleted between snapshot and read (compaction racing
-// us) reports ErrSeqGone, exactly as if compaction had won the race
-// outright.
+// in order, decoded. It is rawOpsSince plus a DecodeWALRecord per
+// record — the JSON wire and local callers need the structured form.
 func (w *wal) opsSince(after uint64, limit int) ([]WALRecord, error) {
+	raws, err := w.rawOpsSince(after, limit)
+	if err != nil || raws == nil {
+		return nil, err
+	}
+	out := make([]WALRecord, len(raws))
+	for i := range raws {
+		rec, err := DecodeWALRecord(raws[i].Payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: undecodable record %d: %v", ErrCorrupt, raws[i].Seq, err)
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// rawOpsSince is the primary half of log shipping: up to limit committed
+// records with sequence > after, in order, as raw payload bytes. It
+// fails with ErrSeqGone when the range is not incrementally servable:
+// the records were compacted away, or after lies beyond the committed
+// log. Only the log geometry is snapshotted under mu; the disk reads run
+// unlocked, so a follower catching up through gigabytes of log never
+// stalls appends. That is safe because closed segments are immutable and
+// the active segment's committed prefix (fileSize at snapshot time)
+// never changes — any integrity failure inside those bounds is
+// ErrCorrupt, never a torn tail. A segment deleted between snapshot and
+// read (compaction racing us) reports ErrSeqGone, exactly as if
+// compaction had won the race outright.
+func (w *wal) rawOpsSince(after uint64, limit int) ([]RawWALRecord, error) {
 	if limit <= 0 {
 		limit = defaultReadBatch
 	}
@@ -465,7 +521,7 @@ func (w *wal) opsSince(after uint64, limit int) ([]WALRecord, error) {
 		}
 		return nil, fmt.Errorf("%w: records after %d were compacted away (oldest on disk is %d)", ErrSeqGone, after, oldest)
 	}
-	var out []WALRecord
+	var out []RawWALRecord
 	for i, start := range starts {
 		end := next // the last snapshotted segment covers [start, next)
 		if i+1 < len(starts) {
@@ -478,7 +534,7 @@ func (w *wal) opsSince(after uint64, limit int) ([]WALRecord, error) {
 		if i == len(starts)-1 {
 			committed = activeSize
 		}
-		err := readSegment(filepath.Join(w.dir, segName(start)), start, committed, func(e WALRecord) bool {
+		err := readSegment(filepath.Join(w.dir, segName(start)), start, committed, func(e RawWALRecord) bool {
 			if e.Seq > after {
 				out = append(out, e)
 			}
@@ -498,11 +554,15 @@ func (w *wal) opsSince(after uint64, limit int) ([]WALRecord, error) {
 }
 
 // readSegment scans the committed frames of one segment in order, calling
-// fn per record until it returns false. committed >= 0 bounds the scan to
-// that prefix (the durable part of the active segment); -1 scans the whole
-// file. Unlike replaySegment this never truncates: every byte in range is
-// supposed to be committed, so any bad frame is ErrCorrupt.
-func readSegment(path string, start uint64, committed int64, fn func(WALRecord) bool) error {
+// fn per raw record until it returns false. committed >= 0 bounds the
+// scan to that prefix (the durable part of the active segment); -1 scans
+// the whole file. Unlike replaySegment this never truncates: every byte
+// in range is supposed to be committed, so any bad frame is ErrCorrupt.
+// Records are verified by CRC and a header peek, not a full decode —
+// shipping payloads stay exactly the bytes on disk. The handed-out
+// payload slices alias the segment read buffer; callers may retain them
+// (the buffer is fresh per call and never mutated).
+func readSegment(path string, start uint64, committed int64, fn func(RawWALRecord) bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -525,20 +585,30 @@ func readSegment(path string, start uint64, committed int64, fn func(WALRecord) 
 		if crc32.Checksum(payload, crcTable) != sum {
 			return fmt.Errorf("%w: checksum mismatch at offset %d of %s", ErrCorrupt, off, filepath.Base(path))
 		}
-		var e WALRecord
-		if err := json.Unmarshal(payload, &e); err != nil {
+		rseq, epoch, err := peekRecordHeader(payload)
+		if err != nil {
 			return fmt.Errorf("%w: undecodable record at offset %d of %s", ErrCorrupt, off, filepath.Base(path))
 		}
-		if e.Seq != seq {
-			return fmt.Errorf("%w: record sequence %d where %d expected in %s", ErrCorrupt, e.Seq, seq, filepath.Base(path))
+		if rseq != seq {
+			return fmt.Errorf("%w: record sequence %d where %d expected in %s", ErrCorrupt, rseq, seq, filepath.Base(path))
 		}
-		if !fn(e) {
+		if !fn(RawWALRecord{Seq: rseq, Epoch: epoch, Payload: payload}) {
 			return nil
 		}
 		seq++
 		off += frameHeaderLen + int(length)
 	}
 	return nil
+}
+
+// encodingName reports the payload format new appends use. Callers hold
+// mu (jsonAppends is only ever set before the log serves traffic, but the
+// stats path reads it under the lock for tidiness).
+func (w *wal) encodingName() string {
+	if w.jsonAppends {
+		return EncodingJSON
+	}
+	return EncodingBinary
 }
 
 // currentEpoch reports the epoch new appends are stamped with.
@@ -574,6 +644,7 @@ func (w *wal) stats() WALStats {
 		AppendedBytes:     w.appendedBytes,
 		Rotations:         w.rotations,
 		SegmentLimitBytes: w.segLimit,
+		Encoding:          w.encodingName(),
 	}
 }
 

@@ -1,0 +1,302 @@
+// Binary write-ahead-log record encoding. The outer frame — [4B length]
+// [4B CRC-32C][payload] — is unchanged from the JSON log; only the
+// payload format differs, and the first payload byte tells them apart:
+// JSON payloads start with '{' (the json.Marshal output of a WALRecord),
+// binary payloads start with 0x00. Old logs therefore recover unchanged,
+// segments may freely mix both forms (a JSON-era log continued by a
+// binary-era build), and torn-tail/epoch semantics are decided by the
+// frame layer exactly as before.
+//
+// Binary payload layout (after the 0x00 marker):
+//
+//	[version 1B] [uvarint seq] [uvarint epoch] [op]
+//	op    = [kind 1B] kind-specific fields
+//	tree  = [repr 1B] [uvarint length][bytes]    repr 1 = pxml arena,
+//	                                             repr 2 = marker XML
+//
+// Trees prefer the arena representation (exact float bits, no XML
+// parse on replay) and fall back to XML when that is all the op carries.
+// Rare history blobs (OpLoad integrations/events) stay JSON inside a
+// length-prefixed field; they are not on any hot path.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/pxml"
+)
+
+const (
+	// walBinaryMarker is the first payload byte of a binary record; the
+	// JSON alternative is '{' (0x7B), so the two cannot collide.
+	walBinaryMarker = 0x00
+	// walBinaryVersion is the revision of the binary record layout.
+	walBinaryVersion = 1
+)
+
+// Encoding names accepted by Options.WALEncoding.
+const (
+	EncodingBinary = "binary"
+	EncodingJSON   = "json"
+)
+
+// Op kind codes (binary payloads only; JSON uses the string names).
+var opKindCodes = map[core.OpKind]byte{
+	core.OpIntegrate: 1,
+	core.OpBatch:     2,
+	core.OpFeedback:  3,
+	core.OpNormalize: 4,
+	core.OpReplace:   5,
+	core.OpLoad:      6,
+}
+
+var opKindNames = func() map[byte]core.OpKind {
+	m := make(map[byte]core.OpKind, len(opKindCodes))
+	for k, v := range opKindCodes {
+		m[v] = k
+	}
+	return m
+}()
+
+const (
+	treeReprArena = 1
+	treeReprXML   = 2
+)
+
+// EncodeWALRecord renders rec in the binary payload format. The same
+// bytes are valid as an on-disk WAL payload and as a replication wire
+// record frame payload, so a binary primary ships records without
+// re-encoding per follower format.
+func EncodeWALRecord(rec WALRecord) ([]byte, error) {
+	dst := []byte{walBinaryMarker, walBinaryVersion}
+	dst = codec.AppendUvarint(dst, rec.Seq)
+	dst = codec.AppendUvarint(dst, rec.Epoch)
+	kindCode, ok := opKindCodes[rec.Op.Kind]
+	if !ok {
+		return nil, fmt.Errorf("catalog: cannot encode op kind %q", rec.Op.Kind)
+	}
+	dst = append(dst, kindCode)
+	op := &rec.Op
+	var err error
+	switch rec.Op.Kind {
+	case core.OpIntegrate, core.OpBatch:
+		n := len(op.SourceTrees)
+		if n == 0 {
+			n = len(op.Sources)
+		}
+		dst = codec.AppendUvarint(dst, uint64(n))
+		for i := 0; i < n; i++ {
+			var t *pxml.Tree
+			var xml string
+			if i < len(op.SourceTrees) && op.SourceTrees[i] != nil {
+				t = op.SourceTrees[i]
+			} else if i < len(op.Sources) {
+				xml = op.Sources[i]
+			}
+			if dst, err = appendTree(dst, t, xml); err != nil {
+				return nil, fmt.Errorf("catalog: encoding source %d: %w", i+1, err)
+			}
+		}
+	case core.OpFeedback:
+		dst = codec.AppendString(dst, op.Query)
+		dst = codec.AppendString(dst, op.Value)
+		if op.Correct {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		when, err := op.When.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("catalog: encoding feedback time: %w", err)
+		}
+		dst = codec.AppendBytes(dst, when)
+	case core.OpNormalize:
+	case core.OpReplace, core.OpLoad:
+		if dst, err = appendTree(dst, op.TreeValue, op.Tree); err != nil {
+			return nil, fmt.Errorf("catalog: encoding %s tree: %w", op.Kind, err)
+		}
+		if op.Kind == core.OpLoad {
+			dst = codec.AppendString(dst, op.Schema)
+			ints, err := json.Marshal(op.Integrations)
+			if err != nil {
+				return nil, err
+			}
+			evs, err := json.Marshal(op.Events)
+			if err != nil {
+				return nil, err
+			}
+			dst = codec.AppendBytes(dst, ints)
+			dst = codec.AppendBytes(dst, evs)
+		}
+	}
+	return dst, nil
+}
+
+// appendTree appends one tree field, preferring the decoded form.
+func appendTree(dst []byte, t *pxml.Tree, xml string) ([]byte, error) {
+	if t != nil {
+		dst = append(dst, treeReprArena)
+		body := t.AppendBinary(nil)
+		return codec.AppendBytes(dst, body), nil
+	}
+	if xml == "" {
+		return nil, fmt.Errorf("op carries no document")
+	}
+	dst = append(dst, treeReprXML)
+	return codec.AppendString(dst, xml), nil
+}
+
+// readTree reads one tree field into the op's decoded or string slot.
+func readTree(r *codec.Reader) (*pxml.Tree, string, error) {
+	switch repr := r.Byte(); repr {
+	case treeReprArena:
+		body := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, "", err
+		}
+		t, err := pxml.DecodeArena(body)
+		if err != nil {
+			return nil, "", err
+		}
+		return t, "", nil
+	case treeReprXML:
+		s := r.String()
+		if err := r.Err(); err != nil {
+			return nil, "", err
+		}
+		return nil, s, nil
+	default:
+		if err := r.Err(); err != nil {
+			return nil, "", err
+		}
+		return nil, "", fmt.Errorf("%w: unknown tree representation %d", codec.ErrInvalid, repr)
+	}
+}
+
+// peekRecordHeader extracts (seq, epoch) from a record payload without
+// decoding the op body: a few header bytes for binary payloads, a full
+// decode for JSON-era ones (JSON has no fixed header, and such records
+// are the cold minority on a binary log).
+func peekRecordHeader(payload []byte) (seq, epoch uint64, err error) {
+	if len(payload) == 0 || payload[0] != walBinaryMarker {
+		rec, err := DecodeWALRecord(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		return rec.Seq, rec.Epoch, nil
+	}
+	r := codec.NewReader(payload[1:])
+	if v := r.Byte(); r.Err() == nil && v != walBinaryVersion {
+		return 0, 0, fmt.Errorf("%w: unsupported binary record version %d", codec.ErrInvalid, v)
+	}
+	seq = r.Uvarint()
+	epoch = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, 0, err
+	}
+	return seq, epoch, nil
+}
+
+// DecodeWALRecord decodes one WAL payload of either format, dispatching
+// on the first byte. Arbitrary bytes return an error, never panic: the
+// binary path runs entirely on the bounds-checked codec.Reader and
+// pxml.DecodeArena.
+func DecodeWALRecord(payload []byte) (WALRecord, error) {
+	if len(payload) == 0 {
+		return WALRecord{}, fmt.Errorf("%w: empty record payload", codec.ErrInvalid)
+	}
+	if payload[0] != walBinaryMarker {
+		var rec WALRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return WALRecord{}, err
+		}
+		return rec, nil
+	}
+	r := codec.NewReader(payload[1:])
+	if v := r.Byte(); r.Err() == nil && v != walBinaryVersion {
+		return WALRecord{}, fmt.Errorf("%w: unsupported binary record version %d", codec.ErrInvalid, v)
+	}
+	var rec WALRecord
+	rec.Seq = r.Uvarint()
+	rec.Epoch = r.Uvarint()
+	kind, ok := opKindNames[r.Byte()]
+	if err := r.Err(); err != nil {
+		return WALRecord{}, err
+	}
+	if !ok {
+		return WALRecord{}, fmt.Errorf("%w: unknown op kind code", codec.ErrInvalid)
+	}
+	op := &rec.Op
+	op.Kind = kind
+	switch kind {
+	case core.OpIntegrate, core.OpBatch:
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return WALRecord{}, err
+		}
+		// A tree field costs at least two bytes (repr + length).
+		if n == 0 || n > uint64(r.Len())/2+1 {
+			return WALRecord{}, fmt.Errorf("%w: implausible source count %d", codec.ErrInvalid, n)
+		}
+		for i := uint64(0); i < n; i++ {
+			t, xml, err := readTree(r)
+			if err != nil {
+				return WALRecord{}, fmt.Errorf("record %d source %d: %w", rec.Seq, i+1, err)
+			}
+			if t != nil {
+				op.SourceTrees = append(op.SourceTrees, t)
+			} else {
+				op.Sources = append(op.Sources, xml)
+			}
+		}
+		if len(op.SourceTrees) > 0 && len(op.Sources) > 0 {
+			return WALRecord{}, fmt.Errorf("%w: record %d mixes tree representations", codec.ErrInvalid, rec.Seq)
+		}
+	case core.OpFeedback:
+		op.Query = r.String()
+		op.Value = r.String()
+		op.Correct = r.Byte() == 1
+		when := r.Bytes()
+		if err := r.Err(); err != nil {
+			return WALRecord{}, err
+		}
+		var ts time.Time
+		if err := ts.UnmarshalBinary(when); err != nil {
+			return WALRecord{}, fmt.Errorf("%w: bad feedback time: %v", codec.ErrInvalid, err)
+		}
+		op.When = ts
+	case core.OpNormalize:
+	case core.OpReplace, core.OpLoad:
+		t, xml, err := readTree(r)
+		if err != nil {
+			return WALRecord{}, fmt.Errorf("record %d tree: %w", rec.Seq, err)
+		}
+		op.TreeValue, op.Tree = t, xml
+		if kind == core.OpLoad {
+			op.Schema = r.String()
+			ints := r.Bytes()
+			evs := r.Bytes()
+			if err := r.Err(); err != nil {
+				return WALRecord{}, err
+			}
+			if len(ints) > 0 {
+				if err := json.Unmarshal(ints, &op.Integrations); err != nil {
+					return WALRecord{}, fmt.Errorf("%w: bad integrations history: %v", codec.ErrInvalid, err)
+				}
+			}
+			if len(evs) > 0 {
+				if err := json.Unmarshal(evs, &op.Events); err != nil {
+					return WALRecord{}, fmt.Errorf("%w: bad feedback history: %v", codec.ErrInvalid, err)
+				}
+			}
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return WALRecord{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,250 @@
+package catalog
+
+import (
+	"encoding/json"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/pxml"
+	"repro/internal/xmlcodec"
+)
+
+// mustTree decodes marker XML into a tree or fails the test.
+func mustTree(t *testing.T, xml string) *pxml.Tree {
+	t.Helper()
+	tree, err := xmlcodec.DecodeString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// sampleRecords builds one record per op kind, covering both tree
+// representations (decoded arenas and XML strings).
+func sampleRecords(t *testing.T) []WALRecord {
+	t.Helper()
+	when := time.Date(2026, 8, 8, 12, 30, 45, 123456789, time.FixedZone("X", 3600))
+	return []WALRecord{
+		{Seq: 1, Epoch: 0, Op: core.Op{Kind: core.OpIntegrate, SourceTrees: []*pxml.Tree{mustTree(t, abA)}}},
+		{Seq: 2, Epoch: 1, Op: core.Op{Kind: core.OpIntegrate, Sources: []string{abA}}},
+		{Seq: 3, Epoch: 1, Op: core.Op{Kind: core.OpBatch, SourceTrees: []*pxml.Tree{mustTree(t, abA), mustTree(t, abB)}}},
+		{Seq: 4, Epoch: 2, Op: core.Op{Kind: core.OpFeedback, Query: "//person/tel", Value: "1111", Correct: true, When: when}},
+		{Seq: 5, Epoch: 2, Op: core.Op{Kind: core.OpNormalize}},
+		{Seq: 6, Epoch: 2, Op: core.Op{Kind: core.OpReplace, TreeValue: mustTree(t, abB)}},
+		{Seq: 7, Epoch: 3, Op: core.Op{Kind: core.OpLoad, TreeValue: mustTree(t, abC), Schema: "<!ELEMENT addressbook (person*)>",
+			Integrations: []integrate.Stats{{OracleCalls: 4, Components: 1}},
+			Events:       []feedback.Event{{Query: "//q", Value: "v", PriorP: 0.5, WorldsBefore: big.NewInt(4), WorldsAfter: big.NewInt(2), When: when}}}},
+	}
+}
+
+// opTree returns the tree an op carries in either representation.
+func opTrees(t *testing.T, op core.Op) []*pxml.Tree {
+	t.Helper()
+	var out []*pxml.Tree
+	out = append(out, op.SourceTrees...)
+	for _, s := range op.Sources {
+		out = append(out, mustTree(t, s))
+	}
+	if op.TreeValue != nil {
+		out = append(out, op.TreeValue)
+	} else if op.Tree != "" {
+		out = append(out, mustTree(t, op.Tree))
+	}
+	return out
+}
+
+// TestWALRecordBinaryRoundTrip drives every op kind through the binary
+// payload format and back, checking fields and documents survive.
+func TestWALRecordBinaryRoundTrip(t *testing.T) {
+	for _, rec := range sampleRecords(t) {
+		payload, err := EncodeWALRecord(rec)
+		if err != nil {
+			t.Fatalf("seq %d: encode: %v", rec.Seq, err)
+		}
+		if payload[0] != walBinaryMarker {
+			t.Fatalf("seq %d: payload starts with %#x", rec.Seq, payload[0])
+		}
+		got, err := DecodeWALRecord(payload)
+		if err != nil {
+			t.Fatalf("seq %d: decode: %v", rec.Seq, err)
+		}
+		if got.Seq != rec.Seq || got.Epoch != rec.Epoch || got.Op.Kind != rec.Op.Kind {
+			t.Fatalf("seq %d: round trip = %+v", rec.Seq, got)
+		}
+		wantTrees, gotTrees := opTrees(t, rec.Op), opTrees(t, got.Op)
+		if len(wantTrees) != len(gotTrees) {
+			t.Fatalf("seq %d: %d trees round-tripped to %d", rec.Seq, len(wantTrees), len(gotTrees))
+		}
+		for i := range wantTrees {
+			if !pxml.Equal(wantTrees[i].Root(), gotTrees[i].Root()) {
+				t.Fatalf("seq %d: tree %d differs after round trip", rec.Seq, i)
+			}
+		}
+		switch rec.Op.Kind {
+		case core.OpFeedback:
+			if got.Op.Query != rec.Op.Query || got.Op.Value != rec.Op.Value || got.Op.Correct != rec.Op.Correct {
+				t.Fatalf("seq %d: feedback fields = %+v", rec.Seq, got.Op)
+			}
+			if !got.Op.When.Equal(rec.Op.When) {
+				t.Fatalf("seq %d: When %v != %v", rec.Seq, got.Op.When, rec.Op.When)
+			}
+		case core.OpLoad:
+			if got.Op.Schema != rec.Op.Schema {
+				t.Fatalf("seq %d: schema %q", rec.Seq, got.Op.Schema)
+			}
+			if len(got.Op.Integrations) != len(rec.Op.Integrations) || len(got.Op.Events) != len(rec.Op.Events) {
+				t.Fatalf("seq %d: histories = %d/%d", rec.Seq, len(got.Op.Integrations), len(got.Op.Events))
+			}
+			if got.Op.Integrations[0].OracleCalls != 4 || got.Op.Events[0].WorldsBefore.Cmp(big.NewInt(4)) != 0 {
+				t.Fatalf("seq %d: history contents = %+v %+v", rec.Seq, got.Op.Integrations[0], got.Op.Events[0])
+			}
+		}
+	}
+}
+
+// TestWALRecordJSONDispatch: a JSON payload (first byte '{') decodes
+// through the same entry point — the per-record format dispatch old logs
+// rely on.
+func TestWALRecordJSONDispatch(t *testing.T) {
+	rec := WALRecord{Seq: 9, Epoch: 2, Op: core.Op{Kind: core.OpIntegrate, Sources: []string{abA}}}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWALRecord(payload)
+	if err != nil {
+		t.Fatalf("decode JSON payload: %v", err)
+	}
+	if got.Seq != 9 || got.Epoch != 2 || len(got.Op.Sources) != 1 || got.Op.Sources[0] != abA {
+		t.Fatalf("JSON dispatch = %+v", got)
+	}
+}
+
+// TestWALRecordRejectsCorruption: every truncation and a sweep of bit
+// flips of a binary payload must error, never panic or succeed silently
+// wrong (flips inside a tree field are caught by the arena digest).
+func TestWALRecordRejectsCorruption(t *testing.T) {
+	rec := WALRecord{Seq: 3, Epoch: 1, Op: core.Op{Kind: core.OpBatch, SourceTrees: []*pxml.Tree{mustTree(t, abA), mustTree(t, abB)}}}
+	payload, err := EncodeWALRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := DecodeWALRecord(payload[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	for i := 1; i < len(payload); i += 3 {
+		mut := append([]byte(nil), payload...)
+		mut[i] ^= 0x40
+		got, err := DecodeWALRecord(mut)
+		if err != nil {
+			continue
+		}
+		// A surviving flip must not have corrupted a document: the decoded
+		// trees must still be one of the originals or the header fields
+		// differ visibly. Verify the trees validate at minimum.
+		for _, tr := range got.Op.SourceTrees {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("flip at %d decoded an invalid tree: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestWALRecordImplausibleSourceCount: a forged source count larger than
+// the remaining payload is rejected before any allocation.
+func TestWALRecordImplausibleSourceCount(t *testing.T) {
+	payload := []byte{walBinaryMarker, walBinaryVersion}
+	payload = codec.AppendUvarint(payload, 1) // seq
+	payload = codec.AppendUvarint(payload, 0) // epoch
+	payload = append(payload, opKindCodes[core.OpIntegrate])
+	payload = codec.AppendUvarint(payload, 1<<40) // sources
+	if _, err := DecodeWALRecord(payload); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("forged source count: err = %v", err)
+	}
+}
+
+// TestWALMixedEncodingLog: a log whose first records were appended as
+// JSON (an old build) and whose tail is binary replays seamlessly — the
+// dispatch is per record, not per segment.
+func TestWALMixedEncodingLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := recoverWAL(dir, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.jsonAppends = true
+	for i := 0; i < 3; i++ {
+		if _, err := w.append(testOp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.jsonAppends = false
+	for i := 3; i < 6; i++ {
+		if _, err := w.append(testOp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc := w.stats().Encoding; enc != EncodingBinary {
+		t.Fatalf("stats encoding %q", enc)
+	}
+	w.close()
+	got, w2 := collect(t, dir, 0)
+	defer w2.close()
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) || e.Op.Value != testOp(i).Value {
+			t.Fatalf("record %d = %+v", i, e)
+		}
+	}
+	// The read path (shipping) sees the same six records.
+	recs, err := w2.opsSince(0, 0)
+	if err != nil || len(recs) != 6 {
+		t.Fatalf("opsSince over mixed log: %d records, err %v", len(recs), err)
+	}
+}
+
+// FuzzDecodeWALRecord: arbitrary bytes must produce an error or a valid
+// record — never a panic and never an unvalidated tree.
+func FuzzDecodeWALRecord(f *testing.F) {
+	rec := WALRecord{Seq: 1, Op: core.Op{Kind: core.OpIntegrate, Sources: []string{abA}}}
+	tree, err := xmlcodec.DecodeString(abA)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if payload, err := EncodeWALRecord(rec); err == nil {
+		f.Add(payload)
+	}
+	if payload, err := EncodeWALRecord(WALRecord{Seq: 2, Epoch: 1, Op: core.Op{Kind: core.OpReplace, TreeValue: tree}}); err == nil {
+		f.Add(payload)
+	}
+	if payload, err := json.Marshal(rec); err == nil {
+		f.Add(payload)
+	}
+	f.Add([]byte{walBinaryMarker, walBinaryVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeWALRecord(data)
+		if err != nil {
+			return
+		}
+		for _, tr := range got.Op.SourceTrees {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("accepted record carries invalid source: %v", err)
+			}
+		}
+		if got.Op.TreeValue != nil {
+			if err := got.Op.TreeValue.Validate(); err != nil {
+				t.Fatalf("accepted record carries invalid tree: %v", err)
+			}
+		}
+	})
+}

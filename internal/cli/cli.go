@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -424,6 +425,7 @@ func runServe(args []string, w io.Writer) error {
 	dataDir := fs.String("data", "", "durable multi-database data directory (enables /dbs/{name} routes; recovers on start)")
 	replicaOf := fs.String("replica-of", "", "primary base URL to follow as a read replica (requires -data; read verbs served locally, writes 403 to the primary)")
 	walSegBytes := fs.Int64("wal-segment-bytes", 0, "write-ahead segment rotation threshold in bytes (0 = default 4MiB; with -data)")
+	walEncoding := fs.String("wal-encoding", "", "write-ahead record format for new appends: binary (default) or json; reading accepts both (with -data)")
 	compactEvery := fs.Int("compact-every", 0, "journaled ops between background compactions (0 = default 64, negative disables; with -data)")
 	dbPath := fs.String("db", "", "initial document (default: empty document with -root tag)")
 	rootTag := fs.String("root", "db", "root element tag when starting empty")
@@ -478,6 +480,7 @@ func runServe(args []string, w io.Writer) error {
 		Config:       cfg,
 		RootTag:      *rootTag,
 		SegmentBytes: *walSegBytes,
+		WALEncoding:  *walEncoding,
 		CompactEvery: *compactEvery,
 		Logger:       logger,
 	}
@@ -676,7 +679,12 @@ type replicationStatusBody struct {
 	Primary   string `json:"primary"`
 	Connected bool   `json:"connected"`
 	LastError string `json:"last_error"`
-	Databases []struct {
+	// WireEncoding is the replication encoding a replica negotiated with
+	// its primary; Peers maps follower hosts to the encoding each one's
+	// last fetch negotiated (primary side).
+	WireEncoding string            `json:"wire_encoding"`
+	Peers        map[string]string `json:"peers"`
+	Databases    []struct {
 		Name               string `json:"name"`
 		LastSeq            uint64 `json:"last_seq"`
 		Digest             string `json:"digest"`
@@ -735,6 +743,9 @@ func runReplication(args []string, w io.Writer) error {
 	case "replica":
 		fmt.Fprintf(w, "primary:   %s\n", st.Primary)
 		fmt.Fprintf(w, "connected: %v\n", st.Connected)
+		if st.WireEncoding != "" {
+			fmt.Fprintf(w, "encoding:  %s\n", st.WireEncoding)
+		}
 		if st.LastError != "" {
 			fmt.Fprintf(w, "last err:  %s\n", st.LastError)
 		}
@@ -755,6 +766,15 @@ func runReplication(args []string, w io.Writer) error {
 		// where writes moved.
 		if st.Primary != "" {
 			fmt.Fprintf(w, "primary:   %s\n", st.Primary)
+		}
+		// Stable peer order for scripting and tests.
+		peers := make([]string, 0, len(st.Peers))
+		for host := range st.Peers {
+			peers = append(peers, host)
+		}
+		sort.Strings(peers)
+		for _, host := range peers {
+			fmt.Fprintf(w, "peer:      %s (%s wire)\n", host, st.Peers[host])
 		}
 		for _, db := range st.Databases {
 			fmt.Fprintf(w, "%-20s seq %6d  digest %s  snapshot seq %6d  (%d tail op(s))\n",

@@ -97,14 +97,20 @@ func TestServeReplicaOf(t *testing.T) {
 	}
 	var sr struct {
 		WAL struct {
-			SegmentLimitBytes int64 `json:"segment_limit_bytes"`
-			CompactEvery      int   `json:"compact_every"`
+			SegmentLimitBytes int64  `json:"segment_limit_bytes"`
+			CompactEvery      int    `json:"compact_every"`
+			StoreFormat       int    `json:"store_format"`
+			Encoding          string `json:"encoding"`
 		} `json:"wal"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&sr)
 	resp.Body.Close()
 	if err != nil || sr.WAL.SegmentLimitBytes != 65536 || sr.WAL.CompactEvery != 5 {
 		t.Fatalf("stats knobs %+v (err %v)", sr.WAL, err)
+	}
+	// The format observability: the default build appends binary records.
+	if sr.WAL.Encoding != "binary" || sr.WAL.StoreFormat == 0 {
+		t.Fatalf("stats format fields %+v", sr.WAL)
 	}
 
 	replicaURL, stopReplica := startServe(t,
@@ -163,8 +169,19 @@ func TestServeReplicaOf(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if got := out.String(); !strings.Contains(got, "primary:   "+primaryURL) {
+	if got := out.String(); !strings.Contains(got, "primary:   "+primaryURL) ||
+		!strings.Contains(got, "encoding:  binary") {
 		t.Fatalf("replica status output:\n%s", got)
+	}
+
+	// The primary's status now shows the follower and its negotiated
+	// wire encoding.
+	out.Reset()
+	if err := Run([]string{"replication", "-url", primaryURL, "status"}, &out); err != nil {
+		t.Fatalf("replication status (primary, after follow): %v", err)
+	}
+	if got := out.String(); !strings.Contains(got, "peer:") || !strings.Contains(got, "(binary wire)") {
+		t.Fatalf("primary status missing peer encoding row:\n%s", got)
 	}
 }
 

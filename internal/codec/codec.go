@@ -1,0 +1,231 @@
+// Package codec is the shared binary encoding layer for every hot-path
+// format in the system: snapshot documents (internal/store), write-ahead
+// log records (internal/catalog), and the replication wire
+// (internal/replica, internal/server). It provides
+//
+//   - append-style primitives: unsigned varints, fixed 64-bit values,
+//     and length-prefixed strings/byte blobs;
+//   - a bounds-checked Reader with a sticky error, whose every declared
+//     length is capped against the input actually remaining — arbitrary
+//     bytes can make it fail, never allocate unboundedly or panic;
+//   - a string table for interning repeated tags and values once per
+//     payload;
+//   - CRC-32C-protected, versioned frames (frame.go) in both
+//     contiguous-buffer and streaming (io.Reader/io.Writer) forms.
+//
+// Formats built on the package stay mutually recognizable: each frame
+// names its kind and version, so a decoder can reject what it does not
+// understand instead of misreading it.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalid is the base error for every decoding failure: truncated
+// input, a declared length exceeding the bytes present, a checksum
+// mismatch, or an unknown frame kind/version.
+var ErrInvalid = errors.New("codec: invalid data")
+
+// AppendUvarint appends v in unsigned-varint form.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendUint64 appends v as 8 fixed little-endian bytes.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// AppendFloat64 appends the IEEE-754 bits of f as 8 little-endian bytes.
+func AppendFloat64(dst []byte, f float64) []byte {
+	return AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendBytes appends b with a uvarint length prefix.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends s with a uvarint length prefix.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Reader decodes the primitives from a byte slice. Every read is bounds
+// checked against the bytes remaining; the first failure sticks (all
+// later reads return zero values) and is reported by Err and Finish.
+// A Reader never panics and never allocates more than the input's own
+// length: declared sizes beyond the remaining bytes are rejected, not
+// trusted.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader returns a Reader over data. The Reader aliases data; Bytes
+// returns subslices of it.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrInvalid, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+// Err returns the first decoding failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len reports the bytes not yet consumed.
+func (r *Reader) Len() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.data) - r.off
+}
+
+// Finish returns the sticky error if any, and otherwise fails unless the
+// input was consumed exactly.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("%w: %d trailing bytes after payload", ErrInvalid, len(r.data)-r.off)
+	}
+	return nil
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint64 reads 8 fixed little-endian bytes.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data)-r.off < 8 {
+		r.fail("truncated uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// Float64 reads 8 little-endian bytes as IEEE-754 bits.
+func (r *Reader) Float64() float64 {
+	return math.Float64frombits(r.Uint64())
+}
+
+// Bytes reads a uvarint-length-prefixed blob. The returned slice aliases
+// the Reader's input; callers that outlive the input must copy. A length
+// exceeding the remaining bytes is a decoding error, never an allocation.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail("declared length %d exceeds %d remaining bytes", n, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// String reads a uvarint-length-prefixed string (one copy).
+func (r *Reader) String() string {
+	return string(r.Bytes())
+}
+
+// StringTable interns strings for one payload: Intern returns a stable
+// dense index (first come, first numbered), AppendTo serializes the table
+// as a uvarint count followed by length-prefixed entries.
+type StringTable struct {
+	index map[string]uint64
+	list  []string
+}
+
+// Intern returns the table index for s, adding it on first sight.
+func (t *StringTable) Intern(s string) uint64 {
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	if t.index == nil {
+		t.index = make(map[string]uint64)
+	}
+	i := uint64(len(t.list))
+	t.index[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// Len reports the number of interned strings.
+func (t *StringTable) Len() int { return len(t.list) }
+
+// AppendTo serializes the table.
+func (t *StringTable) AppendTo(dst []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(t.list)))
+	for _, s := range t.list {
+		dst = AppendString(dst, s)
+	}
+	return dst
+}
+
+// StringTable reads a table serialized by StringTable.AppendTo. The
+// declared entry count is capped against the remaining input (each entry
+// costs at least one byte), so a forged count cannot force a huge
+// allocation.
+func (r *Reader) StringTable() []string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail("string table declares %d entries with %d bytes remaining", n, len(r.data)-r.off)
+		return nil
+	}
+	list := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		list = append(list, r.String())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return list
+}

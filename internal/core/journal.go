@@ -58,6 +58,41 @@ type Op struct {
 	// carried.
 	Integrations []integrate.Stats `json:"integrations,omitempty"`
 	Events       []feedback.Event  `json:"events,omitempty"`
+
+	// SourceTrees and TreeValue are the decoded forms of Sources and
+	// Tree. The mutation paths fill them directly (no XML detour), the
+	// binary journal/wire encoders carry them as flat arena payloads, and
+	// ApplyOp prefers them over re-parsing the strings. They never
+	// marshal to JSON; EncodePortable materializes the string fields for
+	// encoders that need them.
+	SourceTrees []*pxml.Tree `json:"-"`
+	TreeValue   *pxml.Tree   `json:"-"`
+}
+
+// EncodePortable fills the XML string fields (Sources, Tree) from the
+// decoded trees when only the latter are present, so the op can travel
+// through JSON encoders (the JSON write-ahead-log mode and the JSON
+// replication wire). It is idempotent and leaves already-filled strings
+// untouched.
+func (op *Op) EncodePortable() error {
+	if len(op.Sources) == 0 && len(op.SourceTrees) > 0 {
+		op.Sources = make([]string, len(op.SourceTrees))
+		for i, t := range op.SourceTrees {
+			xml, err := encodeForJournal(t)
+			if err != nil {
+				return fmt.Errorf("core: encoding source %d: %w", i+1, err)
+			}
+			op.Sources[i] = xml
+		}
+	}
+	if op.Tree == "" && op.TreeValue != nil {
+		xml, err := encodeForJournal(op.TreeValue)
+		if err != nil {
+			return fmt.Errorf("core: encoding %s tree: %w", op.Kind, err)
+		}
+		op.Tree = xml
+	}
+	return nil
 }
 
 // Journal receives one record per committed mutation and assigns it a
@@ -116,38 +151,27 @@ func (db *Database) record(op Op) (uint64, bool, error) {
 	return seq, true, nil
 }
 
-// recordSources journals an integrate/batch op, encoding the source
-// trees. Callers hold writeMu.
+// recordSources journals an integrate/batch op carrying the source trees
+// themselves; the journal's encoder picks the representation (binary
+// arena or, via EncodePortable, XML). Callers hold writeMu.
 func (db *Database) recordSources(sources []*pxml.Tree) (uint64, bool, error) {
 	if db.journal == nil {
 		return 0, false, nil
 	}
-	op := Op{Kind: OpIntegrate}
+	op := Op{Kind: OpIntegrate, SourceTrees: sources}
 	if len(sources) > 1 {
 		op.Kind = OpBatch
-	}
-	op.Sources = make([]string, len(sources))
-	for i, s := range sources {
-		xml, err := encodeForJournal(s)
-		if err != nil {
-			return 0, true, fmt.Errorf("core: journal source %d: %w", i+1, err)
-		}
-		op.Sources[i] = xml
 	}
 	return db.record(op)
 }
 
-// recordWithTree journals op with the given document encoded into
-// op.Tree. Callers hold writeMu.
+// recordWithTree journals op carrying the given document. Callers hold
+// writeMu.
 func (db *Database) recordWithTree(op Op, t *pxml.Tree) (uint64, bool, error) {
 	if db.journal == nil {
 		return 0, false, nil
 	}
-	xml, err := encodeForJournal(t)
-	if err != nil {
-		return 0, true, fmt.Errorf("core: journal %s op: %w", op.Kind, err)
-	}
-	op.Tree = xml
+	op.TreeValue = t
 	return db.record(op)
 }
 
@@ -156,6 +180,25 @@ func (db *Database) recordWithTree(op Op, t *pxml.Tree) (uint64, bool, error) {
 // determinism needs.
 func encodeForJournal(t *pxml.Tree) (string, error) {
 	return xmlcodec.EncodeString(t, xmlcodec.EncodeOptions{KeepTrivial: true})
+}
+
+// decodedTree returns the op's installed document (replace/load),
+// preferring the already-decoded form. A tree parsed from the XML string
+// is validated here because the string may come from an untrusted log or
+// wire; TreeValue producers (mutation paths, the binary decoders) have
+// already validated.
+func (op *Op) decodedTree() (*pxml.Tree, error) {
+	if op.TreeValue != nil {
+		return op.TreeValue, nil
+	}
+	t, err := xmlcodec.DecodeString(op.Tree)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // ApplyOp re-executes one journaled mutation — the replay half of crash
@@ -167,16 +210,19 @@ func encodeForJournal(t *pxml.Tree) (string, error) {
 func (db *Database) ApplyOp(op Op) error {
 	switch op.Kind {
 	case OpIntegrate, OpBatch:
-		if len(op.Sources) == 0 {
-			return errors.New("core: replay: op has no sources")
-		}
-		trees := make([]*pxml.Tree, len(op.Sources))
-		for i, src := range op.Sources {
-			t, err := xmlcodec.DecodeString(src)
-			if err != nil {
-				return fmt.Errorf("core: replay source %d: %w", i+1, err)
+		trees := op.SourceTrees
+		if len(trees) == 0 {
+			if len(op.Sources) == 0 {
+				return errors.New("core: replay: op has no sources")
 			}
-			trees[i] = t
+			trees = make([]*pxml.Tree, len(op.Sources))
+			for i, src := range op.Sources {
+				t, err := xmlcodec.DecodeString(src)
+				if err != nil {
+					return fmt.Errorf("core: replay source %d: %w", i+1, err)
+				}
+				trees[i] = t
+			}
 		}
 		if op.Kind == OpIntegrate && len(trees) == 1 {
 			_, err := db.IntegrateTree(trees[0])
@@ -191,17 +237,14 @@ func (db *Database) ApplyOp(op Op) error {
 		_, _, err := db.Normalize()
 		return err
 	case OpReplace:
-		t, err := xmlcodec.DecodeString(op.Tree)
+		t, err := op.decodedTree()
 		if err != nil {
 			return fmt.Errorf("core: replay replace: %w", err)
 		}
 		return db.ReplaceTree(t)
 	case OpLoad:
-		t, err := xmlcodec.DecodeString(op.Tree)
+		t, err := op.decodedTree()
 		if err != nil {
-			return fmt.Errorf("core: replay load: %w", err)
-		}
-		if err := t.Validate(); err != nil {
 			return fmt.Errorf("core: replay load: %w", err)
 		}
 		var schema *dtd.Schema

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +67,12 @@ type Options struct {
 	// MinBackoff and MaxBackoff bound the exponential retry backoff after
 	// fetch or apply failures (0 means 100ms / 5s).
 	MinBackoff, MaxBackoff time.Duration
+	// WireEncoding selects what this follower offers the primary: "" or
+	// WireBinary sends "Accept: application/x-imprecise-wal" and reads
+	// whichever format the primary answers with (an older, JSON-only
+	// primary just ignores the header); WireJSON never offers binary —
+	// the escape hatch, and the way tests simulate an old follower.
+	WireEncoding string
 	// Logger receives bootstrap, divergence and error notes; nil disables.
 	Logger *log.Logger
 }
@@ -95,11 +102,14 @@ type DBStatus struct {
 type Status struct {
 	Primary string `json:"primary"`
 	// Epoch is the follower catalog's cluster epoch.
-	Epoch       uint64     `json:"epoch"`
-	Connected   bool       `json:"connected"`
-	LastContact time.Time  `json:"last_contact,omitzero"`
-	LastError   string     `json:"last_error,omitempty"`
-	Databases   []DBStatus `json:"databases"`
+	Epoch       uint64    `json:"epoch"`
+	Connected   bool      `json:"connected"`
+	LastContact time.Time `json:"last_contact,omitzero"`
+	// WireEncoding is the encoding the last replication fetch negotiated
+	// with the primary ("binary" or "json"; empty before first contact).
+	WireEncoding string     `json:"wire_encoding,omitempty"`
+	LastError    string     `json:"last_error,omitempty"`
+	Databases    []DBStatus `json:"databases"`
 }
 
 // errGone marks a 410 from the primary: the requested log position is not
@@ -124,6 +134,9 @@ type Replica struct {
 	lastContact time.Time
 	lastErr     string
 	stopped     bool
+	// wireEnc is the encoding the last replication fetch actually came
+	// back in — the negotiated result, not the offer.
+	wireEnc string
 }
 
 // tailer is the per-database sync goroutine's handle and status. Its
@@ -159,6 +172,11 @@ func Open(dir string, opts Options) (*Replica, error) {
 	}
 	if opts.MaxBackoff <= 0 {
 		opts.MaxBackoff = 5 * time.Second
+	}
+	switch opts.WireEncoding {
+	case "", WireBinary, WireJSON:
+	default:
+		return nil, fmt.Errorf("replica: unknown wire encoding %q (want %q or %q)", opts.WireEncoding, WireBinary, WireJSON)
 	}
 	client := opts.Client
 	if client == nil {
@@ -236,12 +254,13 @@ func (r *Replica) Status() Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := Status{
-		Primary:     r.primary,
-		Epoch:       r.cat.Epoch(),
-		Connected:   r.connected,
-		LastContact: r.lastContact,
-		LastError:   r.lastErr,
-		Databases:   []DBStatus{},
+		Primary:      r.primary,
+		Epoch:        r.cat.Epoch(),
+		Connected:    r.connected,
+		LastContact:  r.lastContact,
+		WireEncoding: r.wireEnc,
+		LastError:    r.lastErr,
+		Databases:    []DBStatus{},
 	}
 	for _, name := range r.cat.Names() {
 		if t, ok := r.tailers[name]; ok {
@@ -505,9 +524,12 @@ func (r *Replica) bootstrap(t *tailer) (*catalog.DB, error) {
 	if local := r.cat.Epoch(); payload.Epoch < local {
 		return nil, fmt.Errorf("%w: %s: snapshot at epoch %d, local epoch is %d", catalog.ErrStaleEpoch, t.name, payload.Epoch, local)
 	}
-	tree, err := xmlcodec.DecodeString(payload.Tree)
-	if err != nil {
-		return nil, fmt.Errorf("replica: %s: bad snapshot document: %w", t.name, err)
+	tree := payload.TreeValue
+	if tree == nil {
+		tree, err = xmlcodec.DecodeString(payload.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("replica: %s: bad snapshot document: %w", t.name, err)
+		}
 	}
 	var schema *dtd.Schema
 	if payload.Schema != "" {
@@ -594,6 +616,24 @@ func (r *Replica) fetchPrimaryStatus(ctx context.Context) (*PrimaryStatus, error
 	return &ps, nil
 }
 
+// offersBinary reports whether this follower advertises the binary wire.
+func (r *Replica) offersBinary() bool {
+	return r.opts.WireEncoding != WireJSON
+}
+
+// isBinary reports whether a response came back in the binary wire
+// format (the primary's half of the negotiation).
+func isBinary(resp *http.Response) bool {
+	return strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeBinary)
+}
+
+// noteWire records the encoding the last fetch actually negotiated.
+func (r *Replica) noteWire(enc string) {
+	r.mu.Lock()
+	r.wireEnc = enc
+	r.mu.Unlock()
+}
+
 // fetchWAL long-polls one page of the primary's op log past since. The
 // follower's own epoch rides along so a deposed primary learns of its
 // deposition from the very followers it tries to keep shipping to.
@@ -606,51 +646,102 @@ func (r *Replica) fetchWAL(ctx context.Context, name string, since, epoch uint64
 	if r.opts.BatchLimit > 0 {
 		q.Set("limit", strconv.Itoa(r.opts.BatchLimit))
 	}
-	var page WALPage
-	err := r.getJSON(ctx, "/dbs/"+url.PathEscape(name)+"/wal", q, r.opts.PollWait+15*time.Second, &page)
+	path := "/dbs/" + url.PathEscape(name) + "/wal"
+	resp, cancel, err := r.get(ctx, path, q, r.opts.PollWait+15*time.Second, r.offersBinary())
 	if err != nil {
 		return nil, err
 	}
+	defer cancel()
+	defer resp.Body.Close()
+	if isBinary(resp) {
+		page, err := DecodeWALPage(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		r.noteWire(WireBinary)
+		return page, nil
+	}
+	var page WALPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("replica: GET %s: decoding page: %w", path, err)
+	}
+	r.noteWire(WireJSON)
 	return &page, nil
 }
 
 // fetchSnapshot reads the primary's full state for one database.
 func (r *Replica) fetchSnapshot(ctx context.Context, name string) (*SnapshotPayload, error) {
-	var payload SnapshotPayload
-	err := r.getJSON(ctx, "/dbs/"+url.PathEscape(name)+"/snapshot", nil, 60*time.Second, &payload)
+	path := "/dbs/" + url.PathEscape(name) + "/snapshot"
+	resp, cancel, err := r.get(ctx, path, nil, 60*time.Second, r.offersBinary())
 	if err != nil {
 		return nil, err
 	}
+	defer cancel()
+	defer resp.Body.Close()
+	if isBinary(resp) {
+		payload, err := DecodeSnapshot(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		r.noteWire(WireBinary)
+		return payload, nil
+	}
+	var payload SnapshotPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("replica: GET %s: decoding snapshot: %w", path, err)
+	}
+	r.noteWire(WireJSON)
 	return &payload, nil
 }
 
 // getJSON performs one GET against the primary and decodes the JSON
 // body, mapping 410 to errGone and other non-200s to descriptive errors.
 func (r *Replica) getJSON(ctx context.Context, path string, q url.Values, timeout time.Duration, v any) error {
-	ctx, cancel := context.WithTimeout(ctx, timeout)
+	resp, cancel, err := r.get(ctx, path, q, timeout, false)
+	if err != nil {
+		return err
+	}
 	defer cancel()
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// get performs one GET against the primary, optionally offering the
+// binary wire, mapping 410 to errGone and other non-200s to descriptive
+// errors. On success the caller owns the body and must invoke cancel
+// (the request timeout's) after draining it.
+func (r *Replica) get(ctx context.Context, path string, q url.Values, timeout time.Duration, offerBinary bool) (*http.Response, context.CancelFunc, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	u := r.Primary() + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return err
+		cancel()
+		return nil, nil, err
+	}
+	if offerBinary {
+		req.Header.Set("Accept", ContentTypeBinary)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return err
+		cancel()
+		return nil, nil, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusGone {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%w (%s)", errGone, path)
+		resp.Body.Close()
+		cancel()
+		return nil, nil, fmt.Errorf("%w (%s)", errGone, path)
 	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("replica: GET %s: %s: %s", path, resp.Status, firstLine(body))
+		resp.Body.Close()
+		cancel()
+		return nil, nil, fmt.Errorf("replica: GET %s: %s: %s", path, resp.Status, firstLine(body))
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	return resp, cancel, nil
 }
 
 func firstLine(b []byte) string {

@@ -60,6 +60,11 @@ type SnapshotPayload struct {
 	// Integrations and Feedback are the session histories at Seq.
 	Integrations []integrate.Stats `json:"integrations,omitempty"`
 	Feedback     []feedback.Event  `json:"feedback,omitempty"`
+
+	// TreeValue is the decoded document when the payload traveled the
+	// binary wire (Tree stays empty then); the bootstrap path prefers it
+	// over re-parsing the XML.
+	TreeValue *pxml.Tree `json:"-"`
 }
 
 // PrimaryStatus is the body GET /replication returns on a primary (and,
@@ -76,6 +81,9 @@ type PrimaryStatus struct {
 	// non-primary chase this pointer to re-point after a promotion.
 	Primary   string            `json:"primary,omitempty"`
 	Databases []PrimaryDBStatus `json:"databases"`
+	// Peers maps follower hosts to the wire encoding their last
+	// replication fetch negotiated ("binary" or "json").
+	Peers map[string]string `json:"peers,omitempty"`
 }
 
 // PrimaryDBStatus is one database row of PrimaryStatus.

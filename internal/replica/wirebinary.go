@@ -1,0 +1,248 @@
+// Binary wire encoding of the replication protocol, negotiated per
+// request: a follower that speaks it sends "Accept: application/
+// x-imprecise-wal", and the primary answers with a stream of codec
+// frames instead of one JSON document. Either side may be older than the
+// other — a JSON-only follower never sends the Accept header and gets
+// JSON; a JSON-only primary ignores the header and answers JSON, which
+// the follower detects by Content-Type — so mixed-version pairs always
+// converge on a format both ends speak.
+//
+// WAL page stream (Content-Type application/x-imprecise-wal):
+//
+//	H frame  page header: database, since, last_seq, digest, epoch
+//	R frame  one record, payload = the binary WAL record bytes
+//	         (walrecord.go) — the exact bytes the primary's log holds,
+//	         shipped without re-encoding
+//	E frame  trailer: record count (truncation detector)
+//
+// Snapshot stream (same Content-Type):
+//
+//	S frame  header: database, format_version, seq, epoch, digest,
+//	         schema, histories (JSON blobs; not hot)
+//	T frame  the document as a pxml arena payload
+//	E frame  trailer: frame count
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/catalog"
+	"repro/internal/codec"
+	"repro/internal/pxml"
+)
+
+// ContentTypeBinary is the negotiated media type of the binary
+// replication wire. A follower offers it via Accept; a primary that
+// speaks it answers with it as the Content-Type.
+const ContentTypeBinary = "application/x-imprecise-wal"
+
+// Wire encoding names (per-peer observability and the WireEncoding
+// option).
+const (
+	WireBinary = "binary"
+	WireJSON   = "json"
+)
+
+// wireVersion is the revision of the frame payload layouts below.
+const wireVersion = 1
+
+// appendPageHeader renders the H frame payload for page.
+func appendPageHeader(page *WALPage) []byte {
+	var hdr []byte
+	hdr = codec.AppendString(hdr, page.Database)
+	hdr = codec.AppendUvarint(hdr, page.Since)
+	hdr = codec.AppendUvarint(hdr, page.LastSeq)
+	hdr = codec.AppendString(hdr, page.Digest)
+	hdr = codec.AppendUvarint(hdr, page.Epoch)
+	return hdr
+}
+
+// EncodeWALPage streams page to w as binary frames, encoding each
+// decoded record into its binary payload form. A primary serving its own
+// log prefers EncodeRawWALPage, which skips this per-record encode.
+func EncodeWALPage(w io.Writer, page *WALPage) error {
+	fw := codec.NewFrameWriter(w)
+	if err := fw.Write(codec.KindPageHeader, wireVersion, appendPageHeader(page)); err != nil {
+		return err
+	}
+	for i := range page.Records {
+		payload, err := catalog.EncodeWALRecord(page.Records[i])
+		if err != nil {
+			return fmt.Errorf("replica: encoding record %d: %w", page.Records[i].Seq, err)
+		}
+		if err := fw.Write(codec.KindRecord, wireVersion, payload); err != nil {
+			return err
+		}
+	}
+	return fw.Write(codec.KindEnd, wireVersion, codec.AppendUvarint(nil, uint64(len(page.Records))))
+}
+
+// EncodeRawWALPage streams a page whose records are raw on-disk payload
+// bytes (catalog.RawOpsSince) — the zero-re-encode shipping path. The
+// header fields come from page; page.Records is ignored, raws supplies
+// the R frames. A JSON-era payload in raws ships as-is too: the decoder
+// dispatches per record, so mixed-format logs travel unchanged.
+func EncodeRawWALPage(w io.Writer, page *WALPage, raws []catalog.RawWALRecord) error {
+	fw := codec.NewFrameWriter(w)
+	if err := fw.Write(codec.KindPageHeader, wireVersion, appendPageHeader(page)); err != nil {
+		return err
+	}
+	for i := range raws {
+		if err := fw.Write(codec.KindRecord, wireVersion, raws[i].Payload); err != nil {
+			return err
+		}
+	}
+	return fw.Write(codec.KindEnd, wireVersion, codec.AppendUvarint(nil, uint64(len(raws))))
+}
+
+// DecodeWALPage reads one binary WAL page stream. A stream that ends
+// before the E trailer — a connection cut mid-page — is an error, never
+// a short page.
+func DecodeWALPage(r io.Reader) (*WALPage, error) {
+	fr := codec.NewFrameReader(r, 0)
+	f, err := fr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("replica: reading page header: %w", err)
+	}
+	if f.Kind != codec.KindPageHeader {
+		return nil, fmt.Errorf("%w: page stream starts with frame %q", codec.ErrInvalid, f.Kind)
+	}
+	hr := codec.NewReader(f.Payload)
+	page := &WALPage{Records: []catalog.WALRecord{}}
+	page.Database = hr.String()
+	page.Since = hr.Uvarint()
+	page.LastSeq = hr.Uvarint()
+	page.Digest = hr.String()
+	page.Epoch = hr.Uvarint()
+	if err := hr.Finish(); err != nil {
+		return nil, fmt.Errorf("replica: page header: %w", err)
+	}
+	for {
+		f, err := fr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("replica: page stream cut after %d record(s): %w", len(page.Records), err)
+		}
+		switch f.Kind {
+		case codec.KindRecord:
+			rec, err := catalog.DecodeWALRecord(f.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("replica: record %d of page: %w", len(page.Records)+1, err)
+			}
+			page.Records = append(page.Records, rec)
+		case codec.KindEnd:
+			tr := codec.NewReader(f.Payload)
+			n := tr.Uvarint()
+			if err := tr.Finish(); err != nil {
+				return nil, fmt.Errorf("replica: page trailer: %w", err)
+			}
+			if n != uint64(len(page.Records)) {
+				return nil, fmt.Errorf("%w: page trailer says %d records, stream carried %d", codec.ErrInvalid, n, len(page.Records))
+			}
+			return page, nil
+		default:
+			return nil, fmt.Errorf("%w: unexpected frame %q in page stream", codec.ErrInvalid, f.Kind)
+		}
+	}
+}
+
+// EncodeSnapshot streams payload to w as binary frames, carrying the
+// document as a pxml arena instead of marker XML.
+func EncodeSnapshot(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) error {
+	if tree == nil {
+		return fmt.Errorf("replica: binary snapshot needs the decoded tree")
+	}
+	fw := codec.NewFrameWriter(w)
+	var hdr []byte
+	hdr = codec.AppendString(hdr, payload.Database)
+	hdr = codec.AppendUvarint(hdr, uint64(payload.FormatVersion))
+	hdr = codec.AppendUvarint(hdr, payload.Seq)
+	hdr = codec.AppendUvarint(hdr, payload.Epoch)
+	hdr = codec.AppendString(hdr, payload.Digest)
+	hdr = codec.AppendString(hdr, payload.Schema)
+	ints, err := marshalHistory(payload.Integrations)
+	if err != nil {
+		return err
+	}
+	evs, err := marshalHistory(payload.Feedback)
+	if err != nil {
+		return err
+	}
+	hdr = codec.AppendBytes(hdr, ints)
+	hdr = codec.AppendBytes(hdr, evs)
+	if err := fw.Write(codec.KindSnapshotHeader, wireVersion, hdr); err != nil {
+		return err
+	}
+	if err := fw.Write(codec.KindTree, pxml.BinaryVersion, tree.AppendBinary(nil)); err != nil {
+		return err
+	}
+	return fw.Write(codec.KindEnd, wireVersion, codec.AppendUvarint(nil, 2))
+}
+
+// marshalHistory renders a history slice as a JSON blob field ("" for
+// empty — histories are cold data, not worth a binary layout).
+func marshalHistory(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// unmarshalHistory fills a history slice from its JSON blob field.
+func unmarshalHistory(data []byte, v any) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return json.Unmarshal(data, v)
+}
+
+// DecodeSnapshot reads one binary snapshot stream, returning the payload
+// with TreeValue set (Tree, the XML field, stays empty — the bootstrap
+// path prefers the decoded form).
+func DecodeSnapshot(r io.Reader) (*SnapshotPayload, error) {
+	fr := codec.NewFrameReader(r, 0)
+	f, err := fr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("replica: reading snapshot header: %w", err)
+	}
+	if f.Kind != codec.KindSnapshotHeader {
+		return nil, fmt.Errorf("%w: snapshot stream starts with frame %q", codec.ErrInvalid, f.Kind)
+	}
+	hr := codec.NewReader(f.Payload)
+	payload := &SnapshotPayload{}
+	payload.Database = hr.String()
+	payload.FormatVersion = int(hr.Uvarint())
+	payload.Seq = hr.Uvarint()
+	payload.Epoch = hr.Uvarint()
+	payload.Digest = hr.String()
+	payload.Schema = hr.String()
+	ints := hr.Bytes()
+	evs := hr.Bytes()
+	if err := hr.Finish(); err != nil {
+		return nil, fmt.Errorf("replica: snapshot header: %w", err)
+	}
+	if err := unmarshalHistory(ints, &payload.Integrations); err != nil {
+		return nil, fmt.Errorf("replica: snapshot integrations: %w", err)
+	}
+	if err := unmarshalHistory(evs, &payload.Feedback); err != nil {
+		return nil, fmt.Errorf("replica: snapshot feedback: %w", err)
+	}
+	f, err = fr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("replica: snapshot stream cut before document: %w", err)
+	}
+	if f.Kind != codec.KindTree {
+		return nil, fmt.Errorf("%w: expected document frame, got %q", codec.ErrInvalid, f.Kind)
+	}
+	tree, err := pxml.DecodeArena(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("replica: snapshot document: %w", err)
+	}
+	payload.TreeValue = tree
+	f, err = fr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("replica: snapshot stream cut before trailer: %w", err)
+	}
+	if f.Kind != codec.KindEnd {
+		return nil, fmt.Errorf("%w: expected trailer frame, got %q", codec.ErrInvalid, f.Kind)
+	}
+	return payload, nil
+}

@@ -1,0 +1,380 @@
+package replica_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/big"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/feedback"
+	"repro/internal/integrate"
+	"repro/internal/pxml"
+	"repro/internal/replica"
+)
+
+// wireTrees collects the document(s) an op carries, decoding the XML
+// representation when that is what survived the round trip.
+func wireTrees(t *testing.T, op core.Op) []*pxml.Tree {
+	t.Helper()
+	var out []*pxml.Tree
+	out = append(out, op.SourceTrees...)
+	for _, s := range op.Sources {
+		out = append(out, mustDecode(t, s))
+	}
+	if op.TreeValue != nil {
+		out = append(out, op.TreeValue)
+	} else if op.Tree != "" {
+		out = append(out, mustDecode(t, op.Tree))
+	}
+	return out
+}
+
+// TestWALPageBinaryRoundTrip drives a page of mixed-representation
+// records through the binary wire stream and back.
+func TestWALPageBinaryRoundTrip(t *testing.T) {
+	when := time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC)
+	page := &replica.WALPage{
+		Database: "x",
+		Since:    3,
+		LastSeq:  6,
+		Digest:   "00c0ffee00c0ffee",
+		Epoch:    2,
+		Records: []catalog.WALRecord{
+			{Seq: 4, Epoch: 1, Op: core.Op{Kind: core.OpIntegrate, SourceTrees: []*pxml.Tree{mustDecode(t, abA)}}},
+			{Seq: 5, Epoch: 2, Op: core.Op{Kind: core.OpFeedback, Query: "//person/tel", Value: "1111", Correct: true, When: when}},
+			{Seq: 6, Epoch: 2, Op: core.Op{Kind: core.OpReplace, Tree: abB}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := replica.EncodeWALPage(&buf, page); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.DecodeWALPage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Database != page.Database || got.Since != page.Since ||
+		got.LastSeq != page.LastSeq || got.Digest != page.Digest || got.Epoch != page.Epoch {
+		t.Fatalf("page header round trip = %+v", got)
+	}
+	if len(got.Records) != len(page.Records) {
+		t.Fatalf("%d records round-tripped to %d", len(page.Records), len(got.Records))
+	}
+	for i, rec := range got.Records {
+		want := page.Records[i]
+		if rec.Seq != want.Seq || rec.Epoch != want.Epoch || rec.Op.Kind != want.Op.Kind {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+		wt, gt := wireTrees(t, want.Op), wireTrees(t, rec.Op)
+		if len(wt) != len(gt) {
+			t.Fatalf("record %d: %d trees became %d", i, len(wt), len(gt))
+		}
+		for j := range wt {
+			if !pxml.Equal(wt[j].Root(), gt[j].Root()) {
+				t.Fatalf("record %d tree %d differs after round trip", i, j)
+			}
+		}
+	}
+	if fb := got.Records[1].Op; fb.Query != "//person/tel" || fb.Value != "1111" || !fb.Correct || !fb.When.Equal(when) {
+		t.Fatalf("feedback record round trip = %+v", fb)
+	}
+}
+
+// TestRawWALPageRoundTrip: the zero-re-encode primary path — raw
+// payload bytes straight off the log, one binary-era and one JSON-era —
+// produces a stream the standard decoder reads back record by record.
+func TestRawWALPageRoundTrip(t *testing.T) {
+	binRec := catalog.WALRecord{Seq: 4, Epoch: 1,
+		Op: core.Op{Kind: core.OpReplace, TreeValue: mustDecode(t, abA)}}
+	binPayload, err := catalog.EncodeWALRecord(binRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonRec := catalog.WALRecord{Seq: 5, Epoch: 1,
+		Op: core.Op{Kind: core.OpIntegrate, Sources: []string{abB}}}
+	jsonPayload, err := json.Marshal(jsonRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := []catalog.RawWALRecord{
+		{Seq: 4, Epoch: 1, Payload: binPayload},
+		{Seq: 5, Epoch: 1, Payload: jsonPayload},
+	}
+	page := &replica.WALPage{Database: "x", Since: 3, LastSeq: 5, Digest: "d", Epoch: 1}
+	var buf bytes.Buffer
+	if err := replica.EncodeRawWALPage(&buf, page, raws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.DecodeWALPage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Database != "x" || got.LastSeq != 5 || len(got.Records) != 2 {
+		t.Fatalf("raw page round trip = %+v", got)
+	}
+	if r := got.Records[0]; r.Seq != 4 || r.Op.Kind != core.OpReplace ||
+		r.Op.TreeValue == nil || !pxml.Equal(r.Op.TreeValue.Root(), mustDecode(t, abA).Root()) {
+		t.Fatalf("binary-era raw record = %+v", r)
+	}
+	if r := got.Records[1]; r.Seq != 5 || r.Op.Kind != core.OpIntegrate ||
+		len(r.Op.Sources) != 1 || r.Op.Sources[0] != abB {
+		t.Fatalf("JSON-era raw record = %+v", r)
+	}
+}
+
+// TestWALPageEmpty: a caught-up page (no records) is a legal stream.
+func TestWALPageEmpty(t *testing.T) {
+	page := &replica.WALPage{Database: "x", Since: 9, LastSeq: 9, Digest: "0", Epoch: 1}
+	var buf bytes.Buffer
+	if err := replica.EncodeWALPage(&buf, page); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.DecodeWALPage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 0 || got.LastSeq != 9 {
+		t.Fatalf("empty page round trip = %+v", got)
+	}
+}
+
+// TestWALPageTruncationRejected: a connection cut at ANY byte of the
+// stream must surface as an error, never as a short-but-accepted page —
+// that is what the E trailer exists for.
+func TestWALPageTruncationRejected(t *testing.T) {
+	page := &replica.WALPage{
+		Database: "x", Since: 0, LastSeq: 2, Digest: "d", Epoch: 1,
+		Records: []catalog.WALRecord{
+			{Seq: 1, Epoch: 1, Op: core.Op{Kind: core.OpIntegrate, SourceTrees: []*pxml.Tree{mustDecode(t, abA)}}},
+			{Seq: 2, Epoch: 1, Op: core.Op{Kind: core.OpIntegrate, SourceTrees: []*pxml.Tree{mustDecode(t, abB)}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := replica.EncodeWALPage(&buf, page); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := replica.DecodeWALPage(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("stream cut at byte %d decoded as a full page", cut)
+		}
+	}
+}
+
+// TestWALPageTrailerMismatch: a trailer whose count disagrees with the
+// records actually carried is rejected.
+func TestWALPageTrailerMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	fw := codec.NewFrameWriter(&buf)
+	var hdr []byte
+	hdr = codec.AppendString(hdr, "x")
+	hdr = codec.AppendUvarint(hdr, 0)
+	hdr = codec.AppendUvarint(hdr, 0)
+	hdr = codec.AppendString(hdr, "d")
+	hdr = codec.AppendUvarint(hdr, 1)
+	if err := fw.Write(codec.KindPageHeader, 1, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(codec.KindEnd, 1, codec.AppendUvarint(nil, 5)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := replica.DecodeWALPage(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "trailer") {
+		t.Fatalf("forged trailer count: err = %v", err)
+	}
+}
+
+// TestSnapshotBinaryRoundTrip sends a full bootstrap payload — document,
+// schema, histories — through the binary stream and back.
+func TestSnapshotBinaryRoundTrip(t *testing.T) {
+	tree := mustDecode(t, abC)
+	when := time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC)
+	payload := &replica.SnapshotPayload{
+		Database:      "x",
+		FormatVersion: 4,
+		Seq:           7,
+		Epoch:         2,
+		Digest:        replica.DigestString(tree),
+		Schema:        "<!ELEMENT addressbook (person*)>",
+		Integrations:  []integrate.Stats{{OracleCalls: 3, Components: 1}},
+		Feedback: []feedback.Event{{Query: "//q", Value: "v", PriorP: 0.5,
+			WorldsBefore: big.NewInt(4), WorldsAfter: big.NewInt(2), When: when}},
+	}
+	var buf bytes.Buffer
+	if err := replica.EncodeSnapshot(&buf, payload, tree); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Database != "x" || got.FormatVersion != 4 || got.Seq != 7 || got.Epoch != 2 ||
+		got.Digest != payload.Digest || got.Schema != payload.Schema {
+		t.Fatalf("snapshot header round trip = %+v", got)
+	}
+	if got.Tree != "" {
+		t.Fatalf("binary snapshot filled the XML field: %q", got.Tree)
+	}
+	if got.TreeValue == nil || !pxml.Equal(got.TreeValue.Root(), tree.Root()) {
+		t.Fatal("snapshot document differs after round trip")
+	}
+	if replica.DigestString(got.TreeValue) != payload.Digest {
+		t.Fatal("decoded document digest mismatch")
+	}
+	if len(got.Integrations) != 1 || got.Integrations[0].OracleCalls != 3 {
+		t.Fatalf("integrations = %+v", got.Integrations)
+	}
+	if len(got.Feedback) != 1 || got.Feedback[0].WorldsBefore.Cmp(big.NewInt(4)) != 0 ||
+		!got.Feedback[0].When.Equal(when) {
+		t.Fatalf("feedback = %+v", got.Feedback)
+	}
+
+	if err := replica.EncodeSnapshot(&bytes.Buffer{}, payload, nil); err == nil {
+		t.Fatal("EncodeSnapshot accepted a nil tree")
+	}
+}
+
+// TestSnapshotTruncationRejected: every cut of the snapshot stream is an
+// error — a half-received bootstrap must never install.
+func TestSnapshotTruncationRejected(t *testing.T) {
+	tree := mustDecode(t, abA)
+	payload := &replica.SnapshotPayload{Database: "x", FormatVersion: 4, Seq: 1, Epoch: 1, Digest: replica.DigestString(tree)}
+	var buf bytes.Buffer
+	if err := replica.EncodeSnapshot(&buf, payload, tree); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := replica.DecodeSnapshot(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("stream cut at byte %d decoded as a full snapshot", cut)
+		}
+	}
+}
+
+// primaryStatus fetches GET /replication from a test server.
+func primaryStatus(t *testing.T, url string) replica.PrimaryStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/replication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ps replica.PrimaryStatus
+	if err := json.NewDecoder(resp.Body).Decode(&ps); err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// peerEncoding returns the single negotiated encoding the primary
+// recorded for its follower(s), failing on none or a mix.
+func peerEncoding(t *testing.T, ps replica.PrimaryStatus) string {
+	t.Helper()
+	if len(ps.Peers) == 0 {
+		t.Fatalf("primary recorded no peers: %+v", ps)
+	}
+	enc := ""
+	for _, e := range ps.Peers {
+		if enc != "" && e != enc {
+			t.Fatalf("mixed peer encodings: %+v", ps.Peers)
+		}
+		enc = e
+	}
+	return enc
+}
+
+// TestReplicationWireNegotiationBinary: a current follower against a
+// current primary negotiates the binary wire for both the snapshot
+// bootstrap and the WAL tail, converges, and both ends report the
+// negotiated encoding.
+func TestReplicationWireNegotiationBinary(t *testing.T) {
+	cat, ts := startPrimary(t)
+	pdb, err := cat.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.Core().IntegrateXMLString(abA); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replica.Open(t.TempDir(), fastOptions(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	waitCaughtUp(t, rep)
+	fdb, err := rep.Catalog().Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, pdb.Core(), fdb.Core())
+
+	// The tail keeps flowing in binary: more writes, including a
+	// feedback op whose timestamp must survive the binary round trip.
+	if _, err := pdb.Core().IntegrateXMLString(abB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.Core().Feedback(`//person[nm="John"]/tel`, "2222", false); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, rep)
+	assertConverged(t, pdb.Core(), fdb.Core())
+
+	if st := rep.Status(); st.WireEncoding != replica.WireBinary {
+		t.Fatalf("replica negotiated %q, want %q", st.WireEncoding, replica.WireBinary)
+	}
+	if enc := peerEncoding(t, primaryStatus(t, ts.URL)); enc != replica.WireBinary {
+		t.Fatalf("primary recorded peer encoding %q, want %q", enc, replica.WireBinary)
+	}
+}
+
+// TestReplicationWireJSONFallback: a follower configured JSON-only (an
+// old build, as far as the primary can tell: it never sends the Accept
+// header) still bootstraps and tails from a binary-capable primary, and
+// both ends report the JSON fallback.
+func TestReplicationWireJSONFallback(t *testing.T) {
+	cat, ts := startPrimary(t)
+	pdb, err := cat.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.Core().IntegrateXMLString(abA); err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOptions(ts.URL)
+	opts.WireEncoding = replica.WireJSON
+	rep, err := replica.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	waitCaughtUp(t, rep)
+	fdb, err := rep.Catalog().Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, pdb.Core(), fdb.Core())
+
+	// The primary's log holds binary records (default WAL encoding); the
+	// JSON wire path must portably re-encode them, trees included.
+	if _, err := pdb.Core().IntegrateXMLString(abB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.Core().Feedback(`//person[nm="John"]/tel`, "2222", false); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, rep)
+	assertConverged(t, pdb.Core(), fdb.Core())
+
+	if st := rep.Status(); st.WireEncoding != replica.WireJSON {
+		t.Fatalf("replica negotiated %q, want %q", st.WireEncoding, replica.WireJSON)
+	}
+	if enc := peerEncoding(t, primaryStatus(t, ts.URL)); enc != replica.WireJSON {
+		t.Fatalf("primary recorded peer encoding %q, want %q", enc, replica.WireJSON)
+	}
+}

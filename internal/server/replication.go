@@ -10,8 +10,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/catalog"
@@ -26,6 +28,41 @@ const (
 	// maxWALWait caps the long-poll wait a /wal request may ask for.
 	maxWALWait = 30 * time.Second
 )
+
+// wantsBinary reports whether the requester offered the binary
+// replication wire via its Accept header. Absent or different Accept
+// values fall back to JSON, which every build speaks.
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), replica.ContentTypeBinary)
+}
+
+// notePeer records the wire encoding served to a replication peer, keyed
+// by remote host — the per-peer negotiation surface /replication and
+// verbose /healthz report.
+func (s *Server) notePeer(r *http.Request, encoding string) {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	s.peerMu.Lock()
+	s.peers[host] = encoding
+	s.peerMu.Unlock()
+}
+
+// peerEncodings snapshots the per-peer negotiated encodings (nil when no
+// peer fetched yet, so the JSON field stays omitted).
+func (s *Server) peerEncodings() map[string]string {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if len(s.peers) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.peers))
+	for k, v := range s.peers {
+		out[k] = v
+	}
+	return out
+}
 
 // ReadOnlyError is the 403 body a replica answers mutations with: the
 // error plus the primary's address, so clients can redirect the write.
@@ -134,11 +171,22 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
 	if wait > maxWALWait {
 		wait = maxWALWait
 	}
+	// The wire encoding decides how records are read: the binary wire
+	// ships raw on-disk payload bytes (no decode, no re-encode), the
+	// JSON wire needs decoded records to render portably.
+	binaryWire := wantsBinary(r)
 	var recs []catalog.WALRecord
+	var raws []catalog.RawWALRecord
 	if wait > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), wait)
-		recs, err = t.cdb.WaitOps(ctx, since, limit)
+		if binaryWire {
+			raws, err = t.cdb.WaitRawOps(ctx, since, limit)
+		} else {
+			recs, err = t.cdb.WaitOps(ctx, since, limit)
+		}
 		cancel()
+	} else if binaryWire {
+		raws, err = t.cdb.RawOpsSince(since, limit)
 	} else {
 		recs, err = t.cdb.OpsSince(since, limit)
 	}
@@ -156,14 +204,35 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
 	// The (seq, digest) pair comes from one consistent snapshot, so a
 	// follower reaching LastSeq can compare trees structurally.
 	tree, seq := t.core.TreeSeq()
-	writeJSON(w, http.StatusOK, replica.WALPage{
+	page := replica.WALPage{
 		Database: t.name,
 		Since:    since,
 		LastSeq:  seq,
 		Digest:   replica.DigestString(tree),
 		Epoch:    t.cdb.Epoch(),
 		Records:  recs,
-	})
+	}
+	if binaryWire {
+		s.notePeer(r, replica.WireBinary)
+		w.Header().Set("Content-Type", replica.ContentTypeBinary)
+		// Headers are out once the first frame is written; a mid-stream
+		// encode failure can only cut the connection, which the follower
+		// detects as a truncated stream and retries.
+		if err := replica.EncodeRawWALPage(w, &page, raws); err != nil {
+			s.logf("wal: %s: streaming page since %d: %v", t.name, since, err)
+		}
+		return
+	}
+	s.notePeer(r, replica.WireJSON)
+	// Binary-logged records carry their documents only in decoded form;
+	// materialize the XML string fields the JSON wire needs.
+	for i := range page.Records {
+		if err := page.Records[i].Op.EncodePortable(); err != nil {
+			writeError(w, http.StatusInternalServerError, "wal: encoding record %d: %v", page.Records[i].Seq, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 // handleSnapshot serves the database's full current state — the payload a
@@ -178,6 +247,27 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, t target
 	// tolerates (it refuses only snapshots BELOW its own epoch).
 	epoch := t.cdb.Epoch()
 	v := t.core.View()
+	payload := replica.SnapshotPayload{
+		Database:      t.name,
+		FormatVersion: store.FormatVersion,
+		Seq:           v.Seq,
+		Epoch:         epoch,
+		Digest:        replica.DigestString(v.Tree),
+		Integrations:  v.Integrations,
+		Feedback:      v.Events,
+	}
+	if v.Schema != nil {
+		payload.Schema = v.Schema.String()
+	}
+	if wantsBinary(r) {
+		s.notePeer(r, replica.WireBinary)
+		w.Header().Set("Content-Type", replica.ContentTypeBinary)
+		if err := replica.EncodeSnapshot(w, &payload, v.Tree); err != nil {
+			s.logf("snapshot: %s: streaming: %v", t.name, err)
+		}
+		return
+	}
+	s.notePeer(r, replica.WireJSON)
 	// KeepTrivial matches the journal encoding: the round trip preserves
 	// structure (pxml.Equal), which is what replay determinism needs.
 	tree, err := xmlcodec.EncodeString(v.Tree, xmlcodec.EncodeOptions{KeepTrivial: true})
@@ -185,19 +275,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, t target
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
-	payload := replica.SnapshotPayload{
-		Database:      t.name,
-		FormatVersion: store.FormatVersion,
-		Seq:           v.Seq,
-		Epoch:         epoch,
-		Digest:        replica.DigestString(v.Tree),
-		Tree:          tree,
-		Integrations:  v.Integrations,
-		Feedback:      v.Events,
-	}
-	if v.Schema != nil {
-		payload.Schema = v.Schema.String()
-	}
+	payload.Tree = tree
 	writeJSON(w, http.StatusOK, payload)
 }
 
@@ -220,6 +298,7 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 	ps := replica.PrimaryStatus{Role: s.role(), Primary: s.primaryHint(), Databases: []replica.PrimaryDBStatus{}}
 	if s.cat != nil {
 		ps.Epoch = s.cat.Epoch()
+		ps.Peers = s.peerEncodings()
 		for _, db := range s.cat.List() {
 			tree, seq := db.Core().TreeSeq()
 			st := db.Stats()
@@ -246,6 +325,10 @@ type HealthDB struct {
 	AppliedSeq   uint64 `json:"applied_seq"`
 	TailOps      uint64 `json:"tail_ops"`
 	RecoveredOps int64  `json:"recovered_ops"`
+	// StoreFormat is the on-disk snapshot format version; WALEncoding the
+	// payload format of new log appends.
+	StoreFormat int    `json:"store_format,omitempty"`
+	WALEncoding string `json:"wal_encoding,omitempty"`
 	// PrimarySeq and Lag are present on replicas.
 	PrimarySeq uint64 `json:"primary_seq,omitempty"`
 	Lag        uint64 `json:"lag,omitempty"`
@@ -263,7 +346,12 @@ type HealthResponse struct {
 	// Epoch is the node's cluster epoch (catalog and replica modes).
 	Epoch     *uint64    `json:"epoch,omitempty"`
 	Connected *bool      `json:"connected,omitempty"`
-	Databases []HealthDB `json:"databases,omitempty"`
+	// WireEncoding is, on a replica, the encoding its last replication
+	// fetch negotiated; Peers maps, on a primary, follower hosts to the
+	// encoding each was last served.
+	WireEncoding string            `json:"wire_encoding,omitempty"`
+	Peers        map[string]string `json:"peers,omitempty"`
+	Databases    []HealthDB        `json:"databases,omitempty"`
 }
 
 // handleHealthz is the liveness probe — O(1) by default on purpose, so
@@ -296,6 +384,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Primary = st.Primary
 		connected := st.Connected
 		resp.Connected = &connected
+		resp.WireEncoding = st.WireEncoding
 		lagByName = make(map[string]replica.DBStatus, len(st.Databases))
 		for _, d := range st.Databases {
 			lagByName[d.Name] = d
@@ -306,6 +395,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Databases = []HealthDB{}
 	if s.cat != nil {
+		resp.Peers = s.peerEncodings()
 		for _, db := range s.cat.List() {
 			st := db.Stats()
 			row := HealthDB{
@@ -314,6 +404,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				AppliedSeq:   db.Core().AppliedSeq(),
 				TailOps:      st.TailOps,
 				RecoveredOps: st.RecoveredOps,
+				StoreFormat:  st.StoreFormat,
+				WALEncoding:  st.WAL.Encoding,
 			}
 			if d, ok := lagByName[db.Name()]; ok {
 				row.PrimarySeq = d.PrimarySeq

@@ -136,6 +136,11 @@ type Server struct {
 	// fencing goroutine bookkeeping (started by a promotion).
 	fenceCancel context.CancelFunc
 	fenceWG     sync.WaitGroup
+
+	// peerMu guards peers: remote host → the replication wire encoding
+	// that host's last /wal or /snapshot fetch negotiated.
+	peerMu sync.Mutex
+	peers  map[string]string
 }
 
 // target is the database one request operates on: its core plus, in
@@ -175,7 +180,7 @@ func newServer(db *core.Database, cat *catalog.Catalog, rep *replica.Replica, op
 	if opts.MaxWorlds <= 0 {
 		opts.MaxWorlds = DefaultMaxWorlds
 	}
-	s := &Server{db: db, cat: cat, rep: rep, opts: opts, mux: http.NewServeMux()}
+	s := &Server{db: db, cat: cat, rep: rep, opts: opts, mux: http.NewServeMux(), peers: map[string]string{}}
 	if rep != nil {
 		s.readOnly = true
 		s.primary = rep.Primary()
@@ -678,6 +683,10 @@ type DurabilityStats struct {
 	// database actually runs with (-wal-segment-bytes, -compact-every).
 	SegmentLimitBytes int64 `json:"segment_limit_bytes"`
 	CompactEvery      int   `json:"compact_every"`
+	// StoreFormat is the on-disk snapshot format version; Encoding the
+	// payload format of new log appends (-wal-encoding).
+	StoreFormat int    `json:"store_format"`
+	Encoding    string `json:"encoding"`
 }
 
 func durabilityStats(db *catalog.DB) *DurabilityStats {
@@ -696,6 +705,8 @@ func durabilityStats(db *catalog.DB) *DurabilityStats {
 		RecoveredOps:      st.RecoveredOps,
 		SegmentLimitBytes: st.WAL.SegmentLimitBytes,
 		CompactEvery:      st.CompactEvery,
+		StoreFormat:       st.StoreFormat,
+		Encoding:          st.WAL.Encoding,
 	}
 }
 

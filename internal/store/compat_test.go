@@ -1,0 +1,172 @@
+package store_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+	"repro/internal/store"
+	"repro/internal/xmlcodec"
+)
+
+// writeVersionDir writes dir as the given snapshot format version would
+// have been written by the release that introduced it.
+func writeVersionDir(t *testing.T, dir string, tree *pxml.Tree, version int) {
+	t.Helper()
+	switch version {
+	case 1:
+		doc, err := xmlcodec.EncodeString(tree, xmlcodec.EncodeOptions{Indent: " ", KeepTrivial: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256([]byte(doc))
+		m := map[string]any{
+			"format_version":  1,
+			"saved_at":        time.Now().UTC().Format(time.RFC3339),
+			"document_sha256": hex.EncodeToString(sum[:]),
+			"logical_nodes":   tree.NodeCount(),
+			"worlds":          tree.WorldCount().String(),
+			"has_schema":      false,
+		}
+		mdata, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "document.xml"), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mdata, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	case 2, 3:
+		if _, err := store.SaveWith(dir, tree, nil, store.SaveOptions{Encoding: store.EncodingXML}); err != nil {
+			t.Fatal(err)
+		}
+		if version == 2 {
+			// v2 is v3 without the epoch key and with the older version
+			// stamp.
+			mPath := filepath.Join(dir, "manifest.json")
+			raw, err := os.ReadFile(mPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m map[string]any
+			if err := json.Unmarshal(raw, &m); err != nil {
+				t.Fatal(err)
+			}
+			m["format_version"] = 2
+			delete(m, "epoch")
+			raw, err = json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(mPath, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	case 4:
+		if _, err := store.SaveWith(dir, tree, nil, store.SaveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown version %d", version)
+	}
+}
+
+// TestFormatLadderCompat loads every snapshot format version ever written
+// and proves an old directory continues in binary: load, save (defaults
+// to v4), load again.
+func TestFormatLadderCompat(t *testing.T) {
+	tree := pxmltest.Fig2Tree()
+	for _, version := range []int{1, 2, 3, 4} {
+		dir := t.TempDir()
+		writeVersionDir(t, dir, tree, version)
+		snap, err := store.Load(dir)
+		if err != nil {
+			t.Fatalf("v%d: Load: %v", version, err)
+		}
+		if !pxml.Equal(snap.Tree.Root(), tree.Root()) {
+			t.Fatalf("v%d: loaded tree differs", version)
+		}
+		if snap.Manifest.FormatVersion != version {
+			t.Fatalf("v%d: manifest says v%d", version, snap.Manifest.FormatVersion)
+		}
+		// Continue in binary: the next save upgrades the directory.
+		if _, err := store.SaveWith(dir, snap.Tree, snap.Schema, store.SaveOptions{}); err != nil {
+			t.Fatalf("v%d: re-save: %v", version, err)
+		}
+		again, err := store.Load(dir)
+		if err != nil {
+			t.Fatalf("v%d: reload after upgrade: %v", version, err)
+		}
+		if again.Manifest.FormatVersion != store.FormatVersion {
+			t.Fatalf("v%d: upgrade left manifest at v%d", version, again.Manifest.FormatVersion)
+		}
+		if !pxml.Equal(again.Tree.Root(), tree.Root()) {
+			t.Fatalf("v%d: upgraded tree differs", version)
+		}
+		if filepath.Ext(again.Manifest.DocumentFile) != ".bin" {
+			t.Fatalf("v%d: upgraded document file %q not binary", version, again.Manifest.DocumentFile)
+		}
+	}
+}
+
+// TestXMLEscapeHatch pins the Encoding "xml" escape hatch to the v3
+// layout, and rejects unknown encodings.
+func TestXMLEscapeHatch(t *testing.T) {
+	dir := t.TempDir()
+	tree := pxmltest.Fig2Tree()
+	m, err := store.SaveWith(dir, tree, nil, store.SaveOptions{Encoding: store.EncodingXML, Epoch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FormatVersion != 3 || filepath.Ext(m.DocumentFile) != ".xml" {
+		t.Fatalf("xml save wrote %q at v%d", m.DocumentFile, m.FormatVersion)
+	}
+	snap, err := store.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pxml.Equal(snap.Tree.Root(), tree.Root()) || snap.Manifest.Epoch != 7 {
+		t.Fatal("xml snapshot did not round trip")
+	}
+	if _, err := store.SaveWith(dir, tree, nil, store.SaveOptions{Encoding: "protobuf"}); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+}
+
+// TestBinaryDocumentTamper: flipping any byte of the binary document file
+// must be caught (by the SHA-256 in the manifest, the frame CRC, or the
+// arena digest) — never load silently wrong.
+func TestBinaryDocumentTamper(t *testing.T) {
+	dir := t.TempDir()
+	tree := pxmltest.Fig2Tree()
+	m, err := store.SaveWith(dir, tree, nil, store.SaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docPath := filepath.Join(dir, m.DocumentFile)
+	orig, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(orig); i += 7 {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x20
+		if err := os.WriteFile(docPath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Load(dir); err == nil {
+			t.Fatalf("byte flip at %d loaded successfully", i)
+		}
+	}
+}

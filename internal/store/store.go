@@ -1,13 +1,14 @@
 // Package store persists probabilistic databases to disk — the durable-
 // storage role MonetDB plays for the original IMPrECISE prototype. A
-// snapshot is a directory holding the probabilistic document (marker XML),
-// the schema knowledge (DTD), and a JSON manifest with integrity metadata,
-// so a long-running integrate/query/feedback session can be resumed.
+// snapshot is a directory holding the probabilistic document (a binary
+// flat-arena frame since format v4; marker XML before), the schema
+// knowledge (DTD), and a JSON manifest with integrity metadata, so a
+// long-running integrate/query/feedback session can be resumed.
 //
 // # Durability
 //
-// Format v2 makes a snapshot crash-safe. The document and schema are
-// written under content-addressed names (document-<sha>.xml), each file is
+// Format v2 made a snapshot crash-safe. The document and schema are
+// written under content-addressed names (document-<sha>.bin), each file is
 // fsynced before and the directory after its rename, and the manifest —
 // the only file referencing them — is written last. A save torn by a
 // crash therefore leaves the previous manifest pointing at the previous
@@ -31,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/dtd"
 	"repro/internal/feedback"
 	"repro/internal/integrate"
@@ -40,14 +42,28 @@ import (
 
 const (
 	// FormatVersion identifies the snapshot layout; bumped on breaking
-	// changes. Version 3 adds the cluster epoch to the manifest. Versions
-	// 1 (fixed filenames, no histories) and 2 (no epoch — loads as epoch
-	// 0) are still loaded.
-	FormatVersion = 3
+	// changes. The full ladder, every rung still loadable:
+	//
+	//	v1  fixed filenames (document.xml), no histories
+	//	v2  content-addressed XML documents, histories in the manifest
+	//	v3  v2 plus the cluster epoch in the manifest
+	//	v4  binary documents (document-<sha>.bin: a CRC-32C codec frame
+	//	    holding the pxml flat arena encoding); manifest still JSON
+	//
+	// Saves default to v4; SaveOptions.Encoding == "xml" writes the v3
+	// layout for peers or tooling that cannot read binary documents.
+	FormatVersion = 4
 
 	// formatVersionV2 is the pre-epoch content-addressed layout; identical
 	// to v3 except the manifest never carries an epoch.
 	formatVersionV2 = 2
+	// formatVersionV3 is the XML layout with the epoch — what
+	// SaveOptions.Encoding "xml" still writes.
+	formatVersionV3 = 3
+
+	// EncodingBinary and EncodingXML are the SaveOptions.Encoding values.
+	EncodingBinary = "binary"
+	EncodingXML    = "xml"
 
 	manifestFile = "manifest.json"
 	// Legacy v1 filenames; v2 names are content-addressed.
@@ -115,6 +131,10 @@ type SaveOptions struct {
 	// Integrations and Feedback are the session histories to persist.
 	Integrations []integrate.Stats
 	Feedback     []feedback.Event
+	// Encoding selects the document payload format: "" or "binary" for
+	// the v4 flat-arena frame, "xml" for the v3-compatible marker-XML
+	// layout (the escape hatch for readers without binary support).
+	Encoding string
 }
 
 // Save writes the document (and optional schema) into dir, creating it if
@@ -165,15 +185,29 @@ func SaveWith(dir string, tree *pxml.Tree, schema *dtd.Schema, opts SaveOptions)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Manifest{}, err
 	}
-	doc, err := xmlcodec.EncodeString(tree, xmlcodec.EncodeOptions{Indent: " ", KeepTrivial: true})
-	if err != nil {
-		return Manifest{}, err
+	var (
+		doc     []byte
+		version int
+		ext     string
+	)
+	switch opts.Encoding {
+	case "", EncodingBinary:
+		doc = codec.AppendFrame(nil, codec.KindDocument, pxml.BinaryVersion, tree.AppendBinary(nil))
+		version, ext = FormatVersion, "bin"
+	case EncodingXML:
+		s, err := xmlcodec.EncodeString(tree, xmlcodec.EncodeOptions{Indent: " ", KeepTrivial: true})
+		if err != nil {
+			return Manifest{}, err
+		}
+		doc, version, ext = []byte(s), formatVersionV3, "xml"
+	default:
+		return Manifest{}, fmt.Errorf("store: unknown encoding %q (want %q or %q)", opts.Encoding, EncodingBinary, EncodingXML)
 	}
-	sum := sha256.Sum256([]byte(doc))
+	sum := sha256.Sum256(doc)
 	m := Manifest{
-		FormatVersion:  FormatVersion,
+		FormatVersion:  version,
 		SavedAt:        time.Now().UTC(),
-		DocumentFile:   fmt.Sprintf("document-%s.xml", hex.EncodeToString(sum[:6])),
+		DocumentFile:   fmt.Sprintf("document-%s.%s", hex.EncodeToString(sum[:6]), ext),
 		DocumentSHA256: hex.EncodeToString(sum[:]),
 		TreeDigest:     fmt.Sprintf("%016x", tree.Digest()),
 		LogicalNodes:   tree.NodeCount(),
@@ -185,7 +219,7 @@ func SaveWith(dir string, tree *pxml.Tree, schema *dtd.Schema, opts SaveOptions)
 		Integrations:   opts.Integrations,
 		Feedback:       opts.Feedback,
 	}
-	if err := writeAtomic(filepath.Join(dir, m.DocumentFile), []byte(doc)); err != nil {
+	if err := writeAtomic(filepath.Join(dir, m.DocumentFile), doc); err != nil {
 		return Manifest{}, err
 	}
 	if schema != nil {
@@ -244,7 +278,7 @@ func Load(dir string) (*Snapshot, error) {
 	switch m.FormatVersion {
 	case 1:
 		docFile, schemaFile = legacyDocumentFile, legacySchemaFile
-	case formatVersionV2, FormatVersion:
+	case formatVersionV2, formatVersionV3, FormatVersion:
 		if docFile == "" || docFile != filepath.Base(docFile) || (m.HasSchema && (schemaFile == "" || schemaFile != filepath.Base(schemaFile))) {
 			return nil, fmt.Errorf("%w: manifest references invalid payload file", ErrCorrupt)
 		}
@@ -259,12 +293,29 @@ func Load(dir string) (*Snapshot, error) {
 	if hex.EncodeToString(sum[:]) != m.DocumentSHA256 {
 		return nil, fmt.Errorf("%w: document checksum mismatch", ErrCorrupt)
 	}
-	tree, err := xmlcodec.DecodeString(string(doc))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	if err := tree.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	var tree *pxml.Tree
+	if m.FormatVersion >= FormatVersion {
+		// v4: one CRC-framed sequential read into the node arena.
+		// DecodeArena enforces every Validate invariant itself.
+		frame, rest, err := codec.ParseFrame(doc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if frame.Kind != codec.KindDocument || len(rest) != 0 {
+			return nil, fmt.Errorf("%w: document file is not a single document frame", ErrCorrupt)
+		}
+		tree, err = pxml.DecodeArena(frame.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	} else {
+		tree, err = xmlcodec.DecodeString(string(doc))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if err := tree.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
 	}
 	if got := tree.NodeCount(); got != m.LogicalNodes {
 		return nil, fmt.Errorf("%w: node count %d differs from manifest %d", ErrCorrupt, got, m.LogicalNodes)
