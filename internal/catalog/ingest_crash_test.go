@@ -1,0 +1,221 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pxml"
+	"repro/internal/xmlcodec"
+)
+
+// TestCrashRecoveryQueueEveryByteOffset extends the every-byte crash
+// property to the ingest queue's two record kinds. The log under test:
+//
+//	frame 1  integrate abA        (committed baseline, never cut)
+//	frame 2  enqueue abB          (cut at every byte)
+//	frame 3  apply-queued ticket  (cut at every byte)
+//
+// For every cut the recovered catalog must land on a consistent
+// (tree, queue) pair — a torn enqueue loses the unacknowledged ticket, a
+// torn apply leaves the ticket pending — and restarting the drainer from
+// there must reach the committed post state without ever applying a
+// source twice (exactly-once).
+func TestCrashRecoveryQueueEveryByteOffset(t *testing.T) {
+	base := t.TempDir()
+	data := filepath.Join(base, "data")
+	opts := testOptions()
+	opts.Config.IngestDepth = 8
+	cat, err := Open(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cat.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb := db.Core()
+	seg := filepath.Join(data, "x", walDirName, segName(1))
+
+	if _, err := cdb.IntegrateXMLString(abA); err != nil {
+		t.Fatal(err)
+	}
+	preTree := cdb.Tree()
+	size0 := segSize(t, seg)
+
+	src, err := xmlcodec.DecodeString(abB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, err := cdb.Enqueue([]*pxml.Tree{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size1 := segSize(t, seg)
+	if size1 <= size0 {
+		t.Fatalf("enqueue wrote no bytes? %d -> %d", size0, size1)
+	}
+
+	cdb.StartIngest()
+	waitTicketApplied(t, cdb, ticket)
+	cdb.StopIngest()
+	postTree := cdb.Tree()
+	size2 := segSize(t, seg)
+	if size2 <= size1 {
+		t.Fatalf("apply wrote no bytes? %d -> %d", size1, size2)
+	}
+	// No clean shutdown: only the fsynced bytes exist.
+
+	for cut := size0; cut <= size2; cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			killed := t.TempDir()
+			copyDir(t, data, killed)
+			if err := os.Truncate(filepath.Join(killed, "x", walDirName, segName(1)), cut); err != nil {
+				t.Fatal(err)
+			}
+			cat2, err := Open(killed, opts)
+			if err != nil {
+				t.Fatalf("recovery failed at cut %d: %v", cut, err)
+			}
+			defer cat2.Close()
+			db2, err := cat2.Get("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2 := db2.Core()
+
+			// What the cut leaves behind: a torn enqueue was never
+			// acknowledged (ticket gone); a complete enqueue with a torn
+			// apply leaves the ticket pending; the full log is applied.
+			wantTree, wantPending := preTree, 0
+			switch {
+			case cut < size1:
+				// torn enqueue: nothing accepted
+			case cut < size2:
+				wantPending = 1
+			default:
+				wantTree = postTree
+			}
+			if got := c2.IngestStats().Depth; got != wantPending {
+				t.Fatalf("cut %d: %d pending entries, want %d", cut, got, wantPending)
+			}
+			if !pxml.Equal(c2.Tree().Root(), wantTree.Root()) {
+				t.Fatalf("cut %d: recovered tree mismatch", cut)
+			}
+
+			// Resume the drainer: a pending ticket must complete, an
+			// applied one must NOT re-apply (exactly-once).
+			c2.StartIngest()
+			defer c2.StopIngest()
+			final := preTree
+			if cut >= size1 {
+				final = postTree
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for c2.IngestStats().Depth > 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("cut %d: queue did not drain", cut)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if !pxml.Equal(c2.Tree().Root(), final.Root()) {
+				t.Fatalf("cut %d: post-drain tree mismatch", cut)
+			}
+			if c2.Tree().WorldCount().Cmp(final.WorldCount()) != 0 {
+				t.Fatalf("cut %d: post-drain world count %s != %s",
+					cut, c2.Tree().WorldCount(), final.WorldCount())
+			}
+			// The recovered log keeps accepting work.
+			if _, err := c2.IntegrateXMLString(abC); err != nil {
+				t.Fatalf("cut %d: append after recovery: %v", cut, err)
+			}
+		})
+	}
+}
+
+// TestQueueSurvivesCompaction: pending entries live in the snapshot
+// manifest, so a compaction between accept and apply cannot strand the
+// later apply record.
+func TestQueueSurvivesCompaction(t *testing.T) {
+	base := t.TempDir()
+	data := filepath.Join(base, "data")
+	opts := testOptions()
+	opts.Config.IngestDepth = 8
+	cat, err := Open(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cat.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb := db.Core()
+	if _, err := cdb.IntegrateXMLString(abA); err != nil {
+		t.Fatal(err)
+	}
+	src, err := xmlcodec.DecodeString(abB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, err := cdb.Enqueue([]*pxml.Tree{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compact with the entry still pending (no drainer running), then
+	// reopen: the queue must come back from the manifest.
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := Open(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat2.Close()
+	db2, err := cat2.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := db2.Core()
+	if got := c2.IngestStats().Depth; got != 1 {
+		t.Fatalf("pending entries after compaction round-trip: %d, want 1", got)
+	}
+	c2.StartIngest()
+	defer c2.StopIngest()
+	if st := waitTicketApplied(t, c2, ticket); st.State != core.TicketApplied {
+		t.Fatalf("recovered ticket: %+v", st)
+	}
+}
+
+func segSize(t *testing.T, seg string) int64 {
+	t.Helper()
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+func waitTicketApplied(t *testing.T, db *core.Database, ticket string) core.TicketStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := db.TicketStatus(ticket)
+		if err != nil {
+			t.Fatalf("ticket %s: %v", ticket, err)
+		}
+		if st.State != core.TicketPending {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ticket %s still pending after 10s", ticket)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -34,8 +34,14 @@ const (
 	// walBinaryMarker is the first payload byte of a binary record; the
 	// JSON alternative is '{' (0x7B), so the two cannot collide.
 	walBinaryMarker = 0x00
-	// walBinaryVersion is the revision of the binary record layout.
-	walBinaryVersion = 1
+	// walBinaryVersion is the revision of the binary record layout new
+	// appends use. v2 adds a per-source stats blob to integrate/batch
+	// records (so replay and followers reproduce memo-dependent counters
+	// exactly) and the enqueue/apply-queued kinds of the async ingest
+	// queue. Decoding accepts both revisions; see walBinaryMinVersion.
+	walBinaryVersion = 2
+	// walBinaryMinVersion is the oldest payload revision still decoded.
+	walBinaryMinVersion = 1
 )
 
 // Encoding names accepted by Options.WALEncoding.
@@ -46,12 +52,14 @@ const (
 
 // Op kind codes (binary payloads only; JSON uses the string names).
 var opKindCodes = map[core.OpKind]byte{
-	core.OpIntegrate: 1,
-	core.OpBatch:     2,
-	core.OpFeedback:  3,
-	core.OpNormalize: 4,
-	core.OpReplace:   5,
-	core.OpLoad:      6,
+	core.OpIntegrate:   1,
+	core.OpBatch:       2,
+	core.OpFeedback:    3,
+	core.OpNormalize:   4,
+	core.OpReplace:     5,
+	core.OpLoad:        6,
+	core.OpEnqueue:     7,
+	core.OpApplyQueued: 8,
 }
 
 var opKindNames = func() map[byte]core.OpKind {
@@ -101,6 +109,35 @@ func EncodeWALRecord(rec WALRecord) ([]byte, error) {
 				return nil, fmt.Errorf("catalog: encoding source %d: %w", i+1, err)
 			}
 		}
+		if dst, err = appendStatsBlob(dst, op); err != nil {
+			return nil, err
+		}
+	case core.OpEnqueue:
+		dst = codec.AppendString(dst, op.Ticket)
+		n := len(op.SourceTrees)
+		if n == 0 {
+			n = len(op.Sources)
+		}
+		dst = codec.AppendUvarint(dst, uint64(n))
+		for i := 0; i < n; i++ {
+			var t *pxml.Tree
+			var xml string
+			if i < len(op.SourceTrees) && op.SourceTrees[i] != nil {
+				t = op.SourceTrees[i]
+			} else if i < len(op.Sources) {
+				xml = op.Sources[i]
+			}
+			if dst, err = appendTree(dst, t, xml); err != nil {
+				return nil, fmt.Errorf("catalog: encoding enqueue source %d: %w", i+1, err)
+			}
+		}
+	case core.OpApplyQueued:
+		dst = appendStringList(dst, op.Tickets)
+		dst = appendStringList(dst, op.Failed)
+		dst = appendStringList(dst, op.FailedErrors)
+		if dst, err = appendStatsBlob(dst, op); err != nil {
+			return nil, err
+		}
 	case core.OpFeedback:
 		dst = codec.AppendString(dst, op.Query)
 		dst = codec.AppendString(dst, op.Value)
@@ -134,6 +171,65 @@ func EncodeWALRecord(rec WALRecord) ([]byte, error) {
 		}
 	}
 	return dst, nil
+}
+
+// appendStatsBlob appends the op's recorded integration stats as a
+// length-prefixed JSON blob (cold field, one per record — not worth a
+// bespoke binary layout).
+func appendStatsBlob(dst []byte, op *core.Op) ([]byte, error) {
+	if len(op.Stats) == 0 {
+		return codec.AppendBytes(dst, nil), nil
+	}
+	blob, err := json.Marshal(op.Stats)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: encoding integration stats: %w", err)
+	}
+	return codec.AppendBytes(dst, blob), nil
+}
+
+func readStatsBlob(r *codec.Reader, op *core.Op) error {
+	blob := r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(blob) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(blob, &op.Stats); err != nil {
+		return fmt.Errorf("%w: bad integration stats: %v", codec.ErrInvalid, err)
+	}
+	return nil
+}
+
+// appendStringList appends a uvarint-counted list of strings.
+func appendStringList(dst []byte, xs []string) []byte {
+	dst = codec.AppendUvarint(dst, uint64(len(xs)))
+	for _, s := range xs {
+		dst = codec.AppendString(dst, s)
+	}
+	return dst
+}
+
+func readStringList(r *codec.Reader) ([]string, error) {
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// A string field costs at least one byte (its length prefix).
+	if n > uint64(r.Len())+1 {
+		return nil, fmt.Errorf("%w: implausible list length %d", codec.ErrInvalid, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	xs := make([]string, n)
+	for i := range xs {
+		xs[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return xs, nil
 }
 
 // appendTree appends one tree field, preferring the decoded form.
@@ -190,7 +286,7 @@ func peekRecordHeader(payload []byte) (seq, epoch uint64, err error) {
 		return rec.Seq, rec.Epoch, nil
 	}
 	r := codec.NewReader(payload[1:])
-	if v := r.Byte(); r.Err() == nil && v != walBinaryVersion {
+	if v := r.Byte(); r.Err() == nil && (v < walBinaryMinVersion || v > walBinaryVersion) {
 		return 0, 0, fmt.Errorf("%w: unsupported binary record version %d", codec.ErrInvalid, v)
 	}
 	seq = r.Uvarint()
@@ -217,8 +313,9 @@ func DecodeWALRecord(payload []byte) (WALRecord, error) {
 		return rec, nil
 	}
 	r := codec.NewReader(payload[1:])
-	if v := r.Byte(); r.Err() == nil && v != walBinaryVersion {
-		return WALRecord{}, fmt.Errorf("%w: unsupported binary record version %d", codec.ErrInvalid, v)
+	version := r.Byte()
+	if r.Err() == nil && (version < walBinaryMinVersion || version > walBinaryVersion) {
+		return WALRecord{}, fmt.Errorf("%w: unsupported binary record version %d", codec.ErrInvalid, version)
 	}
 	var rec WALRecord
 	rec.Seq = r.Uvarint()
@@ -255,6 +352,48 @@ func DecodeWALRecord(payload []byte) (WALRecord, error) {
 		}
 		if len(op.SourceTrees) > 0 && len(op.Sources) > 0 {
 			return WALRecord{}, fmt.Errorf("%w: record %d mixes tree representations", codec.ErrInvalid, rec.Seq)
+		}
+		if version >= 2 {
+			if err := readStatsBlob(r, op); err != nil {
+				return WALRecord{}, err
+			}
+		}
+	case core.OpEnqueue:
+		op.Ticket = r.String()
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return WALRecord{}, err
+		}
+		if n == 0 || n > uint64(r.Len())/2+1 {
+			return WALRecord{}, fmt.Errorf("%w: implausible source count %d", codec.ErrInvalid, n)
+		}
+		for i := uint64(0); i < n; i++ {
+			t, xml, err := readTree(r)
+			if err != nil {
+				return WALRecord{}, fmt.Errorf("record %d source %d: %w", rec.Seq, i+1, err)
+			}
+			if t != nil {
+				op.SourceTrees = append(op.SourceTrees, t)
+			} else {
+				op.Sources = append(op.Sources, xml)
+			}
+		}
+		if len(op.SourceTrees) > 0 && len(op.Sources) > 0 {
+			return WALRecord{}, fmt.Errorf("%w: record %d mixes tree representations", codec.ErrInvalid, rec.Seq)
+		}
+	case core.OpApplyQueued:
+		var err error
+		if op.Tickets, err = readStringList(r); err != nil {
+			return WALRecord{}, fmt.Errorf("record %d tickets: %w", rec.Seq, err)
+		}
+		if op.Failed, err = readStringList(r); err != nil {
+			return WALRecord{}, fmt.Errorf("record %d failed tickets: %w", rec.Seq, err)
+		}
+		if op.FailedErrors, err = readStringList(r); err != nil {
+			return WALRecord{}, fmt.Errorf("record %d failure reasons: %w", rec.Seq, err)
+		}
+		if err := readStatsBlob(r, op); err != nil {
+			return WALRecord{}, err
 		}
 	case core.OpFeedback:
 		op.Query = r.String()

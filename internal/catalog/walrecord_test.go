@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/big"
 	"strings"
 	"testing"
@@ -247,4 +248,86 @@ func FuzzDecodeWALRecord(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestWALRecordQueueRoundTrip: the v2 kinds — enqueue and apply-queued —
+// and the v2 stats blob on integrate records survive the binary format.
+func TestWALRecordQueueRoundTrip(t *testing.T) {
+	stats := []integrate.Stats{{OracleCalls: 7, VerdictMemoHits: 3, SplicedChildren: 2}}
+	recs := []WALRecord{
+		{Seq: 10, Epoch: 2, Op: core.Op{Kind: core.OpEnqueue, Ticket: "t41",
+			SourceTrees: []*pxml.Tree{mustTree(t, abA), mustTree(t, abB)}}},
+		{Seq: 11, Epoch: 2, Op: core.Op{Kind: core.OpEnqueue, Ticket: "t42", Sources: []string{abC}}},
+		{Seq: 12, Epoch: 2, Op: core.Op{Kind: core.OpApplyQueued, Tickets: []string{"t41", "t42"},
+			Failed: []string{"t43"}, FailedErrors: []string{"root tag mismatch"}, Stats: stats}},
+		{Seq: 13, Epoch: 2, Op: core.Op{Kind: core.OpApplyQueued, Failed: []string{"t44"},
+			FailedErrors: []string{"boom"}}},
+		{Seq: 14, Epoch: 3, Op: core.Op{Kind: core.OpIntegrate,
+			SourceTrees: []*pxml.Tree{mustTree(t, abA)}, Stats: stats}},
+	}
+	for _, rec := range recs {
+		payload, err := EncodeWALRecord(rec)
+		if err != nil {
+			t.Fatalf("seq %d: encode: %v", rec.Seq, err)
+		}
+		got, err := DecodeWALRecord(payload)
+		if err != nil {
+			t.Fatalf("seq %d: decode: %v", rec.Seq, err)
+		}
+		if got.Seq != rec.Seq || got.Op.Kind != rec.Op.Kind || got.Op.Ticket != rec.Op.Ticket {
+			t.Fatalf("seq %d: round trip = %+v", rec.Seq, got)
+		}
+		wantTrees, gotTrees := opTrees(t, rec.Op), opTrees(t, got.Op)
+		if len(wantTrees) != len(gotTrees) {
+			t.Fatalf("seq %d: %d trees round-tripped to %d", rec.Seq, len(wantTrees), len(gotTrees))
+		}
+		for i := range wantTrees {
+			if !pxml.Equal(wantTrees[i].Root(), gotTrees[i].Root()) {
+				t.Fatalf("seq %d: tree %d differs", rec.Seq, i)
+			}
+		}
+		if fmt.Sprint(got.Op.Tickets) != fmt.Sprint(rec.Op.Tickets) ||
+			fmt.Sprint(got.Op.Failed) != fmt.Sprint(rec.Op.Failed) ||
+			fmt.Sprint(got.Op.FailedErrors) != fmt.Sprint(rec.Op.FailedErrors) {
+			t.Fatalf("seq %d: ticket lists = %+v", rec.Seq, got.Op)
+		}
+		if len(got.Op.Stats) != len(rec.Op.Stats) {
+			t.Fatalf("seq %d: %d stats round-tripped to %d", rec.Seq, len(rec.Op.Stats), len(got.Op.Stats))
+		}
+		if len(rec.Op.Stats) > 0 && got.Op.Stats[0] != rec.Op.Stats[0] {
+			t.Fatalf("seq %d: stats = %+v", rec.Seq, got.Op.Stats[0])
+		}
+		if seq, epoch, err := peekRecordHeader(payload); err != nil || seq != rec.Seq || epoch != rec.Epoch {
+			t.Fatalf("seq %d: peek = %d/%d, %v", rec.Seq, seq, epoch, err)
+		}
+	}
+}
+
+// TestWALRecordDecodesV1Payload: a hand-built version-1 integrate record
+// — no trailing stats blob, the layout pre-queue builds wrote — still
+// decodes. Forward compatibility for existing data directories.
+func TestWALRecordDecodesV1Payload(t *testing.T) {
+	payload := []byte{walBinaryMarker, 1} // version 1
+	payload = codec.AppendUvarint(payload, 21)
+	payload = codec.AppendUvarint(payload, 4)
+	payload = append(payload, opKindCodes[core.OpIntegrate])
+	payload = codec.AppendUvarint(payload, 1)
+	payload, err := appendTree(payload, mustTree(t, abA), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: no stats blob — v1 records end after the sources.
+	got, err := DecodeWALRecord(payload)
+	if err != nil {
+		t.Fatalf("decode v1 payload: %v", err)
+	}
+	if got.Seq != 21 || got.Epoch != 4 || got.Op.Kind != core.OpIntegrate || len(got.Op.SourceTrees) != 1 {
+		t.Fatalf("v1 decode = %+v", got)
+	}
+	if len(got.Op.Stats) != 0 {
+		t.Fatalf("v1 record decoded phantom stats: %+v", got.Op.Stats)
+	}
+	if seq, epoch, err := peekRecordHeader(payload); err != nil || seq != 21 || epoch != 4 {
+		t.Fatalf("peek v1 = %d/%d, %v", seq, epoch, err)
+	}
 }

@@ -435,6 +435,8 @@ func runServe(args []string, w io.Writer) error {
 	cacheSize := fs.Int("query-cache", 0, "compiled-query LRU cache capacity (0 = default)")
 	resultCacheSize := fs.Int("result-cache", 0, "evaluated-result LRU cache capacity (0 = default)")
 	workers := fs.Int("workers", 0, "integration worker goroutines (0 = all CPUs, 1 = sequential)")
+	ingestQueue := fs.Int("ingest-queue", 0, "async ingest queue depth per database (0 disables POST /integrate?async=1)")
+	memoEntries := fs.Int("memo-entries", 0, "cross-call integration memo entry cap (0 = default, negative disables the memo)")
 	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
 	quiet := fs.Bool("quiet", false, "disable the per-request log")
 	fs.SetOutput(w)
@@ -456,12 +458,17 @@ func runServe(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *ingestQueue < 0 {
+		return errors.New("serve: -ingest-queue must be >= 0")
+	}
 	cfg := core.Config{
 		Schema:          schema,
 		Rules:           rules,
 		Integration:     integrate.Config{Workers: *workers},
 		QueryCacheSize:  *cacheSize,
 		ResultCacheSize: *resultCacheSize,
+		MemoEntries:     *memoEntries,
+		IngestDepth:     *ingestQueue,
 	}
 	var logger *log.Logger
 	if !*quiet {
@@ -513,6 +520,12 @@ func runServe(args []string, w io.Writer) error {
 			return err
 		}
 		defer cat.Close()
+		// This node owns its queues (it is primary or standalone): start
+		// draining anything recovered from the logs. No-ops without
+		// -ingest-queue.
+		for _, db := range cat.List() {
+			db.Core().StartIngest()
+		}
 		srv = server.NewCatalog(cat, opts)
 		banner = fmt.Sprintf("%d database(s) in %s", len(cat.Names()), *dataDir)
 	} else {
@@ -530,6 +543,7 @@ func runServe(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		db.StartIngest()
 		srv = server.New(db, opts)
 		banner = fmt.Sprintf("document: %d nodes, %s worlds", tree.NodeCount(), tree.WorldCount())
 	}
@@ -654,6 +668,14 @@ func runDBCmd(args []string, w io.Writer) error {
 			st.WAL.LastSeq, st.WAL.Segments, st.WAL.SizeBytes, st.TailOps)
 		fmt.Fprintf(w, "snapshot:        seq %d, %d compaction(s), %d op(s) recovered at open\n",
 			st.SnapshotSeq, st.Compactions, st.RecoveredOps)
+		iq := c.IngestStats()
+		if iq.Enabled || iq.Depth > 0 || iq.Accepted > 0 {
+			fmt.Fprintf(w, "ingest queue:    %d pending (cap %d), %d accepted, %d applied, %d failed\n",
+				iq.Depth, iq.Capacity, iq.Accepted, iq.Applied, iq.Failed)
+		}
+		ms := c.MemoStats()
+		fmt.Fprintf(w, "integrate memo:  %d entr%s (cap %d), %d hit(s), %d miss(es), %d purge(s)\n",
+			ms.Entries, plural(ms.Entries, "y", "ies"), ms.Capacity, ms.Hits, ms.Misses, ms.Purges)
 		return nil
 	case "drop":
 		name, err := needName()
@@ -668,6 +690,14 @@ func runDBCmd(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("db: unknown verb %q (create | list | drop | stats)", rest[0])
 	}
+}
+
+// plural picks the singular or plural suffix for a count.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // replicationStatusBody decodes the /replication response of either

@@ -156,7 +156,7 @@ func TestCLIErrors(t *testing.T) {
 		{"bogus"},
 		{"integrate"},
 		{"integrate", "-a", a},
-		{"integrate", a}, // one positional file is not a batch
+		{"integrate", a},                   // one positional file is not a batch
 		{"integrate", "-a", a, "-b", a, a}, // flags and positional files are exclusive
 		{"integrate", a, a, "missing.xml"},
 		{"integrate", "-a", "missing.xml", "-b", a},

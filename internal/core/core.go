@@ -47,9 +47,19 @@ type Config struct {
 	Rules []oracle.Rule
 	// OracleOptions tune the Oracle (prior, estimators, strictness).
 	OracleOptions []oracle.Option
-	// Integration tunes the integration engine. Its Oracle and Schema
-	// fields are overwritten from this Config.
+	// Integration tunes the integration engine. Its Oracle, Schema and
+	// Memo fields are overwritten from this Config.
 	Integration integrate.Config
+	// MemoEntries caps the cross-call integration memo (verdicts and
+	// pair merges reused across integrations). 0 means the default cap
+	// (integrate.DefaultMemoEntries); a negative value disables the memo
+	// entirely, making every integration cold.
+	MemoEntries int
+	// IngestDepth bounds the async ingest queue (Enqueue): how many
+	// accepted-but-unapplied sources the database holds before pushing
+	// back with ErrQueueFull. 0 disables the queue (Enqueue refuses);
+	// the synchronous integration paths are unaffected either way.
+	IngestDepth int
 	// Query sets default evaluation options.
 	Query query.Options
 	// Feedback bounds the conditioning work of feedback processing.
@@ -66,9 +76,17 @@ type Config struct {
 // integration. It is safe for concurrent use: see the package
 // documentation for the copy-on-write locking discipline.
 type Database struct {
-	// writeMu serializes mutations end to end, so each mutation reads a
-	// settled tree, computes its successor outside mu, and swaps.
+	// writeMu serializes tree mutations end to end, so each mutation
+	// reads a settled tree, computes its successor outside mu, and swaps.
+	// Enqueue does NOT take it (accepting a source must not wait behind a
+	// long-running integration); it only takes commitMu below.
 	writeMu sync.Mutex
+	// commitMu orders the commit step of every mutation: the journal
+	// append and the snapshot update run as one atomic unit under it, so
+	// journal sequence order always equals in-memory apply order even
+	// though Enqueue commits without holding writeMu. Lock order:
+	// writeMu → commitMu → mu.
+	commitMu sync.Mutex
 	// mu guards the snapshot fields below. Readers hold it only long
 	// enough to copy pointers; never during tree traversal.
 	mu   sync.RWMutex
@@ -94,9 +112,31 @@ type Database struct {
 	// journal.go); appliedSeq is the sequence of the last journaled
 	// mutation the current tree reflects, advanced inside the same mu
 	// critical section as the tree swap. journal itself is only touched
-	// under writeMu.
+	// under commitMu.
 	journal    Journal
 	appliedSeq uint64
+
+	// Async ingest queue state (see ingest.go). pending is journaled
+	// database state — enqueuing advances appliedSeq like any mutation,
+	// and View captures it so snapshots never drop an accepted source.
+	pending   []PendingSource
+	ticketSeq uint64
+	statuses  map[string]*TicketStatus
+	// statusOrder retains finished tickets FIFO for bounded lookback.
+	statusOrder []string
+	accepted    int64
+	applied     int64
+	failed      int64
+	// drain* control the single integrator goroutine (StartIngest).
+	drainWake chan struct{}
+	drainStop chan struct{}
+	drainDone chan struct{}
+
+	// memo carries oracle verdicts and pair merges across integrations;
+	// nil when Config.MemoEntries < 0. Purged by feedback, normalize,
+	// replace and snapshot load (the mutations that can invalidate
+	// cached decisions).
+	memo *integrate.Memo
 
 	// Immutable after Open.
 	oracle  *oracle.Oracle
@@ -114,12 +154,16 @@ func Open(doc *pxml.Tree, cfg Config) (*Database, error) {
 		return nil, fmt.Errorf("core: invalid document: %w", err)
 	}
 	db := &Database{
-		tree:    doc,
-		schema:  cfg.Schema,
-		oracle:  oracle.New(cfg.Rules, cfg.OracleOptions...),
-		cfg:     cfg,
-		queries: query.NewCache(cfg.QueryCacheSize),
-		results: query.NewResultCache(cfg.ResultCacheSize),
+		tree:     doc,
+		schema:   cfg.Schema,
+		oracle:   oracle.New(cfg.Rules, cfg.OracleOptions...),
+		cfg:      cfg,
+		queries:  query.NewCache(cfg.QueryCacheSize),
+		results:  query.NewResultCache(cfg.ResultCacheSize),
+		statuses: make(map[string]*TicketStatus),
+	}
+	if cfg.MemoEntries >= 0 {
+		db.memo = integrate.NewMemo(cfg.MemoEntries)
 	}
 	db.index = db.buildIndex(doc)
 	db.indexBuilds, db.indexBuildLast, db.indexBuildTotal =
@@ -201,31 +245,27 @@ func (db *Database) IntegrateTree(other *pxml.Tree) (*integrate.Stats, error) {
 // integration produced (a later writer may have swapped in a newer tree
 // by the time Tree() is called).
 func (db *Database) IntegrateTreeResult(other *pxml.Tree) (*pxml.Tree, *integrate.Stats, error) {
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	statsList, res, err := db.integrateSources([]*pxml.Tree{other}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &statsList[0], nil
+}
+
+// integrationConfig assembles the engine config for one run: the
+// database's oracle, current schema and (when enabled) the cross-call
+// memo on top of the opener's tuning.
+func (db *Database) integrationConfig() integrate.Config {
 	cfg := db.cfg.Integration
 	cfg.Oracle = db.oracle
 	cfg.Schema = db.Schema()
-	// The expensive merge runs on a snapshot, outside mu: concurrent
-	// queries keep being served from the pre-integration tree.
-	res, stats, err := integrate.Integrate(db.Tree(), other, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	idx := db.buildIndex(res)
-	seq, journaled, err := db.recordSources([]*pxml.Tree{other})
-	if err != nil {
-		return nil, nil, err
-	}
-	db.mu.Lock()
-	db.setTreeLocked(res, idx)
-	if journaled {
-		db.appliedSeq = seq
-	}
-	db.integrations = append(db.integrations, *stats)
-	db.mu.Unlock()
-	return res, stats, nil
+	cfg.Memo = db.memo
+	return cfg
 }
+
+// MemoStats reports the cross-call integration memo counters (zero
+// values when the memo is disabled).
+func (db *Database) MemoStats() integrate.MemoStats { return db.memo.Stats() }
 
 // IntegrateBatch integrates a sequence of documents into the database in
 // one writer-lock cycle: the sources fold left-to-right into the current
@@ -236,29 +276,39 @@ func (db *Database) IntegrateTreeResult(other *pxml.Tree) (*pxml.Tree, *integrat
 // error names the failing source. On success the per-source integration
 // statistics and the resulting tree are returned.
 func (db *Database) IntegrateBatch(sources []*pxml.Tree) ([]integrate.Stats, *pxml.Tree, error) {
+	return db.integrateSources(sources, nil)
+}
+
+// integrateSources is the shared integrate/batch mutation. When recorded
+// is non-nil (journal replay, replicated apply), it must hold one Stats
+// per source: the engine's recomputed tree is installed — integration is
+// deterministic, so it is pxml.Equal to the original — but the RECORDED
+// stats go into the history and the journal, because a replay runs
+// against a differently warmed memo and its recomputed counters would
+// not match the original run's.
+func (db *Database) integrateSources(sources []*pxml.Tree, recorded []integrate.Stats) ([]integrate.Stats, *pxml.Tree, error) {
 	if len(sources) == 0 {
 		return nil, nil, errors.New("core: empty integration batch")
 	}
+	if recorded != nil && len(recorded) != len(sources) {
+		return nil, nil, fmt.Errorf("core: %d recorded stats for %d sources", len(recorded), len(sources))
+	}
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
-	cfg := db.cfg.Integration
-	cfg.Oracle = db.oracle
-	cfg.Schema = db.Schema()
 	// The whole fold runs on snapshots, outside mu: queries keep being
 	// served from the pre-batch tree until the single swap below.
-	cur := db.Tree()
-	statsList := make([]integrate.Stats, 0, len(sources))
-	for i, src := range sources {
-		res, stats, err := integrate.Integrate(cur, src, cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: batch source %d of %d: %w", i+1, len(sources), err)
-		}
-		cur = res
-		statsList = append(statsList, *stats)
+	cur, statsList, err := db.foldIntegrate(db.Tree(), sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	if recorded != nil {
+		statsList = append([]integrate.Stats(nil), recorded...)
 	}
 	idx := db.buildIndex(cur)
-	seq, journaled, err := db.recordSources(sources)
+	db.commitMu.Lock()
+	seq, journaled, err := db.recordSources(sources, statsList)
 	if err != nil {
+		db.commitMu.Unlock()
 		return nil, nil, err
 	}
 	db.mu.Lock()
@@ -268,7 +318,29 @@ func (db *Database) IntegrateBatch(sources []*pxml.Tree) ([]integrate.Stats, *px
 	}
 	db.integrations = append(db.integrations, statsList...)
 	db.mu.Unlock()
+	db.commitMu.Unlock()
 	return statsList, cur, nil
+}
+
+// foldIntegrate folds sources left-to-right into base with the
+// database's integration config. Callers hold writeMu (the fold bases on
+// a settled tree).
+func (db *Database) foldIntegrate(base *pxml.Tree, sources []*pxml.Tree) (*pxml.Tree, []integrate.Stats, error) {
+	cfg := db.integrationConfig()
+	cur := base
+	statsList := make([]integrate.Stats, 0, len(sources))
+	for i, src := range sources {
+		res, stats, err := integrate.Integrate(cur, src, cfg)
+		if err != nil {
+			if len(sources) == 1 {
+				return nil, nil, err
+			}
+			return nil, nil, fmt.Errorf("core: batch source %d of %d: %w", i+1, len(sources), err)
+		}
+		cur = res
+		statsList = append(statsList, *stats)
+	}
+	return cur, statsList, nil
 }
 
 // IntegrateBatchXML decodes multiple XML sources and integrates them in
@@ -463,8 +535,10 @@ func (db *Database) feedbackAt(querySrc, value string, correct bool, when time.T
 	// together (unlike setTreeLocked this keeps the running session).
 	nt := db.session.Tree()
 	idx := db.buildIndex(nt)
+	db.commitMu.Lock()
 	seq, journaled, err := db.record(Op{Kind: OpFeedback, Query: querySrc, Value: value, Correct: correct, When: ev.When})
 	if err != nil {
+		db.commitMu.Unlock()
 		// The session already advanced; rebuild it over the still-current
 		// tree so the aborted judgment leaves no trace.
 		db.session = feedback.NewSession(db.Tree(), db.cfg.Feedback)
@@ -478,6 +552,10 @@ func (db *Database) feedbackAt(querySrc, value string, correct bool, when time.T
 	}
 	db.events = append(db.events, ev)
 	db.mu.Unlock()
+	db.commitMu.Unlock()
+	// Conditioning changed what the accumulated tree means; cached
+	// verdicts and merges may no longer reflect it.
+	db.memo.Purge()
 	return ev, nil
 }
 
@@ -520,8 +598,10 @@ func (db *Database) Normalize() (before, after int64, err error) {
 		return before, before, err
 	}
 	idx := db.buildIndex(nt)
+	db.commitMu.Lock()
 	seq, journaled, err := db.record(Op{Kind: OpNormalize})
 	if err != nil {
+		db.commitMu.Unlock()
 		return before, before, err
 	}
 	db.mu.Lock()
@@ -530,6 +610,8 @@ func (db *Database) Normalize() (before, after int64, err error) {
 		db.appliedSeq = seq
 	}
 	db.mu.Unlock()
+	db.commitMu.Unlock()
+	db.memo.Purge()
 	return before, nt.NodeCount(), nil
 }
 
@@ -546,8 +628,10 @@ func (db *Database) ReplaceTree(t *pxml.Tree) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	idx := db.buildIndex(t)
+	db.commitMu.Lock()
 	seq, journaled, err := db.recordWithTree(Op{Kind: OpReplace}, t)
 	if err != nil {
+		db.commitMu.Unlock()
 		return err
 	}
 	db.mu.Lock()
@@ -557,6 +641,8 @@ func (db *Database) ReplaceTree(t *pxml.Tree) error {
 	}
 	db.integrations = nil
 	db.mu.Unlock()
+	db.commitMu.Unlock()
+	db.memo.Purge()
 	return nil
 }
 
@@ -566,11 +652,16 @@ func (db *Database) ReplaceTree(t *pxml.Tree) error {
 // catalog recovery replays only the log tail beyond it.
 func (db *Database) SaveSnapshot(dir, comment string) (store.Manifest, error) {
 	v := db.View()
+	pending, err := EncodePending(v.Pending)
+	if err != nil {
+		return store.Manifest{}, err
+	}
 	return store.SaveWith(dir, v.Tree, v.Schema, store.SaveOptions{
 		Comment:      comment,
 		LogSeq:       v.Seq,
 		Integrations: v.Integrations,
 		Feedback:     v.Events,
+		Pending:      pending,
 	})
 }
 
@@ -599,8 +690,10 @@ func (db *Database) installSnapshot(t *pxml.Tree, schema *dtd.Schema, ints []int
 	if schema != nil {
 		op.Schema = schema.String()
 	}
+	db.commitMu.Lock()
 	seq, journaled, err := db.recordWithTree(op, t)
 	if err != nil {
+		db.commitMu.Unlock()
 		return err
 	}
 	db.mu.Lock()
@@ -614,6 +707,10 @@ func (db *Database) installSnapshot(t *pxml.Tree, schema *dtd.Schema, ints []int
 		db.appliedSeq = seq
 	}
 	db.mu.Unlock()
+	db.commitMu.Unlock()
+	// The snapshot may carry a different schema; cached decisions made
+	// under the old one must not leak past the load.
+	db.memo.Purge()
 	return nil
 }
 

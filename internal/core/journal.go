@@ -35,6 +35,15 @@ const (
 	// OpLoad installs a snapshot: Tree, optional Schema, and the
 	// histories the snapshot carried.
 	OpLoad OpKind = "load"
+	// OpEnqueue accepts source document(s) into the async ingest queue
+	// under Ticket without integrating them yet. The pending queue is
+	// journaled state: a crash after the 202 acknowledgement recovers
+	// the accepted sources and resumes the queue.
+	OpEnqueue OpKind = "enqueue"
+	// OpApplyQueued integrates previously enqueued sources (Tickets, in
+	// order) in one writer-lock cycle and drops Failed ones. Sources are
+	// resolved from the pending queue state, never re-shipped.
+	OpApplyQueued OpKind = "apply-queued"
 )
 
 // Op is one replayable mutation record. Command-style ops (integrate,
@@ -58,6 +67,22 @@ type Op struct {
 	// carried.
 	Integrations []integrate.Stats `json:"integrations,omitempty"`
 	Events       []feedback.Event  `json:"events,omitempty"`
+	// Stats records the per-source integration statistics of an
+	// integrate/batch/apply-queued op as they were at commit time.
+	// Replay installs these instead of its own recomputed counters: the
+	// tree recomputation is deterministic, but the counters depend on
+	// how warm the cross-call memo was, and a replay (cold memo, or a
+	// follower's own memo state) must still reproduce the original
+	// history exactly.
+	Stats []integrate.Stats `json:"stats,omitempty"`
+	// Ticket names an enqueued source batch (OpEnqueue).
+	Ticket string `json:"ticket,omitempty"`
+	// Tickets lists the queue entries an OpApplyQueued integrated, in
+	// fold order; Failed (with parallel FailedErrors) lists entries it
+	// dropped because their integration failed.
+	Tickets      []string `json:"tickets,omitempty"`
+	Failed       []string `json:"failed,omitempty"`
+	FailedErrors []string `json:"failed_errors,omitempty"`
 
 	// SourceTrees and TreeValue are the decoded forms of Sources and
 	// Tree. The mutation paths fill them directly (no XML detour), the
@@ -132,13 +157,15 @@ func (db *Database) JournalEpoch() uint64 {
 func (db *Database) SetJournal(j Journal, seq uint64) {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	db.commitMu.Lock()
 	db.mu.Lock()
 	db.journal = j
 	db.appliedSeq = seq
 	db.mu.Unlock()
+	db.commitMu.Unlock()
 }
 
-// record journals op. Callers hold writeMu. The returned bool reports
+// record journals op. Callers hold commitMu. The returned bool reports
 // whether a journal is attached (and therefore whether seq is meaningful).
 func (db *Database) record(op Op) (uint64, bool, error) {
 	if db.journal == nil {
@@ -152,13 +179,14 @@ func (db *Database) record(op Op) (uint64, bool, error) {
 }
 
 // recordSources journals an integrate/batch op carrying the source trees
-// themselves; the journal's encoder picks the representation (binary
-// arena or, via EncodePortable, XML). Callers hold writeMu.
-func (db *Database) recordSources(sources []*pxml.Tree) (uint64, bool, error) {
+// themselves — the journal's encoder picks the representation (binary
+// arena or, via EncodePortable, XML) — plus the per-source stats the
+// commit installs. Callers hold commitMu.
+func (db *Database) recordSources(sources []*pxml.Tree, stats []integrate.Stats) (uint64, bool, error) {
 	if db.journal == nil {
 		return 0, false, nil
 	}
-	op := Op{Kind: OpIntegrate, SourceTrees: sources}
+	op := Op{Kind: OpIntegrate, SourceTrees: sources, Stats: stats}
 	if len(sources) > 1 {
 		op.Kind = OpBatch
 	}
@@ -166,7 +194,7 @@ func (db *Database) recordSources(sources []*pxml.Tree) (uint64, bool, error) {
 }
 
 // recordWithTree journals op carrying the given document. Callers hold
-// writeMu.
+// commitMu.
 func (db *Database) recordWithTree(op Op, t *pxml.Tree) (uint64, bool, error) {
 	if db.journal == nil {
 		return 0, false, nil
@@ -224,11 +252,13 @@ func (db *Database) ApplyOp(op Op) error {
 				trees[i] = t
 			}
 		}
-		if op.Kind == OpIntegrate && len(trees) == 1 {
-			_, err := db.IntegrateTree(trees[0])
-			return err
+		// Recorded stats (when the log carries them) are installed in
+		// place of the recomputed counters; see integrateSources.
+		recorded := op.Stats
+		if len(recorded) != len(trees) {
+			recorded = nil
 		}
-		_, _, err := db.IntegrateBatch(trees)
+		_, _, err := db.integrateSources(trees, recorded)
 		return err
 	case OpFeedback:
 		_, err := db.feedbackAt(op.Query, op.Value, op.Correct, op.When)
@@ -255,6 +285,10 @@ func (db *Database) ApplyOp(op Op) error {
 			}
 		}
 		return db.installSnapshot(t, schema, op.Integrations, op.Events)
+	case OpEnqueue:
+		return db.applyEnqueueOp(op)
+	case OpApplyQueued:
+		return db.applyQueuedOp(op)
 	default:
 		return fmt.Errorf("core: replay: unknown op kind %q", op.Kind)
 	}
@@ -268,14 +302,19 @@ type SnapshotView struct {
 	Schema       *dtd.Schema
 	Integrations []integrate.Stats
 	Events       []feedback.Event
+	// Pending is the async ingest queue at Seq: accepted-but-unapplied
+	// sources. A snapshot that dropped them would lose acknowledged
+	// writes whose enqueue record compaction discards.
+	Pending []PendingSource
 	// Seq is the journal sequence the tree corresponds to; a recovery
 	// from this snapshot replays only records with a higher sequence.
 	Seq uint64
 }
 
 // View returns a consistent SnapshotView. Because the applied sequence is
-// advanced inside the same critical section as the tree swap, the tree
-// and sequence can never disagree — the compactor relies on that.
+// advanced inside the same critical section as the tree swap (and the
+// pending-queue updates), the tree, queue and sequence can never disagree
+// — the compactor relies on that.
 func (db *Database) View() SnapshotView {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -284,6 +323,7 @@ func (db *Database) View() SnapshotView {
 		Schema:       db.schema,
 		Integrations: append([]integrate.Stats(nil), db.integrations...),
 		Events:       append([]feedback.Event(nil), db.events...),
+		Pending:      append([]PendingSource(nil), db.pending...),
 		Seq:          db.appliedSeq,
 	}
 }

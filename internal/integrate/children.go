@@ -101,6 +101,8 @@ func (it *integrator) integrateChildren(x, y *pxml.Node) ([]*pxml.Node, error) {
 	for i, xa := range certA {
 		ci, ok := inCompA[i]
 		if !ok {
+			// Untouched by the other source: spliced verbatim, no merge.
+			it.stats.splicedChildren.Add(1)
 			out = append(out, pxml.Certain(xa))
 			continue
 		}
@@ -114,6 +116,7 @@ func (it *integrator) integrateChildren(x, y *pxml.Node) ([]*pxml.Node, error) {
 		if _, ok := inCompB[j]; ok {
 			continue
 		}
+		it.stats.splicedChildren.Add(1)
 		out = append(out, pxml.Certain(yb))
 	}
 	// Genuine choice points of the inputs are preserved, not re-matched:

@@ -82,6 +82,14 @@ type Config struct {
 	// component. Exists for the ablation experiment (DESIGN E8); never
 	// use it otherwise.
 	DisableComponentFactorization bool
+	// Memo, when non-nil, carries verdicts and pair merges across
+	// integrations (see Memo). The result tree is pxml.Equal to a
+	// memo-less (cold) run; only the per-call Stats change shape — work
+	// served from the memo is counted in VerdictMemoHits/MergeMemoHits
+	// instead of the compute counters. The caller owns invalidation
+	// (Memo.Purge) and must not share one Memo across databases with
+	// different oracles, schemas or trust weights.
+	Memo *Memo
 }
 
 const (
@@ -136,6 +144,19 @@ type Stats struct {
 	IncompatibleMerges  int // pair merges rejected recursively
 	TruncatedComponents int // components cut off by budget (truncate mode)
 	ValueConflicts      int // matched leaf pairs with conflicting text
+
+	// VerdictMemoHits and MergeMemoHits count distinct pairs this call
+	// resolved from the cross-call memo (Config.Memo) instead of
+	// computing. The compute counters above only count work actually
+	// performed by this call, so a memo hit never double-counts
+	// OracleCalls or MatchingsEnumerated.
+	VerdictMemoHits int
+	MergeMemoHits   int
+	// SplicedChildren counts certain child elements carried into the
+	// result verbatim because the other source had no candidate for them
+	// — the delta-integration path that makes a small source cost time
+	// proportional to what it touches.
+	SplicedChildren int
 }
 
 // Merge folds another run's counters into s — summing, with
@@ -156,6 +177,9 @@ func (s *Stats) Merge(o Stats) {
 	s.IncompatibleMerges += o.IncompatibleMerges
 	s.TruncatedComponents += o.TruncatedComponents
 	s.ValueConflicts += o.ValueConflicts
+	s.VerdictMemoHits += o.VerdictMemoHits
+	s.MergeMemoHits += o.MergeMemoHits
+	s.SplicedChildren += o.SplicedChildren
 }
 
 // Integrate merges two documents into one probabilistic document. Both
@@ -180,10 +204,12 @@ func Integrate(a, b *pxml.Tree, cfg Config) (*pxml.Tree, *Stats, error) {
 	if rootA.Tag() != rootB.Tag() {
 		return nil, nil, fmt.Errorf("integrate: root tags differ: <%s> vs <%s> (align schemas first)", rootA.Tag(), rootB.Tag())
 	}
+	cfg.Memo.enforceCap()
 	it := &integrator{
 		cfg:       cfg,
 		mergeMemo: newMemoTable[pair, mergeResult](),
 		verdicts:  newMemoTable[pair, verdictResult](),
+		shared:    cfg.Memo,
 		pool:      newPool(cfg.workers()),
 	}
 	alts, err := it.mergePair(rootA, rootB)
@@ -240,18 +266,44 @@ type integrator struct {
 	stats     atomicStats
 	mergeMemo *memoTable[pair, mergeResult]
 	verdicts  *memoTable[pair, verdictResult]
-	pool      *pool
+	// shared is the optional cross-call memo (Config.Memo). The per-call
+	// tables above stay in front of it: they key by pointer (no digest
+	// computation on the per-call hot path) and keep the existing
+	// guarantee that one call consults each pointer pair exactly once.
+	shared *Memo
+	pool   *pool
 }
 
-// decide consults the Oracle once per distinct pair, across all workers.
+// decide consults the Oracle once per distinct pair, across all workers
+// and — when a cross-call memo is attached — across integrations.
 func (it *integrator) decide(a, b *pxml.Node) (oracle.Verdict, error) {
-	r := it.verdicts.do(pair{a, b}, func() verdictResult {
-		v, err := it.cfg.Oracle.Decide(a, b)
-		if err != nil {
+	r, _ := it.verdicts.do(pair{a, b}, func() verdictResult {
+		compute := func() verdictResult {
+			v, err := it.cfg.Oracle.Decide(a, b)
 			return verdictResult{v: v, err: err}
 		}
+		var res verdictResult
+		computed := true
+		if it.shared != nil {
+			res, computed = it.shared.verdicts.do(digestPair{a.Summary().Digest, b.Summary().Digest}, compute)
+		} else {
+			res = compute()
+		}
+		if !computed {
+			// Served from the cross-call memo: the work was accounted by
+			// the integration that performed it.
+			it.stats.verdictMemoHits.Add(1)
+			it.shared.hits.Add(1)
+			return res
+		}
+		if it.shared != nil {
+			it.shared.misses.Add(1)
+		}
+		if res.err != nil {
+			return res
+		}
 		it.stats.oracleCalls.Add(1)
-		switch v.Decision {
+		switch res.v.Decision {
 		case oracle.MustMatch:
 			it.stats.mustPairs.Add(1)
 		case oracle.CannotMatch:
@@ -259,7 +311,7 @@ func (it *integrator) decide(a, b *pxml.Node) (oracle.Verdict, error) {
 		default:
 			it.stats.undecidedPairs.Add(1)
 		}
-		return verdictResult{v: v}
+		return res
 	})
 	return r.v, r.err
 }
@@ -272,12 +324,33 @@ func (it *integrator) decide(a, b *pxml.Node) (oracle.Verdict, error) {
 // under parallel integration the memo also guarantees racing workers get
 // the one result computed by whichever arrived first.
 func (it *integrator) mergePair(x, y *pxml.Node) ([]weightedElem, error) {
-	r := it.mergeMemo.do(pair{x, y}, func() mergeResult {
-		alts, err := it.mergePairUncached(x, y)
-		if err != nil && errors.Is(err, ErrIncompatible) {
+	r, _ := it.mergeMemo.do(pair{x, y}, func() mergeResult {
+		compute := func() mergeResult {
+			alts, err := it.mergePairUncached(x, y)
+			return mergeResult{alts: alts, err: err}
+		}
+		var res mergeResult
+		computed := true
+		if it.shared != nil {
+			res, computed = it.shared.merges.do(digestPair{x.Summary().Digest, y.Summary().Digest}, compute)
+		} else {
+			res = compute()
+		}
+		if !computed {
+			// The cached subtree (built by an earlier integration) is
+			// shared into this result; none of its construction work is
+			// re-counted in this call's stats.
+			it.stats.mergeMemoHits.Add(1)
+			it.shared.hits.Add(1)
+			return res
+		}
+		if it.shared != nil {
+			it.shared.misses.Add(1)
+		}
+		if res.err != nil && errors.Is(res.err, ErrIncompatible) {
 			it.stats.incompatibleMerges.Add(1)
 		}
-		return mergeResult{alts: alts, err: err}
+		return res
 	})
 	return r.alts, r.err
 }

@@ -1,0 +1,123 @@
+// Cross-call memoization. The per-call memo tables (parallel.go) die with
+// their integration; under sustained ingest that means N integrations of
+// overlapping sources ask the Oracle the same questions N times. A Memo
+// promotes both tables — verdicts and pair merges — to database lifetime,
+// keyed by the structural digests of the two elements instead of their
+// pointers (node identity is per-construction-pass; digests are stable
+// across calls and across the hash-consing builders).
+//
+// Soundness: a verdict/merge is a pure function of the two subtrees given
+// a fixed oracle, schema and trust weight, all of which are per-database
+// constants between invalidation points. The owning database purges the
+// memo whenever that assumption could break (feedback, normalize,
+// replace, snapshot load — the last may swap the schema). Keying by
+// 64-bit digest accepts the same astronomically small collision odds the
+// query result cache already does (a collision needs two distinct
+// subtrees with equal FNV-based digests inside one memo lifetime).
+//
+// Concurrency: the underlying tables are compute-once, so two workers —
+// even from the same integration — racing on one digest pair block on a
+// single computation and share its result. That also keeps per-call Stats
+// deterministic for every worker count: for any fixed memo state at call
+// start, the set of digest pairs computed (vs served) by the call is
+// fixed, whichever goroutine happens to run each compute.
+package integrate
+
+import "sync/atomic"
+
+// DefaultMemoEntries bounds a Memo's total entry count (verdicts plus
+// merges) when NewMemo is given no explicit cap.
+const DefaultMemoEntries = 1 << 18
+
+// Memo is a cross-call verdict and merge cache shared by every
+// integration of one database. The zero value is not useful; use NewMemo.
+type Memo struct {
+	verdicts *memoTable[digestPair, verdictResult]
+	merges   *memoTable[digestPair, mergeResult]
+	max      int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	purges atomic.Int64
+}
+
+// digestPair keys the shared tables: the structural digests of the A and
+// B elements of a pair. Order matters (integration is not symmetric in
+// its sources — trust weights, value-conflict ordering).
+type digestPair struct{ a, b uint64 }
+
+// NewMemo creates an empty memo holding at most maxEntries entries across
+// both tables (<= 0 means DefaultMemoEntries). The cap is enforced
+// between integrations: a call that overflows it completes with its full
+// working set and the table is dropped before the next call starts.
+func NewMemo(maxEntries int) *Memo {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMemoEntries
+	}
+	return &Memo{
+		verdicts: newMemoTable[digestPair, verdictResult](),
+		merges:   newMemoTable[digestPair, mergeResult](),
+		max:      maxEntries,
+	}
+}
+
+// Purge drops every cached entry. The owning database calls it on any
+// mutation that could invalidate cached decisions (feedback, normalize,
+// replace, snapshot load). It must not run concurrently with an
+// integration using the memo; the database's writer lock guarantees that.
+func (m *Memo) Purge() {
+	if m == nil {
+		return
+	}
+	m.verdicts.purge()
+	m.merges.purge()
+	m.purges.Add(1)
+}
+
+// enforceCap drops the tables when they exceed the configured bound. It
+// runs at integration start (under the writer lock), so a single call's
+// working set is never evicted mid-flight.
+func (m *Memo) enforceCap() {
+	if m == nil {
+		return
+	}
+	if m.verdicts.size()+m.merges.size() > m.max {
+		m.verdicts.purge()
+		m.merges.purge()
+		m.purges.Add(1)
+	}
+}
+
+// MemoStats is an observability snapshot of a Memo.
+type MemoStats struct {
+	// Entries is the current entry count across both tables.
+	Entries int `json:"entries"`
+	// Capacity is the configured entry cap.
+	Capacity int `json:"capacity"`
+	// Hits and Misses count lookups served from (vs inserted into) the
+	// memo over its lifetime, across all integrations.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Purges counts whole-table drops (invalidations plus cap overflows).
+	Purges int64 `json:"purges"`
+	// HitRate is Hits/(Hits+Misses), 0 when no lookups happened.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Stats reports the memo's counters.
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	s := MemoStats{
+		Entries:  m.verdicts.size() + m.merges.size(),
+		Capacity: m.max,
+		Hits:     m.hits.Load(),
+		Misses:   m.misses.Load(),
+		Purges:   m.purges.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -36,7 +36,11 @@ func newMemoTable[K comparable, V any]() *memoTable[K, V] {
 // do returns the memoized value for k, computing it (exactly once across
 // all goroutines) when absent. compute must not recurse onto the same key;
 // the integration recursion descends strictly into subtrees, so it cannot.
-func (t *memoTable[K, V]) do(k K, compute func() V) V {
+// The second result reports whether THIS call ran the compute function —
+// exactly one do call per key ever gets true, which is what lets per-call
+// statistics attribute the work of a shared (cross-call) entry to the one
+// integration that performed it.
+func (t *memoTable[K, V]) do(k K, compute func() V) (V, bool) {
 	t.mu.Lock()
 	c, ok := t.m[k]
 	if !ok {
@@ -44,8 +48,25 @@ func (t *memoTable[K, V]) do(k K, compute func() V) V {
 		t.m[k] = c
 	}
 	t.mu.Unlock()
-	c.once.Do(func() { c.v = compute() })
-	return c.v
+	computed := false
+	c.once.Do(func() { c.v = compute(); computed = true })
+	return c.v, computed
+}
+
+// len reports the number of cells (including in-flight computations).
+func (t *memoTable[K, V]) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// purge drops every cell. It must not race with do calls that are still
+// computing; callers purge only between integrations (under the
+// database's writer lock).
+func (t *memoTable[K, V]) purge() {
+	t.mu.Lock()
+	t.m = make(map[K]*memoCell[V])
+	t.mu.Unlock()
 }
 
 // pool fans tasks out over a bounded number of workers. The capacity is
@@ -60,7 +81,7 @@ func newPool(workers int) *pool {
 	if workers <= 1 {
 		return nil
 	}
-	return &pool{sem: make(chan struct{}, workers - 1)}
+	return &pool{sem: make(chan struct{}, workers-1)}
 }
 
 // runAll executes every task, spawning a goroutine per task while worker
@@ -130,6 +151,10 @@ type atomicStats struct {
 	incompatibleMerges  atomic.Int64
 	truncatedComponents atomic.Int64
 	valueConflicts      atomic.Int64
+
+	verdictMemoHits atomic.Int64
+	mergeMemoHits   atomic.Int64
+	splicedChildren atomic.Int64
 }
 
 func (a *atomicStats) snapshot() Stats {
@@ -146,6 +171,9 @@ func (a *atomicStats) snapshot() Stats {
 		IncompatibleMerges:  int(a.incompatibleMerges.Load()),
 		TruncatedComponents: int(a.truncatedComponents.Load()),
 		ValueConflicts:      int(a.valueConflicts.Load()),
+		VerdictMemoHits:     int(a.verdictMemoHits.Load()),
+		MergeMemoHits:       int(a.mergeMemoHits.Load()),
+		SplicedChildren:     int(a.splicedChildren.Load()),
 	}
 }
 

@@ -76,6 +76,15 @@ type Node struct {
 	// use; see Summary. Immutability of the node makes the cached value
 	// valid forever.
 	summary atomic.Pointer[Summary]
+
+	// normalized caches a proven normalization fixpoint: it is set once
+	// Normalize has returned this very node as its own canonical form.
+	// Normalization is a pure function of the (immutable) structure, so
+	// the flag is valid forever and lets later Normalize calls skip
+	// entire already-canonical subtrees — the delta-integration property
+	// that makes ingesting a small source cost time proportional to what
+	// it touches instead of to the accumulated tree.
+	normalized atomic.Bool
 }
 
 // Kind reports the node kind.

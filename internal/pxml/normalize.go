@@ -38,6 +38,13 @@ func (t *Tree) MustNormalize() *Tree {
 }
 
 func normalizeNode(n *Node, memo map[*Node]*Node) (*Node, error) {
+	// A proven fixpoint short-circuits the whole subtree: the flag is
+	// only ever set after a full walk returned the node unchanged, and
+	// normalization is deterministic over immutable nodes, so the answer
+	// cannot differ now.
+	if n.normalized.Load() {
+		return n, nil
+	}
 	if out, ok := memo[n]; ok {
 		return out, nil
 	}
@@ -71,6 +78,9 @@ func normalizeNode(n *Node, memo map[*Node]*Node) (*Node, error) {
 		}
 	default:
 		return nil, fmt.Errorf("pxml: normalize: unknown kind %d", n.kind)
+	}
+	if out == n {
+		n.normalized.Store(true)
 	}
 	memo[n] = out
 	return out, nil

@@ -138,3 +138,23 @@ func TestNormalizeQuickProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNormalizeFixpointFlagSoundness: the cached fixpoint flag is only
+// set on nodes proven unchanged by a full walk, so re-normalizing the
+// ORIGINAL (non-canonical) tree after a first pass flagged its shared
+// canonical subtrees must still produce the same canonical result, and a
+// canonical tree must short-circuit wholesale to the same root.
+func TestNormalizeFixpointFlagSoundness(t *testing.T) {
+	tr := pxmltest.Fig2Tree()
+	n1 := tr.MustNormalize()
+	n2 := tr.MustNormalize() // second pass over the un-normalized input
+	if !pxml.Equal(n1.Root(), n2.Root()) {
+		t.Fatal("re-normalizing the original tree diverged")
+	}
+	if n1.WorldCount().Cmp(n2.WorldCount()) != 0 {
+		t.Fatalf("world counts diverged: %s vs %s", n1.WorldCount(), n2.WorldCount())
+	}
+	if n1.MustNormalize().Root() != n1.Root() {
+		t.Fatal("canonical tree did not short-circuit to itself")
+	}
+}

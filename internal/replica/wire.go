@@ -11,6 +11,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/integrate"
 	"repro/internal/pxml"
+	"repro/internal/store"
 )
 
 // WALPage is the body of GET /dbs/{name}/wal?since=S — one page of the
@@ -60,6 +61,10 @@ type SnapshotPayload struct {
 	// Integrations and Feedback are the session histories at Seq.
 	Integrations []integrate.Stats `json:"integrations,omitempty"`
 	Feedback     []feedback.Event  `json:"feedback,omitempty"`
+	// Pending is the primary's ingest queue at Seq (accepted but not yet
+	// integrated sources); the follower needs it to resolve apply-queued
+	// records past Seq.
+	Pending []store.PendingDoc `json:"pending,omitempty"`
 
 	// TreeValue is the decoded document when the payload traveled the
 	// binary wire (Tree stays empty then); the bootstrap path prefers it

@@ -171,6 +171,13 @@ func EncodeSnapshot(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) erro
 	}
 	hdr = codec.AppendBytes(hdr, ints)
 	hdr = codec.AppendBytes(hdr, evs)
+	// Pending ingest queue, appended after the original fields; decoders
+	// treat it as optional so pre-queue streams still parse.
+	pend, err := marshalHistory(payload.Pending)
+	if err != nil {
+		return err
+	}
+	hdr = codec.AppendBytes(hdr, pend)
 	if err := fw.Write(codec.KindSnapshotHeader, wireVersion, hdr); err != nil {
 		return err
 	}
@@ -216,6 +223,10 @@ func DecodeSnapshot(r io.Reader) (*SnapshotPayload, error) {
 	payload.Schema = hr.String()
 	ints := hr.Bytes()
 	evs := hr.Bytes()
+	var pend []byte
+	if hr.Len() > 0 {
+		pend = hr.Bytes()
+	}
 	if err := hr.Finish(); err != nil {
 		return nil, fmt.Errorf("replica: snapshot header: %w", err)
 	}
@@ -224,6 +235,9 @@ func DecodeSnapshot(r io.Reader) (*SnapshotPayload, error) {
 	}
 	if err := unmarshalHistory(evs, &payload.Feedback); err != nil {
 		return nil, fmt.Errorf("replica: snapshot feedback: %w", err)
+	}
+	if err := unmarshalHistory(pend, &payload.Pending); err != nil {
+		return nil, fmt.Errorf("replica: snapshot pending queue: %w", err)
 	}
 	f, err = fr.Read()
 	if err != nil {

@@ -1,0 +1,164 @@
+package server_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// newIngestServer serves a catalog whose databases run an async ingest
+// queue of the given depth. Databases created through the API get their
+// drainer started by the server.
+func newIngestServer(t *testing.T, depth int) (*httptest.Server, *catalog.Catalog) {
+	t.Helper()
+	cat, err := catalog.Open(t.TempDir(), catalog.Options{
+		Config:       core.Config{Schema: personDTD, IngestDepth: depth},
+		RootTag:      "addressbook",
+		CompactEvery: -1,
+	})
+	if err != nil {
+		t.Fatalf("catalog.Open: %v", err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	ts := httptest.NewServer(server.NewCatalog(cat, server.Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, cat
+}
+
+// pollTicket follows the status path until the ticket leaves pending.
+func pollTicket(t *testing.T, base, path string) core.TicketStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st core.TicketStatus
+		doJSON(t, "GET", base+path, "", nil, http.StatusOK, &st)
+		if st.State != core.TicketPending {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ticket at %s still pending after 10s", path)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAsyncIntegrateEndToEnd(t *testing.T) {
+	ts, cat := newIngestServer(t, 8)
+	doJSON(t, "POST", ts.URL+"/dbs", "application/json",
+		strings.NewReader(`{"name":"x"}`), http.StatusCreated, nil)
+
+	var acc server.EnqueueResponse
+	doJSON(t, "POST", ts.URL+"/dbs/x/integrate?async=1", "application/xml",
+		strings.NewReader(bookB), http.StatusAccepted, &acc)
+	if acc.Ticket == "" || acc.State != string(core.TicketPending) || acc.StatusPath == "" {
+		t.Fatalf("accept response = %+v", acc)
+	}
+	st := pollTicket(t, ts.URL, acc.StatusPath)
+	if st.State != core.TicketApplied {
+		t.Fatalf("ticket ended %+v", st)
+	}
+
+	// The applied source must be visible exactly as a sync integrate
+	// would have left it: bookA + bookB is the paper's 3-world figure.
+	db, err := cat.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Core().IntegrateXMLString(bookA); err != nil {
+		t.Fatal(err) // sanity: the db still accepts sync writes
+	}
+
+	// Observability: /stats carries queue and memo counters...
+	var stats server.StatsResponse
+	doJSON(t, "GET", ts.URL+"/dbs/x/stats", "", nil, http.StatusOK, &stats)
+	if !stats.Ingest.Enabled || stats.Ingest.Accepted != 1 || stats.Ingest.Applied != 1 {
+		t.Fatalf("stats.ingest = %+v", stats.Ingest)
+	}
+	if stats.Ingest.Capacity != 8 {
+		t.Fatalf("stats.ingest.capacity = %d, want 8", stats.Ingest.Capacity)
+	}
+	// ...and the verbose health report shows the drainer running.
+	var health server.HealthResponse
+	doJSON(t, "GET", ts.URL+"/healthz?verbose=1", "", nil, http.StatusOK, &health)
+	if len(health.Databases) != 1 {
+		t.Fatalf("health rows = %+v", health.Databases)
+	}
+	row := health.Databases[0]
+	if row.IngestCapacity != 8 || row.IngestRunning == nil || !*row.IngestRunning {
+		t.Fatalf("health ingest row = %+v", row)
+	}
+}
+
+// TestAsyncIntegrateBackpressure: a full queue answers 429 with a
+// Retry-After hint. The database is created out-of-band so no drainer
+// runs and the queue fills deterministically.
+func TestAsyncIntegrateBackpressure(t *testing.T) {
+	const depth = 2
+	ts, cat := newIngestServer(t, depth)
+	if _, err := cat.Create("q"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < depth; i++ {
+		doJSON(t, "POST", ts.URL+"/dbs/q/integrate?async=1", "application/xml",
+			strings.NewReader(bookB), http.StatusAccepted, nil)
+	}
+	resp, err := http.Post(ts.URL+"/dbs/q/integrate?async=1", "application/xml", strings.NewReader(bookB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status over capacity = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}
+
+func TestAsyncIntegrateDisabled(t *testing.T) {
+	ts, _ := newIngestServer(t, 0)
+	doJSON(t, "POST", ts.URL+"/dbs", "application/json",
+		strings.NewReader(`{"name":"x"}`), http.StatusCreated, nil)
+	resp, err := http.Post(ts.URL+"/dbs/x/integrate?async=1", "application/xml", strings.NewReader(bookB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status with queue disabled = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestAsyncIntegrateRejectsReplaceMode(t *testing.T) {
+	ts, _ := newIngestServer(t, 4)
+	doJSON(t, "POST", ts.URL+"/dbs", "application/json",
+		strings.NewReader(`{"name":"x"}`), http.StatusCreated, nil)
+	resp, err := http.Post(ts.URL+"/dbs/x/integrate?async=1&mode=replace", "application/xml", strings.NewReader(bookB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async replace = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestIngestTicketUnknown(t *testing.T) {
+	ts, _ := newIngestServer(t, 4)
+	doJSON(t, "POST", ts.URL+"/dbs", "application/json",
+		strings.NewReader(`{"name":"x"}`), http.StatusCreated, nil)
+	resp, err := http.Get(ts.URL + "/dbs/x/ingest/t999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ticket = %d, want 404", resp.StatusCode)
+	}
+}

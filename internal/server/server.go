@@ -195,6 +195,9 @@ func newServer(db *core.Database, cat *catalog.Catalog, rep *replica.Replica, op
 	}{
 		{"POST /integrate", s.handleIntegrate, true},
 		{"POST /integrate/batch", s.handleIntegrateBatch, true},
+		// Ticket lookups are reads, but meaningless on a replica (tickets
+		// are issued by the primary's queue and resolve there).
+		{"GET /ingest/{ticket}", s.handleIngestTicket, false},
 		{"GET /query", s.handleQuery, false},
 		{"POST /feedback", s.handleFeedback, true},
 		{"GET /stats", s.handleStats, false},
@@ -287,6 +290,10 @@ func (s *Server) withDefault(h func(http.ResponseWriter, *http.Request, target))
 		} else if db, err = s.cat.Default(); err != nil {
 			writeError(w, http.StatusInternalServerError, "default database: %v", err)
 			return
+		} else {
+			// Default() may have just created the database; a mutation-
+			// accepting server owns its queue (idempotent when running).
+			db.Core().StartIngest()
 		}
 		h(w, r, target{core: db.Core(), cdb: db, name: db.Name()})
 	}
@@ -391,6 +398,19 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request, t targe
 	if mode == "" {
 		mode = "merge"
 	}
+	switch v := r.URL.Query().Get("async"); v {
+	case "", "0", "false":
+	case "1", "true":
+		if mode != "merge" {
+			writeError(w, http.StatusBadRequest, "integrate: async supports only mode=merge")
+			return
+		}
+		s.handleIntegrateAsync(w, r, t)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "integrate: bad async parameter %q (0 | 1)", v)
+		return
+	}
 	resp := IntegrateResponse{Mode: mode}
 	// result is this request's own resulting document — not t.core.Tree(),
 	// which a concurrent writer may have advanced past it already.
@@ -430,6 +450,57 @@ func (s *Server) handleIntegrate(w http.ResponseWriter, r *http.Request, t targe
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// EnqueueResponse is the 202 body of POST /integrate?async=1: the ticket
+// to poll under GET /ingest/{ticket}.
+type EnqueueResponse struct {
+	Ticket string `json:"ticket"`
+	State  string `json:"state"`
+	// StatusPath is the ready-made polling URL for this ticket.
+	StatusPath string `json:"status_path"`
+}
+
+// handleIntegrateAsync accepts a source into the ingest queue: 202 with a
+// ticket on success, 429 + Retry-After when the queue is at capacity, 503
+// when the database runs without a queue.
+func (s *Server) handleIntegrateAsync(w http.ResponseWriter, r *http.Request, t target) {
+	other, err := xmlcodec.Decode(r.Body)
+	if err != nil {
+		writeError(w, statusForBodyError(err, http.StatusUnprocessableEntity), "integrate: %v", err)
+		return
+	}
+	ticket, err := t.core.Enqueue([]*pxml.Tree{other})
+	switch {
+	case errors.Is(err, core.ErrQueueFull):
+		// The drainer batches everything pending into its next cycle, so
+		// one short pause is the honest hint regardless of depth.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "integrate: %v", err)
+		return
+	case errors.Is(err, core.ErrQueueDisabled):
+		writeError(w, http.StatusServiceUnavailable, "integrate: async ingest is disabled (start the server with -ingest-queue)")
+		return
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, "integrate: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, EnqueueResponse{
+		Ticket:     ticket,
+		State:      string(core.TicketPending),
+		StatusPath: "/dbs/" + t.name + "/ingest/" + ticket,
+	})
+}
+
+// handleIngestTicket reports the state of one ingest ticket.
+func (s *Server) handleIngestTicket(w http.ResponseWriter, r *http.Request, t target) {
+	ticket := r.PathValue("ticket")
+	st, err := t.core.TicketStatus(ticket)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "ingest: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 // BatchIntegrateRequest carries multiple XML sources for one atomic batch
 // integration.
 type BatchIntegrateRequest struct {
@@ -445,6 +516,13 @@ type SourceStats struct {
 	MatchingsEnumerated int `json:"matchings_enumerated"`
 	MatchingsPruned     int `json:"matchings_pruned"`
 	TruncatedComponents int `json:"truncated_components,omitempty"`
+	// VerdictMemoHits and MergeMemoHits count oracle decisions and subtree
+	// merges answered from the cross-call memo instead of recomputed;
+	// SplicedChildren counts top-level components spliced verbatim because
+	// the other source never touched them (the delta-integration path).
+	VerdictMemoHits int `json:"verdict_memo_hits,omitempty"`
+	MergeMemoHits   int `json:"merge_memo_hits,omitempty"`
+	SplicedChildren int `json:"spliced_children,omitempty"`
 }
 
 func sourceStats(st integrate.Stats) SourceStats {
@@ -456,6 +534,9 @@ func sourceStats(st integrate.Stats) SourceStats {
 		MatchingsEnumerated: st.MatchingsEnumerated,
 		MatchingsPruned:     st.MatchingsPruned,
 		TruncatedComponents: st.TruncatedComponents,
+		VerdictMemoHits:     st.VerdictMemoHits,
+		MergeMemoHits:       st.MergeMemoHits,
+		SplicedChildren:     st.SplicedChildren,
 	}
 }
 
@@ -727,6 +808,11 @@ type StatsResponse struct {
 	QueryCache    CacheCounters `json:"query_cache"`
 	ResultCache   CacheCounters `json:"result_cache"`
 	Index         IndexStats    `json:"index"`
+	// Memo is the cross-call integration memo (oracle verdicts and
+	// subtree merges shared across integrations).
+	Memo integrate.MemoStats `json:"integrate_memo"`
+	// Ingest reports the async ingest queue.
+	Ingest core.IngestStats `json:"ingest"`
 	// WAL is present in catalog mode only.
 	WAL *DurabilityStats `json:"wal,omitempty"`
 }
@@ -748,6 +834,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t target) {
 	resp.QueryCache = CacheCounters{Hits: cs.Hits, Misses: cs.Misses, Size: cs.Size, Capacity: cs.Capacity}
 	rs := t.core.ResultCacheStats()
 	resp.ResultCache = CacheCounters{Hits: rs.Hits, Misses: rs.Misses, Size: rs.Size, Capacity: rs.Capacity}
+	resp.Memo = t.core.MemoStats()
+	resp.Ingest = t.core.IngestStats()
 	is := t.core.IndexStats()
 	resp.Index = IndexStats{
 		Builds:          is.Builds,
@@ -1033,10 +1121,14 @@ func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
 		}
 		name = req.Name
 	}
-	if _, err := s.cat.Create(name); err != nil {
+	db, err := s.cat.Create(name)
+	if err != nil {
 		writeError(w, catalogErrStatus(err), "create db: %v", err)
 		return
 	}
+	// This server accepts mutations (the read-only gate above), so it owns
+	// the new database's ingest queue.
+	db.Core().StartIngest()
 	writeJSON(w, http.StatusCreated, CreateDBResponse{Name: name})
 }
 

@@ -498,6 +498,14 @@ func (s *Shell) stats() error {
 		ds := s.db.Stats()
 		fmt.Fprintf(s.out, "durability: db %s, wal seq %d (%d op(s) past snapshot), %d compaction(s)\n",
 			s.db.Name(), ds.WAL.LastSeq, ds.TailOps, ds.Compactions)
+		c := s.db.Core()
+		ms := c.MemoStats()
+		fmt.Fprintf(s.out, "integrate memo: %d entries (cap %d), %d hits, %d misses\n",
+			ms.Entries, ms.Capacity, ms.Hits, ms.Misses)
+		if iq := c.IngestStats(); iq.Enabled || iq.Depth > 0 {
+			fmt.Fprintf(s.out, "ingest queue: %d pending (cap %d), %d accepted, %d applied, %d failed\n",
+				iq.Depth, iq.Capacity, iq.Accepted, iq.Applied, iq.Failed)
+		}
 	}
 	return nil
 }

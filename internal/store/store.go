@@ -107,6 +107,21 @@ type Manifest struct {
 	// counters survive a save/load round trip or a crash recovery.
 	Integrations []integrate.Stats `json:"integrations,omitempty"`
 	Feedback     []feedback.Event  `json:"feedback,omitempty"`
+	// Pending persists the ingest queue: sources accepted but not yet
+	// integrated at save time. Keeping them in the snapshot means log
+	// compaction can truncate the enqueue records a later apply record
+	// will refer back to. Unknown to older readers (ignored), absent for
+	// older writers — no format version bump needed.
+	Pending []PendingDoc `json:"pending,omitempty"`
+}
+
+// PendingDoc is one ingest-queue entry in snapshot form: a ticket and
+// its source documents as XML strings (small by construction — queue
+// depth is bounded — so the self-describing form wins over a payload
+// file per entry).
+type PendingDoc struct {
+	Ticket  string   `json:"ticket"`
+	Sources []string `json:"sources"`
 }
 
 // Snapshot is the in-memory form of a stored database.
@@ -131,6 +146,8 @@ type SaveOptions struct {
 	// Integrations and Feedback are the session histories to persist.
 	Integrations []integrate.Stats
 	Feedback     []feedback.Event
+	// Pending is the ingest queue to persist (see Manifest.Pending).
+	Pending []PendingDoc
 	// Encoding selects the document payload format: "" or "binary" for
 	// the v4 flat-arena frame, "xml" for the v3-compatible marker-XML
 	// layout (the escape hatch for readers without binary support).
@@ -218,6 +235,7 @@ func SaveWith(dir string, tree *pxml.Tree, schema *dtd.Schema, opts SaveOptions)
 		Epoch:          opts.Epoch,
 		Integrations:   opts.Integrations,
 		Feedback:       opts.Feedback,
+		Pending:        opts.Pending,
 	}
 	if err := writeAtomic(filepath.Join(dir, m.DocumentFile), doc); err != nil {
 		return Manifest{}, err
