@@ -7,7 +7,10 @@
 package imprecise_test
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	imprecise "repro"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -597,21 +601,65 @@ func BenchmarkStoreSaveLoad(b *testing.B) {
 	})
 }
 
-// BenchmarkSnapshotLoad measures store.Load over the two document
-// payload formats — the v4 binary arena against the v3 marker-XML
-// escape hatch — on a datagen movie document. Load is the recovery and
-// replica-bootstrap hot path.
+// BenchmarkSnapshotLoad measures store.Load over every snapshot layout
+// recovery can meet, on a datagen movie document: the v5 arena document
+// via mmap (the default), the same v5 directory with mmap disabled (the
+// read-whole fallback), a hand-written v4 directory (the self-contained
+// frame the previous release saved), and the v3 marker-XML escape
+// hatch. Load is the recovery and replica-bootstrap hot path; the
+// allocation column of the mmap row against the v4 row is the zero-copy
+// payoff.
 func BenchmarkSnapshotLoad(b *testing.B) {
 	doc := planBenchDocument(b)
-	for _, enc := range []string{store.EncodingBinary, store.EncodingXML} {
-		b.Run(enc, func(b *testing.B) {
-			dir := b.TempDir()
+	saveCurrent := func(enc string) func(*testing.B, string) {
+		return func(b *testing.B, dir string) {
 			if _, err := store.SaveWith(dir, doc, datagen.MovieDTD(), store.SaveOptions{Encoding: enc}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+	saveV4 := func(b *testing.B, dir string) {
+		// The v4 release wrote one self-contained document frame; Save has
+		// moved on to v5, so lay the old format down by hand.
+		payload := codec.AppendFrame(nil, codec.KindDocument, pxml.BinaryVersion, doc.AppendBinary(nil))
+		sum := sha256.Sum256(payload)
+		m := store.Manifest{
+			FormatVersion:  4,
+			SavedAt:        time.Now().UTC(),
+			DocumentFile:   "document-" + hex.EncodeToString(sum[:6]) + ".bin",
+			DocumentSHA256: hex.EncodeToString(sum[:]),
+			TreeDigest:     fmt.Sprintf("%016x", doc.Digest()),
+			LogicalNodes:   doc.NodeCount(),
+			Worlds:         doc.WorldCount().String(),
+		}
+		mdata, err := json.Marshal(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, m.DocumentFile), payload, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mdata, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range []struct {
+		name string
+		prep func(*testing.B, string)
+		opts store.LoadOptions
+	}{
+		{"v5-mmap", saveCurrent(store.EncodingBinary), store.LoadOptions{}},
+		{"v5-read", saveCurrent(store.EncodingBinary), store.LoadOptions{DisableMMap: true}},
+		{"v4", saveV4, store.LoadOptions{}},
+		{"v3-xml", saveCurrent(store.EncodingXML), store.LoadOptions{}},
+	} {
+		b.Run(row.name, func(b *testing.B) {
+			dir := b.TempDir()
+			row.prep(b, dir)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := store.Load(dir); err != nil {
+				if _, err := store.LoadWith(dir, row.opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -674,15 +722,27 @@ var walEncodings = []string{"binary", "json"}
 // BenchmarkWALAppend measures the durable-commit path per encoding: one
 // journaled mutation = one CRC-framed, fsynced write-ahead record of a
 // datagen movie document, so the record-encoding cost is visible next
-// to the fsync.
+// to the fsync. The binary rows split on the shared string table: the
+// default interns tag/text strings once per segment, the nostrtab row
+// re-encodes every string into every record — the walbytes/op gap is
+// the strtab payoff.
 func BenchmarkWALAppend(b *testing.B) {
 	doc := planBenchDocument(b)
-	for _, enc := range walEncodings {
-		b.Run(enc, func(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		enc      string
+		nostrtab bool
+	}{
+		{"binary", "binary", false},
+		{"binary-nostrtab", "binary", true},
+		{"json", "json", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
 			cat, err := imprecise.OpenCatalog(b.TempDir(), imprecise.CatalogOptions{
-				RootTag:      "catalog",
-				CompactEvery: -1,
-				WALEncoding:  enc,
+				RootTag:          "catalog",
+				CompactEvery:     -1,
+				WALEncoding:      cfg.enc,
+				DisableWALStrTab: cfg.nostrtab,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -842,9 +902,18 @@ func BenchmarkReplicationShip(b *testing.B) {
 	}
 	ts := httptest.NewServer(imprecise.NewCatalogHTTPHandler(cat, imprecise.ServerOptions{}))
 	defer ts.Close()
-	for _, enc := range walEncodings {
-		b.Run(enc, func(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		accept  string // Accept header; empty = JSON fallback
+		deflate bool   // offer Accept-Encoding: deflate
+	}{
+		{"binary", replica.ContentTypeBinary2, false},
+		{"binary+flate", replica.ContentTypeBinary2, true},
+		{"json", "", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
 			client := ts.Client()
+			var wireBytes int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var since uint64
@@ -855,8 +924,11 @@ func BenchmarkReplicationShip(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if enc == "binary" {
-						req.Header.Set("Accept", "application/x-imprecise-wal")
+					if cfg.accept != "" {
+						req.Header.Set("Accept", cfg.accept)
+					}
+					if cfg.deflate {
+						req.Header.Set("Accept-Encoding", replica.ContentEncodingDeflate)
 					}
 					resp, err := client.Do(req)
 					if err != nil {
@@ -865,20 +937,31 @@ func BenchmarkReplicationShip(b *testing.B) {
 					if resp.StatusCode != http.StatusOK {
 						b.Fatalf("wal fetch status %d", resp.StatusCode)
 					}
-					var page *replica.WALPage
-					if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-imprecise-wal") {
-						page, err = replica.DecodeWALPage(resp.Body)
-					} else {
-						page = &replica.WALPage{}
-						err = json.NewDecoder(resp.Body).Decode(page)
-					}
-					io.Copy(io.Discard, resp.Body)
+					// Read the raw body first so wirebytes/op counts what
+					// actually crossed the wire, then decode from memory.
+					body, err := io.ReadAll(resp.Body)
 					resp.Body.Close()
 					if err != nil {
 						b.Fatal(err)
 					}
-					if enc == "binary" != strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-imprecise-wal") {
-						b.Fatalf("negotiated the wrong encoding for %q", enc)
+					wireBytes += int64(len(body))
+					gotBinary := strings.HasPrefix(resp.Header.Get("Content-Type"), replica.ContentTypeBinary)
+					gotDeflate := resp.Header.Get("Content-Encoding") == replica.ContentEncodingDeflate
+					if gotBinary != (cfg.accept != "") || gotDeflate != cfg.deflate {
+						b.Fatalf("%s negotiated binary=%v deflate=%v", cfg.name, gotBinary, gotDeflate)
+					}
+					var page *replica.WALPage
+					switch {
+					case gotDeflate:
+						page, err = replica.DecodeWALPageDeflate(bytes.NewReader(body))
+					case gotBinary:
+						page, err = replica.DecodeWALPage(bytes.NewReader(body))
+					default:
+						page = &replica.WALPage{}
+						err = json.Unmarshal(body, page)
+					}
+					if err != nil {
+						b.Fatal(err)
 					}
 					if len(page.Records) == 0 {
 						b.Fatal("empty page before catch-up")
@@ -890,6 +973,7 @@ func BenchmarkReplicationShip(b *testing.B) {
 			elapsed := b.Elapsed()
 			b.StopTimer()
 			b.ReportMetric(float64(ops*b.N)/elapsed.Seconds(), "shipped_ops/s")
+			b.ReportMetric(float64(wireBytes)/float64(ops*b.N), "wirebytes/op")
 		})
 	}
 }

@@ -79,6 +79,14 @@ type Options struct {
 	// builds. Reading is always format-agnostic — recovery dispatches per
 	// record — so the setting can change between opens of the same dir.
 	WALEncoding string
+	// DisableWALStrTab pins binary appends to the self-contained v2
+	// record layout instead of the shared-string-table v3 one — the
+	// escape hatch for data dirs that must stay readable by pre-strtab
+	// builds, and the bench baseline. Reading handles both regardless.
+	DisableWALStrTab bool
+	// DisableMMap forces snapshot loads onto the read-whole-file path
+	// instead of mmap (store.LoadOptions.DisableMMap).
+	DisableMMap bool
 	// Logger receives recovery and compaction notes; nil disables.
 	Logger *log.Logger
 }
@@ -218,7 +226,7 @@ func (c *Catalog) openDB(name string, seedEpoch uint64) (*DB, error) {
 		return nil, statErr
 	}
 	if statErr == nil {
-		snap, err := store.Load(snapshot)
+		snap, err := store.LoadWith(snapshot, store.LoadOptions{DisableMMap: c.opts.DisableMMap})
 		if err != nil {
 			return nil, err
 		}
@@ -271,6 +279,7 @@ func (c *Catalog) openDB(name string, seedEpoch uint64) (*DB, error) {
 		return nil, err
 	}
 	w.jsonAppends = c.opts.WALEncoding == EncodingJSON
+	w.strtabDisabled = c.opts.DisableWALStrTab
 	d := &DB{
 		name:         name,
 		dir:          dbDir,

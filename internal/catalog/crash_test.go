@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/pxml"
+	"repro/internal/store"
 )
 
 // TestCrashRecoveryEveryByteOffset is the crash-safety property test: a
@@ -66,12 +67,20 @@ func TestCrashRecoveryEveryByteOffset(t *testing.T) {
 // or post-op tree and keeps accepting appends.
 func runEveryByteCut(t *testing.T, data string, sizePre, sizePost int64, preTree, postTree *pxml.Tree) {
 	t.Helper()
+	runEveryByteCutSeg(t, data, filepath.Join("x", walDirName, segName(1)), sizePre, sizePost, preTree, postTree)
+}
+
+// runEveryByteCutSeg is runEveryByteCut over an arbitrary segment file
+// (relative to the data dir) — the post-compaction harness cuts a later
+// segment than the first.
+func runEveryByteCutSeg(t *testing.T, data, segRel string, sizePre, sizePost int64, preTree, postTree *pxml.Tree) {
+	t.Helper()
 	for cut := sizePre; cut <= sizePost; cut++ {
 		cut := cut
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
 			killed := t.TempDir()
 			copyDir(t, data, killed)
-			if err := os.Truncate(filepath.Join(killed, "x", walDirName, segName(1)), cut); err != nil {
+			if err := os.Truncate(filepath.Join(killed, segRel), cut); err != nil {
 				t.Fatal(err)
 			}
 			cat2, err := Open(killed, testOptions())
@@ -145,4 +154,77 @@ func TestCrashRecoveryMixedEncodingEveryByteOffset(t *testing.T) {
 		t.Fatal(err)
 	}
 	runEveryByteCut(t, data, preInfo.Size(), postInfo.Size(), preTree, postTree)
+}
+
+// TestCrashRecoveryCompactedV5EveryByteOffset reruns the crash-safety
+// property over the current on-disk generation: op 1 is compacted into a
+// v5 snapshot (strtab frame + shared-arena document, mmap'd on reopen),
+// and op 2 lands as a strtab-bearing v3 record in the surviving log.
+// Every cut inside op 2's frame must recover the mmap-loaded snapshot
+// state exactly; the full frame, the post-op state.
+func TestCrashRecoveryCompactedV5EveryByteOffset(t *testing.T) {
+	base := t.TempDir()
+	data := filepath.Join(base, "data")
+	cat, err := Open(data, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cat.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb := db.Core()
+	if _, err := cdb.IntegrateXMLString(abA); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.ReadManifest(filepath.Join(data, "x", stateDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FormatVersion != store.FormatVersion {
+		t.Fatalf("compaction wrote format v%d, want v%d", m.FormatVersion, store.FormatVersion)
+	}
+	preTree := cdb.Tree()
+
+	// The segment op 2 lands in may not exist yet (compaction dropped the
+	// covered log): snapshot sizes before, integrate, diff after.
+	walDir := filepath.Join(data, "x", walDirName)
+	sizes := func() map[string]int64 {
+		out := map[string]int64{}
+		ents, err := os.ReadDir(walDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = info.Size()
+		}
+		return out
+	}
+	before := sizes()
+	if _, err := cdb.IntegrateXMLString(abB); err != nil {
+		t.Fatal(err)
+	}
+	postTree := cdb.Tree()
+	var segRel string
+	var sizePre, sizePost int64
+	for name, sz := range sizes() {
+		if before[name] != sz {
+			if segRel != "" {
+				t.Fatalf("op 2 grew two segments: %s and %s", segRel, name)
+			}
+			segRel = filepath.Join("x", walDirName, name)
+			sizePre, sizePost = before[name], sz
+		}
+	}
+	if segRel == "" || sizePost <= sizePre {
+		t.Fatalf("op 2 wrote no bytes (before %v, after %v)", before, sizes())
+	}
+	runEveryByteCutSeg(t, data, segRel, sizePre, sizePost, preTree, postTree)
 }

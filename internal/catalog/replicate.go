@@ -52,8 +52,12 @@ func (d *DB) OpsSince(after uint64, limit int) ([]WALRecord, error) {
 // RawOpsSince is OpsSince without the decode: the same page of records
 // as the exact payload bytes the log holds. The binary replication wire
 // serves from this — shipping a record then costs a CRC check and a
-// header peek, not a tree decode plus re-encode per page.
-func (d *DB) RawOpsSince(after uint64, limit int) ([]RawWALRecord, error) {
+// header peek, not a tree decode plus re-encode per page. The returned
+// prefix is the interned-string table the first shipped record's strtab
+// delta is based on (the cumulative deltas of the same-segment records
+// before it); the wire ships it ahead of the page so the receiver can
+// resolve string refs without holding per-peer decode state.
+func (d *DB) RawOpsSince(after uint64, limit int) ([]RawWALRecord, []string, error) {
 	return d.wal.rawOpsSince(after, limit)
 }
 
@@ -81,16 +85,16 @@ func (d *DB) WaitOps(ctx context.Context, after uint64, limit int) ([]WALRecord,
 
 // WaitRawOps is RawOpsSince with the same long-poll semantics as
 // WaitOps.
-func (d *DB) WaitRawOps(ctx context.Context, after uint64, limit int) ([]RawWALRecord, error) {
+func (d *DB) WaitRawOps(ctx context.Context, after uint64, limit int) ([]RawWALRecord, []string, error) {
 	for {
 		ch := d.commitSignal()
-		recs, err := d.RawOpsSince(after, limit)
+		recs, prefix, err := d.RawOpsSince(after, limit)
 		if err != nil || len(recs) > 0 {
-			return recs, err
+			return recs, prefix, err
 		}
 		select {
 		case <-ctx.Done():
-			return nil, nil
+			return nil, nil, nil
 		case <-ch:
 		}
 	}

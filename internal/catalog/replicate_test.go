@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/pxml"
 	"repro/internal/xmlcodec"
@@ -141,12 +142,20 @@ func TestRawOpsSinceMatchesDecoded(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			raws, err := db.RawOpsSince(2, 0)
+			raws, prefix, err := db.RawOpsSince(2, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if len(raws) != len(recs) || len(raws) == 0 {
 				t.Fatalf("%d raw records for %d decoded", len(raws), len(recs))
+			}
+			// A page starting mid-segment assumes the skipped records'
+			// cumulative string table — exactly what the prefix carries.
+			// Seeding a table from it and decoding in order is what the
+			// binary wire's receiver does.
+			var tab codec.StrTab
+			if err := tab.Apply(0, prefix); err != nil {
+				t.Fatal(err)
 			}
 			wantMarker := byte(0x00)
 			if enc == EncodingJSON {
@@ -161,7 +170,7 @@ func TestRawOpsSinceMatchesDecoded(t *testing.T) {
 					t.Fatalf("raw %d starts with %#x, want %#x (log encoding %s)",
 						i, raws[i].Payload[0], wantMarker, enc)
 				}
-				dec, err := DecodeWALRecord(raws[i].Payload)
+				dec, err := DecodeWALRecordShared(raws[i].Payload, &tab)
 				if err != nil {
 					t.Fatalf("raw %d does not decode: %v", i, err)
 				}
@@ -174,7 +183,7 @@ func TestRawOpsSinceMatchesDecoded(t *testing.T) {
 			// The long-poll form serves the same raw page.
 			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 			defer cancel()
-			waited, err := db.WaitRawOps(ctx, 2, 0)
+			waited, _, err := db.WaitRawOps(ctx, 2, 0)
 			if err != nil || len(waited) != len(raws) {
 				t.Fatalf("WaitRawOps = %d records (err %v), want %d", len(waited), err, len(raws))
 			}

@@ -43,6 +43,7 @@ import (
 	"sync"
 	"syscall"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 )
 
@@ -114,6 +115,10 @@ type WALStats struct {
 	// Encoding is the payload format new appends use ("binary" or
 	// "json"); records already on disk may be either.
 	Encoding string `json:"encoding"`
+	// StrTabEntries is the size of the append-side interned string table
+	// for the active segment (0 when strtab records are disabled or the
+	// segment is fresh).
+	StrTabEntries int `json:"strtab_entries,omitempty"`
 }
 
 // wal is an open write-ahead log positioned to append.
@@ -124,6 +129,10 @@ type wal struct {
 	// data dirs that must stay readable by pre-binary builds). The read
 	// path always accepts both.
 	jsonAppends bool
+	// strtabDisabled makes binary appends use the self-contained v2
+	// record layout instead of v3 — the knob benchmarks and cautious
+	// operators use to compare, and the implicit mode under jsonAppends.
+	strtabDisabled bool
 
 	mu       sync.Mutex
 	f        *os.File // active (last) segment
@@ -141,6 +150,12 @@ type wal struct {
 	appends       int64
 	appendedBytes int64
 	rotations     int64
+
+	// tab is the append-side string table for the active segment. Every
+	// v3 record's delta extends it; rotation resets it so each segment's
+	// deltas rebuild the table from zero, and recovery reseeds it by
+	// replaying the reopened last segment.
+	tab codec.SharedStrings
 }
 
 func segName(start uint64) string {
@@ -208,12 +223,16 @@ func recoverWAL(dir string, segLimit int64, after uint64, snapEpoch uint64, fn f
 	// epochSeen is the high-water epoch across the whole log; epochs may
 	// only rise record to record (segment boundaries included).
 	var epochSeen uint64
+	// replayTab replays each segment's strtab deltas; after the loop it
+	// holds the last segment's cumulative table, which seeds the append
+	// side so the next record's delta continues where the log left off.
+	var replayTab codec.StrTab
 	for i, start := range starts {
 		if start != next {
 			return nil, fmt.Errorf("%w: segment %s does not continue at sequence %d", ErrCorrupt, segName(start), next)
 		}
 		last := i == len(starts)-1
-		n, size, err := replaySegment(filepath.Join(dir, segName(start)), start, last, after, snapEpoch, &epochSeen, fn)
+		n, size, err := replaySegment(filepath.Join(dir, segName(start)), start, last, after, snapEpoch, &epochSeen, &replayTab, fn)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +270,12 @@ func recoverWAL(dir string, segLimit int64, after uint64, snapEpoch uint64, fn f
 		return w, w.openSegmentLocked(after + 1)
 	}
 	// Reopen the last segment for appending (replaySegment truncated any
-	// torn tail already).
+	// torn tail already). The append-side table resumes from the
+	// segment's committed deltas, so the next v3 record's base matches
+	// what a future recovery will have replayed.
+	for _, s := range replayTab.Strings() {
+		w.tab.Intern(s)
+	}
 	f, err := os.OpenFile(filepath.Join(dir, segName(starts[len(starts)-1])), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -267,11 +291,13 @@ func recoverWAL(dir string, segLimit int64, after uint64, snapEpoch uint64, fn f
 // For the last segment a bad frame is treated as the torn tail and
 // truncated away; anywhere else it is corruption. It returns the number
 // of committed records and the (post-truncation) file size.
-func replaySegment(path string, start uint64, isLast bool, after uint64, snapEpoch uint64, epochSeen *uint64, fn func(WALRecord) error) (records uint64, size int64, err error) {
+func replaySegment(path string, start uint64, isLast bool, after uint64, snapEpoch uint64, epochSeen *uint64, tab *codec.StrTab, fn func(WALRecord) error) (records uint64, size int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
 	}
+	// Strtab deltas are segment-scoped: every segment rebuilds from zero.
+	tab.Reset()
 	off := 0
 	torn := func(reason string) (uint64, int64, error) {
 		if !isLast {
@@ -299,7 +325,10 @@ func replaySegment(path string, start uint64, isLast bool, after uint64, snapEpo
 		if crc32.Checksum(payload, crcTable) != sum {
 			return torn("checksum mismatch")
 		}
-		e, err := DecodeWALRecord(payload)
+		// A torn record commits nothing to tab (DecodeWALRecordShared
+		// applies the delta only after a full decode), so the reseeded
+		// append table always matches what this replay accepted.
+		e, err := DecodeWALRecordShared(payload, tab)
 		if err != nil {
 			return torn("undecodable record")
 		}
@@ -377,22 +406,31 @@ func (w *wal) append(op core.Op) (uint64, error) {
 	defer w.mu.Unlock()
 	seq := w.nextSeq
 	rec := WALRecord{Seq: seq, Epoch: w.epoch, Op: op}
+	// Any failure past the encode must roll the interning table back to
+	// its pre-record length: the delta the failed record carried never
+	// became durable, so the next record's base must not account for it.
+	prevTabLen := w.tab.Len()
 	var payload []byte
 	var err error
-	if w.jsonAppends {
+	switch {
+	case w.jsonAppends:
 		// rec holds a private copy of op, so materializing the XML string
 		// fields for JSON never mutates the caller's op.
 		if err = rec.Op.EncodePortable(); err != nil {
 			return 0, err
 		}
 		payload, err = json.Marshal(rec)
-	} else {
+	case w.strtabDisabled:
 		payload, err = EncodeWALRecord(rec)
+	default:
+		payload, err = EncodeWALRecordShared(rec, &w.tab)
 	}
 	if err != nil {
+		w.tab.Truncate(prevTabLen)
 		return 0, err
 	}
 	if len(payload) > maxRecordBytes {
+		w.tab.Truncate(prevTabLen)
 		return 0, fmt.Errorf("catalog: op record of %d bytes exceeds the %d byte limit", len(payload), maxRecordBytes)
 	}
 	frame := make([]byte, frameHeaderLen+len(payload))
@@ -403,6 +441,7 @@ func (w *wal) append(op core.Op) (uint64, error) {
 		// Claw the partial frame back so the in-memory offset stays true;
 		// if even that fails recovery will truncate the torn tail.
 		_ = w.f.Truncate(w.fileSize)
+		w.tab.Truncate(prevTabLen)
 		return 0, err
 	}
 	if err := w.f.Sync(); err != nil {
@@ -411,6 +450,7 @@ func (w *wal) append(op core.Op) (uint64, error) {
 		// would reject the duplicate as corruption rather than a torn
 		// tail. Truncate back to the last committed record.
 		_ = w.f.Truncate(w.fileSize)
+		w.tab.Truncate(prevTabLen)
 		return 0, err
 	}
 	w.fileSize += int64(len(frame))
@@ -424,6 +464,9 @@ func (w *wal) append(op core.Op) (uint64, error) {
 			return seq, nil
 		}
 		w.rotations++
+		// A fresh segment starts a fresh table: its first record's delta
+		// is based at 0, keeping every segment self-contained.
+		w.tab.Reset()
 	}
 	return seq, nil
 }
@@ -468,16 +511,22 @@ type RawWALRecord struct {
 }
 
 // opsSince returns up to limit committed records with sequence > after,
-// in order, decoded. It is rawOpsSince plus a DecodeWALRecord per
-// record — the JSON wire and local callers need the structured form.
+// in order, decoded. It is rawOpsSince plus a record decode — the JSON
+// wire and local callers need the structured form. The strtab prefix
+// rawOpsSince reports seeds the decode table, so a page starting
+// mid-segment resolves shared records exactly as a follower would.
 func (w *wal) opsSince(after uint64, limit int) ([]WALRecord, error) {
-	raws, err := w.rawOpsSince(after, limit)
+	raws, prefix, err := w.rawOpsSince(after, limit)
 	if err != nil || raws == nil {
+		return nil, err
+	}
+	var tab codec.StrTab
+	if err := tab.Apply(0, prefix); err != nil {
 		return nil, err
 	}
 	out := make([]WALRecord, len(raws))
 	for i := range raws {
-		rec, err := DecodeWALRecord(raws[i].Payload)
+		rec, err := DecodeWALRecordShared(raws[i].Payload, &tab)
 		if err != nil {
 			return nil, fmt.Errorf("%w: undecodable record %d: %v", ErrCorrupt, raws[i].Seq, err)
 		}
@@ -487,18 +536,24 @@ func (w *wal) opsSince(after uint64, limit int) ([]WALRecord, error) {
 }
 
 // rawOpsSince is the primary half of log shipping: up to limit committed
-// records with sequence > after, in order, as raw payload bytes. It
-// fails with ErrSeqGone when the range is not incrementally servable:
-// the records were compacted away, or after lies beyond the committed
-// log. Only the log geometry is snapshotted under mu; the disk reads run
-// unlocked, so a follower catching up through gigabytes of log never
-// stalls appends. That is safe because closed segments are immutable and
-// the active segment's committed prefix (fileSize at snapshot time)
-// never changes — any integrity failure inside those bounds is
-// ErrCorrupt, never a torn tail. A segment deleted between snapshot and
-// read (compaction racing us) reports ErrSeqGone, exactly as if
-// compaction had won the race outright.
-func (w *wal) rawOpsSince(after uint64, limit int) ([]RawWALRecord, error) {
+// records with sequence > after, in order, as raw payload bytes, plus
+// the strtab prefix — the cumulative string table built by the records
+// of the first contributing segment that the page skips (seq <= after).
+// A consumer seeds its decode table with the prefix; the shipped
+// records' own embedded deltas carry it forward from there, including
+// across segment boundaries (a base-0 delta resets it). The prefix is
+// empty when the page starts at a segment boundary or holds no v3
+// records. It fails with ErrSeqGone when the range is not incrementally
+// servable: the records were compacted away, or after lies beyond the
+// committed log. Only the log geometry is snapshotted under mu; the
+// disk reads run unlocked, so a follower catching up through gigabytes
+// of log never stalls appends. That is safe because closed segments are
+// immutable and the active segment's committed prefix (fileSize at
+// snapshot time) never changes — any integrity failure inside those
+// bounds is ErrCorrupt, never a torn tail. A segment deleted between
+// snapshot and read (compaction racing us) reports ErrSeqGone, exactly
+// as if compaction had won the race outright.
+func (w *wal) rawOpsSince(after uint64, limit int) ([]RawWALRecord, []string, error) {
 	if limit <= 0 {
 		limit = defaultReadBatch
 	}
@@ -510,18 +565,20 @@ func (w *wal) rawOpsSince(after uint64, limit int) ([]RawWALRecord, error) {
 	last := next - 1
 	if after >= last {
 		if after > last {
-			return nil, fmt.Errorf("%w: position %d is beyond the committed log (last %d)", ErrSeqGone, after, last)
+			return nil, nil, fmt.Errorf("%w: position %d is beyond the committed log (last %d)", ErrSeqGone, after, last)
 		}
-		return nil, nil
+		return nil, nil, nil
 	}
 	if len(starts) == 0 || starts[0] > after+1 {
 		oldest := next
 		if len(starts) > 0 {
 			oldest = starts[0]
 		}
-		return nil, fmt.Errorf("%w: records after %d were compacted away (oldest on disk is %d)", ErrSeqGone, after, oldest)
+		return nil, nil, fmt.Errorf("%w: records after %d were compacted away (oldest on disk is %d)", ErrSeqGone, after, oldest)
 	}
 	var out []RawWALRecord
+	var prefix []string
+	var prefixTab codec.StrTab
 	for i, start := range starts {
 		end := next // the last snapshotted segment covers [start, next)
 		if i+1 < len(starts) {
@@ -534,23 +591,43 @@ func (w *wal) rawOpsSince(after uint64, limit int) ([]RawWALRecord, error) {
 		if i == len(starts)-1 {
 			committed = activeSize
 		}
+		var scanErr error
 		err := readSegment(filepath.Join(w.dir, segName(start)), start, committed, func(e RawWALRecord) bool {
 			if e.Seq > after {
+				if len(out) == 0 {
+					// First shipped record: freeze the skipped records'
+					// cumulative table as the page prefix.
+					prefix = append([]string(nil), prefixTab.Strings()...)
+				}
 				out = append(out, e)
+			} else {
+				// Skipped record: its delta still advances the table the
+				// first shipped record's base refers to.
+				base, entries, shared, err := peekRecordDelta(e.Payload)
+				if err == nil && shared {
+					err = prefixTab.Apply(base, entries)
+				}
+				if err != nil {
+					scanErr = fmt.Errorf("%w: bad strtab delta at record %d: %v", ErrCorrupt, e.Seq, err)
+					return false
+				}
 			}
 			return len(out) < limit
 		})
+		if err == nil {
+			err = scanErr
+		}
 		if err != nil {
 			if os.IsNotExist(err) {
-				return nil, fmt.Errorf("%w: records after %d were compacted away concurrently", ErrSeqGone, after)
+				return nil, nil, fmt.Errorf("%w: records after %d were compacted away concurrently", ErrSeqGone, after)
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		if len(out) >= limit {
 			break
 		}
 	}
-	return out, nil
+	return out, prefix, nil
 }
 
 // readSegment scans the committed frames of one segment in order, calling
@@ -645,6 +722,7 @@ func (w *wal) stats() WALStats {
 		Rotations:         w.rotations,
 		SegmentLimitBytes: w.segLimit,
 		Encoding:          w.encodingName(),
+		StrTabEntries:     w.tab.Len(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 )
 
@@ -126,7 +127,8 @@ func TestWALTornTailTruncated(t *testing.T) {
 	// The file was physically truncated back to the committed prefix.
 	info, _ := os.Stat(seg)
 	var epochSeen uint64
-	if _, _, err := replaySegment(seg, 1, true, 0, 0, &epochSeen, nil); err != nil {
+	var tab codec.StrTab
+	if _, _, err := replaySegment(seg, 1, true, 0, 0, &epochSeen, &tab, nil); err != nil {
 		t.Fatalf("re-scan after truncation: %v", err)
 	}
 	if next, err := w2.append(testOp(9)); err != nil || next != 3 {

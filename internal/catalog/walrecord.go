@@ -34,12 +34,20 @@ const (
 	// walBinaryMarker is the first payload byte of a binary record; the
 	// JSON alternative is '{' (0x7B), so the two cannot collide.
 	walBinaryMarker = 0x00
-	// walBinaryVersion is the revision of the binary record layout new
-	// appends use. v2 adds a per-source stats blob to integrate/batch
-	// records (so replay and followers reproduce memo-dependent counters
-	// exactly) and the enqueue/apply-queued kinds of the async ingest
-	// queue. Decoding accepts both revisions; see walBinaryMinVersion.
+	// walBinaryVersion is the self-contained revision of the binary
+	// record layout — what EncodeWALRecord emits and the v1 replication
+	// wire re-encodes for older binary followers. v2 adds a per-source
+	// stats blob to integrate/batch records (so replay and followers
+	// reproduce memo-dependent counters exactly) and the
+	// enqueue/apply-queued kinds of the async ingest queue.
 	walBinaryVersion = 2
+	// walBinaryVersionShared is the shared-strtab revision new appends
+	// use: a strtab delta sits between the epoch and the op kind, and
+	// tree fields may use the shared arena representation whose string
+	// indices resolve against the segment-cumulative table the deltas
+	// build. Decoding v3 therefore needs that table (or a record whose
+	// delta is based at 0); see DecodeWALRecordShared.
+	walBinaryVersionShared = 3
 	// walBinaryMinVersion is the oldest payload revision still decoded.
 	walBinaryMinVersion = 1
 )
@@ -73,16 +81,47 @@ var opKindNames = func() map[byte]core.OpKind {
 const (
 	treeReprArena = 1
 	treeReprXML   = 2
+	// treeReprArenaShared is a shared-table arena body
+	// (pxml.BinaryVersionShared): its string indices resolve against the
+	// record's cumulative strtab, so repeated tags across a segment's
+	// records are spelled once. Only valid inside v3 records.
+	treeReprArenaShared = 3
 )
 
-// EncodeWALRecord renders rec in the binary payload format. The same
-// bytes are valid as an on-disk WAL payload and as a replication wire
-// record frame payload, so a binary primary ships records without
-// re-encoding per follower format.
+// EncodeWALRecord renders rec in the self-contained (v2) binary payload
+// format. The same bytes are valid as an on-disk WAL payload and as a
+// replication wire record frame payload, so a binary primary ships
+// records without re-encoding per follower format.
 func EncodeWALRecord(rec WALRecord) ([]byte, error) {
 	dst := []byte{walBinaryMarker, walBinaryVersion}
 	dst = codec.AppendUvarint(dst, rec.Seq)
 	dst = codec.AppendUvarint(dst, rec.Epoch)
+	return encodeOpBody(dst, &rec, nil)
+}
+
+// EncodeWALRecordShared renders rec in the shared-strtab (v3) format:
+// tree strings intern into tab, and the entries added by this record
+// travel as a delta between the epoch and the op kind. On error tab is
+// rolled back to its pre-call length. The caller owns tab's lifecycle —
+// reset it at segment boundaries so every segment's deltas rebuild the
+// table from zero.
+func EncodeWALRecordShared(rec WALRecord, tab *codec.SharedStrings) ([]byte, error) {
+	base := tab.Len()
+	body, err := encodeOpBody(nil, &rec, tab)
+	if err != nil {
+		tab.Truncate(base)
+		return nil, err
+	}
+	dst := []byte{walBinaryMarker, walBinaryVersionShared}
+	dst = codec.AppendUvarint(dst, rec.Seq)
+	dst = codec.AppendUvarint(dst, rec.Epoch)
+	dst = tab.AppendDelta(dst, base)
+	return append(dst, body...), nil
+}
+
+// encodeOpBody appends the op kind byte and kind-specific fields. A nil
+// tab encodes self-contained tree fields; otherwise trees intern into it.
+func encodeOpBody(dst []byte, rec *WALRecord, tab *codec.SharedStrings) ([]byte, error) {
 	kindCode, ok := opKindCodes[rec.Op.Kind]
 	if !ok {
 		return nil, fmt.Errorf("catalog: cannot encode op kind %q", rec.Op.Kind)
@@ -105,7 +144,7 @@ func EncodeWALRecord(rec WALRecord) ([]byte, error) {
 			} else if i < len(op.Sources) {
 				xml = op.Sources[i]
 			}
-			if dst, err = appendTree(dst, t, xml); err != nil {
+			if dst, err = appendTree(dst, t, xml, tab); err != nil {
 				return nil, fmt.Errorf("catalog: encoding source %d: %w", i+1, err)
 			}
 		}
@@ -127,7 +166,7 @@ func EncodeWALRecord(rec WALRecord) ([]byte, error) {
 			} else if i < len(op.Sources) {
 				xml = op.Sources[i]
 			}
-			if dst, err = appendTree(dst, t, xml); err != nil {
+			if dst, err = appendTree(dst, t, xml, tab); err != nil {
 				return nil, fmt.Errorf("catalog: encoding enqueue source %d: %w", i+1, err)
 			}
 		}
@@ -153,7 +192,7 @@ func EncodeWALRecord(rec WALRecord) ([]byte, error) {
 		dst = codec.AppendBytes(dst, when)
 	case core.OpNormalize:
 	case core.OpReplace, core.OpLoad:
-		if dst, err = appendTree(dst, op.TreeValue, op.Tree); err != nil {
+		if dst, err = appendTree(dst, op.TreeValue, op.Tree, tab); err != nil {
 			return nil, fmt.Errorf("catalog: encoding %s tree: %w", op.Kind, err)
 		}
 		if op.Kind == core.OpLoad {
@@ -232,12 +271,17 @@ func readStringList(r *codec.Reader) ([]string, error) {
 	return xs, nil
 }
 
-// appendTree appends one tree field, preferring the decoded form.
-func appendTree(dst []byte, t *pxml.Tree, xml string) ([]byte, error) {
+// appendTree appends one tree field, preferring the decoded form. With a
+// tab the arena body is shared-table (treeReprArenaShared); without, it
+// is self-contained.
+func appendTree(dst []byte, t *pxml.Tree, xml string, tab *codec.SharedStrings) ([]byte, error) {
 	if t != nil {
+		if tab != nil {
+			dst = append(dst, treeReprArenaShared)
+			return codec.AppendBytes(dst, t.AppendBinaryShared(nil, tab)), nil
+		}
 		dst = append(dst, treeReprArena)
-		body := t.AppendBinary(nil)
-		return codec.AppendBytes(dst, body), nil
+		return codec.AppendBytes(dst, t.AppendBinary(nil)), nil
 	}
 	if xml == "" {
 		return nil, fmt.Errorf("op carries no document")
@@ -247,14 +291,22 @@ func appendTree(dst []byte, t *pxml.Tree, xml string) ([]byte, error) {
 }
 
 // readTree reads one tree field into the op's decoded or string slot.
-func readTree(r *codec.Reader) (*pxml.Tree, string, error) {
+// strs is the record's cumulative string table view; shared-repr trees
+// resolve their indices against it.
+func readTree(r *codec.Reader, strs []string) (*pxml.Tree, string, error) {
 	switch repr := r.Byte(); repr {
-	case treeReprArena:
+	case treeReprArena, treeReprArenaShared:
 		body := r.Bytes()
 		if err := r.Err(); err != nil {
 			return nil, "", err
 		}
-		t, err := pxml.DecodeArena(body)
+		var t *pxml.Tree
+		var err error
+		if repr == treeReprArenaShared {
+			t, err = pxml.DecodeArenaWith(body, pxml.DecodeArenaOptions{Strings: strs})
+		} else {
+			t, err = pxml.DecodeArena(body)
+		}
 		if err != nil {
 			return nil, "", err
 		}
@@ -286,7 +338,7 @@ func peekRecordHeader(payload []byte) (seq, epoch uint64, err error) {
 		return rec.Seq, rec.Epoch, nil
 	}
 	r := codec.NewReader(payload[1:])
-	if v := r.Byte(); r.Err() == nil && (v < walBinaryMinVersion || v > walBinaryVersion) {
+	if v := r.Byte(); r.Err() == nil && (v < walBinaryMinVersion || v > walBinaryVersionShared) {
 		return 0, 0, fmt.Errorf("%w: unsupported binary record version %d", codec.ErrInvalid, v)
 	}
 	seq = r.Uvarint()
@@ -297,11 +349,43 @@ func peekRecordHeader(payload []byte) (seq, epoch uint64, err error) {
 	return seq, epoch, nil
 }
 
-// DecodeWALRecord decodes one WAL payload of either format, dispatching
-// on the first byte. Arbitrary bytes return an error, never panic: the
-// binary path runs entirely on the bounds-checked codec.Reader and
-// pxml.DecodeArena.
+// peekRecordDelta extracts a v3 record's strtab delta without decoding
+// the op body — how the raw shipping path tracks table state across
+// records it skips. shared is false for JSON, v1 and v2 payloads (they
+// carry no delta).
+func peekRecordDelta(payload []byte) (base uint64, entries []string, shared bool, err error) {
+	if len(payload) < 2 || payload[0] != walBinaryMarker || payload[1] != walBinaryVersionShared {
+		return 0, nil, false, nil
+	}
+	r := codec.NewReader(payload[1:])
+	r.Byte()    // version
+	r.Uvarint() // seq
+	r.Uvarint() // epoch
+	base, entries, err = codec.DecodeStrTabDelta(r, false)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return base, entries, true, nil
+}
+
+// DecodeWALRecord decodes one self-contained WAL payload of either
+// format, dispatching on the first byte. A v3 payload is accepted only
+// when its strtab delta is based at 0 (the first record of a segment or
+// page); mid-table records need DecodeWALRecordShared.
 func DecodeWALRecord(payload []byte) (WALRecord, error) {
+	var tab codec.StrTab
+	return DecodeWALRecordShared(payload, &tab)
+}
+
+// DecodeWALRecordShared decodes one WAL payload against the cumulative
+// string table tab, which must hold the replayed state of every earlier
+// v3 delta in the same segment or page. The record's own delta commits
+// into tab only after the whole record decodes — a torn or corrupt
+// record leaves tab exactly as it was, keeping replay's table in
+// lockstep with the committed log. Arbitrary bytes return an error,
+// never panic: the binary path runs entirely on the bounds-checked
+// codec.Reader and pxml.DecodeArenaWith.
+func DecodeWALRecordShared(payload []byte, tab *codec.StrTab) (WALRecord, error) {
 	if len(payload) == 0 {
 		return WALRecord{}, fmt.Errorf("%w: empty record payload", codec.ErrInvalid)
 	}
@@ -314,12 +398,34 @@ func DecodeWALRecord(payload []byte) (WALRecord, error) {
 	}
 	r := codec.NewReader(payload[1:])
 	version := r.Byte()
-	if r.Err() == nil && (version < walBinaryMinVersion || version > walBinaryVersion) {
+	if r.Err() == nil && (version < walBinaryMinVersion || version > walBinaryVersionShared) {
 		return WALRecord{}, fmt.Errorf("%w: unsupported binary record version %d", codec.ErrInvalid, version)
 	}
 	var rec WALRecord
 	rec.Seq = r.Uvarint()
 	rec.Epoch = r.Uvarint()
+	// The v3 delta is read up front but applied to tab only at the end;
+	// until then the record decodes against a combined view.
+	var delta struct {
+		base    uint64
+		entries []string
+	}
+	var strs []string
+	if version >= walBinaryVersionShared {
+		base, entries, err := codec.DecodeStrTabDelta(r, false)
+		if err != nil {
+			return WALRecord{}, err
+		}
+		switch {
+		case base == 0:
+			strs = entries
+		case base == uint64(tab.Len()):
+			strs = append(tab.Strings()[:base:base], entries...)
+		default:
+			return WALRecord{}, fmt.Errorf("%w: record %d strtab delta based at %d, table holds %d entries", codec.ErrInvalid, rec.Seq, base, tab.Len())
+		}
+		delta.base, delta.entries = base, entries
+	}
 	kind, ok := opKindNames[r.Byte()]
 	if err := r.Err(); err != nil {
 		return WALRecord{}, err
@@ -340,7 +446,7 @@ func DecodeWALRecord(payload []byte) (WALRecord, error) {
 			return WALRecord{}, fmt.Errorf("%w: implausible source count %d", codec.ErrInvalid, n)
 		}
 		for i := uint64(0); i < n; i++ {
-			t, xml, err := readTree(r)
+			t, xml, err := readTree(r, strs)
 			if err != nil {
 				return WALRecord{}, fmt.Errorf("record %d source %d: %w", rec.Seq, i+1, err)
 			}
@@ -368,7 +474,7 @@ func DecodeWALRecord(payload []byte) (WALRecord, error) {
 			return WALRecord{}, fmt.Errorf("%w: implausible source count %d", codec.ErrInvalid, n)
 		}
 		for i := uint64(0); i < n; i++ {
-			t, xml, err := readTree(r)
+			t, xml, err := readTree(r, strs)
 			if err != nil {
 				return WALRecord{}, fmt.Errorf("record %d source %d: %w", rec.Seq, i+1, err)
 			}
@@ -410,7 +516,7 @@ func DecodeWALRecord(payload []byte) (WALRecord, error) {
 		op.When = ts
 	case core.OpNormalize:
 	case core.OpReplace, core.OpLoad:
-		t, xml, err := readTree(r)
+		t, xml, err := readTree(r, strs)
 		if err != nil {
 			return WALRecord{}, fmt.Errorf("record %d tree: %w", rec.Seq, err)
 		}
@@ -436,6 +542,14 @@ func DecodeWALRecord(payload []byte) (WALRecord, error) {
 	}
 	if err := r.Finish(); err != nil {
 		return WALRecord{}, err
+	}
+	// The record decoded in full: commit its delta so the next record in
+	// the segment/page decodes against the extended table. (Apply cannot
+	// fail here — the base was validated against tab above.)
+	if version >= walBinaryVersionShared {
+		if err := tab.Apply(delta.base, delta.entries); err != nil {
+			return WALRecord{}, err
+		}
 	}
 	return rec, nil
 }

@@ -109,6 +109,115 @@ func TestWALRecordBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWALRecordSharedRoundTrip drives every op kind through the v3
+// shared-table format against one running table: the replayed StrTab
+// decodes them in order, the table converges with the append side, the
+// stream is smaller than its self-contained form, and a mid-table record
+// replayed out of order is refused rather than misread.
+func TestWALRecordSharedRoundTrip(t *testing.T) {
+	var shared codec.SharedStrings
+	recs := sampleRecords(t)
+	var payloads [][]byte
+	var sharedBytes, selfBytes int
+	for _, rec := range recs {
+		payload, err := EncodeWALRecordShared(rec, &shared)
+		if err != nil {
+			t.Fatalf("seq %d: encode shared: %v", rec.Seq, err)
+		}
+		if payload[0] != walBinaryMarker || payload[1] != walBinaryVersionShared {
+			t.Fatalf("seq %d: header %#x %#x", rec.Seq, payload[0], payload[1])
+		}
+		payloads = append(payloads, payload)
+		sharedBytes += len(payload)
+		self, err := EncodeWALRecord(rec)
+		if err != nil {
+			t.Fatalf("seq %d: encode self-contained: %v", rec.Seq, err)
+		}
+		selfBytes += len(self)
+	}
+	var tab codec.StrTab
+	for i, payload := range payloads {
+		rec := recs[i]
+		got, err := DecodeWALRecordShared(payload, &tab)
+		if err != nil {
+			t.Fatalf("seq %d: decode: %v", rec.Seq, err)
+		}
+		if got.Seq != rec.Seq || got.Epoch != rec.Epoch || got.Op.Kind != rec.Op.Kind {
+			t.Fatalf("seq %d: round trip = %+v", rec.Seq, got)
+		}
+		wantTrees, gotTrees := opTrees(t, rec.Op), opTrees(t, got.Op)
+		if len(wantTrees) != len(gotTrees) {
+			t.Fatalf("seq %d: %d trees round-tripped to %d", rec.Seq, len(wantTrees), len(gotTrees))
+		}
+		for j := range wantTrees {
+			if !pxml.Equal(wantTrees[j].Root(), gotTrees[j].Root()) {
+				t.Fatalf("seq %d: tree %d differs after round trip", rec.Seq, j)
+			}
+		}
+	}
+	if tab.Len() != shared.Len() || tab.Len() == 0 {
+		t.Fatalf("replayed table holds %d entries, append side %d", tab.Len(), shared.Len())
+	}
+	if sharedBytes >= selfBytes {
+		t.Fatalf("shared stream is not smaller: %d vs %d self-contained bytes", sharedBytes, selfBytes)
+	}
+	// A record whose delta is based mid-table cannot decode against a
+	// fresh table: desynchronization is an error, never a misread.
+	var fresh codec.StrTab
+	if _, err := DecodeWALRecordShared(payloads[len(payloads)-1], &fresh); err == nil {
+		t.Fatal("mid-table record decoded against an empty table")
+	}
+}
+
+// TestWALStrTabReseedAcrossReopen: recovery reseeds the append-side
+// table from the live segment's replayed deltas, so appends after a
+// reopen extend the same table the existing records reference.
+func TestWALStrTabReseedAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := recoverWAL(dir, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{abA, abB, abC}
+	treeOp := func(i int) core.Op {
+		return core.Op{Kind: core.OpReplace, TreeValue: mustTree(t, docs[i%len(docs)])}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.append(treeOp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := w.stats().StrTabEntries
+	if entries == 0 {
+		t.Fatal("fresh appends interned no strings")
+	}
+	w.close()
+	got, w2 := collect(t, dir, 0)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	if reseeded := w2.stats().StrTabEntries; reseeded != entries {
+		t.Fatalf("recovery reseeded %d strtab entries, append side left %d", reseeded, entries)
+	}
+	for i := 3; i < 6; i++ {
+		if _, err := w2.append(treeOp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2.close()
+	all, w3 := collect(t, dir, 0)
+	defer w3.close()
+	if len(all) != 6 {
+		t.Fatalf("replayed %d records after reopen-append, want 6", len(all))
+	}
+	for i, e := range all {
+		want := mustTree(t, docs[i%len(docs)])
+		if e.Seq != uint64(i+1) || e.Op.TreeValue == nil || !pxml.Equal(e.Op.TreeValue.Root(), want.Root()) {
+			t.Fatalf("record %d = %+v", i, e)
+		}
+	}
+}
+
 // TestWALRecordJSONDispatch: a JSON payload (first byte '{') decodes
 // through the same entry point — the per-record format dispatch old logs
 // rely on.
@@ -312,7 +421,7 @@ func TestWALRecordDecodesV1Payload(t *testing.T) {
 	payload = codec.AppendUvarint(payload, 4)
 	payload = append(payload, opKindCodes[core.OpIntegrate])
 	payload = codec.AppendUvarint(payload, 1)
-	payload, err := appendTree(payload, mustTree(t, abA), "")
+	payload, err := appendTree(payload, mustTree(t, abA), "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -438,6 +438,8 @@ func runServe(args []string, w io.Writer) error {
 	ingestQueue := fs.Int("ingest-queue", 0, "async ingest queue depth per database (0 disables POST /integrate?async=1)")
 	memoEntries := fs.Int("memo-entries", 0, "cross-call integration memo entry cap (0 = default, negative disables the memo)")
 	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
+	wireCompression := fs.Bool("wire-compression", true, "offer/accept flate-compressed replication pages on the binary wire (both roles)")
+	storeMMap := fs.Bool("store-mmap", true, "mmap v5 snapshot documents on load (false forces the read-whole fallback; with -data)")
 	quiet := fs.Bool("quiet", false, "disable the per-request log")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -475,9 +477,10 @@ func runServe(args []string, w io.Writer) error {
 		logger = log.New(w, "imprecise: ", log.LstdFlags)
 	}
 	opts := server.Options{
-		SnapshotDir:  *snapDir,
-		MaxBodyBytes: *maxBody,
-		Logger:       logger,
+		SnapshotDir:       *snapDir,
+		MaxBodyBytes:      *maxBody,
+		NoWireCompression: !*wireCompression,
+		Logger:            logger,
 	}
 	var (
 		srv    *server.Server
@@ -489,6 +492,7 @@ func runServe(args []string, w io.Writer) error {
 		SegmentBytes: *walSegBytes,
 		WALEncoding:  *walEncoding,
 		CompactEvery: *compactEvery,
+		DisableMMap:  !*storeMMap,
 		Logger:       logger,
 	}
 	if *replicaOf != "" {
@@ -502,7 +506,12 @@ func runServe(args []string, w io.Writer) error {
 		if *dbPath != "" {
 			return errors.New("serve: -db cannot be combined with -replica-of (the primary's databases are replicated)")
 		}
-		rep, err := replica.Open(*dataDir, replica.Options{Primary: *replicaOf, Catalog: catOpts, Logger: logger})
+		rep, err := replica.Open(*dataDir, replica.Options{
+			Primary:       *replicaOf,
+			Catalog:       catOpts,
+			NoCompression: !*wireCompression,
+			Logger:        logger,
+		})
 		if err != nil {
 			return err
 		}
@@ -567,18 +576,23 @@ func runServe(args []string, w io.Writer) error {
 //	imprecise db -data DIR stats NAME
 //	imprecise db -data DIR drop NAME
 //
-// Opening the catalog runs full recovery first, so `list` and `stats`
-// report exactly what a server started on the same directory would
-// serve — pass the same -dtd/-rules the server uses, or replay of
-// integrate ops may decide matches differently. To keep that risk off
-// disk, the command never compacts: it leaves snapshots and logs
-// exactly as it found them.
+// `list` and `stats` answer from the snapshot manifests alone by
+// default: O(N) manifest reads, no document decode, no WAL replay, no
+// catalog lock — they work even while a server holds the directory, and
+// even when a document payload is corrupt. The numbers reflect the last
+// compaction; ops journaled since show only as WAL bytes. Pass -full to
+// run complete recovery instead (exact live numbers; requires the
+// directory to be unlocked and healthy, and -dtd/-rules matching the
+// server's, or replay of integrate ops may decide matches differently).
+// To keep that risk off disk, the command never compacts: it leaves
+// snapshots and logs exactly as it found them.
 func runDBCmd(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("db", flag.ContinueOnError)
 	dataDir := fs.String("data", "", "catalog data directory (required)")
 	rootTag := fs.String("root", "db", "root element tag for newly created databases")
-	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge (match the server's)")
-	ruleSpec := fs.String("rules", "", "comma-separated domain rules (match the server's)")
+	dtdPath := fs.String("dtd", "", "DTD file with cardinality knowledge (match the server's; with -full)")
+	ruleSpec := fs.String("rules", "", "comma-separated domain rules (match the server's; with -full)")
+	full := fs.Bool("full", false, "list/stats: run full recovery instead of the manifest-only quick path")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -595,6 +609,18 @@ func runDBCmd(args []string, w io.Writer) error {
 			return "", fmt.Errorf("db %s: exactly one database name required", rest[0])
 		}
 		return rest[1], nil
+	}
+	if !*full {
+		switch rest[0] {
+		case "list":
+			return quickList(*dataDir, w)
+		case "stats":
+			name, err := needName()
+			if err != nil {
+				return err
+			}
+			return quickStats(*dataDir, name, w)
+		}
 	}
 	var schema *dtd.Schema
 	if *dtdPath != "" {
@@ -690,6 +716,52 @@ func runDBCmd(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("db: unknown verb %q (create | list | drop | stats)", rest[0])
 	}
+}
+
+// quickList prints the manifest-only listing: one line per database
+// from N manifest reads, never a snapshot decode or WAL replay.
+func quickList(dataDir string, w io.Writer) error {
+	stats, err := catalog.QuickStats(dataDir)
+	if err != nil {
+		return err
+	}
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "(no databases)")
+		return nil
+	}
+	for _, qs := range stats {
+		if !qs.HasSnapshot {
+			fmt.Fprintf(w, "%-20s (no snapshot yet)  wal %d segment(s), %d bytes\n",
+				qs.Name, qs.WALSegments, qs.WALBytes)
+			continue
+		}
+		fmt.Fprintf(w, "%-20s %6d nodes  %8s worlds  %3d integrations  %3d feedback  snapshot seq %d (v%d)  wal %d bytes\n",
+			qs.Name, qs.LogicalNodes, qs.Worlds, qs.Integrations,
+			qs.Feedback, qs.SnapshotSeq, qs.FormatVersion, qs.WALBytes)
+	}
+	return nil
+}
+
+// quickStats prints one database's manifest-only stats.
+func quickStats(dataDir, name string, w io.Writer) error {
+	qs, err := catalog.ReadQuickStat(dataDir, name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "database:        %s\n", qs.Name)
+	if !qs.HasSnapshot {
+		fmt.Fprintln(w, "snapshot:        (none yet)")
+	} else {
+		fmt.Fprintf(w, "logical nodes:   %d\n", qs.LogicalNodes)
+		fmt.Fprintf(w, "possible worlds: %s\n", qs.Worlds)
+		fmt.Fprintf(w, "integrations:    %d\n", qs.Integrations)
+		fmt.Fprintf(w, "feedback events: %d\n", qs.Feedback)
+		fmt.Fprintf(w, "snapshot:        seq %d, format v%d, epoch %d, saved %s\n",
+			qs.SnapshotSeq, qs.FormatVersion, qs.Epoch, qs.SavedAt.Format(time.RFC3339))
+	}
+	fmt.Fprintf(w, "wal:             %d segment(s), %d bytes past snapshot\n", qs.WALSegments, qs.WALBytes)
+	fmt.Fprintln(w, "(manifest-only view; pass -full for live recovery numbers)")
+	return nil
 }
 
 // plural picks the singular or plural suffix for a count.

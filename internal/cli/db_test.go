@@ -91,7 +91,9 @@ func TestDBStatsAfterKillShowsRecoveredState(t *testing.T) {
 	killed := filepath.Join(dir, "killed")
 	copyAll(t, data, killed)
 
-	out := runCLI(t, "db", "-data", killed, "stats", "movies")
+	// -full: the quick path reads manifests only, and this catalog never
+	// compacted — the live counts exist solely in the replayed log.
+	out := runCLI(t, "db", "-data", killed, "-full", "stats", "movies")
 	for _, want := range []string{
 		"integrations:    2",
 		"feedback events: 1",
@@ -103,6 +105,69 @@ func TestDBStatsAfterKillShowsRecoveredState(t *testing.T) {
 		}
 	}
 	cat.Close()
+}
+
+// TestDBQuickListManifestOnly is the regression test for the
+// manifest-only stat path: `db list`/`db stats` must answer without
+// decoding document payloads or taking the catalog lock — a corrupt
+// document and a concurrently held directory both stop -full but not
+// the quick path.
+func TestDBQuickListManifestOnly(t *testing.T) {
+	data := t.TempDir()
+	cat, err := catalog.Open(data, catalog.Options{RootTag: "addressbook"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cat.Create("movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Core().IntegrateXMLString(dbSrcA); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	wantWorlds := db.Core().WorldCount().String()
+
+	// While the catalog holds the directory lock, the quick path still
+	// answers; -full must refuse (single-process lock).
+	out := runCLI(t, "db", "-data", data, "list")
+	if !strings.Contains(out, "movies") || !strings.Contains(out, wantWorlds+" worlds") {
+		t.Fatalf("quick list under lock: %s", out)
+	}
+	var sb strings.Builder
+	if err := Run([]string{"db", "-data", data, "-full", "list"}, &sb); err == nil {
+		t.Fatal("-full list succeeded while another process holds the directory")
+	}
+	cat.Close()
+
+	out = runCLI(t, "db", "-data", data, "stats", "movies")
+	for _, want := range []string{"possible worlds: " + wantWorlds, "integrations:    1", "manifest-only"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quick stats missing %q:\n%s", want, out)
+		}
+	}
+
+	// Corrupt the snapshot's document payload: the quick path never reads
+	// it, the full path must fail loudly.
+	docs, err := filepath.Glob(filepath.Join(data, "movies", "state", "document-*.bin"))
+	if err != nil || len(docs) == 0 {
+		t.Fatalf("no document payload found: %v (%v)", docs, err)
+	}
+	for _, doc := range docs {
+		if err := os.WriteFile(doc, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out = runCLI(t, "db", "-data", data, "list")
+	if !strings.Contains(out, "movies") {
+		t.Fatalf("quick list after payload corruption: %s", out)
+	}
+	sb.Reset()
+	if err := Run([]string{"db", "-data", data, "-full", "list"}, &sb); err == nil {
+		t.Fatal("-full list accepted a corrupt document payload")
+	}
 }
 
 func copyAll(t *testing.T, src, dst string) {

@@ -180,8 +180,68 @@ func TestServeReplicaOf(t *testing.T) {
 	if err := Run([]string{"replication", "-url", primaryURL, "status"}, &out); err != nil {
 		t.Fatalf("replication status (primary, after follow): %v", err)
 	}
-	if got := out.String(); !strings.Contains(got, "peer:") || !strings.Contains(got, "(binary wire)") {
+	if got := out.String(); !strings.Contains(got, "peer:") || !strings.Contains(got, "(binary+flate wire)") {
 		t.Fatalf("primary status missing peer encoding row:\n%s", got)
+	}
+}
+
+// TestServeWireCompressionOff: -wire-compression=false on the primary
+// pins every binary peer to the uncompressed wire even when the
+// follower offers deflate, and -store-mmap=false (the read-whole
+// fallback) serves the same data.
+func TestServeWireCompressionOff(t *testing.T) {
+	dir := t.TempDir()
+	primaryURL, stopPrimary := startServe(t,
+		"-data", filepath.Join(dir, "primary"),
+		"-root", "addressbook",
+		"-wire-compression=false",
+		"-store-mmap=false",
+	)
+	defer stopPrimary()
+	post := func(path, ct, body string, want int) {
+		t.Helper()
+		resp, err := http.Post(primaryURL+path, ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	post("/dbs", "application/json", `{"name":"movies"}`, http.StatusCreated)
+	post("/dbs/movies/integrate", "application/xml",
+		`<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>`, http.StatusOK)
+
+	replicaURL, stopReplica := startServe(t,
+		"-data", filepath.Join(dir, "replica"),
+		"-root", "addressbook",
+		"-replica-of", primaryURL,
+	)
+	defer stopReplica()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(replicaURL + "/dbs/movies/query?q=%2F%2Fperson%2Ftel")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never served the replicated database")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var out strings.Builder
+	if err := Run([]string{"replication", "-url", primaryURL, "status"}, &out); err != nil {
+		t.Fatalf("replication status: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "(binary wire)") || strings.Contains(got, "binary+flate") {
+		t.Fatalf("compression-off primary negotiated the wrong wire:\n%s", got)
 	}
 }
 

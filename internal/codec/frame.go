@@ -47,6 +47,11 @@ const (
 	// frames that preceded it, so a truncated stream is detectable even
 	// at a frame boundary.
 	KindEnd byte = 'E'
+	// KindStrTab is an interned-string-table delta (strtab.go): the
+	// shared dictionary that store v5 documents, WAL v3 records, and
+	// compressed replication pages resolve their varint string refs
+	// against.
+	KindStrTab byte = 'I'
 )
 
 // MaxFramePayload bounds a single frame payload (matches the WAL's

@@ -31,36 +31,62 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/codec"
 )
 
-// BinaryVersion is the current revision of the arena encoding.
+// BinaryVersion is the self-contained revision of the arena encoding:
+// the payload carries its own local string table.
 const BinaryVersion = 1
 
-const (
-	// maxLogicalNodes caps the decoded document's logical node count
-	// (occurrences, counting shared subtrees once per reference). Deep
-	// sharing lets a few hundred physical nodes imply astronomically many
-	// logical ones; beyond 2^40 nothing downstream (stats, manifests)
-	// could represent the document meaningfully anyway.
-	maxLogicalNodes = uint64(1) << 40
-	// maxWorldBits caps the magnitude of the world count: the number of
-	// bits of the big.Int Summary would compute. 2^(2^20) worlds is far
-	// beyond any legitimate document; without the cap a small crafted
-	// input could make the digest check allocate megabit integers.
-	maxWorldBits = uint64(1) << 20
-)
+// BinaryVersionShared is the shared-table revision: the payload carries
+// no string table of its own — elem tag/text fields are indices into an
+// external table (a codec strtab) supplied at decode time. Store v5
+// documents and WAL v3 records use it so repeated tags across documents
+// and ops are spelled once per table, not once per payload.
+const BinaryVersionShared = 2
 
-// AppendBinary appends the document in flat arena form. The encoding
-// preserves physical sharing: a subtree referenced from several parents
-// is written once and referenced by index.
-func (t *Tree) AppendBinary(dst []byte) []byte {
-	var (
-		strings codec.StringTable
-		index   = map[*Node]uint64{}
-		order   []*Node
-	)
+// Arena decode counters for /stats: total decodes, how many ran in
+// zero-copy mode, and how many were shared-table payloads.
+var arenaDecodes, arenaZeroCopy, arenaShared atomic.Uint64
+
+// ArenaDecodeStats reports the process-wide arena decode counters.
+func ArenaDecodeStats() (decodes, zeroCopy, shared uint64) {
+	return arenaDecodes.Load(), arenaZeroCopy.Load(), arenaShared.Load()
+}
+
+// DecodeArenaOptions tunes DecodeArenaWith.
+type DecodeArenaOptions struct {
+	// Strings is the external table BinaryVersionShared payloads resolve
+	// their tag/text indices against. Self-contained payloads ignore it.
+	Strings []string
+	// ZeroCopy keeps node tag/text strings as views into the input
+	// buffer instead of copies. The caller must guarantee the buffer
+	// outlives every tree that shares nodes with the decoded one and is
+	// never modified — an mmap'd store file pinned for the process
+	// lifetime, or a heap buffer the decoded strings themselves keep
+	// alive. Applies to the local table of self-contained payloads;
+	// shared-table payloads inherit whatever lifetime opts.Strings has.
+	ZeroCopy bool
+	// ExpectDigest, when set, replaces the decode-side digest
+	// recomputation: the trailer digest is compared against this
+	// already-known value instead of re-deriving it from the decoded
+	// tree. Recomputation allocates a Summary per physical node, which
+	// is exactly what the zero-copy load path exists to avoid; a caller
+	// holding the manifest's digest can skip it without losing the
+	// end-to-end check.
+	ExpectDigest *uint64
+	// ExpectLogical, when positive, is checked against the decoder's own
+	// bottom-up logical node count — the manifest cross-check that Load
+	// otherwise pays a full NodeCount() traversal for.
+	ExpectLogical int64
+}
+
+// arenaOrder computes the postorder write order and node→index map the
+// arena encodings share.
+func (t *Tree) arenaOrder() (order []*Node, index map[*Node]uint64) {
+	index = map[*Node]uint64{}
 	// Iterative postorder so document depth never limits the encoder.
 	type frame struct {
 		n    *Node
@@ -85,25 +111,66 @@ func (t *Tree) AppendBinary(dst []byte) []byte {
 		order = append(order, top.n)
 		stack = stack[:len(stack)-1]
 	}
-	var body []byte
+	return order, index
+}
+
+// appendArenaBody writes the node records, interning strings through
+// intern.
+func appendArenaBody(dst []byte, order []*Node, index map[*Node]uint64, intern func(string) uint64) []byte {
 	for _, n := range order {
-		body = append(body, byte(n.kind))
+		dst = append(dst, byte(n.kind))
 		switch n.kind {
 		case KindElem:
-			body = codec.AppendUvarint(body, strings.Intern(n.tag))
-			body = codec.AppendUvarint(body, strings.Intern(n.text))
+			dst = codec.AppendUvarint(dst, intern(n.tag))
+			dst = codec.AppendUvarint(dst, intern(n.text))
 		case KindPoss:
-			body = codec.AppendFloat64(body, n.prob)
+			dst = codec.AppendFloat64(dst, n.prob)
 		}
-		body = codec.AppendUvarint(body, uint64(len(n.kids)))
+		dst = codec.AppendUvarint(dst, uint64(len(n.kids)))
 		for _, k := range n.kids {
-			body = codec.AppendUvarint(body, index[k])
+			dst = codec.AppendUvarint(dst, index[k])
 		}
 	}
+	return dst
+}
+
+const (
+	// maxLogicalNodes caps the decoded document's logical node count
+	// (occurrences, counting shared subtrees once per reference). Deep
+	// sharing lets a few hundred physical nodes imply astronomically many
+	// logical ones; beyond 2^40 nothing downstream (stats, manifests)
+	// could represent the document meaningfully anyway.
+	maxLogicalNodes = uint64(1) << 40
+	// maxWorldBits caps the magnitude of the world count: the number of
+	// bits of the big.Int Summary would compute. 2^(2^20) worlds is far
+	// beyond any legitimate document; without the cap a small crafted
+	// input could make the digest check allocate megabit integers.
+	maxWorldBits = uint64(1) << 20
+)
+
+// AppendBinary appends the document in flat arena form. The encoding
+// preserves physical sharing: a subtree referenced from several parents
+// is written once and referenced by index.
+func (t *Tree) AppendBinary(dst []byte) []byte {
+	var strings codec.StringTable
+	order, index := t.arenaOrder()
+	body := appendArenaBody(nil, order, index, strings.Intern)
 	dst = append(dst, BinaryVersion)
 	dst = strings.AppendTo(dst)
 	dst = codec.AppendUvarint(dst, uint64(len(order)))
 	dst = append(dst, body...)
+	return codec.AppendUint64(dst, t.Digest())
+}
+
+// AppendBinaryShared appends the document in shared-table arena form:
+// tag/text strings are interned into tab and the payload carries only
+// their indices. A decoder needs tab's entries (shipped separately as a
+// strtab delta) to resolve them.
+func (t *Tree) AppendBinaryShared(dst []byte, tab *codec.SharedStrings) []byte {
+	order, index := t.arenaOrder()
+	dst = append(dst, BinaryVersionShared)
+	dst = codec.AppendUvarint(dst, uint64(len(order)))
+	dst = appendArenaBody(dst, order, index, tab.Intern)
 	return codec.AppendUint64(dst, t.Digest())
 }
 
@@ -114,11 +181,27 @@ func (t *Tree) AppendBinary(dst []byte) []byte {
 // returns an error; DecodeArena never panics. The decoded tree satisfies
 // every Tree.Validate invariant by construction.
 func DecodeArena(data []byte) (*Tree, error) {
+	return DecodeArenaWith(data, DecodeArenaOptions{})
+}
+
+// DecodeArenaWith decodes a self-contained (BinaryVersion) or
+// shared-table (BinaryVersionShared) arena payload under opts. It keeps
+// every safety property of DecodeArena; the opts only change where
+// strings come from and how the trailer digest is checked.
+func DecodeArenaWith(data []byte, opts DecodeArenaOptions) (*Tree, error) {
 	r := codec.NewReader(data)
-	if v := r.Byte(); r.Err() == nil && v != BinaryVersion {
-		return nil, fmt.Errorf("pxml: unsupported binary document version %d (want %d)", v, BinaryVersion)
+	v := r.Byte()
+	if r.Err() == nil && v != BinaryVersion && v != BinaryVersionShared {
+		return nil, fmt.Errorf("pxml: unsupported binary document version %d (want %d or %d)", v, BinaryVersion, BinaryVersionShared)
 	}
-	strs := r.StringTable()
+	var strs []string
+	if v == BinaryVersionShared {
+		strs = opts.Strings
+	} else if opts.ZeroCopy {
+		strs = r.StringTableView()
+	} else {
+		strs = r.StringTable()
+	}
 	count := r.Uvarint()
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -257,8 +340,25 @@ func DecodeArena(data []byte) (*Tree, error) {
 		}
 	}
 	t := &Tree{root: root}
-	if got := t.Digest(); got != digest {
+	if opts.ExpectLogical > 0 && logical[count-1] != uint64(opts.ExpectLogical) {
+		return nil, fmt.Errorf("%w: document holds %d logical nodes, manifest says %d", codec.ErrInvalid, logical[count-1], opts.ExpectLogical)
+	}
+	if opts.ExpectDigest != nil {
+		// The hot path: the caller already knows the digest (from a
+		// checksummed manifest); comparing trailers skips the per-node
+		// Summary allocation a recomputation would pay.
+		if digest != *opts.ExpectDigest {
+			return nil, fmt.Errorf("%w: document digest trailer %016x differs from expected %016x", codec.ErrInvalid, digest, *opts.ExpectDigest)
+		}
+	} else if got := t.Digest(); got != digest {
 		return nil, fmt.Errorf("%w: document digest %016x differs from trailer %016x", codec.ErrInvalid, got, digest)
+	}
+	arenaDecodes.Add(1)
+	if opts.ZeroCopy {
+		arenaZeroCopy.Add(1)
+	}
+	if v == BinaryVersionShared {
+		arenaShared.Add(1)
 	}
 	return t, nil
 }

@@ -68,11 +68,19 @@ type Options struct {
 	// fetch or apply failures (0 means 100ms / 5s).
 	MinBackoff, MaxBackoff time.Duration
 	// WireEncoding selects what this follower offers the primary: "" or
-	// WireBinary sends "Accept: application/x-imprecise-wal" and reads
-	// whichever format the primary answers with (an older, JSON-only
-	// primary just ignores the header); WireJSON never offers binary —
-	// the escape hatch, and the way tests simulate an old follower.
+	// WireBinary sends "Accept: application/x-imprecise-wal2" and reads
+	// whichever format the primary answers with (an older primary
+	// substring-matches the wal1 media type inside it and serves the v1
+	// binary wire; a JSON-only primary ignores the header entirely);
+	// WireBinaryV1 offers only the v1 binary wire, simulating an
+	// old-binary follower; WireJSON never offers binary — the JSON
+	// escape hatch.
 	WireEncoding string
+	// NoCompression stops the follower from offering flate compression
+	// of the binary wire (Accept-Encoding: deflate). Compression is
+	// offered by default on the wal2 wire; a primary that does not
+	// compress simply answers identity-encoded.
+	NoCompression bool
 	// Logger receives bootstrap, divergence and error notes; nil disables.
 	Logger *log.Logger
 }
@@ -174,9 +182,9 @@ func Open(dir string, opts Options) (*Replica, error) {
 		opts.MaxBackoff = 5 * time.Second
 	}
 	switch opts.WireEncoding {
-	case "", WireBinary, WireJSON:
+	case "", WireBinary, WireBinaryV1, WireJSON:
 	default:
-		return nil, fmt.Errorf("replica: unknown wire encoding %q (want %q or %q)", opts.WireEncoding, WireBinary, WireJSON)
+		return nil, fmt.Errorf("replica: unknown wire encoding %q (want %q, %q or %q)", opts.WireEncoding, WireBinary, WireBinaryV1, WireJSON)
 	}
 	client := opts.Client
 	if client == nil {
@@ -282,8 +290,13 @@ func (r *Replica) WaitCaughtUp(ctx context.Context) error {
 	for {
 		behind := ""
 		for _, pdb := range ps.Databases {
+			// Two watermarks: LastSeq is the durable journal position
+			// (advanced by the append under ApplyOp), AppliedSeq the last
+			// swap actually published to readers. The append lands first, so
+			// checking LastSeq alone could declare "caught up" inside the
+			// journaled-but-not-yet-visible window of the final op.
 			db, err := r.cat.Get(pdb.Name)
-			if err != nil || db.LastSeq() < pdb.LastSeq {
+			if err != nil || db.LastSeq() < pdb.LastSeq || db.Core().AppliedSeq() < pdb.LastSeq {
 				behind = pdb.Name
 				break
 			}
@@ -622,10 +635,48 @@ func (r *Replica) offersBinary() bool {
 	return r.opts.WireEncoding != WireJSON
 }
 
+// acceptValue is the Accept header this follower sends when offering
+// binary: the wal2 media type by default (which an old primary
+// substring-matches down to wal1), or exactly wal1 when pinned to the
+// v1 wire.
+func (r *Replica) acceptValue() string {
+	if r.opts.WireEncoding == WireBinaryV1 {
+		return ContentTypeBinary
+	}
+	return ContentTypeBinary2
+}
+
+// offersDeflate reports whether this follower advertises wire
+// compression: wal2 offers only (the v1 wire predates compression, and
+// a pinned-v1 follower is simulating a build that never sent the
+// header).
+func (r *Replica) offersDeflate() bool {
+	return r.opts.WireEncoding != WireBinaryV1 && !r.opts.NoCompression
+}
+
 // isBinary reports whether a response came back in the binary wire
-// format (the primary's half of the negotiation).
+// format (the primary's half of the negotiation). Matches wal1 and
+// wal2 alike — wal1 is a prefix of wal2.
 func isBinary(resp *http.Response) bool {
 	return strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeBinary)
+}
+
+// isDeflate reports whether the response body is flate-compressed.
+func isDeflate(resp *http.Response) bool {
+	return resp.Header.Get("Content-Encoding") == ContentEncodingDeflate
+}
+
+// binaryWireName names the encoding a binary response actually
+// negotiated, for Status reporting.
+func binaryWireName(resp *http.Response) string {
+	switch {
+	case isDeflate(resp):
+		return WireBinaryFlate
+	case strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeBinary2):
+		return WireBinary
+	default:
+		return WireBinaryV1
+	}
 }
 
 // noteWire records the encoding the last fetch actually negotiated.
@@ -655,11 +706,16 @@ func (r *Replica) fetchWAL(ctx context.Context, name string, since, epoch uint64
 	defer cancel()
 	defer resp.Body.Close()
 	if isBinary(resp) {
-		page, err := DecodeWALPage(resp.Body)
+		var page *WALPage
+		if isDeflate(resp) {
+			page, err = DecodeWALPageDeflate(resp.Body)
+		} else {
+			page, err = DecodeWALPage(resp.Body)
+		}
 		if err != nil {
 			return nil, err
 		}
-		r.noteWire(WireBinary)
+		r.noteWire(binaryWireName(resp))
 		return page, nil
 	}
 	var page WALPage
@@ -680,11 +736,16 @@ func (r *Replica) fetchSnapshot(ctx context.Context, name string) (*SnapshotPayl
 	defer cancel()
 	defer resp.Body.Close()
 	if isBinary(resp) {
-		payload, err := DecodeSnapshot(resp.Body)
+		var payload *SnapshotPayload
+		if isDeflate(resp) {
+			payload, err = DecodeSnapshotDeflate(resp.Body)
+		} else {
+			payload, err = DecodeSnapshot(resp.Body)
+		}
 		if err != nil {
 			return nil, err
 		}
-		r.noteWire(WireBinary)
+		r.noteWire(binaryWireName(resp))
 		return payload, nil
 	}
 	var payload SnapshotPayload
@@ -723,7 +784,13 @@ func (r *Replica) get(ctx context.Context, path string, q url.Values, timeout ti
 		return nil, nil, err
 	}
 	if offerBinary {
-		req.Header.Set("Accept", ContentTypeBinary)
+		req.Header.Set("Accept", r.acceptValue())
+		if r.offersDeflate() {
+			// Setting Accept-Encoding explicitly also disables the
+			// transport's transparent gzip — deliberate: the binary wire's
+			// compression is negotiated here, not underneath us.
+			req.Header.Set("Accept-Encoding", ContentEncodingDeflate)
+		}
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {

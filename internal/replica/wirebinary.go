@@ -7,9 +7,12 @@
 // the follower detects by Content-Type — so mixed-version pairs always
 // converge on a format both ends speak.
 //
-// WAL page stream (Content-Type application/x-imprecise-wal):
+// WAL page stream (Content-Type application/x-imprecise-wal[2]):
 //
 //	H frame  page header: database, since, last_seq, digest, epoch
+//	I frame  optional (wal2 only): the interned-string table the first
+//	         record's strtab delta is based on — the cumulative deltas
+//	         of the same-segment records the page skipped
 //	R frame  one record, payload = the binary WAL record bytes
 //	         (walrecord.go) — the exact bytes the primary's log holds,
 //	         shipped without re-encoding
@@ -19,11 +22,19 @@
 //
 //	S frame  header: database, format_version, seq, epoch, digest,
 //	         schema, histories (JSON blobs; not hot)
+//	I frame  optional (wal2 only): the string table the document's
+//	         varint refs resolve against
 //	T frame  the document as a pxml arena payload
 //	E frame  trailer: frame count
+//
+// The wal2 media type additionally negotiates flate compression of the
+// whole stream through the standard Content-Encoding/Accept-Encoding
+// pair ("deflate"): framing is unchanged, the bytes on the wire are a
+// raw DEFLATE stream of the frames above.
 package replica
 
 import (
+	"compress/flate"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -33,16 +44,40 @@ import (
 	"repro/internal/pxml"
 )
 
-// ContentTypeBinary is the negotiated media type of the binary
-// replication wire. A follower offers it via Accept; a primary that
-// speaks it answers with it as the Content-Type.
+// ContentTypeBinary is the original negotiated media type of the binary
+// replication wire: self-contained records only, no string-table
+// frames. A follower offers it via Accept; a primary that speaks it
+// answers with it as the Content-Type.
 const ContentTypeBinary = "application/x-imprecise-wal"
+
+// ContentTypeBinary2 is the strtab-capable revision of the binary wire:
+// pages may carry an I (string table) frame and records may be WAL v3
+// (shared-dictionary) payloads. Note ContentTypeBinary is a substring
+// of this value — deliberately, so a new follower's bare wal2 Accept
+// still matches an old primary's wal1 Contains check and the pair
+// degrades to the v1 wire; negotiators must therefore test for wal2
+// BEFORE wal1.
+const ContentTypeBinary2 = ContentTypeBinary + "2"
+
+// ContentEncodingDeflate is the Content-Encoding token of the
+// compressed binary wire (raw DEFLATE, compress/flate — not gzip, so
+// both sides bypass the HTTP transport's transparent handling and the
+// negotiation stays explicit).
+const ContentEncodingDeflate = "deflate"
 
 // Wire encoding names (per-peer observability and the WireEncoding
 // option).
 const (
+	// WireBinary is the current binary wire (wal2, strtab-capable).
 	WireBinary = "binary"
-	WireJSON   = "json"
+	// WireBinaryFlate is WireBinary with flate compression negotiated on
+	// top (observability only; not a WireEncoding option value).
+	WireBinaryFlate = "binary+flate"
+	// WireBinaryV1 restricts the follower's offer to the original wal1
+	// binary wire — the escape hatch, and the way tests pin an
+	// old-binary-follower pairing.
+	WireBinaryV1 = "binary1"
+	WireJSON     = "json"
 )
 
 // wireVersion is the revision of the frame payload layouts below.
@@ -83,11 +118,19 @@ func EncodeWALPage(w io.Writer, page *WALPage) error {
 // bytes (catalog.RawOpsSince) — the zero-re-encode shipping path. The
 // header fields come from page; page.Records is ignored, raws supplies
 // the R frames. A JSON-era payload in raws ships as-is too: the decoder
-// dispatches per record, so mixed-format logs travel unchanged.
-func EncodeRawWALPage(w io.Writer, page *WALPage, raws []catalog.RawWALRecord) error {
+// dispatches per record, so mixed-format logs travel unchanged. prefix
+// is the interned-string table the first record's strtab delta assumes
+// (RawOpsSince's second result); non-empty, it ships as an I frame
+// right after the header.
+func EncodeRawWALPage(w io.Writer, page *WALPage, raws []catalog.RawWALRecord, prefix []string) error {
 	fw := codec.NewFrameWriter(w)
 	if err := fw.Write(codec.KindPageHeader, wireVersion, appendPageHeader(page)); err != nil {
 		return err
+	}
+	if len(prefix) > 0 {
+		if err := fw.Write(codec.KindStrTab, codec.StrTabVersion, codec.AppendStrTabPayload(nil, 0, prefix)); err != nil {
+			return err
+		}
 	}
 	for i := range raws {
 		if err := fw.Write(codec.KindRecord, wireVersion, raws[i].Payload); err != nil {
@@ -97,9 +140,11 @@ func EncodeRawWALPage(w io.Writer, page *WALPage, raws []catalog.RawWALRecord) e
 	return fw.Write(codec.KindEnd, wireVersion, codec.AppendUvarint(nil, uint64(len(raws))))
 }
 
-// DecodeWALPage reads one binary WAL page stream. A stream that ends
-// before the E trailer — a connection cut mid-page — is an error, never
-// a short page.
+// DecodeWALPage reads one binary WAL page stream, wal1 or wal2. A
+// stream that ends before the E trailer — a connection cut mid-page —
+// is an error, never a short page. The page-scoped string table starts
+// from the optional I frame and advances through each shared record's
+// embedded delta, exactly as the primary's log reader would.
 func DecodeWALPage(r io.Reader) (*WALPage, error) {
 	fr := codec.NewFrameReader(r, 0)
 	f, err := fr.Read()
@@ -119,14 +164,28 @@ func DecodeWALPage(r io.Reader) (*WALPage, error) {
 	if err := hr.Finish(); err != nil {
 		return nil, fmt.Errorf("replica: page header: %w", err)
 	}
+	var tab codec.StrTab
 	for {
 		f, err := fr.Read()
 		if err != nil {
 			return nil, fmt.Errorf("replica: page stream cut after %d record(s): %w", len(page.Records), err)
 		}
 		switch f.Kind {
+		case codec.KindStrTab:
+			// The prefix table: legal only before the first record (it is
+			// what the FIRST record's delta is based on).
+			if len(page.Records) > 0 || tab.Len() > 0 {
+				return nil, fmt.Errorf("%w: string-table frame after record(s)", codec.ErrInvalid)
+			}
+			base, entries, err := codec.DecodeStrTabPayload(f.Payload, false)
+			if err != nil {
+				return nil, fmt.Errorf("replica: page string table: %w", err)
+			}
+			if err := tab.Apply(base, entries); err != nil {
+				return nil, fmt.Errorf("replica: page string table: %w", err)
+			}
 		case codec.KindRecord:
-			rec, err := catalog.DecodeWALRecord(f.Payload)
+			rec, err := catalog.DecodeWALRecordShared(f.Payload, &tab)
 			if err != nil {
 				return nil, fmt.Errorf("replica: record %d of page: %w", len(page.Records)+1, err)
 			}
@@ -147,13 +206,23 @@ func DecodeWALPage(r io.Reader) (*WALPage, error) {
 	}
 }
 
-// EncodeSnapshot streams payload to w as binary frames, carrying the
-// document as a pxml arena instead of marker XML.
-func EncodeSnapshot(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) error {
-	if tree == nil {
-		return fmt.Errorf("replica: binary snapshot needs the decoded tree")
+// DecodeWALPageDeflate is DecodeWALPage over a flate-compressed stream
+// (Content-Encoding: deflate) — the follower's read half of wire
+// compression.
+func DecodeWALPageDeflate(r io.Reader) (*WALPage, error) {
+	zr := flate.NewReader(r)
+	defer zr.Close()
+	page, err := DecodeWALPage(zr)
+	if err != nil {
+		return nil, err
 	}
-	fw := codec.NewFrameWriter(w)
+	// The E trailer already proved the page complete; a broken DEFLATE
+	// tail after it would be noise, not data loss.
+	return page, nil
+}
+
+// appendSnapshotHeader renders the S frame payload.
+func appendSnapshotHeader(payload *SnapshotPayload) ([]byte, error) {
 	var hdr []byte
 	hdr = codec.AppendString(hdr, payload.Database)
 	hdr = codec.AppendUvarint(hdr, uint64(payload.FormatVersion))
@@ -163,11 +232,11 @@ func EncodeSnapshot(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) erro
 	hdr = codec.AppendString(hdr, payload.Schema)
 	ints, err := marshalHistory(payload.Integrations)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	evs, err := marshalHistory(payload.Feedback)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hdr = codec.AppendBytes(hdr, ints)
 	hdr = codec.AppendBytes(hdr, evs)
@@ -175,9 +244,24 @@ func EncodeSnapshot(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) erro
 	// treat it as optional so pre-queue streams still parse.
 	pend, err := marshalHistory(payload.Pending)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hdr = codec.AppendBytes(hdr, pend)
+	return hdr, nil
+}
+
+// EncodeSnapshot streams payload to w as wal1 binary frames, carrying
+// the document as a self-contained pxml arena instead of marker XML —
+// the stream an old binary follower understands.
+func EncodeSnapshot(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) error {
+	if tree == nil {
+		return fmt.Errorf("replica: binary snapshot needs the decoded tree")
+	}
+	fw := codec.NewFrameWriter(w)
+	hdr, err := appendSnapshotHeader(payload)
+	if err != nil {
+		return err
+	}
 	if err := fw.Write(codec.KindSnapshotHeader, wireVersion, hdr); err != nil {
 		return err
 	}
@@ -185,6 +269,33 @@ func EncodeSnapshot(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) erro
 		return err
 	}
 	return fw.Write(codec.KindEnd, wireVersion, codec.AppendUvarint(nil, 2))
+}
+
+// EncodeSnapshotShared is EncodeSnapshot on the wal2 wire: the document
+// ships as a shared-dictionary arena with its string table in a
+// separate I frame — the same split as store v5, so the tree body
+// deduplicates repeated tags and text against one dictionary.
+func EncodeSnapshotShared(w io.Writer, payload *SnapshotPayload, tree *pxml.Tree) error {
+	if tree == nil {
+		return fmt.Errorf("replica: binary snapshot needs the decoded tree")
+	}
+	fw := codec.NewFrameWriter(w)
+	hdr, err := appendSnapshotHeader(payload)
+	if err != nil {
+		return err
+	}
+	if err := fw.Write(codec.KindSnapshotHeader, wireVersion, hdr); err != nil {
+		return err
+	}
+	var tab codec.SharedStrings
+	body := tree.AppendBinaryShared(nil, &tab)
+	if err := fw.Write(codec.KindStrTab, codec.StrTabVersion, tab.AppendDelta(nil, 0)); err != nil {
+		return err
+	}
+	if err := fw.Write(codec.KindTree, pxml.BinaryVersionShared, body); err != nil {
+		return err
+	}
+	return fw.Write(codec.KindEnd, wireVersion, codec.AppendUvarint(nil, 3))
 }
 
 // marshalHistory renders a history slice as a JSON blob field ("" for
@@ -201,9 +312,9 @@ func unmarshalHistory(data []byte, v any) error {
 	return json.Unmarshal(data, v)
 }
 
-// DecodeSnapshot reads one binary snapshot stream, returning the payload
-// with TreeValue set (Tree, the XML field, stays empty — the bootstrap
-// path prefers the decoded form).
+// DecodeSnapshot reads one binary snapshot stream (wal1 or wal2),
+// returning the payload with TreeValue set (Tree, the XML field, stays
+// empty — the bootstrap path prefers the decoded form).
 func DecodeSnapshot(r io.Reader) (*SnapshotPayload, error) {
 	fr := codec.NewFrameReader(r, 0)
 	f, err := fr.Read()
@@ -243,10 +354,21 @@ func DecodeSnapshot(r io.Reader) (*SnapshotPayload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replica: snapshot stream cut before document: %w", err)
 	}
+	var strs []string
+	if f.Kind == codec.KindStrTab {
+		base, entries, err := codec.DecodeStrTabPayload(f.Payload, false)
+		if err != nil || base != 0 {
+			return nil, fmt.Errorf("%w: snapshot string table (base %d): %v", codec.ErrInvalid, base, err)
+		}
+		strs = entries
+		if f, err = fr.Read(); err != nil {
+			return nil, fmt.Errorf("replica: snapshot stream cut before document: %w", err)
+		}
+	}
 	if f.Kind != codec.KindTree {
 		return nil, fmt.Errorf("%w: expected document frame, got %q", codec.ErrInvalid, f.Kind)
 	}
-	tree, err := pxml.DecodeArena(f.Payload)
+	tree, err := pxml.DecodeArenaWith(f.Payload, pxml.DecodeArenaOptions{Strings: strs})
 	if err != nil {
 		return nil, fmt.Errorf("replica: snapshot document: %w", err)
 	}
@@ -259,4 +381,12 @@ func DecodeSnapshot(r io.Reader) (*SnapshotPayload, error) {
 		return nil, fmt.Errorf("%w: expected trailer frame, got %q", codec.ErrInvalid, f.Kind)
 	}
 	return payload, nil
+}
+
+// DecodeSnapshotDeflate is DecodeSnapshot over a flate-compressed
+// stream (Content-Encoding: deflate).
+func DecodeSnapshotDeflate(r io.Reader) (*SnapshotPayload, error) {
+	zr := flate.NewReader(r)
+	defer zr.Close()
+	return DecodeSnapshot(zr)
 }

@@ -2,6 +2,7 @@ package replica_test
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/json"
 	"math/big"
 	"net/http"
@@ -108,7 +109,7 @@ func TestRawWALPageRoundTrip(t *testing.T) {
 	}
 	page := &replica.WALPage{Database: "x", Since: 3, LastSeq: 5, Digest: "d", Epoch: 1}
 	var buf bytes.Buffer
-	if err := replica.EncodeRawWALPage(&buf, page, raws); err != nil {
+	if err := replica.EncodeRawWALPage(&buf, page, raws, nil); err != nil {
 		t.Fatal(err)
 	}
 	got, err := replica.DecodeWALPage(bytes.NewReader(buf.Bytes()))
@@ -126,6 +127,128 @@ func TestRawWALPageRoundTrip(t *testing.T) {
 		len(r.Op.Sources) != 1 || r.Op.Sources[0] != abB {
 		t.Fatalf("JSON-era raw record = %+v", r)
 	}
+}
+
+// TestRawWALPagePrefixRoundTrip: a v3 raw record whose strtab delta is
+// based past records the page does not ship decodes only because the
+// page opens with the prefix I frame; without the prefix, the same
+// payload must be rejected, never misread.
+func TestRawWALPagePrefixRoundTrip(t *testing.T) {
+	var shared codec.SharedStrings
+	// A record the follower already has: its strings are interned, so the
+	// shipped record's delta is based past them.
+	skipped := catalog.WALRecord{Seq: 3, Epoch: 1,
+		Op: core.Op{Kind: core.OpReplace, TreeValue: mustDecode(t, abA)}}
+	if _, err := catalog.EncodeWALRecordShared(skipped, &shared); err != nil {
+		t.Fatal(err)
+	}
+	prefix := append([]string(nil), shared.Strings()...)
+	if len(prefix) == 0 {
+		t.Fatal("skipped record interned no strings")
+	}
+	rec := catalog.WALRecord{Seq: 4, Epoch: 1,
+		Op: core.Op{Kind: core.OpReplace, TreeValue: mustDecode(t, abC)}}
+	payload, err := catalog.EncodeWALRecordShared(rec, &shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := []catalog.RawWALRecord{{Seq: 4, Epoch: 1, Payload: payload}}
+	page := &replica.WALPage{Database: "x", Since: 3, LastSeq: 4, Digest: "d", Epoch: 1}
+
+	var buf bytes.Buffer
+	if err := replica.EncodeRawWALPage(&buf, page, raws, prefix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.DecodeWALPage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 {
+		t.Fatalf("round trip carried %d records", len(got.Records))
+	}
+	if r := got.Records[0]; r.Seq != 4 || r.Op.TreeValue == nil ||
+		!pxml.Equal(r.Op.TreeValue.Root(), mustDecode(t, abC).Root()) {
+		t.Fatalf("prefixed raw record = %+v", r)
+	}
+
+	// The same stream without the prefix frame desynchronizes the page
+	// table: decode must fail.
+	var bare bytes.Buffer
+	if err := replica.EncodeRawWALPage(&bare, page, raws, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.DecodeWALPage(bytes.NewReader(bare.Bytes())); err == nil {
+		t.Fatal("mid-table record decoded without its prefix frame")
+	}
+}
+
+// TestWALPageDeflateRoundTrip: the compressed wire — a flate stream
+// around the standard page — decodes identically and is smaller for a
+// redundant page, and every truncation of the compressed stream errors.
+func TestWALPageDeflateRoundTrip(t *testing.T) {
+	page := &replica.WALPage{Database: "x", Since: 0, LastSeq: 3, Digest: "d", Epoch: 1}
+	for i := 1; i <= 3; i++ {
+		page.Records = append(page.Records, catalog.WALRecord{Seq: uint64(i), Epoch: 1,
+			Op: core.Op{Kind: core.OpIntegrate, SourceTrees: []*pxml.Tree{mustDecode(t, abA)}}})
+	}
+	var raw bytes.Buffer
+	if err := replica.EncodeWALPage(&raw, page); err != nil {
+		t.Fatal(err)
+	}
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= raw.Len() {
+		t.Fatalf("redundant page did not compress: %d vs %d raw bytes", comp.Len(), raw.Len())
+	}
+	got, err := replica.DecodeWALPageDeflate(bytes.NewReader(comp.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSeq != 3 || len(got.Records) != 3 {
+		t.Fatalf("compressed round trip = %+v", got)
+	}
+	// A flate stream is self-terminating: a cut past the final block still
+	// decompresses completely, so truncation must yield either an error or
+	// the full page — never a silently shortened one (the E trailer count
+	// guards the content).
+	for cut := 0; cut < comp.Len(); cut++ {
+		p, err := replica.DecodeWALPageDeflate(bytes.NewReader(comp.Bytes()[:cut]))
+		if err == nil && (p.LastSeq != 3 || len(p.Records) != 3) {
+			t.Fatalf("compressed stream cut at byte %d decoded as a partial page: %+v", cut, p)
+		}
+	}
+}
+
+// FuzzDecompressPage: arbitrary bytes fed to the compressed-wire
+// decoders must error or produce a valid page — never panic, never hang.
+func FuzzDecompressPage(f *testing.F) {
+	page := &replica.WALPage{Database: "x", Since: 0, LastSeq: 1, Digest: "d", Epoch: 1,
+		Records: []catalog.WALRecord{{Seq: 1, Epoch: 1,
+			Op: core.Op{Kind: core.OpReplace, Tree: abA}}}}
+	var raw bytes.Buffer
+	if err := replica.EncodeWALPage(&raw, page); err != nil {
+		f.Fatal(err)
+	}
+	var comp bytes.Buffer
+	fw, _ := flate.NewWriter(&comp, flate.BestSpeed)
+	fw.Write(raw.Bytes())
+	fw.Close()
+	f.Add(comp.Bytes())
+	f.Add(raw.Bytes()) // uncompressed bytes on the compressed path
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		replica.DecodeWALPageDeflate(bytes.NewReader(data))
+		replica.DecodeSnapshotDeflate(bytes.NewReader(data))
+	})
 }
 
 // TestWALPageEmpty: a caught-up page (no records) is a legal stream.
@@ -240,6 +363,43 @@ func TestSnapshotBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotSharedRoundTrip: the wal2 bootstrap stream — dictionary I
+// frame + shared-index document — decodes to the same tree through the
+// one DecodeSnapshot entry point and rejects every truncation.
+func TestSnapshotSharedRoundTrip(t *testing.T) {
+	tree := mustDecode(t, abC)
+	payload := &replica.SnapshotPayload{
+		Database:      "x",
+		FormatVersion: 5,
+		Seq:           7,
+		Epoch:         2,
+		Digest:        replica.DigestString(tree),
+		Schema:        "<!ELEMENT addressbook (person*)>",
+	}
+	var buf bytes.Buffer
+	if err := replica.EncodeSnapshotShared(&buf, payload, tree); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Database != "x" || got.Seq != 7 || got.Epoch != 2 || got.Schema != payload.Schema {
+		t.Fatalf("shared snapshot header round trip = %+v", got)
+	}
+	if got.TreeValue == nil || !pxml.Equal(got.TreeValue.Root(), tree.Root()) {
+		t.Fatal("shared snapshot document differs after round trip")
+	}
+	if replica.DigestString(got.TreeValue) != payload.Digest {
+		t.Fatal("decoded document digest mismatch")
+	}
+	for cut := 0; cut < buf.Len(); cut++ {
+		if _, err := replica.DecodeSnapshot(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("shared stream cut at byte %d decoded as a full snapshot", cut)
+		}
+	}
+}
+
 // TestSnapshotTruncationRejected: every cut of the snapshot stream is an
 // error — a half-received bootstrap must never install.
 func TestSnapshotTruncationRejected(t *testing.T) {
@@ -325,11 +485,67 @@ func TestReplicationWireNegotiationBinary(t *testing.T) {
 	waitCaughtUp(t, rep)
 	assertConverged(t, pdb.Core(), fdb.Core())
 
-	if st := rep.Status(); st.WireEncoding != replica.WireBinary {
-		t.Fatalf("replica negotiated %q, want %q", st.WireEncoding, replica.WireBinary)
+	// A current pair converges on the compressed wal2 wire by default.
+	if st := rep.Status(); st.WireEncoding != replica.WireBinaryFlate {
+		t.Fatalf("replica negotiated %q, want %q", st.WireEncoding, replica.WireBinaryFlate)
 	}
-	if enc := peerEncoding(t, primaryStatus(t, ts.URL)); enc != replica.WireBinary {
-		t.Fatalf("primary recorded peer encoding %q, want %q", enc, replica.WireBinary)
+	if enc := peerEncoding(t, primaryStatus(t, ts.URL)); enc != replica.WireBinaryFlate {
+		t.Fatalf("primary recorded peer encoding %q, want %q", enc, replica.WireBinaryFlate)
+	}
+}
+
+// TestReplicationWireNegotiationMixedVersions: one primary feeding three
+// generations of follower at once — a current one (compressed wal2), a
+// binary-v1 one (what an older build sends), and a wal2-no-compression
+// one — each negotiates its own wire and all three converge on the same
+// document and histories.
+func TestReplicationWireNegotiationMixedVersions(t *testing.T) {
+	cat, ts := startPrimary(t)
+	pdb, err := cat.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.Core().IntegrateXMLString(abA); err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		mut  func(*replica.Options)
+		want string
+	}{
+		{"current", func(o *replica.Options) {}, replica.WireBinaryFlate},
+		{"binary1", func(o *replica.Options) { o.WireEncoding = replica.WireBinaryV1 }, replica.WireBinaryV1},
+		{"uncompressed", func(o *replica.Options) { o.NoCompression = true }, replica.WireBinary},
+	}
+	var reps []*replica.Replica
+	for _, v := range variants {
+		opts := fastOptions(ts.URL)
+		v.mut(&opts)
+		rep, err := replica.Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		defer rep.Close()
+		reps = append(reps, rep)
+	}
+	// More traffic after the bootstrap, so every follower also exercises
+	// its WAL tail path.
+	if _, err := pdb.Core().IntegrateXMLString(abB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.Core().Feedback(`//person[nm="John"]/tel`, "2222", false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range variants {
+		waitCaughtUp(t, reps[i])
+		fdb, err := reps[i].Catalog().Get("x")
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		assertConverged(t, pdb.Core(), fdb.Core())
+		if st := reps[i].Status(); st.WireEncoding != v.want {
+			t.Fatalf("%s follower negotiated %q, want %q", v.name, st.WireEncoding, v.want)
+		}
 	}
 }
 

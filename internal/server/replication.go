@@ -7,13 +7,16 @@
 package server
 
 import (
+	"compress/flate"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -30,11 +33,65 @@ const (
 	maxWALWait = 30 * time.Second
 )
 
-// wantsBinary reports whether the requester offered the binary
-// replication wire via its Accept header. Absent or different Accept
-// values fall back to JSON, which every build speaks.
-func wantsBinary(r *http.Request) bool {
-	return strings.Contains(r.Header.Get("Accept"), replica.ContentTypeBinary)
+// negotiateWire picks the replication wire for a request from its
+// Accept header: the strtab-capable wal2 binary wire, the original wal1
+// binary wire, or the JSON fallback every build speaks. wal2 MUST be
+// tested first — the wal1 media type is a substring of wal2's, so a
+// wal2 offer always also matches the wal1 check (that is what lets an
+// old primary degrade a new follower to wal1).
+func negotiateWire(r *http.Request) string {
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, replica.ContentTypeBinary2):
+		return replica.WireBinary
+	case strings.Contains(accept, replica.ContentTypeBinary):
+		return replica.WireBinaryV1
+	default:
+		return replica.WireJSON
+	}
+}
+
+// wireCounters are the server's binary-replication byte counters:
+// payloadBytes is what the encoders produced, wireBytes what actually
+// went on the wire (equal when uncompressed; the gap is the compression
+// win /stats reports).
+type wireCounters struct {
+	pages, pagesCompressed         atomic.Int64
+	snapshots, snapshotsCompressed atomic.Int64
+	payloadBytes, wireBytes        atomic.Int64
+}
+
+// countingWriter counts bytes into an atomic sink as they pass through.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// compressIfOffered prepares the response writer for a wal2 binary
+// body: when the requester offered deflate and compression is enabled,
+// the returned writer compresses (Content-Encoding is set before any
+// byte is written) and finish must be called after encoding to flush
+// the compressor. Either way the writer pair feeds the server's
+// payload/wire byte counters, so /stats can report the compression
+// ratio actually achieved.
+func (s *Server) compressIfOffered(w http.ResponseWriter, r *http.Request) (out io.Writer, finish func(), compressed bool) {
+	wireW := &countingWriter{w: w, n: &s.wire.wireBytes}
+	if s.opts.NoWireCompression ||
+		!strings.Contains(r.Header.Get("Accept-Encoding"), replica.ContentEncodingDeflate) {
+		return &countingWriter{w: wireW, n: &s.wire.payloadBytes}, func() {}, false
+	}
+	w.Header().Set("Content-Encoding", replica.ContentEncodingDeflate)
+	// BestSpeed: the wire is latency-sensitive and the framed binary
+	// payloads are already compact; the win is mostly repeated tags and
+	// text, which the fastest level captures too.
+	fw, _ := flate.NewWriter(wireW, flate.BestSpeed)
+	return &countingWriter{w: fw, n: &s.wire.payloadBytes}, func() { fw.Close() }, true
 }
 
 // notePeer records the wire encoding served to a replication peer, keyed
@@ -172,22 +229,27 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
 	if wait > maxWALWait {
 		wait = maxWALWait
 	}
-	// The wire encoding decides how records are read: the binary wire
-	// ships raw on-disk payload bytes (no decode, no re-encode), the
-	// JSON wire needs decoded records to render portably.
-	binaryWire := wantsBinary(r)
+	// The wire encoding decides how records are read: the wal2 binary
+	// wire ships raw on-disk payload bytes (no decode, no re-encode) plus
+	// the string-table prefix they assume; the wal1 binary wire and the
+	// JSON wire need decoded records — an old binary follower cannot
+	// resolve shared-dictionary (v3) payloads, so those are re-encoded
+	// self-contained per record.
+	wire := negotiateWire(r)
+	rawWire := wire == replica.WireBinary
 	var recs []catalog.WALRecord
 	var raws []catalog.RawWALRecord
+	var prefix []string
 	if wait > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), wait)
-		if binaryWire {
-			raws, err = t.cdb.WaitRawOps(ctx, since, limit)
+		if rawWire {
+			raws, prefix, err = t.cdb.WaitRawOps(ctx, since, limit)
 		} else {
 			recs, err = t.cdb.WaitOps(ctx, since, limit)
 		}
 		cancel()
-	} else if binaryWire {
-		raws, err = t.cdb.RawOpsSince(since, limit)
+	} else if rawWire {
+		raws, prefix, err = t.cdb.RawOpsSince(since, limit)
 	} else {
 		recs, err = t.cdb.OpsSince(since, limit)
 	}
@@ -213,14 +275,32 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request, t target) {
 		Epoch:    t.cdb.Epoch(),
 		Records:  recs,
 	}
-	if binaryWire {
-		s.notePeer(r, replica.WireBinary)
-		w.Header().Set("Content-Type", replica.ContentTypeBinary)
+	switch wire {
+	case replica.WireBinary:
+		out, finish, compressed := s.compressIfOffered(w, r)
+		enc := replica.WireBinary
+		if compressed {
+			enc = replica.WireBinaryFlate
+			s.wire.pagesCompressed.Add(1)
+		}
+		s.wire.pages.Add(1)
+		s.notePeer(r, enc)
+		w.Header().Set("Content-Type", replica.ContentTypeBinary2)
 		// Headers are out once the first frame is written; a mid-stream
 		// encode failure can only cut the connection, which the follower
 		// detects as a truncated stream and retries.
-		if err := replica.EncodeRawWALPage(w, &page, raws); err != nil {
+		if err := replica.EncodeRawWALPage(out, &page, raws, prefix); err != nil {
 			s.logf("wal: %s: streaming page since %d: %v", t.name, since, err)
+		}
+		finish()
+		return
+	case replica.WireBinaryV1:
+		s.wire.pages.Add(1)
+		s.notePeer(r, replica.WireBinaryV1)
+		w.Header().Set("Content-Type", replica.ContentTypeBinary)
+		out := &countingWriter{w: &countingWriter{w: w, n: &s.wire.wireBytes}, n: &s.wire.payloadBytes}
+		if err := replica.EncodeWALPage(out, &page); err != nil {
+			s.logf("wal: %s: streaming v1 page since %d: %v", t.name, since, err)
 		}
 		return
 	}
@@ -266,10 +346,28 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, t target
 	if v.Schema != nil {
 		payload.Schema = v.Schema.String()
 	}
-	if wantsBinary(r) {
-		s.notePeer(r, replica.WireBinary)
+	switch negotiateWire(r) {
+	case replica.WireBinary:
+		out, finish, compressed := s.compressIfOffered(w, r)
+		enc := replica.WireBinary
+		if compressed {
+			enc = replica.WireBinaryFlate
+			s.wire.snapshotsCompressed.Add(1)
+		}
+		s.wire.snapshots.Add(1)
+		s.notePeer(r, enc)
+		w.Header().Set("Content-Type", replica.ContentTypeBinary2)
+		if err := replica.EncodeSnapshotShared(out, &payload, v.Tree); err != nil {
+			s.logf("snapshot: %s: streaming: %v", t.name, err)
+		}
+		finish()
+		return
+	case replica.WireBinaryV1:
+		s.wire.snapshots.Add(1)
+		s.notePeer(r, replica.WireBinaryV1)
 		w.Header().Set("Content-Type", replica.ContentTypeBinary)
-		if err := replica.EncodeSnapshot(w, &payload, v.Tree); err != nil {
+		out := &countingWriter{w: &countingWriter{w: w, n: &s.wire.wireBytes}, n: &s.wire.payloadBytes}
+		if err := replica.EncodeSnapshot(out, &payload, v.Tree); err != nil {
 			s.logf("snapshot: %s: streaming: %v", t.name, err)
 		}
 		return

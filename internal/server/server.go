@@ -101,6 +101,10 @@ type Options struct {
 	MaxBodyBytes int64
 	// MaxWorlds bounds /worlds enumeration (0 means DefaultMaxWorlds).
 	MaxWorlds int
+	// NoWireCompression stops the server from compressing binary
+	// replication responses even when a follower offers deflate
+	// (serve -wire-compression=false).
+	NoWireCompression bool
 	// Logger receives one line per request; nil disables logging.
 	Logger *log.Logger
 }
@@ -141,6 +145,10 @@ type Server struct {
 	// that host's last /wal or /snapshot fetch negotiated.
 	peerMu sync.Mutex
 	peers  map[string]string
+
+	// wire counts binary replication pages/snapshots served and their
+	// payload vs on-the-wire bytes (replication.go).
+	wire wireCounters
 }
 
 // target is the database one request operates on: its core plus, in
@@ -768,6 +776,9 @@ type DurabilityStats struct {
 	// payload format of new log appends (-wal-encoding).
 	StoreFormat int    `json:"store_format"`
 	Encoding    string `json:"encoding"`
+	// StrTabEntries is the size of the live segment's interned-string
+	// table (0 when strtab appends are disabled or the segment is fresh).
+	StrTabEntries int `json:"strtab_entries"`
 }
 
 func durabilityStats(db *catalog.DB) *DurabilityStats {
@@ -788,6 +799,57 @@ func durabilityStats(db *catalog.DB) *DurabilityStats {
 		CompactEvery:      st.CompactEvery,
 		StoreFormat:       st.StoreFormat,
 		Encoding:          st.WAL.Encoding,
+		StrTabEntries:     st.WAL.StrTabEntries,
+	}
+}
+
+// StoreRuntimeStats is the process-wide zero-copy storage section of
+// /stats: how snapshot documents were opened (mmap vs read) and how
+// arena decodes ran (zero-copy string views, shared dictionaries).
+type StoreRuntimeStats struct {
+	MMapLoads     uint64 `json:"mmap_loads"`
+	FallbackLoads uint64 `json:"fallback_loads"`
+	MappedFiles   uint64 `json:"mapped_files"`
+	MappedBytes   uint64 `json:"mapped_bytes"`
+	ArenaDecodes  uint64 `json:"arena_decodes"`
+	ArenaZeroCopy uint64 `json:"arena_zero_copy"`
+	ArenaShared   uint64 `json:"arena_shared"`
+}
+
+func storeRuntimeStats() *StoreRuntimeStats {
+	ss := store.StoreStats()
+	decodes, zeroCopy, shared := pxml.ArenaDecodeStats()
+	return &StoreRuntimeStats{
+		MMapLoads:     ss.MMapLoads,
+		FallbackLoads: ss.FallbackLoads,
+		MappedFiles:   ss.MappedFiles,
+		MappedBytes:   ss.MappedBytes,
+		ArenaDecodes:  decodes,
+		ArenaZeroCopy: zeroCopy,
+		ArenaShared:   shared,
+	}
+}
+
+// WireStats is the binary replication wire section of /stats:
+// pages/snapshots served and the payload-vs-wire byte gap compression
+// bought.
+type WireStats struct {
+	Pages               int64 `json:"pages"`
+	PagesCompressed     int64 `json:"pages_compressed"`
+	Snapshots           int64 `json:"snapshots"`
+	SnapshotsCompressed int64 `json:"snapshots_compressed"`
+	PayloadBytes        int64 `json:"payload_bytes"`
+	WireBytes           int64 `json:"wire_bytes"`
+}
+
+func (s *Server) wireStats() *WireStats {
+	return &WireStats{
+		Pages:               s.wire.pages.Load(),
+		PagesCompressed:     s.wire.pagesCompressed.Load(),
+		Snapshots:           s.wire.snapshots.Load(),
+		SnapshotsCompressed: s.wire.snapshotsCompressed.Load(),
+		PayloadBytes:        s.wire.payloadBytes.Load(),
+		WireBytes:           s.wire.wireBytes.Load(),
 	}
 }
 
@@ -815,6 +877,11 @@ type StatsResponse struct {
 	Ingest core.IngestStats `json:"ingest"`
 	// WAL is present in catalog mode only.
 	WAL *DurabilityStats `json:"wal,omitempty"`
+	// Store reports process-wide zero-copy storage counters (mmap vs
+	// read loads, arena decode modes); Wire the binary replication
+	// bytes served (catalog mode).
+	Store *StoreRuntimeStats `json:"store,omitempty"`
+	Wire  *WireStats         `json:"wire,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t target) {
@@ -844,9 +911,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t target) {
 		Tags:            is.Tags,
 		Elements:        is.Elements,
 	}
+	resp.Store = storeRuntimeStats()
 	if t.cdb != nil {
 		resp.Database = t.name
 		resp.WAL = durabilityStats(t.cdb)
+		resp.Wire = s.wireStats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -4,11 +4,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/pxml"
 	"repro/internal/pxmltest"
 	"repro/internal/store"
@@ -74,6 +76,33 @@ func writeVersionDir(t *testing.T, dir string, tree *pxml.Tree, version int) {
 			}
 		}
 	case 4:
+		// The v4 release wrote one self-contained document frame; Save
+		// has moved on to v5, so write the old layout by hand.
+		doc := codec.AppendFrame(nil, codec.KindDocument, pxml.BinaryVersion, tree.AppendBinary(nil))
+		sum := sha256.Sum256(doc)
+		m := store.Manifest{
+			FormatVersion:  4,
+			SavedAt:        time.Now().UTC(),
+			DocumentFile:   "document-" + hex.EncodeToString(sum[:6]) + ".bin",
+			DocumentSHA256: hex.EncodeToString(sum[:]),
+			TreeDigest:     fmt.Sprintf("%016x", tree.Digest()),
+			LogicalNodes:   tree.NodeCount(),
+			Worlds:         tree.WorldCount().String(),
+		}
+		mdata, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, m.DocumentFile), doc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mdata, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	case 5:
 		if _, err := store.SaveWith(dir, tree, nil, store.SaveOptions{}); err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +116,7 @@ func writeVersionDir(t *testing.T, dir string, tree *pxml.Tree, version int) {
 // to v4), load again.
 func TestFormatLadderCompat(t *testing.T) {
 	tree := pxmltest.Fig2Tree()
-	for _, version := range []int{1, 2, 3, 4} {
+	for _, version := range []int{1, 2, 3, 4, 5} {
 		dir := t.TempDir()
 		writeVersionDir(t, dir, tree, version)
 		snap, err := store.Load(dir)

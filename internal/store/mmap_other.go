@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// mmapAvailable: no mapping primitive on this platform; Load always
+// takes the read-whole fallback.
+const mmapAvailable = false
+
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.New("store: mmap unavailable on this platform")
+}

@@ -1,0 +1,83 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pxml"
+	"repro/internal/pxmltest"
+	"repro/internal/store"
+)
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TestLoadMMapAndFallbackAgree proves the two v5 open paths decode the
+// same tree, and that DisableMMap really takes the read path (visible in
+// the counters).
+func TestLoadMMapAndFallbackAgree(t *testing.T) {
+	dir := t.TempDir()
+	tree := pxmltest.Fig2Tree()
+	if _, err := store.SaveWith(dir, tree, nil, store.SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := store.StoreStats()
+	mapped, err := store.LoadWith(dir, store.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := store.LoadWith(dir, store.LoadOptions{DisableMMap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := store.StoreStats()
+
+	if !pxml.Equal(mapped.Tree.Root(), read.Tree.Root()) {
+		t.Fatal("mmap and fallback loads decoded different trees")
+	}
+	if !pxml.Equal(mapped.Tree.Root(), tree.Root()) {
+		t.Fatal("loaded tree differs from saved")
+	}
+	if after.FallbackLoads-before.FallbackLoads < 1 {
+		t.Fatalf("DisableMMap load not counted as fallback: %+v → %+v", before, after)
+	}
+	// The first load took either path depending on platform/env; both
+	// paths together must account for exactly two loads.
+	total := (after.MMapLoads - before.MMapLoads) + (after.FallbackLoads - before.FallbackLoads)
+	if total != 2 {
+		t.Fatalf("two loads counted as %d", total)
+	}
+}
+
+// TestReadManifestOnly proves the quick stat path never opens payload
+// files: it works even when the document file is corrupt.
+func TestReadManifestOnly(t *testing.T) {
+	dir := t.TempDir()
+	tree := pxmltest.Fig2Tree()
+	saved, err := store.SaveWith(dir, tree, nil, store.SaveOptions{Comment: "quick", LogSeq: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload: a full Load must now fail…
+	docPath := filepath.Join(dir, saved.DocumentFile)
+	if err := writeFile(docPath, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(dir); err == nil {
+		t.Fatal("Load succeeded over corrupt document")
+	}
+	// …while ReadManifest still answers from the manifest alone.
+	m, err := store.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FormatVersion != store.FormatVersion || m.LogSeq != 42 || m.Comment != "quick" {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.LogicalNodes != tree.NodeCount() || m.Worlds != tree.WorldCount().String() {
+		t.Fatalf("manifest sizes = %d nodes %s worlds", m.LogicalNodes, m.Worlds)
+	}
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether this platform can map snapshot files at
+// all; the portable fallback (mmap_other.go) reports false.
+const mmapAvailable = true
+
+// mmapFile maps path read-only. The mapping is returned to the caller to
+// pin for the process lifetime (see mappedRegistry): decoded trees hold
+// string views into it, and delta integration can splice their nodes
+// into successor trees, so no unmap point is ever provably safe.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, syscall.EFBIG
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -49,10 +50,14 @@ const (
 	//	v3  v2 plus the cluster epoch in the manifest
 	//	v4  binary documents (document-<sha>.bin: a CRC-32C codec frame
 	//	    holding the pxml flat arena encoding); manifest still JSON
+	//	v5  zero-copy binary documents: a strtab frame (the document's
+	//	    interned strings) followed by a shared-table arena frame whose
+	//	    tag/text fields are indices into it. Load maps the file and
+	//	    decodes without copying strings.
 	//
-	// Saves default to v4; SaveOptions.Encoding == "xml" writes the v3
+	// Saves default to v5; SaveOptions.Encoding == "xml" writes the v3
 	// layout for peers or tooling that cannot read binary documents.
-	FormatVersion = 4
+	FormatVersion = 5
 
 	// formatVersionV2 is the pre-epoch content-addressed layout; identical
 	// to v3 except the manifest never carries an epoch.
@@ -60,6 +65,9 @@ const (
 	// formatVersionV3 is the XML layout with the epoch — what
 	// SaveOptions.Encoding "xml" still writes.
 	formatVersionV3 = 3
+	// formatVersionV4 is the self-contained binary layout (one document
+	// frame with a local string table).
+	formatVersionV4 = 4
 
 	// EncodingBinary and EncodingXML are the SaveOptions.Encoding values.
 	EncodingBinary = "binary"
@@ -209,7 +217,13 @@ func SaveWith(dir string, tree *pxml.Tree, schema *dtd.Schema, opts SaveOptions)
 	)
 	switch opts.Encoding {
 	case "", EncodingBinary:
-		doc = codec.AppendFrame(nil, codec.KindDocument, pxml.BinaryVersion, tree.AppendBinary(nil))
+		// v5: the document's strings travel once, in a strtab frame the
+		// arena frame's tag/text indices resolve against; Load decodes
+		// both zero-copy from the mapped file.
+		var tab codec.SharedStrings
+		body := tree.AppendBinaryShared(nil, &tab)
+		doc = codec.AppendFrame(nil, codec.KindStrTab, codec.StrTabVersion, tab.AppendDelta(nil, 0))
+		doc = codec.AppendFrame(doc, codec.KindDocument, pxml.BinaryVersionShared, body)
 		version, ext = FormatVersion, "bin"
 	case EncodingXML:
 		s, err := xmlcodec.EncodeString(tree, xmlcodec.EncodeOptions{Indent: " ", KeepTrivial: true})
@@ -281,68 +295,156 @@ func cleanupStale(dir string, m Manifest) {
 	}
 }
 
-// Load reads a snapshot back, verifying the checksum and format version.
-// Both the current layout and format v1 are understood.
-func Load(dir string) (*Snapshot, error) {
+// LoadOptions tunes Load.
+type LoadOptions struct {
+	// DisableMMap forces the read-whole fallback for v5 documents; the
+	// IMPRECISE_NO_MMAP environment variable (any non-empty value) does
+	// the same process-wide, so CI can exercise the fallback everywhere.
+	DisableMMap bool
+}
+
+// ReadManifest reads and parses a snapshot manifest without touching the
+// payload files — the O(manifest) stat path for listing databases.
+func ReadManifest(dir string) (Manifest, error) {
 	mdata, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return Manifest{}, fmt.Errorf("store: %w", err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(mdata, &m); err != nil {
-		return nil, fmt.Errorf("%w: bad manifest: %v", ErrCorrupt, err)
+		return Manifest{}, fmt.Errorf("%w: bad manifest: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// Stats are the process-wide storage counters /stats surfaces.
+type Stats struct {
+	// MMapLoads and FallbackLoads count v5 document opens by path taken.
+	MMapLoads     uint64 `json:"mmap_loads"`
+	FallbackLoads uint64 `json:"fallback_loads"`
+	// MappedFiles and MappedBytes describe the currently pinned mappings.
+	MappedFiles uint64 `json:"mapped_files"`
+	MappedBytes uint64 `json:"mapped_bytes"`
+}
+
+// mappedRegistry pins every mapping for the process lifetime. Unmapping
+// would require proving no live tree holds a string view into the file,
+// and delta integration deliberately splices loaded nodes into successor
+// trees — so mappings are never released, only counted. A process maps
+// one file per database generation it loads; compaction churn is bounded
+// by snapshot cadence, not op rate.
+var mappedRegistry struct {
+	mu    sync.Mutex
+	maps  [][]byte
+	stats Stats
+}
+
+// StoreStats returns a copy of the process-wide storage counters.
+func StoreStats() Stats {
+	mappedRegistry.mu.Lock()
+	defer mappedRegistry.mu.Unlock()
+	return mappedRegistry.stats
+}
+
+// openDocument returns the document file's bytes, via mmap when allowed
+// and available, else a whole-file read. Zero-copy decoding is safe over
+// both: a mapping is pinned in mappedRegistry, and a heap buffer is kept
+// alive by the decoded strings' own interior pointers.
+func openDocument(path string, disableMMap bool) ([]byte, error) {
+	useMMap := mmapAvailable && !disableMMap && os.Getenv("IMPRECISE_NO_MMAP") == ""
+	if useMMap {
+		if data, err := mmapFile(path); err == nil {
+			mappedRegistry.mu.Lock()
+			mappedRegistry.maps = append(mappedRegistry.maps, data)
+			mappedRegistry.stats.MMapLoads++
+			mappedRegistry.stats.MappedFiles++
+			mappedRegistry.stats.MappedBytes += uint64(len(data))
+			mappedRegistry.mu.Unlock()
+			return data, nil
+		}
+		// Map failure (exotic filesystem, resource limit) degrades to the
+		// portable path, never to a load error.
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mappedRegistry.mu.Lock()
+	mappedRegistry.stats.FallbackLoads++
+	mappedRegistry.mu.Unlock()
+	return data, nil
+}
+
+// Load reads a snapshot back, verifying the checksum and format version.
+// Every ladder rung from format v1 up is understood.
+func Load(dir string) (*Snapshot, error) {
+	return LoadWith(dir, LoadOptions{})
+}
+
+// LoadWith is Load under explicit options.
+func LoadWith(dir string, opts LoadOptions) (*Snapshot, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
 	}
 	docFile, schemaFile := m.DocumentFile, m.SchemaFile
 	switch m.FormatVersion {
 	case 1:
 		docFile, schemaFile = legacyDocumentFile, legacySchemaFile
-	case formatVersionV2, formatVersionV3, FormatVersion:
+	case formatVersionV2, formatVersionV3, formatVersionV4, FormatVersion:
 		if docFile == "" || docFile != filepath.Base(docFile) || (m.HasSchema && (schemaFile == "" || schemaFile != filepath.Base(schemaFile))) {
 			return nil, fmt.Errorf("%w: manifest references invalid payload file", ErrCorrupt)
 		}
 	default:
 		return nil, fmt.Errorf("store: unsupported format version %d (want <= %d)", m.FormatVersion, FormatVersion)
 	}
-	doc, err := os.ReadFile(filepath.Join(dir, docFile))
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	sum := sha256.Sum256(doc)
-	if hex.EncodeToString(sum[:]) != m.DocumentSHA256 {
-		return nil, fmt.Errorf("%w: document checksum mismatch", ErrCorrupt)
-	}
 	var tree *pxml.Tree
 	if m.FormatVersion >= FormatVersion {
-		// v4: one CRC-framed sequential read into the node arena.
-		// DecodeArena enforces every Validate invariant itself.
-		frame, rest, err := codec.ParseFrame(doc)
+		tree, err = loadDocumentV5(filepath.Join(dir, docFile), &m, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		if frame.Kind != codec.KindDocument || len(rest) != 0 {
-			return nil, fmt.Errorf("%w: document file is not a single document frame", ErrCorrupt)
-		}
-		tree, err = pxml.DecodeArena(frame.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, err
 		}
 	} else {
-		tree, err = xmlcodec.DecodeString(string(doc))
+		doc, err := os.ReadFile(filepath.Join(dir, docFile))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("store: %w", err)
 		}
-		if err := tree.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		sum := sha256.Sum256(doc)
+		if hex.EncodeToString(sum[:]) != m.DocumentSHA256 {
+			return nil, fmt.Errorf("%w: document checksum mismatch", ErrCorrupt)
 		}
-	}
-	if got := tree.NodeCount(); got != m.LogicalNodes {
-		return nil, fmt.Errorf("%w: node count %d differs from manifest %d", ErrCorrupt, got, m.LogicalNodes)
-	}
-	// Older manifests carry no digest; when present it must match the
-	// decoded tree structurally.
-	if m.TreeDigest != "" {
-		if got := fmt.Sprintf("%016x", tree.Digest()); got != m.TreeDigest {
-			return nil, fmt.Errorf("%w: tree digest %s differs from manifest %s", ErrCorrupt, got, m.TreeDigest)
+		if m.FormatVersion == formatVersionV4 {
+			// v4: one CRC-framed sequential read into the node arena.
+			// DecodeArena enforces every Validate invariant itself.
+			frame, rest, err := codec.ParseFrame(doc)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if frame.Kind != codec.KindDocument || len(rest) != 0 {
+				return nil, fmt.Errorf("%w: document file is not a single document frame", ErrCorrupt)
+			}
+			tree, err = pxml.DecodeArena(frame.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		} else {
+			tree, err = xmlcodec.DecodeString(string(doc))
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if err := tree.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		if got := tree.NodeCount(); got != m.LogicalNodes {
+			return nil, fmt.Errorf("%w: node count %d differs from manifest %d", ErrCorrupt, got, m.LogicalNodes)
+		}
+		// Older manifests carry no digest; when present it must match the
+		// decoded tree structurally.
+		if m.TreeDigest != "" {
+			if got := fmt.Sprintf("%016x", tree.Digest()); got != m.TreeDigest {
+				return nil, fmt.Errorf("%w: tree digest %s differs from manifest %s", ErrCorrupt, got, m.TreeDigest)
+			}
 		}
 	}
 	snap := &Snapshot{Tree: tree, Manifest: m}
@@ -358,6 +460,61 @@ func Load(dir string) (*Snapshot, error) {
 		snap.Schema = schema
 	}
 	return snap, nil
+}
+
+// loadDocumentV5 opens and decodes a v5 document: mmap (or read) the
+// file, verify its checksum, then decode the strtab and arena frames
+// zero-copy — node strings stay views into the backing buffer. The
+// digest and node-count cross-checks against the manifest run inside the
+// decoder (trailer compare and its own bottom-up count), so nothing here
+// walks the tree: a v5 load allocates the node arena and little else.
+func loadDocumentV5(path string, m *Manifest, opts LoadOptions) (*pxml.Tree, error) {
+	doc, err := openDocument(path, opts.DisableMMap)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(doc)
+	if hex.EncodeToString(sum[:]) != m.DocumentSHA256 {
+		return nil, fmt.Errorf("%w: document checksum mismatch", ErrCorrupt)
+	}
+	sframe, rest, err := codec.ParseFrame(doc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if sframe.Kind != codec.KindStrTab {
+		return nil, fmt.Errorf("%w: v5 document starts with frame %q, want strtab", ErrCorrupt, sframe.Kind)
+	}
+	base, strs, err := codec.DecodeStrTabPayload(sframe.Payload, true)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if base != 0 {
+		return nil, fmt.Errorf("%w: v5 document strtab based at %d, want 0", ErrCorrupt, base)
+	}
+	dframe, rest, err := codec.ParseFrame(rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if dframe.Kind != codec.KindDocument || len(rest) != 0 {
+		return nil, fmt.Errorf("%w: v5 document is not strtab+document frames", ErrCorrupt)
+	}
+	darena := pxml.DecodeArenaOptions{
+		Strings:       strs,
+		ZeroCopy:      true,
+		ExpectLogical: m.LogicalNodes,
+	}
+	if m.TreeDigest != "" {
+		want, err := strconv.ParseUint(m.TreeDigest, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad manifest tree digest %q", ErrCorrupt, m.TreeDigest)
+		}
+		darena.ExpectDigest = &want
+	}
+	tree, err := pxml.DecodeArenaWith(dframe.Payload, darena)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return tree, nil
 }
 
 // writeAtomic writes data under path via a unique temp file in the same
