@@ -28,6 +28,7 @@
 package imprecise
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -290,6 +291,24 @@ func EvalQuery(t *Tree, q *Query, opts QueryOptions) (QueryResult, error) {
 func EvalQueryIndexed(t *Tree, q *Query, opts QueryOptions, idx *QueryIndex) (QueryResult, error) {
 	return query.EvalIndexed(t, q, opts, idx)
 }
+
+// EvalQueryIndexedCtx is EvalQueryIndexed with cancellation and per-query
+// budgets: evaluation aborts when ctx is canceled, and when
+// QueryOptions.TimeBudget or MaxNodeVisits runs out it returns
+// ErrQueryBudgetExhausted with the plan's BudgetExhausted flag set.
+// QueryOptions.Workers fans evaluation out over a bounded worker pool;
+// answers are bit-identical for every worker count.
+func EvalQueryIndexedCtx(ctx context.Context, t *Tree, q *Query, opts QueryOptions, idx *QueryIndex) (QueryResult, error) {
+	return query.EvalIndexedCtx(ctx, t, q, opts, idx)
+}
+
+// ErrQueryBudgetExhausted marks a query aborted by a per-query wall-time
+// or node-visit budget.
+var ErrQueryBudgetExhausted = query.ErrBudgetExhausted
+
+// QueryExecStats reports how one evaluation ran: resolved worker count,
+// pool scheduling, and the budget meter reading.
+type QueryExecStats = query.ExecStats
 
 // ExpectedCount returns the expected number of result nodes of the query
 // over all possible worlds — exact even on documents whose world count is

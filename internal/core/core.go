@@ -18,12 +18,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dtd"
@@ -143,6 +145,16 @@ type Database struct {
 	cfg     Config
 	queries *query.Cache
 	results *query.ResultCache
+
+	// Query concurrency accounting (see QueryRuntimeStats): a gauge of
+	// in-flight evaluations plus counters for early aborts and worker
+	// pool scheduling, all updated lock-free on the query path.
+	queryActive       atomic.Int64
+	queryStarted      atomic.Int64
+	queryCanceled     atomic.Int64
+	queryBudgetAborts atomic.Int64
+	queryPooledTasks  atomic.Int64
+	queryInlineTasks  atomic.Int64
 }
 
 // Open creates a database over an initial document.
@@ -399,7 +411,7 @@ func (db *Database) Query(src string) (query.Result, error) {
 // QueryCompiled evaluates a compiled query against a snapshot of the
 // current document, through the planner and the result cache.
 func (db *Database) QueryCompiled(q *query.Query) (query.Result, error) {
-	return db.evalCached(q, db.cfg.Query)
+	return db.evalCached(context.Background(), q, db.cfg.Query)
 }
 
 // DefaultQueryOptions returns the evaluation options the database was
@@ -417,44 +429,97 @@ func (db *Database) DefaultQueryOptions() query.Options { return db.cfg.Query }
 // keyed by (tree digest, query text, options) — correctly invalidated by
 // tree identity, since any mutation installs a tree with a new digest.
 func (db *Database) QueryEval(src string, opts query.Options) (query.Result, error) {
+	return db.QueryEvalCtx(context.Background(), src, opts)
+}
+
+// QueryEvalCtx is QueryEval with cancellation and budgets: evaluation
+// aborts when ctx is canceled (an HTTP front end passes the request
+// context, so abandoned queries stop computing) and when the options'
+// TimeBudget/MaxNodeVisits run out. Early aborts are counted in
+// QueryRuntimeStats.
+func (db *Database) QueryEvalCtx(ctx context.Context, src string, opts query.Options) (query.Result, error) {
 	q, err := db.queries.Compile(src)
 	if err != nil {
 		return query.Result{}, err
 	}
-	return db.evalCached(q, opts)
+	return db.evalCached(ctx, q, opts)
 }
 
 // evalCached evaluates a compiled query against a consistent
-// (tree, index) snapshot, going through the result cache.
-func (db *Database) evalCached(q *query.Query, opts query.Options) (query.Result, error) {
+// (tree, index) snapshot, going through the result cache's singleflight:
+// concurrent identical cold queries run one evaluation and share the
+// result.
+func (db *Database) evalCached(ctx context.Context, q *query.Query, opts query.Options) (query.Result, error) {
 	if err := opts.Validate(); err != nil {
 		return query.Result{}, err
 	}
+	db.queryStarted.Add(1)
+	db.queryActive.Add(1)
+	defer db.queryActive.Add(-1)
 	// Read the purge generation before the snapshot: if a swap (and its
-	// purge) lands anywhere after this point, the conditional Put below
-	// is dropped, so a slow evaluation can never re-insert an entry for
-	// a retired document.
+	// purge) lands anywhere after this point, the conditional insert
+	// inside Do is dropped, so a slow evaluation can never re-insert an
+	// entry for a retired document.
 	gen := db.results.Generation()
 	db.mu.RLock()
 	tree, idx := db.tree, db.index
 	db.mu.RUnlock()
 	digest := idx.Digest()
 	src := q.String()
-	if res, ok := db.results.Get(digest, src, opts); ok {
-		if res.Plan != nil {
-			// Flag the hit on a copy; the cached result stays pristine.
-			pl := *res.Plan
-			pl.CacheHit = true
-			res.Plan = &pl
-		}
-		return res, nil
-	}
-	res, err := query.EvalIndexed(tree, q, opts, idx)
+	res, outcome, err := db.results.Do(ctx, gen, digest, src, opts, func() (query.Result, error) {
+		return query.EvalIndexedCtx(ctx, tree, q, opts, idx)
+	})
 	if err != nil {
-		return query.Result{}, err
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			db.queryCanceled.Add(1)
+		case errors.Is(err, query.ErrBudgetExhausted):
+			db.queryBudgetAborts.Add(1)
+		}
+		// Budget aborts still carry the plan (BudgetExhausted set) for
+		// explain; pass the partial result through with the error.
+		return res, err
 	}
-	db.results.PutIfGeneration(gen, digest, src, opts, res)
+	if outcome == query.DoExecuted {
+		db.queryPooledTasks.Add(res.Exec.PooledTasks)
+		db.queryInlineTasks.Add(res.Exec.InlineTasks)
+	}
+	if outcome != query.DoExecuted && res.Plan != nil {
+		// Flag results served without running an evaluation (a cache hit
+		// or a collapsed concurrent execution) on a copy; the cached
+		// result stays pristine.
+		pl := *res.Plan
+		pl.CacheHit = true
+		res.Plan = &pl
+	}
 	return res, nil
+}
+
+// QueryRuntimeStats reports query-path concurrency accounting: how many
+// evaluations are in flight right now, how many ever started, how many
+// aborted early (client cancellation vs. budget exhaustion), and how the
+// parallel executors' fan-out units were scheduled (pool goroutine vs.
+// inline on a saturated pool). Singleflight collapses live in
+// ResultCacheStats.
+type QueryRuntimeStats struct {
+	Active       int64 `json:"active"`
+	Started      int64 `json:"started"`
+	Canceled     int64 `json:"canceled"`
+	BudgetAborts int64 `json:"budget_aborts"`
+	PooledTasks  int64 `json:"pooled_tasks"`
+	InlineTasks  int64 `json:"inline_tasks"`
+}
+
+// QueryStats returns a snapshot of the query concurrency counters.
+func (db *Database) QueryStats() QueryRuntimeStats {
+	return QueryRuntimeStats{
+		Active:       db.queryActive.Load(),
+		Started:      db.queryStarted.Load(),
+		Canceled:     db.queryCanceled.Load(),
+		BudgetAborts: db.queryBudgetAborts.Load(),
+		PooledTasks:  db.queryPooledTasks.Load(),
+		InlineTasks:  db.queryInlineTasks.Load(),
+	}
 }
 
 // QueryCacheStats reports the compiled-query cache counters.

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/pxml"
 	"repro/internal/worlds"
@@ -42,6 +43,10 @@ type Result struct {
 	// Plan explains how the engine chose the strategy. Nil when the
 	// result was produced without the planner (legacy Eval paths).
 	Plan *Plan
+	// Exec reports how the evaluation ran (worker fan-out, pool
+	// saturation, budget meter). Zero for legacy paths and cache hits
+	// served without re-execution.
+	Exec ExecStats
 
 	// lookup is the lazily built value -> probability map behind P.
 	// It is a pointer so that copies of the Result share one map build.
@@ -119,6 +124,21 @@ type Options struct {
 	// pointing at any value — including 0 — requests exactly that seed.
 	// Build it with SeedPtr.
 	Seed *int64
+	// Workers caps the goroutines one evaluation may fan out over (exact
+	// local enumeration and per-value failure passes, sampling chunks).
+	// 0 means GOMAXPROCS; 1 is fully sequential. Answers are bit-identical
+	// for every worker count, so Workers is not part of the result-cache
+	// key. Negative values are rejected by Validate. Honored by the
+	// planned engine (EvalIndexed); the reference Eval stays sequential.
+	Workers int
+	// TimeBudget bounds evaluation wall-clock time; 0 means unlimited.
+	// Exhaustion surfaces as ErrBudgetExhausted with Plan.BudgetExhausted
+	// set. Negative values are rejected by Validate.
+	TimeBudget time.Duration
+	// MaxNodeVisits bounds evaluation work, metered in node visits plus
+	// enumerated worlds plus drawn samples; 0 means unlimited. Negative
+	// values are rejected by Validate.
+	MaxNodeVisits int64
 }
 
 // SeedPtr returns a pointer to v for Options.Seed, which is a pointer so
@@ -149,6 +169,18 @@ func (o Options) Validate() error {
 	if o.LocalWorldLimit < 0 {
 		return fmt.Errorf("%w: LocalWorldLimit must be >= 0 (0 means default %d), got %d",
 			ErrBadOptions, DefaultLocalWorldLimit, o.LocalWorldLimit)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers must be >= 0 (0 means one per CPU), got %d",
+			ErrBadOptions, o.Workers)
+	}
+	if o.TimeBudget < 0 {
+		return fmt.Errorf("%w: TimeBudget must be >= 0 (0 means unlimited), got %s",
+			ErrBadOptions, o.TimeBudget)
+	}
+	if o.MaxNodeVisits < 0 {
+		return fmt.Errorf("%w: MaxNodeVisits must be >= 0 (0 means unlimited), got %d",
+			ErrBadOptions, o.MaxNodeVisits)
 	}
 	switch o.Method {
 	case "", MethodAuto, MethodExact, MethodEnumerate, MethodSample:
@@ -238,36 +270,103 @@ func Eval(t *pxml.Tree, q *Query, opts Options) (Result, error) {
 // enumeration — exponential, but exact and assumption-free; the ground
 // truth the other evaluators are tested against.
 func EvalEnumerate(t *pxml.Tree, q *Query, maxWorlds int) ([]Answer, error) {
+	return evalEnumerate(t, q, maxWorlds, nil)
+}
+
+// evalEnumerate is EvalEnumerate with the budget meter the planned engine
+// threads through: one step per enumerated world, so cancellation and
+// budgets interrupt even exponential enumerations promptly.
+func evalEnumerate(t *pxml.Tree, q *Query, maxWorlds int, b *budget) ([]Answer, error) {
 	wc := t.WorldCount()
 	if maxWorlds > 0 && wc.Cmp(big.NewInt(int64(maxWorlds))) > 0 {
 		return nil, fmt.Errorf("%w: %s > %d", worlds.ErrTooManyWorlds, wc.String(), maxWorlds)
 	}
 	acc := make(map[string]float64)
+	var stepErr error
 	worlds.Enumerate(t, func(w worlds.World) bool {
+		if stepErr = b.step(); stepErr != nil {
+			return false
+		}
 		for v := range EvalWorld(q, w.Elements) {
 			acc[v] += w.P
 		}
 		return true
 	})
+	if stepErr != nil {
+		return nil, stepErr
+	}
 	return mapToAnswers(acc), nil
 }
 
+// sampleChunkSize fixes the sample-stream chunk layout. It is a format
+// constant of sorts: changing it changes which RNG substream draws which
+// sample, and therefore the (deterministic) estimates for a given seed.
+const sampleChunkSize = 512
+
 // EvalSample estimates answer probabilities from n sampled worlds using
 // the given seed. The estimate's standard error is ≈ sqrt(p(1−p)/n).
+//
+// The sample stream is organized as fixed chunks of sampleChunkSize worlds
+// whose RNGs derive from (seed, chunk index) via mixSeed, and per-chunk
+// estimates merge in chunk order — so the result for a given (n, seed) is
+// bit-identical no matter how many workers run the chunks.
 func EvalSample(t *pxml.Tree, q *Query, n int, seed int64) []Answer {
+	answers, _ := evalSampleWorkers(t, q, n, seed, 1, nil, nil)
+	return answers
+}
+
+// evalSampleWorkers runs the chunked sampler with a worker-pool fan-out.
+// Each chunk owns its RNG and accumulator map; chunks are merged
+// sequentially in chunk order, so every per-value float sum happens in the
+// same order regardless of which worker ran which chunk.
+func evalSampleWorkers(t *pxml.Tree, q *Query, n int, seed int64, workers int, b *budget, ex *ExecStats) ([]Answer, error) {
 	if n <= 0 {
 		n = defaultSamples
 	}
-	rng := rand.New(rand.NewSource(seed))
-	acc := make(map[string]float64)
+	chunks := (n + sampleChunkSize - 1) / sampleChunkSize
+	accs := make([]map[string]float64, chunks)
+	errs := make([]error, chunks)
 	inc := 1 / float64(n)
-	for i := 0; i < n; i++ {
-		w := worlds.Sample(t, rng)
-		for v := range EvalWorld(q, w.Elements) {
-			acc[v] += inc
+	tasks := make([]func(), chunks)
+	for ci := range tasks {
+		ci := ci
+		tasks[ci] = func() {
+			count := sampleChunkSize
+			if rem := n - ci*sampleChunkSize; rem < count {
+				count = rem
+			}
+			rng := rand.New(rand.NewSource(mixSeed(seed, ci)))
+			acc := make(map[string]float64)
+			for i := 0; i < count; i++ {
+				if err := b.step(); err != nil {
+					errs[ci] = err
+					return
+				}
+				w := worlds.Sample(t, rng)
+				for v := range EvalWorld(q, w.Elements) {
+					acc[v] += inc
+				}
+			}
+			accs[ci] = acc
 		}
 	}
-	return mapToAnswers(acc)
+	pool := newTaskPool(workers)
+	pool.runAll(tasks)
+	if ex != nil {
+		ex.PooledTasks, ex.InlineTasks = pool.counts()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc := make(map[string]float64)
+	for _, m := range accs {
+		for v, p := range m {
+			acc[v] += p
+		}
+	}
+	return mapToAnswers(acc), nil
 }
 
 func mapToAnswers(acc map[string]float64) []Answer {

@@ -1,0 +1,139 @@
+package query_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/queryindex"
+)
+
+// TestParallelEqualsSequential is the determinism property test of the
+// parallel query engine (the PR 2 pattern applied to the read path): over
+// the whole document corpus and query pool, exact, sampled and auto
+// evaluation must return bit-identical answers — float-equal, same order —
+// for every worker count. Run under -race this also proves the fan-out
+// shares no unsynchronized mutable state.
+func TestParallelEqualsSequential(t *testing.T) {
+	workerCounts := []int{2, 3, 8}
+	for ti, tree := range propertyTrees(t) {
+		idx := queryindex.Build(tree)
+		for _, src := range propertyQueries {
+			q := query.MustCompile(src)
+			for _, method := range []query.Method{query.MethodAuto, query.MethodExact, query.MethodSample} {
+				base := query.Options{Method: method, Samples: 600, Seed: query.SeedPtr(7), Workers: 1}
+				seq, seqErr := query.EvalIndexed(tree, q, base, idx)
+				for _, workers := range workerCounts {
+					opts := base
+					opts.Workers = workers
+					par, parErr := query.EvalIndexed(tree, q, opts, idx)
+					if (seqErr == nil) != (parErr == nil) {
+						t.Fatalf("tree %d %s method=%s: workers=1 err=%v, workers=%d err=%v",
+							ti, src, method, seqErr, workers, parErr)
+					}
+					if seqErr != nil {
+						// Same failure either way (e.g. exact inapplicable).
+						if !errors.Is(parErr, query.ErrNotExact) {
+							t.Fatalf("tree %d %s method=%s workers=%d: unexpected error %v",
+								ti, src, method, workers, parErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(seq.Answers, par.Answers) {
+						t.Fatalf("tree %d %s method=%s: workers=%d answers differ\n  seq: %v\n  par: %v",
+							ti, src, method, workers, seq.Answers, par.Answers)
+					}
+					if seq.Method != par.Method {
+						t.Fatalf("tree %d %s method=%s: workers=%d ran %s, sequential ran %s",
+							ti, src, method, workers, par.Method, seq.Method)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSampleSeedReproducibleAcrossWorkers pins the seed-splitting design:
+// a fixed (n, seed) pair draws the same chunk substreams no matter how
+// many workers run them, so sampled answers are reproducible bit for bit.
+// Uses a sample count far above the chunk size so many chunks exist.
+func TestSampleSeedReproducibleAcrossWorkers(t *testing.T) {
+	tree := propertyTrees(t)[0]
+	idx := queryindex.Build(tree)
+	q := query.MustCompile(`//movie/title`)
+	var want *query.Result
+	for _, workers := range []int{1, 2, 3, 8} {
+		res, err := query.EvalIndexed(tree, q, query.Options{
+			Method: query.MethodSample, Samples: 5000, Seed: query.SeedPtr(99), Workers: workers,
+		}, idx)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			w := res
+			want = &w
+			continue
+		}
+		if !reflect.DeepEqual(want.Answers, res.Answers) {
+			t.Fatalf("workers=%d: sampled answers differ from workers=1", workers)
+		}
+	}
+}
+
+// TestQueryContextCanceled: a context canceled before evaluation aborts
+// immediately with ctx.Err() — the first budget step always checks.
+func TestQueryContextCanceled(t *testing.T) {
+	tree := propertyTrees(t)[0]
+	idx := queryindex.Build(tree)
+	q := query.MustCompile(`//movie/title`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := query.EvalIndexedCtx(ctx, tree, q, query.Options{}, idx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestQueryVisitBudget: a tiny node-visit budget aborts with
+// ErrBudgetExhausted, and the result still carries the plan with
+// BudgetExhausted set so explain can show what was attempted.
+func TestQueryVisitBudget(t *testing.T) {
+	tree := propertyTrees(t)[0]
+	idx := queryindex.Build(tree)
+	q := query.MustCompile(`//movie/title`)
+	res, err := query.EvalIndexedCtx(context.Background(), tree, q, query.Options{MaxNodeVisits: 3}, idx)
+	if !errors.Is(err, query.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.Plan == nil || !res.Plan.BudgetExhausted {
+		t.Fatalf("plan = %+v, want BudgetExhausted", res.Plan)
+	}
+}
+
+// TestQueryTimeBudget: an already-expired wall-clock budget aborts on the
+// first metered step.
+func TestQueryTimeBudget(t *testing.T) {
+	tree := propertyTrees(t)[0]
+	idx := queryindex.Build(tree)
+	q := query.MustCompile(`//movie/title`)
+	_, err := query.EvalIndexedCtx(context.Background(), tree, q, query.Options{TimeBudget: 1}, idx)
+	if !errors.Is(err, query.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestQueryWorkersValidation: negative worker counts are an options error,
+// like every other negative knob.
+func TestQueryWorkersValidation(t *testing.T) {
+	for _, opts := range []query.Options{
+		{Workers: -1},
+		{TimeBudget: -1},
+		{MaxNodeVisits: -1},
+	} {
+		if err := opts.Validate(); !errors.Is(err, query.ErrBadOptions) {
+			t.Fatalf("Validate(%+v) = %v, want ErrBadOptions", opts, err)
+		}
+	}
+}

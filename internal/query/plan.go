@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -40,6 +41,13 @@ type Plan struct {
 	// CacheHit is set by the database layer when the result was served
 	// from the result cache.
 	CacheHit bool `json:"cache_hit"`
+	// Workers is the resolved fan-out width the executor ran with
+	// (Options.Workers with 0 resolved to GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// BudgetExhausted is set when evaluation aborted on a per-query
+	// budget (Options.TimeBudget / Options.MaxNodeVisits); the result
+	// carrying it is partial and arrives alongside ErrBudgetExhausted.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 }
 
 // queryTags collects the concrete element tags a query mentions: step
@@ -208,12 +216,26 @@ func estimatePruned(q *Query, idx *queryindex.Index) float64 {
 // An index whose digest does not match the tree is ignored, so callers
 // can never be served a plan computed against a stale document.
 func EvalIndexed(t *pxml.Tree, q *Query, opts Options, idx *queryindex.Index) (Result, error) {
+	return EvalIndexedCtx(context.Background(), t, q, opts, idx)
+}
+
+// EvalIndexedCtx is EvalIndexed with cancellation and budgets: evaluation
+// aborts with ctx.Err() when the context is canceled (checked on an
+// amortized schedule inside the executors' hot loops) and with
+// ErrBudgetExhausted when Options.TimeBudget or Options.MaxNodeVisits runs
+// out. On a budget abort the returned Result still carries the Plan, with
+// BudgetExhausted set, so `explain` can show what was attempted.
+// Options.Workers fans the exact and sampling executors out over a bounded
+// worker pool; answers are bit-identical for every worker count.
+func EvalIndexedCtx(ctx context.Context, t *pxml.Tree, q *Query, opts Options, idx *queryindex.Index) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
 	if idx != nil && idx.Digest() != t.Digest() {
 		idx = nil
 	}
+	b := newBudget(ctx, opts)
+	workers := opts.workers()
 
 	if m := opts.method(); m != MethodAuto {
 		pl := Plan{
@@ -225,7 +247,7 @@ func EvalIndexed(t *pxml.Tree, q *Query, opts Options, idx *queryindex.Index) (R
 		if idx != nil {
 			pl.PrunedFraction = estimatePruned(q, idx)
 		}
-		return executePlanned(t, q, opts, m, pl)
+		return executePlanned(t, q, opts, m, pl, workers, b)
 	}
 
 	pl := planAuto(t, q, opts, idx)
@@ -237,34 +259,58 @@ func EvalIndexed(t *pxml.Tree, q *Query, opts Options, idx *queryindex.Index) (R
 		return newResult(make([]Answer, 0), pl.Method, sampled, &pl), nil
 	}
 	if idx == nil {
-		return executeLadder(t, q, opts, pl)
+		return executeLadder(t, q, opts, pl, workers, b)
 	}
-	return executePlanned(t, q, opts, pl.Method, pl)
+	return executePlanned(t, q, opts, pl.Method, pl, workers, b)
+}
+
+// failedResult wraps an executor error: budget aborts keep the Plan (with
+// BudgetExhausted set) attached to the empty result so front ends can
+// still explain what happened; other errors return a bare Result.
+func failedResult(pl Plan, m Method, err error) (Result, error) {
+	if errors.Is(err, ErrBudgetExhausted) {
+		pl.Method = m
+		pl.BudgetExhausted = true
+		return newResult(nil, m, 0, &pl), err
+	}
+	return Result{}, err
 }
 
 // executePlanned runs exactly the given method with the planned executor.
-func executePlanned(t *pxml.Tree, q *Query, opts Options, m Method, pl Plan) (Result, error) {
+func executePlanned(t *pxml.Tree, q *Query, opts Options, m Method, pl Plan, workers int, b *budget) (Result, error) {
 	pl.Method = m
+	pl.Workers = workers
 	switch m {
 	case MethodExact:
-		answers, e, err := evalExactPlanned(t, q, opts.LocalWorldLimit)
+		answers, e, err := evalExactPlanned(t, q, opts.LocalWorldLimit, workers, b)
 		if err != nil {
-			return Result{}, err
+			return failedResult(pl, m, err)
 		}
 		if e.visited > 0 {
 			// Refine the estimate with what the discovery pass saw.
 			pl.Reason += fmt.Sprintf(" (discovery pruned %d of %d subtree visits)", e.prunedSubtrees, e.visited)
 		}
-		return newResult(answers, MethodExact, 0, &pl), nil
+		res := newResult(answers, MethodExact, 0, &pl)
+		res.Exec = ExecStats{Workers: workers, PooledTasks: e.pooledTasks, InlineTasks: e.inlineTasks, NodeVisits: b.spent()}
+		return res, nil
 	case MethodEnumerate:
-		answers, err := EvalEnumerate(t, q, opts.enumLimit())
+		answers, err := evalEnumerate(t, q, opts.enumLimit(), b)
 		if err != nil {
-			return Result{}, err
+			return failedResult(pl, m, err)
 		}
-		return newResult(answers, MethodEnumerate, 0, &pl), nil
+		res := newResult(answers, MethodEnumerate, 0, &pl)
+		res.Exec = ExecStats{Workers: workers, NodeVisits: b.spent()}
+		return res, nil
 	case MethodSample:
-		answers := EvalSample(t, q, opts.samples(), opts.seed())
-		return newResult(answers, MethodSample, opts.samples(), &pl), nil
+		var ex ExecStats
+		answers, err := evalSampleWorkers(t, q, opts.samples(), opts.seed(), workers, b, &ex)
+		if err != nil {
+			return failedResult(pl, m, err)
+		}
+		ex.Workers, ex.NodeVisits = workers, b.spent()
+		res := newResult(answers, MethodSample, opts.samples(), &pl)
+		res.Exec = ex
+		return res, nil
 	default:
 		return Result{}, fmt.Errorf("%w: unknown method %q", ErrBadOptions, m)
 	}
@@ -273,34 +319,46 @@ func executePlanned(t *pxml.Tree, q *Query, opts Options, m Method, pl Plan) (Re
 // executeLadder is the unindexed auto path: try exact, fall back to
 // enumeration, then sampling — the planner records which rung ran so the
 // reported plan always matches the executed method.
-func executeLadder(t *pxml.Tree, q *Query, opts Options, pl Plan) (Result, error) {
-	answers, e, err := evalExactPlanned(t, q, opts.LocalWorldLimit)
+func executeLadder(t *pxml.Tree, q *Query, opts Options, pl Plan, workers int, b *budget) (Result, error) {
+	pl.Workers = workers
+	answers, e, err := evalExactPlanned(t, q, opts.LocalWorldLimit, workers, b)
 	if err == nil {
 		pl.Method = MethodExact
 		pl.Reason = "exact evaluation applicable"
 		if e.visited > 0 {
 			pl.Reason += fmt.Sprintf(" (discovery pruned %d of %d subtree visits)", e.prunedSubtrees, e.visited)
 		}
-		return newResult(answers, MethodExact, 0, &pl), nil
+		res := newResult(answers, MethodExact, 0, &pl)
+		res.Exec = ExecStats{Workers: workers, PooledTasks: e.pooledTasks, InlineTasks: e.inlineTasks, NodeVisits: b.spent()}
+		return res, nil
 	}
 	if !errors.Is(err, ErrNotExact) {
-		return Result{}, err
+		return failedResult(pl, MethodExact, err)
 	}
 	exactErr := err
 	if t.WorldCount().Cmp(big.NewInt(int64(opts.enumLimit()))) <= 0 {
-		answers, err := EvalEnumerate(t, q, opts.enumLimit())
+		answers, err := evalEnumerate(t, q, opts.enumLimit(), b)
 		if err == nil {
 			pl.Method = MethodEnumerate
 			pl.Reason = fmt.Sprintf("%v; %s worlds fit the enumeration budget", exactErr, pl.EstimatedWorlds)
-			return newResult(answers, MethodEnumerate, 0, &pl), nil
+			res := newResult(answers, MethodEnumerate, 0, &pl)
+			res.Exec = ExecStats{Workers: workers, NodeVisits: b.spent()}
+			return res, nil
 		}
 		if !errors.Is(err, worlds.ErrTooManyWorlds) {
-			return Result{}, err
+			return failedResult(pl, MethodEnumerate, err)
 		}
 	}
 	pl.Method = MethodSample
 	pl.Reason = fmt.Sprintf("%v; %s worlds exceed the enumeration budget: Monte-Carlo sampling",
 		exactErr, pl.EstimatedWorlds)
-	sampled := EvalSample(t, q, opts.samples(), opts.seed())
-	return newResult(sampled, MethodSample, opts.samples(), &pl), nil
+	var ex ExecStats
+	sampled, err := evalSampleWorkers(t, q, opts.samples(), opts.seed(), workers, b, &ex)
+	if err != nil {
+		return failedResult(pl, MethodSample, err)
+	}
+	ex.Workers, ex.NodeVisits = workers, b.spent()
+	res := newResult(sampled, MethodSample, opts.samples(), &pl)
+	res.Exec = ex
+	return res, nil
 }

@@ -2,21 +2,43 @@ package query
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultResultCacheCapacity is the capacity of a ResultCache built with
 // NewResultCache(0).
 const DefaultResultCacheCapacity = 512
 
+// resultCacheShards is the lock-striping width of a sharded ResultCache.
+// Caches too small to give each shard a useful slice of capacity (fewer
+// than minShardedCapacity entries) stay unsharded, which also preserves
+// exact global LRU order for tiny caches.
+const (
+	resultCacheShards  = 16
+	minShardedCapacity = resultCacheShards * 4
+)
+
 // ResultCacheStats reports the effectiveness of a ResultCache.
 type ResultCacheStats struct {
-	// Hits and Misses count Get calls answered from / not in the cache.
+	// Hits and Misses count lookups answered from the cache vs. lookups
+	// that led to an evaluation. Under Do, concurrent identical cold
+	// queries record exactly one miss (the leader's); the others record
+	// Collapses instead.
 	Hits, Misses int64
+	// Collapses counts Do callers that waited on an identical in-flight
+	// evaluation instead of running their own (singleflight).
+	Collapses int64
 	// Size is the number of cached results; Capacity the maximum before
 	// least-recently-used eviction.
 	Size, Capacity int
+	// Shards is the lock-striping width (1 for tiny caches).
+	Shards int
 }
 
 // resultKey identifies one cached evaluation: the document content (by
@@ -31,7 +53,10 @@ type resultKey struct {
 
 // optionsKey canonicalizes options into the cache key: defaults are
 // resolved first, so Options{} and an explicitly spelled-out default hit
-// the same entry.
+// the same entry. Workers and the budget fields are deliberately excluded:
+// answers are bit-identical for every worker count, and budgets only
+// decide whether an evaluation completes — so queries differing only in
+// those share one entry (and one singleflight execution).
 func optionsKey(o Options) string {
 	local := o.LocalWorldLimit
 	if local <= 0 {
@@ -47,18 +72,48 @@ func optionsKey(o Options) string {
 // It complements the compiled-query Cache: that one skips parsing, this
 // one skips evaluation entirely for repeated queries over an unchanged
 // document.
+//
+// Internally the cache is striped over resultCacheShards independent LRU
+// shards (each with its own lock), so concurrent readers on different
+// keys no longer serialize on one mutex; and Do adds singleflight: N
+// concurrent identical cold queries run one evaluation while N−1 wait for
+// its result.
 type ResultCache struct {
-	mu           sync.Mutex
-	cap          int
-	gen          uint64     // bumped by Purge; see PutIfGeneration
-	ll           *list.List // front = most recently used
-	byKey        map[resultKey]*list.Element
-	hits, misses int64
+	cap    int
+	shards []resultShard
+
+	// genMu orders Purge against PutIfGeneration across all shards: a
+	// conditional put holds the read side while it checks gen and
+	// inserts, so a purge (write side) can never interleave between the
+	// check and the insert.
+	genMu sync.RWMutex
+	gen   uint64
+
+	// flightMu guards the in-flight evaluation table behind Do.
+	flightMu sync.Mutex
+	flights  map[resultKey]*flightCall
+
+	hits, misses, collapses atomic.Int64
+}
+
+type resultShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[resultKey]*list.Element
 }
 
 type resultEntry struct {
 	key resultKey
 	res Result
+}
+
+// flightCall is one in-flight evaluation: waiters block on done and then
+// read res/err, which the leader writes before closing the channel.
+type flightCall struct {
+	done chan struct{}
+	res  Result
+	err  error
 }
 
 // NewResultCache builds a result cache holding at most capacity entries;
@@ -67,48 +122,84 @@ func NewResultCache(capacity int) *ResultCache {
 	if capacity <= 0 {
 		capacity = DefaultResultCacheCapacity
 	}
-	return &ResultCache{
-		cap:   capacity,
-		ll:    list.New(),
-		byKey: make(map[resultKey]*list.Element, capacity),
+	shards := 1
+	if capacity >= minShardedCapacity {
+		shards = resultCacheShards
 	}
+	c := &ResultCache{
+		cap:     capacity,
+		shards:  make([]resultShard, shards),
+		flights: make(map[resultKey]*flightCall),
+	}
+	per := capacity / shards
+	for i := range c.shards {
+		c.shards[i] = resultShard{
+			cap:   per,
+			ll:    list.New(),
+			byKey: make(map[resultKey]*list.Element, per),
+		}
+	}
+	return c
+}
+
+// shardFor picks the shard of a key by hashing all three key parts — the
+// digest alone would put every query over one document in one shard.
+func (c *ResultCache) shardFor(key resultKey) *resultShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key.src)
+	io.WriteString(h, key.opts)
+	return &c.shards[(h.Sum64()^key.digest)%uint64(len(c.shards))]
+}
+
+// lookup returns the cached result for key, refreshing its LRU position.
+func (c *ResultCache) lookup(key resultKey) (Result, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*resultEntry).res, true
+	}
+	return Result{}, false
 }
 
 // Get returns the cached result for the (document, query, options)
 // triple, if present.
 func (c *ResultCache) Get(digest uint64, src string, opts Options) (Result, bool) {
 	key := resultKey{digest: digest, src: src, opts: optionsKey(opts)}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*resultEntry).res, true
+	res, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
 	}
-	c.misses++
-	return Result{}, false
+	return res, ok
 }
 
 // Put stores an evaluation result. Storing the same key twice keeps the
 // newer value (the two are identical by determinism anyway).
 func (c *ResultCache) Put(digest uint64, src string, opts Options, res Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.putLocked(digest, src, opts, res)
+	key := resultKey{digest: digest, src: src, opts: optionsKey(opts)}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, res)
 }
 
-func (c *ResultCache) putLocked(digest uint64, src string, opts Options, res Result) {
-	key := resultKey{digest: digest, src: src, opts: optionsKey(opts)}
-	if el, ok := c.byKey[key]; ok {
+func (s *resultShard) putLocked(key resultKey, res Result) {
+	if el, ok := s.byKey[key]; ok {
 		el.Value.(*resultEntry).res = res
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&resultEntry{key: key, res: res})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*resultEntry).key)
+	s.byKey[key] = s.ll.PushFront(&resultEntry{key: key, res: res})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*resultEntry).key)
 	}
 }
 
@@ -117,22 +208,26 @@ func (c *ResultCache) putLocked(digest uint64, src string, opts Options, res Res
 // the value to PutIfGeneration to avoid re-inserting an entry for a
 // document that has since been retired by a purge.
 func (c *ResultCache) Generation() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.genMu.RLock()
+	defer c.genMu.RUnlock()
 	return c.gen
 }
 
 // PutIfGeneration stores the result only if no Purge intervened since the
 // caller observed gen — the check and the insertion are atomic under the
-// cache lock, so a slow evaluation that straddles a tree swap can never
-// occupy capacity with an entry for the retired document.
+// generation lock, so a slow evaluation that straddles a tree swap can
+// never occupy capacity with an entry for the retired document.
 func (c *ResultCache) PutIfGeneration(gen uint64, digest uint64, src string, opts Options, res Result) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.genMu.RLock()
+	defer c.genMu.RUnlock()
 	if c.gen != gen {
 		return false
 	}
-	c.putLocked(digest, src, opts, res)
+	key := resultKey{digest: digest, src: src, opts: optionsKey(opts)}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, res)
 	return true
 }
 
@@ -140,16 +235,120 @@ func (c *ResultCache) PutIfGeneration(gen uint64, digest uint64, src string, opt
 // calls it on every tree swap: digests already make stale hits
 // impossible, purging just stops dead entries from occupying capacity.
 func (c *ResultCache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.genMu.Lock()
+	defer c.genMu.Unlock()
 	c.gen++
-	c.ll.Init()
-	clear(c.byKey)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		clear(s.byKey)
+		s.mu.Unlock()
+	}
 }
+
+// Do returns the cached result for the triple or computes it by calling
+// fn — at most once across concurrent identical callers (singleflight):
+// the first cold caller leads the evaluation, later identical callers
+// wait for its result instead of burning their own. gen gates the insert
+// exactly like PutIfGeneration.
+//
+// A waiter whose own ctx is canceled stops waiting with ctx.Err(). A
+// leader error that is caller-specific — cancellation or budget
+// exhaustion — is not adopted by waiters; one of them retries as the new
+// leader, so one impatient client cannot fail everyone else's query.
+// Deterministic errors (bad query, inapplicable method) are shared.
+//
+// The second result reports how the call was served: from cache, by
+// executing fn, or by collapsing onto another caller's execution.
+func (c *ResultCache) Do(ctx context.Context, gen uint64, digest uint64, src string, opts Options, fn func() (Result, error)) (Result, DoOutcome, error) {
+	key := resultKey{digest: digest, src: src, opts: optionsKey(opts)}
+	for {
+		if res, ok := c.lookup(key); ok {
+			c.hits.Add(1)
+			return res, DoHit, nil
+		}
+		c.flightMu.Lock()
+		if call, ok := c.flights[key]; ok {
+			c.flightMu.Unlock()
+			c.collapses.Add(1)
+			var done <-chan struct{}
+			if ctx != nil {
+				done = ctx.Done()
+			}
+			select {
+			case <-call.done:
+			case <-done:
+				return Result{}, DoShared, ctx.Err()
+			}
+			if call.err == nil {
+				return call.res, DoShared, nil
+			}
+			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) ||
+				errors.Is(call.err, ErrBudgetExhausted) {
+				continue
+			}
+			return Result{}, DoShared, call.err
+		}
+		call := &flightCall{done: make(chan struct{})}
+		c.flights[key] = call
+		c.flightMu.Unlock()
+		c.misses.Add(1)
+
+		completed := false
+		func() {
+			defer func() {
+				if !completed && call.err == nil {
+					// fn panicked; the panic propagates to this caller,
+					// while waiters get an error (not cancel-like, so
+					// they do not retry into the same panic).
+					call.err = errors.New("query: evaluation panicked")
+				}
+				c.flightMu.Lock()
+				delete(c.flights, key)
+				c.flightMu.Unlock()
+				close(call.done)
+			}()
+			call.res, call.err = fn()
+			if call.err == nil {
+				// Insert before releasing waiters and retiring the
+				// flight, so no identical caller can slip between the
+				// flight's end and the entry's visibility.
+				c.PutIfGeneration(gen, digest, src, opts, call.res)
+			}
+			completed = true
+		}()
+		return call.res, DoExecuted, call.err
+	}
+}
+
+// DoOutcome reports how ResultCache.Do served a call.
+type DoOutcome int
+
+const (
+	// DoHit: served from the cache.
+	DoHit DoOutcome = iota
+	// DoExecuted: this caller ran the evaluation.
+	DoExecuted
+	// DoShared: this caller waited on an identical in-flight evaluation.
+	DoShared
+)
 
 // Stats returns a snapshot of the cache counters.
 func (c *ResultCache) Stats() ResultCacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return ResultCacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.cap}
+	size := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		size += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return ResultCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Collapses: c.collapses.Load(),
+		Size:      size,
+		Capacity:  c.cap,
+		Shards:    len(c.shards),
+	}
 }

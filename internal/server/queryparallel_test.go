@@ -1,0 +1,100 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// TestQueryWorkersParameter: workers= selects the per-request fan-out;
+// bad values are options errors, not crashes.
+func TestQueryWorkersParameter(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	for _, w := range []string{"0", "1", "3", "8"} {
+		var resp server.QueryResponse
+		doJSON(t, "GET", ts.URL+"/query?workers="+w+"&q="+url.QueryEscape(`//person/tel`), "", nil, http.StatusOK, &resp)
+		if len(resp.Answers) != 2 {
+			t.Fatalf("workers=%s: answers = %+v, want 2", w, resp.Answers)
+		}
+	}
+	doJSON(t, "GET", ts.URL+"/query?workers=-1&q="+url.QueryEscape(`//a`), "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query?workers=x&q="+url.QueryEscape(`//a`), "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query?budget_ms=-1&q="+url.QueryEscape(`//a`), "", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query?budget_ms=x&q="+url.QueryEscape(`//a`), "", nil, http.StatusBadRequest, nil)
+}
+
+// TestQueryWorkersExplainPlan: explain surfaces the worker count that ran.
+func TestQueryWorkersExplainPlan(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	var resp server.QueryResponse
+	doJSON(t, "GET", ts.URL+"/query?explain=1&workers=3&q="+url.QueryEscape(`//person/tel`), "", nil, http.StatusOK, &resp)
+	if resp.Plan == nil || resp.Plan.Workers != 3 {
+		t.Fatalf("plan = %+v, want workers=3", resp.Plan)
+	}
+}
+
+// TestQueryClientDisconnect: a request whose context is already canceled
+// (the client hung up) aborts with the 499 nginx convention and is counted
+// in the /stats query section.
+func TestQueryClientDisconnect(t *testing.T) {
+	db, err := core.OpenXML(strings.NewReader(bookA), core.Config{Schema: personDTD})
+	if err != nil {
+		t.Fatalf("OpenXML: %v", err)
+	}
+	h := server.New(db, server.Options{}).Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/query?q="+url.QueryEscape(`//person/tel`), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Fatalf("status = %d, want 499; body %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var stats server.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("bad stats JSON %q: %v", rec.Body.String(), err)
+	}
+	if stats.Query.Canceled < 1 {
+		t.Fatalf("stats.query = %+v, want canceled >= 1", stats.Query)
+	}
+	if stats.Query.Started < 1 {
+		t.Fatalf("stats.query = %+v, want started >= 1", stats.Query)
+	}
+}
+
+// TestStatsQuerySection: /stats reports the query-concurrency counters
+// after a cold evaluation plus repeats (cache hits leave started growing).
+func TestStatsQuerySection(t *testing.T) {
+	ts, _ := newTestServer(t)
+	integrateB(t, ts)
+	for i := 0; i < 3; i++ {
+		doJSON(t, "GET", ts.URL+"/query?q="+url.QueryEscape(`//person/tel`), "", nil, http.StatusOK, nil)
+	}
+	var stats server.StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", "", nil, http.StatusOK, &stats)
+	if stats.Query.Started < 3 {
+		t.Fatalf("query.started = %d, want >= 3", stats.Query.Started)
+	}
+	if stats.Query.Active != 0 {
+		t.Fatalf("query.active = %d, want 0", stats.Query.Active)
+	}
+	if stats.Query.CacheShards < 1 {
+		t.Fatalf("query.cache_shards = %d, want >= 1", stats.Query.CacheShards)
+	}
+}

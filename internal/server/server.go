@@ -29,7 +29,10 @@
 //	POST /integrate/batch               {"sources":["<xml>…",…]} -> per-source stats
 //	GET  /query?q=…&top=N&seed=S        ranked answers; method=auto|exact|
 //	     &method=M&samples=N&explain=1  enumerate|sample, explain=1 adds
-//	                                    the evaluation plan
+//	     &workers=W&budget_ms=B         the evaluation plan; workers fans
+//	                                    evaluation over W goroutines (0 =
+//	                                    all CPUs), budget_ms bounds wall
+//	                                    time (408 + budget_exhausted)
 //	POST /feedback                      {"query","value","correct"} -> event
 //	GET  /stats                         document + cache + server statistics
 //	                                    (catalog mode: + WAL/compaction)
@@ -657,6 +660,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t target) {
 		}
 		opts.Seed = query.SeedPtr(n)
 	}
+	if v := r.URL.Query().Get("workers"); v != "" {
+		// 0 means one worker per CPU; 1 forces sequential evaluation.
+		// Answers are bit-identical either way — workers only buy speed.
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query: bad workers parameter %q", v)
+			return
+		}
+		// Negative counts reach option validation (mapped to 400 below).
+		opts.Workers = n
+	}
+	if v := r.URL.Query().Get("budget_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "query: bad budget_ms parameter %q", v)
+			return
+		}
+		opts.TimeBudget = time.Duration(n) * time.Millisecond
+	}
 	explain := false
 	switch v := r.URL.Query().Get("explain"); v {
 	case "", "0", "false":
@@ -666,9 +688,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t target) {
 		writeError(w, http.StatusBadRequest, "query: bad explain parameter %q (0 | 1)", v)
 		return
 	}
-	res, err := t.core.QueryEval(src, opts)
+	// The request context rides into evaluation: a client that hangs up
+	// aborts its own query instead of leaving it computing to completion
+	// (counted under /stats query.canceled).
+	res, err := t.core.QueryEvalCtx(r.Context(), src, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "query: %v", err)
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client is gone; 499 (nginx's "client closed request")
+			// keeps access logs honest even though nobody reads the body.
+			writeError(w, 499, "query: canceled: %v", err)
+		case errors.Is(err, query.ErrBudgetExhausted):
+			// Surface what the planner attempted: explain=1 gets the plan
+			// with budget_exhausted set alongside the error.
+			resp := struct {
+				Error string      `json:"error"`
+				Plan  *query.Plan `json:"plan,omitempty"`
+			}{Error: err.Error()}
+			if explain {
+				resp.Plan = res.Plan
+			}
+			writeJSON(w, http.StatusRequestTimeout, resp)
+		default:
+			writeError(w, http.StatusBadRequest, "query: %v", err)
+		}
 		return
 	}
 	answers := res.Answers
@@ -869,7 +912,11 @@ type StatsResponse struct {
 	FeedbackCount int           `json:"feedback_events"`
 	QueryCache    CacheCounters `json:"query_cache"`
 	ResultCache   CacheCounters `json:"result_cache"`
-	Index         IndexStats    `json:"index"`
+	// Query reports query-path concurrency: in-flight evaluations,
+	// early aborts (client disconnects, budget exhaustion), singleflight
+	// collapses, and worker-pool scheduling.
+	Query QueryRuntime `json:"query"`
+	Index IndexStats   `json:"index"`
 	// Memo is the cross-call integration memo (oracle verdicts and
 	// subtree merges shared across integrations).
 	Memo integrate.MemoStats `json:"integrate_memo"`
@@ -882,6 +929,30 @@ type StatsResponse struct {
 	// bytes served (catalog mode).
 	Store *StoreRuntimeStats `json:"store,omitempty"`
 	Wire  *WireStats         `json:"wire,omitempty"`
+}
+
+// QueryRuntime is the /stats "query" section: concurrency accounting for
+// the parallel query path.
+type QueryRuntime struct {
+	// Active is the number of evaluations in flight right now; Started
+	// counts every evaluation ever begun.
+	Active  int64 `json:"active"`
+	Started int64 `json:"started"`
+	// Canceled counts evaluations aborted by client disconnect (the
+	// 499-style early aborts); BudgetAborts those stopped by a per-query
+	// wall-time/node-visit budget.
+	Canceled     int64 `json:"canceled"`
+	BudgetAborts int64 `json:"budget_aborts"`
+	// SingleflightCollapses counts queries that waited on an identical
+	// in-flight evaluation instead of running their own.
+	SingleflightCollapses int64 `json:"singleflight_collapses"`
+	// PooledTasks/InlineTasks report worker-pool scheduling: fan-out
+	// units run on pool goroutines vs. inline because the pool was
+	// saturated.
+	PooledTasks int64 `json:"pooled_tasks"`
+	InlineTasks int64 `json:"inline_tasks"`
+	// CacheShards is the result cache's lock-striping width.
+	CacheShards int `json:"cache_shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t target) {
@@ -901,6 +972,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t target) {
 	resp.QueryCache = CacheCounters{Hits: cs.Hits, Misses: cs.Misses, Size: cs.Size, Capacity: cs.Capacity}
 	rs := t.core.ResultCacheStats()
 	resp.ResultCache = CacheCounters{Hits: rs.Hits, Misses: rs.Misses, Size: rs.Size, Capacity: rs.Capacity}
+	qs := t.core.QueryStats()
+	resp.Query = QueryRuntime{
+		Active:                qs.Active,
+		Started:               qs.Started,
+		Canceled:              qs.Canceled,
+		BudgetAborts:          qs.BudgetAborts,
+		SingleflightCollapses: rs.Collapses,
+		PooledTasks:           qs.PooledTasks,
+		InlineTasks:           qs.InlineTasks,
+		CacheShards:           rs.Shards,
+	}
 	resp.Memo = t.core.MemoStats()
 	resp.Ingest = t.core.IngestStats()
 	is := t.core.IndexStats()
